@@ -1,0 +1,9 @@
+"""Shared program builders for the benchmark suite."""
+
+from repro.ir import Builder, F64
+
+
+def make_sum_rows():
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    return b.build(m.map_rows(lambda row: row.reduce("+")))

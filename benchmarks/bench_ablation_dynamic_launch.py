@@ -1,0 +1,46 @@
+"""Ablation: static-only mapping vs dynamic launch adjustment.
+
+Section IV-D: the static decision fixes dimensions and span kinds; block
+sizes and span/split factors are re-derived at launch from actual sizes.
+This ablation compiles at one representative shape and executes at a
+skewed one, with and without the dynamic adjustment.
+"""
+
+import pytest
+
+from repro import GpuSession
+from repro.apps.mandelbrot import build_mandelbrot
+
+COMPILE_SHAPE = {"H": 2048, "W": 2048}
+RUNTIME_SHAPES = [
+    pytest.param({"H": 50, "W": 20000}, id="wide-skew"),
+    pytest.param({"H": 20000, "W": 50}, id="tall-skew"),
+    pytest.param({"H": 2048, "W": 2048}, id="square"),
+]
+
+
+@pytest.mark.parametrize("runtime_shape", RUNTIME_SHAPES)
+def test_dynamic_launch_ablation(benchmark, runtime_shape):
+    program = build_mandelbrot()
+    static = GpuSession(dynamic_launch=False).compile(
+        program, **COMPILE_SHAPE
+    )
+    dynamic = GpuSession(dynamic_launch=True).compile(
+        program, **COMPILE_SHAPE
+    )
+
+    static_us = static.estimate_time_us(**runtime_shape)
+    dynamic_us = benchmark.pedantic(
+        dynamic.estimate_time_us,
+        kwargs=runtime_shape,
+        rounds=2,
+        iterations=1,
+    )
+
+    print(
+        f"\nruntime {runtime_shape}: static {static_us:.0f}us, "
+        f"dynamic {dynamic_us:.0f}us "
+        f"({static_us / dynamic_us:.2f}x)"
+    )
+    # Adjustment never hurts materially, and helps on skewed shapes.
+    assert dynamic_us <= static_us * 1.05

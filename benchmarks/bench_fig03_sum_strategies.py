@@ -1,0 +1,29 @@
+"""Figure 3: sumCols/sumRows under fixed mapping strategies.
+
+Regenerates the motivating study: three matrix shapes with a constant
+element count, four mapping strategies, execution time normalized to
+MultiDim.  The paper reports up to 58x differences; the reproduction's
+cost model lands in the 10-25x band with the same winners and losers.
+"""
+
+
+def test_fig03(experiment):
+    result = experiment("fig3")
+
+    rows = {(r["kernel"], r["shape"]): r for r in result.rows}
+
+    # MultiDim is flat across shapes (the paper normalizes to it).
+    times = [r["multidim_ms"] for r in result.rows]
+    assert max(times) / min(times) < 1.3
+
+    # 1D collapses exactly where the paper says it does.
+    assert rows[("sumCols", "[64K,1K]")]["1d"] > 5
+    assert rows[("sumRows", "[1K,64K]")]["1d"] > 5
+
+    # Fixed 2D strategies cannot coalesce sumCols.
+    for shape in ("[64K,1K]", "[8K,8K]", "[1K,64K]"):
+        assert rows[("sumCols", shape)]["thread-block/thread"] > 5
+        assert rows[("sumCols", shape)]["warp-based"] > 5
+
+    # warp-based matches MultiDim on sumRows (its home turf).
+    assert rows[("sumRows", "[1K,64K]")]["warp-based"] < 1.5

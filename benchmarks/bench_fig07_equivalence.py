@@ -1,0 +1,12 @@
+"""Figure 7: prior fixed strategies as points in our mapping space.
+
+Verifies the DOP equivalences the paper derives: thread-block/thread has
+DOP = I * min(J, MAX_BLOCK_SIZE); warp-based has DOP = I * min(J,
+WARP_SIZE).
+"""
+
+
+def test_fig07(experiment):
+    result = experiment("fig7")
+    for row in result.rows:
+        assert row["dop"] == row["expected_dop"], row

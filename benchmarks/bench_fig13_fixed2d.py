@@ -1,0 +1,26 @@
+"""Figure 13: fixed two-dimensional strategies vs MultiDim on (R)/(C)
+traversal variants of Gaussian, Hotspot, Mandelbrot, and SRAD.
+
+The paper's claim: (R) variants perform similarly across strategies (within
+~1.6x) while (C) variants slow the fixed strategies down 1.5-9.6x because
+they cannot re-assign the coalescing dimension.
+"""
+
+
+def test_fig13(experiment):
+    result = experiment("fig13")
+
+    for row in result.rows:
+        if row["order"] == "R":
+            assert row["thread-block/thread"] < 1.7, row
+            assert row["warp-based"] < 1.7, row
+        else:
+            assert row["thread-block/thread"] > 1.5, row
+            assert row["warp-based"] > 1.5, row
+
+    worst = max(
+        max(r["thread-block/thread"], r["warp-based"])
+        for r in result.rows
+        if r["order"] == "C"
+    )
+    assert 3 < worst < 15  # paper's band: 1.5x-9.6x

@@ -1,0 +1,20 @@
+"""Figure 16: dynamic-allocation optimization ablation.
+
+sumWeightedRows/Cols with (a) per-thread device malloc, (b) preallocation
+with the fixed row-major layout, (c) preallocation with mapping-directed
+layout.  Paper values: malloc costs 16.2x/20.8x; the wrong layout costs
+sumWeightedCols another 5.3x while sumWeightedRows is layout-insensitive.
+"""
+
+
+def test_fig16(experiment):
+    result = experiment("fig16")
+    rows = {r["kernel"]: r for r in result.rows}
+
+    # malloc is an order of magnitude for both kernels
+    assert 10 < rows["sumWeightedRows"]["malloc"] < 40
+    assert 10 < rows["sumWeightedCols"]["malloc"] < 40
+
+    # the layout only matters for the column-major variant
+    assert rows["sumWeightedRows"]["prealloc_only"] < 1.2
+    assert rows["sumWeightedCols"]["prealloc_only"] > 3

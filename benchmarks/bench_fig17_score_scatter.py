@@ -1,0 +1,30 @@
+"""Figure 17: mapping score vs simulated performance scatter.
+
+Every candidate mapping for Mandelbrot on a skewed (50, 20K) output is
+scored by the constraint system and timed by the simulator.  Region A
+(high score, best performance) must contain the selected mapping; region B
+(warp-based) performs poorly; region C (false negatives: low score, good
+performance) is expected and tolerated, as in the paper.
+"""
+
+import re
+
+
+def test_fig17(experiment):
+    result = experiment("fig17")
+
+    chosen = float(
+        re.search(r"chosen mapping time ([0-9.]+)x", result.notes).group(1)
+    )
+    warp = float(re.search(r"warp-based ([0-9.]+)x", result.notes).group(1))
+
+    assert chosen < 1.5  # region A
+    assert warp > 2.0    # region B
+
+    # high-score samples all perform well (no false positives)
+    top = [r for r in result.rows if r["score"] > 0.9]
+    assert top and all(r["time_norm"] < 3 for r in top)
+
+    # false negatives exist (region C): some low-score samples are fast
+    low = [r for r in result.rows if r["score"] < 0.5]
+    assert any(r["time_norm"] < 2 for r in low)

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_figXX`` module regenerates one of the paper's tables/figures
+through the experiment harness, asserts its qualitative claims, and prints
+the rows (run pytest with ``-s`` to see them).  ``pytest-benchmark``
+records the wall-clock cost of regenerating each experiment.
+"""
+
+import pytest
+
+
+def run_and_render(benchmark, experiment_id):
+    """Benchmark one experiment and return its result table."""
+    from repro.figures import run_experiment
+
+    result = benchmark(run_experiment, experiment_id)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(experiment_id):
+        return run_and_render(benchmark, experiment_id)
+
+    return runner

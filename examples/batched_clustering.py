@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Beyond three dimensions: a four-level nest (paper footnote 3).
+
+Batched trajectory clustering: for every batch, frame, and cluster, a
+squared-distance reduction over coordinates — four nested patterns.  The
+paper notes its logical dimensions are not limited to the three physical
+thread-block axes; this reproduction linearizes extra dimensions onto the
+physical z axis with div/mod decomposition, visible in the generated CUDA.
+
+Run:  python examples/batched_clustering.py
+"""
+
+import numpy as np
+
+from repro import GpuSession
+from repro.ir import Builder, F64
+from repro.ir.builder import range_map
+
+
+def build_batched_clustering():
+    b = Builder("batchedClustering")
+    batches = b.size("B")
+    frames = b.size("P")
+    clusters = b.size("K")
+    b.size("D")
+    x = b.matrix("X", F64, rows="P", cols="D")
+    cent = b.matrix("Cent", F64, rows="K", cols="D")
+    scale = b.vector("scale", F64, length="B")
+    out = range_map(
+        batches,
+        lambda bi: range_map(
+            frames,
+            lambda pi: range_map(
+                clusters,
+                lambda ki: x.row(pi).zip_with(
+                    cent.row(ki), lambda a, c: (a - c) * (a - c)
+                ).reduce("+") * scale[bi],
+                index_name="ki",
+            ),
+            index_name="pi",
+        ),
+        index_name="bi",
+    )
+    return b.build(out)
+
+
+def main() -> None:
+    program = build_batched_clustering()
+    session = GpuSession()
+    compiled = session.compile(program, B=8, P=256, K=100, D=100)
+
+    print("=== four-level mapping ===")
+    print(compiled.describe())
+    mapping = compiled.mappings()[0]
+    print(f"parallel logical dimensions: "
+          f"{[str(mapping.level(i).dim) for i in mapping.parallel_levels()]}")
+    print()
+
+    print("=== generated index computations (note threadIdx.z div/mod) ===")
+    for line in compiled.cuda_source.split("\n"):
+        if "threadIdx.z" in line and "=" in line:
+            print(" ", line.strip())
+    print()
+
+    rng = np.random.default_rng(5)
+    B, P, K, D = 3, 12, 5, 8
+    X = rng.random((P, D))
+    cent = rng.random((K, D))
+    scale = rng.random(B)
+    out = compiled.run(X=X, Cent=cent, scale=scale, B=B, P=P, K=K, D=D)
+    stacked = np.stack([np.stack(list(level)) for level in out])
+
+    diff = X[:, None, :] - cent[None, :, :]
+    expected = (diff * diff).sum(axis=2)[None] * scale[:, None, None]
+    assert np.allclose(stacked, expected)
+    print("functional check: OK (matches NumPy)")
+    print()
+
+    assignments = stacked.argmin(axis=2)
+    print(f"cluster assignments, batch 0: {assignments[0]}")
+    print(f"simulated K20c time at (8, 256, 100, 100): "
+          f"{compiled.estimate_time_us():.0f} us")
+
+    oned = GpuSession(strategy="1d").compile(
+        program, B=8, P=256, K=100, D=100
+    )
+    print(f"1D mapping at the same sizes:              "
+          f"{oned.estimate_time_us():.0f} us "
+          "(only 8 threads — one per batch!)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Compiler-engineer scenario: explore the mapping space of a kernel.
+
+Reproduces the Figure 17 methodology interactively: enumerate every
+candidate mapping for a program, score each against the constraint set,
+time each with the simulator, and show where the constraint-driven choice
+lands — plus how the dynamic launch adjustment retunes block sizes when
+the runtime shape is skewed.
+
+Run:  python examples/mapping_explorer.py
+"""
+
+from repro.analysis import analyze_program
+from repro.apps.mandelbrot import build_mandelbrot
+from repro.gpusim import TESLA_K20C, estimate_kernel_cost
+from repro.runtime import adjust_at_launch
+
+
+def main() -> None:
+    params = {"H": 50, "W": 20000}  # the paper's skewed output
+    program = build_mandelbrot()
+    analysis = analyze_program(program, **params)
+    kernel = analysis.kernel(0)
+
+    print("=== constraint set ===")
+    print(kernel.constraints.describe())
+    print()
+
+    result = kernel.select_mapping(
+        window=TESLA_K20C.dop_window(), keep_all=True
+    )
+    print(f"candidates: {result.candidates_total} "
+          f"({result.candidates_feasible} feasible)")
+    print(f"selected:   {result.mapping}  score={result.score:.3g}")
+    print()
+
+    # Score vs simulated time for the whole space.
+    timed = []
+    for scored in result.all_scored:
+        cost = estimate_kernel_cost(
+            kernel, scored.mapping, TESLA_K20C, analysis.env
+        )
+        timed.append((scored, cost.total_us))
+    best_time = min(t for _, t in timed)
+    max_score = max(s.score for s, _ in timed)
+
+    print("=== best 10 mappings by simulated time ===")
+    print(f"{'mapping':<48}{'score':>8}{'time':>9}")
+    for scored, t in sorted(timed, key=lambda st: st[1])[:10]:
+        print(
+            f"{str(scored.mapping):<48}"
+            f"{scored.score / max_score:8.2f}{t / best_time:8.2f}x"
+        )
+    print()
+
+    chosen_time = next(
+        t for s, t in timed if s.mapping == result.mapping
+    ) if any(s.mapping == result.mapping for s, _ in timed) else (
+        estimate_kernel_cost(
+            kernel, result.mapping, TESLA_K20C, analysis.env
+        ).total_us
+    )
+    print(f"selected mapping performs at {chosen_time / best_time:.2f}x of "
+          "the best candidate (region A of Figure 17)")
+
+    # False negatives (region C): good time, low score.
+    false_neg = [
+        (s, t)
+        for s, t in timed
+        if t < 1.5 * best_time and s.score < 0.5 * max_score
+    ]
+    print(f"false negatives (fast but low-scored): {len(false_neg)} "
+          "candidates — the paper's region C")
+    print()
+
+    # Dynamic launch adjustment (Section IV-D).
+    static = result.mapping
+    for runtime_shape in ((50, 20000), (4096, 4096), (20000, 50)):
+        adjusted = adjust_at_launch(
+            static, kernel.constraints, list(runtime_shape),
+            TESLA_K20C.dop_window(),
+        )
+        print(f"runtime {str(runtime_shape):>14}: {adjusted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Graph analytics: PageRank over a CSR graph (the paper's Figure 5).
+
+Demonstrates nested patterns whose inner domain size is *dynamic* (each
+node's neighbor count): the analysis forces Span(all) on the inner level,
+recovering the warp/block-per-node mapping family of Hong et al. — one of
+the strategies the paper shows its parameter space subsumes.
+
+Runs power iterations to convergence with the functional executor and
+reports the simulated GPU time per iteration.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro import GpuSession
+from repro.apps.pagerank import PAGERANK, build_pagerank
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n_nodes = 400
+    inputs = PAGERANK.workload(rng, N=n_nodes, avg_degree=8)
+    program = build_pagerank()
+
+    session = GpuSession()
+    compiled = session.compile(program, N=65536, E=65536 * 16)
+
+    print("=== mapping for the graph nest ===")
+    print(compiled.describe())
+    mapping = compiled.mappings()[0]
+    print(
+        f"inner level span: {mapping.level(1).span} "
+        "(forced: neighbor counts are unknown at launch)"
+    )
+    print()
+
+    # Power iteration until the ranks stabilize.
+    ranks = inputs["prev"]
+    for iteration in range(100):
+        new_ranks = compiled.run(
+            graph=inputs["graph"],
+            prev=ranks,
+            N=inputs["N"],
+            E=inputs["E"],
+        )
+        delta = float(np.abs(new_ranks - ranks).max())
+        ranks = new_ranks
+        if delta < 1e-10:
+            break
+    print(f"converged after {iteration + 1} iterations (delta={delta:.2e})")
+
+    top = np.argsort(ranks)[::-1][:5]
+    print("top-5 nodes by rank:")
+    for node in top:
+        print(f"  node {node:4d}  rank {ranks[node]:.6f}")
+    print()
+
+    per_iter_us = compiled.estimate_time_us()
+    print(
+        f"simulated K20c time per iteration at 65K nodes / 1M edges: "
+        f"{per_iter_us:.0f} us"
+    )
+
+
+if __name__ == "__main__":
+    main()

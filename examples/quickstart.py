@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: write a nested pattern, let the analysis map it to a GPU.
+
+Builds the paper's running example (sumRows: a Map over rows with a nested
+Reduce), compiles it with the locality-aware mapping analysis, runs it
+functionally, and prints the chosen mapping, the generated CUDA, and
+simulated execution times across matrix shapes and strategies.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Builder, F64, GpuSession
+
+
+def main() -> None:
+    # 1. Write the program with the pattern DSL (Section III).
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    program = b.build(m.map_rows(lambda row: row.reduce("+")))
+
+    # 2. Compile: analysis, mapping search, optimizations, CUDA codegen.
+    session = GpuSession()  # Tesla K20c, MultiDim strategy
+    compiled = session.compile(program, R=1024, C=65536)
+
+    print("=== chosen mapping ===")
+    print(compiled.describe())
+    print()
+
+    # 3. Execute functionally (the correctness oracle).
+    data = np.random.default_rng(0).random((512, 256))
+    result = compiled.run(m=data, R=512, C=256)
+    assert np.allclose(result, data.sum(axis=1))
+    print("functional check: OK (matches NumPy row sums)")
+    print()
+
+    # 4. Inspect the generated CUDA (Figure 9's template).
+    print("=== generated CUDA ===")
+    print(compiled.cuda_source)
+
+    # 5. Estimate execution times across shapes and strategies (Figure 3).
+    print("=== simulated K20c times (ms), 64M elements ===")
+    shapes = [(65536, 1024), (8192, 8192), (1024, 65536)]
+    strategies = ["multidim", "1d", "thread-block/thread", "warp-based"]
+    header = f"{'shape':>12}" + "".join(f"{s:>22}" for s in strategies)
+    print(header)
+    for rows, cols in shapes:
+        cells = [f"[{rows // 1024}K,{cols // 1024}K]".rjust(12)]
+        for strategy in strategies:
+            other = GpuSession(strategy=strategy).compile(
+                program, R=rows, C=cols
+            )
+            cells.append(f"{other.estimate_time_us() / 1000:22.2f}")
+        print("".join(cells))
+    print()
+    print("MultiDim stays flat; fixed strategies degrade on skewed shapes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives here (rather than only in pyproject.toml) so that
+`pip install -e .` can use the legacy editable-install path, which works
+offline without PEP-660 wheel building.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Locality-aware mapping of nested parallel patterns on GPUs "
+        "(MICRO 2014 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,77 @@
+"""repro — Locality-Aware Mapping of Nested Parallel Patterns on GPUs.
+
+A from-scratch reproduction of Lee et al., MICRO 2014.  The package
+provides:
+
+* a parallel-pattern IR and front-end DSL (:mod:`repro.ir`),
+* the constraint-driven mapping analysis — the paper's contribution
+  (:mod:`repro.analysis`),
+* mapping-coupled optimizations: preallocation with layout selection and
+  shared-memory prefetch (:mod:`repro.optim`),
+* a CUDA code generator (:mod:`repro.codegen`),
+* an analytic GPU simulator standing in for the paper's Tesla K20c
+  (:mod:`repro.gpusim`),
+* a functional interpreter as the correctness oracle (:mod:`repro.interp`),
+* a runtime session facade (:mod:`repro.runtime`),
+* the paper's benchmark applications (:mod:`repro.apps`) and the experiment
+  harness regenerating every figure (:mod:`repro.figures`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Builder, F64, GpuSession
+
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    program = b.build(m.map_rows(lambda row: row.reduce("+")))
+
+    session = GpuSession()
+    compiled = session.compile(program, R=1024, C=4096)
+    print(compiled.describe())                 # chosen mapping per kernel
+    data = np.random.rand(1024, 4096)
+    result = compiled.run(m=data, R=1024, C=4096)
+    print(compiled.estimate_time_us())         # simulated K20c time
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (  # noqa: F401
+    AnalysisError,
+    CodegenError,
+    ExecutionError,
+    IRError,
+    MappingError,
+    ReproError,
+    SearchError,
+    SimulationError,
+    ValidationError,
+)
+from .ir import (  # noqa: F401
+    BOOL,
+    Builder,
+    F32,
+    F64,
+    I32,
+    I64,
+    Program,
+)
+from .analysis import (  # noqa: F401
+    Dim,
+    LevelMapping,
+    Mapping,
+    Span,
+    SpanAll,
+    Split,
+    analyze_program,
+)
+from .gpusim import (  # noqa: F401
+    GpuDevice,
+    TESLA_C2050,
+    TESLA_K20C,
+    default_device,
+    simulate_program,
+)
+from .interp import run_program  # noqa: F401
+from .optim import OptimizationFlags  # noqa: F401
+from .runtime import CompiledProgram, GpuSession  # noqa: F401
+from .codegen import compile_program  # noqa: F401

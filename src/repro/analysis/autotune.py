@@ -1,0 +1,91 @@
+"""Cost-model-driven auto-tuning over the mapping space.
+
+The paper closes by noting that its mapping parameters "can be used by
+other compilers or auto-tuners to explore the mapping space", and that
+integrating an analytical GPU performance model is future work (the
+Figure 17 false negatives are the price of fixed intrinsic weights).  This
+module implements both extensions: instead of scoring candidates with the
+constraint weights, it prices every hard-feasible candidate with the full
+simulator and picks the fastest — a measurement-driven auto-tuner whose
+"measurements" are the analytic model.
+
+The trade-off is compile time: the cost model is ~100x more expensive per
+candidate than the constraint score, which is exactly why the paper's
+design uses cheap scores plus ControlDOP.  The ablation benchmark
+(`benchmarks/bench_ablation_autotune.py`) quantifies what the cheap score
+leaves on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import BLOCK_SIZE_CANDIDATES
+from ..errors import SearchError
+from .analyzer import KernelAnalysis
+from .dop import DopWindow, control_dop
+from .mapping import Mapping
+from .scoring import hard_feasible
+from .search import enumerate_candidates
+from .shapes import SizeEnv
+
+
+@dataclass
+class AutotuneResult:
+    """The simulator-optimal mapping plus the explored frontier."""
+
+    mapping: Mapping
+    time_us: float
+    candidates: int
+    #: (mapping, time) pairs, fastest first, truncated to ``keep_top``.
+    frontier: List[Tuple[Mapping, float]] = field(default_factory=list)
+
+
+def autotune_mapping(
+    analysis: KernelAnalysis,
+    device,
+    env: Optional[SizeEnv] = None,
+    window: Optional[DopWindow] = None,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+    keep_top: int = 10,
+    apply_control_dop: bool = True,
+) -> AutotuneResult:
+    """Pick the mapping the cost model likes best.
+
+    Every candidate satisfying the hard constraints is priced with
+    :func:`repro.gpusim.cost.estimate_kernel_cost`; ControlDOP is applied
+    per candidate (its Span(n)/Split(k) refinement changes cost too).
+    """
+    from ..gpusim.cost import estimate_kernel_cost
+
+    if env is None:
+        env = analysis.env
+    if window is None:
+        window = device.dop_window()
+    sizes = analysis.level_sizes()
+    splittable = analysis.constraints.span_all_levels()
+
+    timed: List[Tuple[Mapping, float]] = []
+    for candidate in enumerate_candidates(
+        analysis.depth, analysis.constraints, block_sizes
+    ):
+        if not hard_feasible(candidate, analysis.constraints, sizes):
+            continue
+        if apply_control_dop:
+            candidate = control_dop(candidate, sizes, window, splittable)
+        time_us = estimate_kernel_cost(
+            analysis, candidate, device, env
+        ).total_us
+        timed.append((candidate, time_us))
+
+    if not timed:
+        raise SearchError("no feasible mapping to autotune over")
+    timed.sort(key=lambda mt: mt[1])
+    best_mapping, best_time = timed[0]
+    return AutotuneResult(
+        mapping=best_mapping,
+        time_us=best_time,
+        candidates=len(timed),
+        frontier=timed[:keep_top],
+    )

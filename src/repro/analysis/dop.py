@@ -1,0 +1,106 @@
+"""Degree-of-parallelism control (procedure ControlDOP of Algorithm 1).
+
+After the constraint-driven search picks the best-scoring mapping, the DOP
+is checked against a device-derived window ``[MIN_DOP, MAX_DOP]``:
+
+* below the minimum, a ``Span(all)`` level is relaxed to ``Split(k)`` —
+  legal only when the Span(all) came from a synchronization requirement
+  (a combiner kernel re-synchronizes the partials);
+* above the maximum, a ``Span(1)`` level is coarsened to ``Span(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..config import DEFAULT_MAX_DOP, DEFAULT_MIN_DOP
+from .constraints import ConstraintSet
+from .mapping import LevelMapping, Mapping, Span, SpanAll, Split
+
+
+@dataclass(frozen=True)
+class DopWindow:
+    """Device-derived DOP bounds (Section IV-D).
+
+    For a Tesla K20c: ``min_dop = 13 SMs * 2048 threads = 26624`` and
+    ``max_dop = 100 * min_dop``.
+    """
+
+    min_dop: int = DEFAULT_MIN_DOP
+    max_dop: int = DEFAULT_MAX_DOP
+
+    def __post_init__(self) -> None:
+        if self.min_dop < 1 or self.max_dop < self.min_dop:
+            raise ValueError(
+                f"invalid DOP window [{self.min_dop}, {self.max_dop}]"
+            )
+
+
+def control_dop(
+    mapping: Mapping,
+    sizes: Sequence[int],
+    window: DopWindow,
+    splittable_levels: Optional[Dict[int, bool]] = None,
+) -> Mapping:
+    """Adjust span factors so the mapping's DOP falls inside the window.
+
+    ``splittable_levels`` comes from
+    :meth:`~repro.analysis.constraints.ConstraintSet.span_all_levels`; a
+    level mapped Span(all) for a *dynamic-size* reason is never split.
+    """
+    sizes = list(sizes)
+    current = mapping.dop(sizes)
+
+    if current < window.min_dop:
+        k = math.ceil(window.min_dop / max(1, current))
+        level = _pick_split_level(mapping, sizes, splittable_levels or {})
+        if level is not None and k >= 2:
+            lm = mapping.level(level)
+            # Splitting beyond the per-block iteration count is useless.
+            iterations = mapping.thread_iterations(level, sizes[level])
+            k = min(k, max(2, iterations))
+            mapping = mapping.with_level(
+                level, LevelMapping(lm.dim, lm.block_size, Split(k))
+            )
+        return mapping
+
+    if current > window.max_dop:
+        n = math.ceil(current / window.max_dop)
+        level = _pick_coarsen_level(mapping, sizes)
+        if level is not None and n >= 2:
+            lm = mapping.level(level)
+            n = min(n, max(1, sizes[level]))
+            mapping = mapping.with_level(
+                level, LevelMapping(lm.dim, lm.block_size, Span(n))
+            )
+        return mapping
+
+    return mapping
+
+
+def _pick_split_level(
+    mapping: Mapping, sizes: Sequence[int], splittable: Dict[int, bool]
+) -> Optional[int]:
+    """Choose the Span(all) level with the most work to split."""
+    best: Optional[int] = None
+    best_size = -1
+    for i, lm in enumerate(mapping.levels):
+        if not isinstance(lm.span, SpanAll):
+            continue
+        if i in splittable and not splittable[i]:
+            continue
+        if sizes[i] > best_size:
+            best, best_size = i, sizes[i]
+    return best
+
+
+def _pick_coarsen_level(mapping: Mapping, sizes: Sequence[int]) -> Optional[int]:
+    """Choose the Span(1) level with the largest domain to coarsen."""
+    best: Optional[int] = None
+    best_size = -1
+    for i, lm in enumerate(mapping.levels):
+        if isinstance(lm.span, Span) and lm.span.n == 1 and sizes[i] > best_size:
+            best, best_size = i, sizes[i]
+    return best

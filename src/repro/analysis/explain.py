@@ -1,0 +1,120 @@
+"""Human-readable explanations of mapping decisions.
+
+The search returns a winner; this module answers *why*: which soft
+constraints the chosen mapping satisfies (and what each contributed to the
+score), which it sacrifices, and how the winner compares to the named
+baseline strategies.  Exposed through ``python -m repro map --explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .analyzer import KernelAnalysis
+from .constraints import Constraint
+from .mapping import Mapping
+from .scoring import hard_feasible, score_mapping
+from .strategies import FIXED_STRATEGIES
+
+
+@dataclass
+class ConstraintVerdict:
+    """One constraint's outcome under a mapping."""
+
+    description: str
+    hard: bool
+    satisfied: bool
+    weight: float = 0.0
+
+
+@dataclass
+class MappingExplanation:
+    """Everything the report renders for one mapping decision."""
+
+    mapping: Mapping
+    score: Optional[float]
+    max_score: float
+    verdicts: List[ConstraintVerdict] = field(default_factory=list)
+    #: (strategy name, score or None) comparisons.
+    baselines: List[tuple] = field(default_factory=list)
+
+    @property
+    def satisfied_weight(self) -> float:
+        return sum(
+            v.weight for v in self.verdicts if v.satisfied and not v.hard
+        )
+
+    @property
+    def sacrificed(self) -> List[ConstraintVerdict]:
+        return [v for v in self.verdicts if not v.satisfied and not v.hard]
+
+    def render(self) -> str:
+        lines = [f"mapping: {self.mapping}"]
+        if self.score is None:
+            lines.append("INFEASIBLE: violates a hard constraint")
+        else:
+            pct = (
+                100.0 * self.score / self.max_score
+                if self.max_score
+                else 0.0
+            )
+            lines.append(
+                f"score: {self.score:.4g} of {self.max_score:.4g} "
+                f"({pct:.0f}% of attainable weight)"
+            )
+        lines.append("")
+        lines.append("constraints:")
+        for v in sorted(
+            self.verdicts, key=lambda v: (-v.hard, -v.weight)
+        ):
+            mark = "ok " if v.satisfied else "MISS" if not v.hard else "VIOLATED"
+            kind = "hard" if v.hard else "soft"
+            weight = f" (w={v.weight:.3g})" if not v.hard else ""
+            lines.append(f"  [{mark:>4}] [{kind}] {v.description}{weight}")
+        if self.baselines:
+            lines.append("")
+            lines.append("baseline strategies at these sizes:")
+            for name, score in self.baselines:
+                shown = "infeasible" if score is None else f"{score:.4g}"
+                lines.append(f"  {name:<22} score {shown}")
+        return "\n".join(lines)
+
+
+def explain_mapping(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    sizes: Optional[Sequence[int]] = None,
+    compare_baselines: bool = True,
+) -> MappingExplanation:
+    """Account for a mapping's score constraint by constraint."""
+    if sizes is None:
+        sizes = analysis.level_sizes()
+    sizes_t = tuple(sizes)
+    cset = analysis.constraints
+
+    verdicts = [
+        ConstraintVerdict(
+            description=c.description,
+            hard=c.hard,
+            satisfied=c.satisfied_by(mapping, sizes_t),
+            weight=getattr(c, "weight", 0.0),
+        )
+        for c in cset.constraints
+    ]
+    explanation = MappingExplanation(
+        mapping=mapping,
+        score=score_mapping(mapping, cset, sizes),
+        max_score=cset.max_score(),
+        verdicts=verdicts,
+    )
+    if compare_baselines:
+        for name in FIXED_STRATEGIES:
+            try:
+                baseline = analysis.strategy_mapping(name)
+            except Exception:
+                continue
+            explanation.baselines.append(
+                (name, score_mapping(baseline, cset, sizes))
+            )
+    return explanation

@@ -1,0 +1,59 @@
+"""Mapping scoring against a constraint set (Section IV-C/D).
+
+A candidate mapping's score is the sum of the derived weights of the soft
+constraints it satisfies; mappings violating any hard constraint score
+``None`` (infeasible).  Scores are also what Figure 17 plots against
+simulated performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .constraints import Constraint, ConstraintSet
+from .mapping import Mapping
+
+
+@dataclass(frozen=True)
+class ScoredMapping:
+    """A mapping together with its score and DOP at analysis sizes."""
+
+    mapping: Mapping
+    score: float
+    dop: int
+
+    def normalized_score(self, cset: ConstraintSet) -> float:
+        """Score scaled to [0, 1] by the constraint set's maximum."""
+        maximum = cset.max_score()
+        return self.score / maximum if maximum > 0 else 0.0
+
+
+def hard_feasible(
+    mapping: Mapping, cset: ConstraintSet, sizes: Sequence[int]
+) -> bool:
+    """Does the mapping satisfy every hard constraint?"""
+    sizes_t = tuple(sizes)
+    return all(c.satisfied_by(mapping, sizes_t) for c in cset.hard)
+
+
+def score_mapping(
+    mapping: Mapping, cset: ConstraintSet, sizes: Sequence[int]
+) -> Optional[float]:
+    """Score a mapping; ``None`` when a hard constraint is violated."""
+    sizes_t = tuple(sizes)
+    if not hard_feasible(mapping, cset, sizes_t):
+        return None
+    return sum(
+        getattr(c, "weight", 0.0)
+        for c in cset.soft
+        if c.satisfied_by(mapping, sizes_t)
+    )
+
+
+def satisfied_constraints(
+    mapping: Mapping, cset: ConstraintSet, sizes: Sequence[int]
+) -> List[Constraint]:
+    """The soft constraints a mapping satisfies (diagnostics, Fig. 17)."""
+    sizes_t = tuple(sizes)
+    return [c for c in cset.soft if c.satisfied_by(mapping, sizes_t)]

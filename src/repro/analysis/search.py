@@ -1,0 +1,153 @@
+"""Brute-force mapping search (Algorithm 1 of the paper).
+
+Candidates are the cross product, per nest level, of
+
+* a logical dimension (distinct per level; x is fastest-varying),
+* a block size from ``{1, 2, 4, ..., 1024}``,
+* a span type from ``{Span(1), Span(all)}`` (Span(n)/Split(k) are
+  introduced afterwards by :func:`~repro.analysis.dop.control_dop`).
+
+Hard constraints prune candidates; the rest are scored by the satisfied
+soft-constraint weights.  Ties break toward higher DOP, then by a seeded
+random choice (the paper picks randomly; seeding keeps runs reproducible).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE, TIE_BREAK_SEED
+from ..errors import SearchError
+from .constraints import ConstraintSet
+from .dop import DopWindow, control_dop
+from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping, Span, SpanAll
+from .scoring import ScoredMapping, score_mapping
+
+
+@dataclass
+class SearchResult:
+    """The winning mapping plus diagnostics about the explored space."""
+
+    mapping: Mapping
+    score: float
+    dop: int
+    candidates_total: int
+    candidates_feasible: int
+    #: Every feasible candidate with its score (populated only when
+    #: ``keep_all=True``; used by the Fig. 17 scatter experiment).
+    all_scored: List[ScoredMapping] = field(default_factory=list)
+
+
+def enumerate_candidates(
+    num_levels: int,
+    cset: ConstraintSet,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+) -> Iterator[Mapping]:
+    """Yield structurally valid candidate mappings.
+
+    Enumeration applies the cheap hard limits inline (distinct dims,
+    per-dim and per-block thread caps, forced Span(all) levels) so the
+    scorer only sees plausible mappings.
+    """
+    span_all = cset.span_all_levels()
+    dims = list(Dim)[:num_levels]
+    span_options_per_level: List[Tuple[object, ...]] = []
+    for level in range(num_levels):
+        if level in span_all:
+            span_options_per_level.append((SpanAll(),))
+        else:
+            span_options_per_level.append((Span(1), SpanAll()))
+
+    for dim_perm in itertools.permutations(dims, num_levels):
+        for sizes in itertools.product(block_sizes, repeat=num_levels):
+            product = 1
+            valid = True
+            for dim, size in zip(dim_perm, sizes):
+                if size > DIM_MAX_THREADS[dim]:
+                    valid = False
+                    break
+                product *= size
+            if not valid or product > MAX_BLOCK_SIZE:
+                continue
+            for spans in itertools.product(*span_options_per_level):
+                yield Mapping(
+                    tuple(
+                        LevelMapping(dim, size, span)
+                        for dim, size, span in zip(dim_perm, sizes, spans)
+                    )
+                )
+
+
+def search_mapping(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes: Sequence[int],
+    window: Optional[DopWindow] = None,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+    keep_all: bool = False,
+    seed: int = TIE_BREAK_SEED,
+) -> SearchResult:
+    """Run Algorithm 1 and return the selected mapping.
+
+    Args:
+        num_levels: nest depth of the kernel.
+        cset: constraints from :func:`generate_constraints`.
+        sizes: representative domain size per level (analysis hints).
+        window: device DOP window for ControlDOP (defaults to K20c's).
+        keep_all: retain every feasible candidate with its score
+            (needed by the score-vs-performance experiment).
+        seed: tie-break seed (the paper breaks final ties randomly).
+    """
+    if window is None:
+        window = DopWindow()
+    rng = random.Random(seed)
+    sizes = list(sizes)
+    if len(sizes) != num_levels:
+        raise SearchError(
+            f"expected {num_levels} level sizes, got {len(sizes)}"
+        )
+    if num_levels >= 4 and block_sizes is BLOCK_SIZE_CANDIDATES:
+        # The space is exponential in nest depth (Section IV-D); beyond
+        # three levels a power-of-4 block grid keeps brute force under a
+        # second while still spanning the useful shapes.
+        block_sizes = (1, 4, 16, 64, 256, 1024)
+
+    best: Optional[Mapping] = None
+    best_score = -1.0
+    best_dop = -1
+    total = 0
+    feasible = 0
+    all_scored: List[ScoredMapping] = []
+
+    for mapping in enumerate_candidates(num_levels, cset, block_sizes):
+        total += 1
+        score = score_mapping(mapping, cset, sizes)
+        if score is None:
+            continue
+        feasible += 1
+        dop = mapping.dop(sizes)
+        if keep_all:
+            all_scored.append(ScoredMapping(mapping, score, dop))
+        if score > best_score:
+            best, best_score, best_dop = mapping, score, dop
+        elif score == best_score:
+            if dop > best_dop:
+                best, best_dop = mapping, dop
+            elif dop == best_dop and rng.random() < 0.5:
+                best = mapping
+
+    if best is None:
+        raise SearchError("no feasible mapping satisfies the hard constraints")
+
+    adjusted = control_dop(best, sizes, window, cset.span_all_levels())
+    return SearchResult(
+        mapping=adjusted,
+        score=best_score,
+        dop=adjusted.dop(sizes),
+        candidates_total=total,
+        candidates_feasible=feasible,
+        all_scored=all_scored,
+    )

@@ -1,0 +1,96 @@
+"""Fixed mapping strategies from prior work, expressed in our parameters.
+
+Figure 7 of the paper shows that previous strategies are points in its
+mapping space:
+
+* **1D mapping** — parallelize only the outermost pattern (Thrust, Firepile,
+  Nikola).  Inner levels run sequentially inside each thread.
+* **thread-block/thread** — outer iterations to blocks, inner iterations to
+  the threads of a block (Copperhead).
+* **warp-based** — outer iterations to warps (block-size-16 groups along y),
+  inner iterations to the 32 threads of a warp (Hong et al.).
+
+These are *restricted parameter assignments*, not separate code paths —
+which is exactly the paper's coverage claim.  The benchmark harness selects
+them by name to produce the comparison figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..config import MAX_BLOCK_SIZE, WARP_SIZE
+from ..errors import MappingError
+from .mapping import Dim, LevelMapping, Mapping, Span, SpanAll, seq_level
+
+
+def one_d(sizes: Sequence[int], block_size: int = 256) -> Mapping:
+    """Parallelize only level 0; deeper levels are sequential per thread."""
+    if not sizes:
+        raise MappingError("need at least one level")
+    levels = [LevelMapping(Dim.X, block_size, Span(1))]
+    levels.extend(seq_level() for _ in sizes[1:])
+    return Mapping(tuple(levels))
+
+
+def thread_block_thread(sizes: Sequence[int]) -> Mapping:
+    """Copperhead's strategy: outer -> thread blocks, inner -> threads.
+
+    Equivalent parameters (Fig. 7a): level 0 ``[DimY, 1, Span(1)]``,
+    level 1 ``[DimX, min(J, 1024) rounded to a block size, Span(all)]``.
+    Only two levels of parallelism are exploitable; deeper levels run
+    sequentially.
+    """
+    if len(sizes) < 2:
+        # A flat pattern leaves nothing for the inner dimension; the
+        # strategy degenerates to the 1D mapping.
+        return one_d(sizes)
+    inner = _clamp_block(sizes[1], MAX_BLOCK_SIZE)
+    levels = [
+        LevelMapping(Dim.Y, 1, Span(1)),
+        LevelMapping(Dim.X, inner, SpanAll()),
+    ]
+    levels.extend(seq_level() for _ in sizes[2:])
+    return Mapping(tuple(levels))
+
+
+def warp_based(sizes: Sequence[int]) -> Mapping:
+    """Hong et al.'s strategy: outer -> warps, inner -> threads in a warp.
+
+    Equivalent parameters (Fig. 7b): level 0 ``[DimY, 16, Span(1)]``,
+    level 1 ``[DimX, 32, Span(all)]`` — 16 chosen so a block holds enough
+    total threads (16 warps of 32 = 512 threads/block).
+    """
+    if len(sizes) < 2:
+        return one_d(sizes)
+    levels = [
+        LevelMapping(Dim.Y, 16, Span(1)),
+        LevelMapping(Dim.X, WARP_SIZE, SpanAll()),
+    ]
+    levels.extend(seq_level() for _ in sizes[2:])
+    return Mapping(tuple(levels))
+
+
+def _clamp_block(size: int, limit: int) -> int:
+    """Round a domain size down to a power-of-two block size within limits."""
+    clamped = max(1, min(size, limit))
+    return 1 << (clamped.bit_length() - 1)
+
+
+#: Strategy registry used by the benchmark harness.
+FIXED_STRATEGIES: Dict[str, Callable[[Sequence[int]], Mapping]] = {
+    "1d": one_d,
+    "thread-block/thread": thread_block_thread,
+    "warp-based": warp_based,
+}
+
+
+def fixed_strategy(name: str, sizes: Sequence[int]) -> Mapping:
+    """Look up and instantiate a fixed strategy by name."""
+    try:
+        factory = FIXED_STRATEGIES[name]
+    except KeyError:
+        raise MappingError(
+            f"unknown strategy {name!r}; known: {sorted(FIXED_STRATEGIES)}"
+        )
+    return factory(sizes)

@@ -1,0 +1,66 @@
+"""Benchmark applications from the paper's evaluation (Section VI).
+
+* Running examples: sums (Figures 1/3/15/16), PageRank (Figure 5).
+* Rodinia subset (Figures 12/13): Nearest Neighbor, Gaussian Elimination,
+  Hotspot, Mandelbrot, SRAD, Pathfinder, LUD, BFS.
+* Real-world applications (Figure 14): QPSCD HogWild!, MSMBuilder
+  trajectory clustering, Naive Bayes spam training.
+"""
+
+from .bfs import BFS  # noqa: F401
+from .common import App, merge_params  # noqa: F401
+from .gaussian import GAUSSIAN  # noqa: F401
+from .hotspot import HOTSPOT  # noqa: F401
+from .lud import LUD  # noqa: F401
+from .mandelbrot import MANDELBROT  # noqa: F401
+from .msmbuilder import MSMBUILDER  # noqa: F401
+from .naive_bayes import NAIVE_BAYES  # noqa: F401
+from .nearest_neighbor import NEAREST_NEIGHBOR  # noqa: F401
+from .outlier_histogram import HISTOGRAM, OUTLIER_FILTER  # noqa: F401
+from .pagerank import PAGERANK  # noqa: F401
+from .pathfinder import PATHFINDER  # noqa: F401
+from .qpscd import QPSCD  # noqa: F401
+from .srad import SRAD  # noqa: F401
+from .sums import (  # noqa: F401
+    SUM_COLS,
+    SUM_ROWS,
+    SUM_WEIGHTED_COLS,
+    SUM_WEIGHTED_ROWS,
+)
+
+#: Registry used by the figure harness and tests.
+ALL_APPS = {
+    app.name: app
+    for app in (
+        SUM_ROWS,
+        SUM_COLS,
+        SUM_WEIGHTED_ROWS,
+        SUM_WEIGHTED_COLS,
+        PAGERANK,
+        NEAREST_NEIGHBOR,
+        GAUSSIAN,
+        HOTSPOT,
+        MANDELBROT,
+        SRAD,
+        PATHFINDER,
+        LUD,
+        BFS,
+        QPSCD,
+        MSMBUILDER,
+        NAIVE_BAYES,
+        OUTLIER_FILTER,
+        HISTOGRAM,
+    )
+}
+
+#: The Figure 12 application order.
+RODINIA_APPS = (
+    NEAREST_NEIGHBOR,
+    GAUSSIAN,
+    HOTSPOT,
+    MANDELBROT,
+    SRAD,
+    PATHFINDER,
+    LUD,
+    BFS,
+)

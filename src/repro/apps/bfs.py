@@ -1,0 +1,142 @@
+"""Rodinia BFS: frontier-expansion breadth-first search (Figure 12).
+
+One expansion step: for every node on the current frontier, visit its
+neighbors, set their cost, and add unvisited ones to the next frontier.
+The neighbor loop's extent is a CSR degree — launch-dynamic — so the
+analysis parallelizes it with ``Span(all)``, giving load balancing across
+skewed degrees.
+
+Rodinia's hand-written BFS parallelizes *only* the node loop (the paper
+calls this out as an expert mistake: it is exactly the 1D mapping), so the
+manual profile simply simulates the 1D strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..ir.builder import Builder, if_then, range_foreach, store
+from ..ir.expr import ExprStmt
+from ..ir.patterns import Program
+from ..ir.types import ArrayType, I64, StructType
+from .common import App
+
+CSR_GRAPH = StructType.of(
+    "BfsGraph",
+    {
+        "offsets": ArrayType(I64, 1),
+        "nbrs": ArrayType(I64, 1),
+    },
+)
+
+#: Fraction of nodes on the frontier in a representative middle iteration.
+FRONTIER_PROB = 0.3
+
+
+def build_bfs_step(**params: int) -> Program:
+    b = Builder("bfsStep")
+    n = b.size("N")
+    e = b.size("E")
+    graph = b.struct("graph", CSR_GRAPH)
+    frontier = b.vector("frontier", I64, length="N")
+    visited = b.vector("visited", I64, length="N")
+    cost = b.vector("cost", I64, length="N")
+    next_frontier = b.vector("next_frontier", I64, length="N")
+
+    offsets = graph.field_vector("offsets", n + 1)
+    nbrs = graph.field_vector("nbrs", e)
+
+    def per_node(node):
+        start = offsets[node]
+        degree = offsets[node + 1] - offsets[node]
+
+        def per_edge(j):
+            neighbor = nbrs[start + j]
+            return [
+                if_then(
+                    frontier[node].eq(1),
+                    [
+                        if_then(
+                            visited[neighbor].eq(0),
+                            [
+                                store(cost, neighbor, cost[node] + 1),
+                                store(next_frontier, neighbor, 1),
+                            ],
+                            prob=0.5,
+                        )
+                    ],
+                    prob=FRONTIER_PROB,
+                )
+            ]
+
+        return [ExprStmt(range_foreach(degree, per_edge, index_name="j"))]
+
+    # Dynamic inner domains are neighbor lists: hint the average degree
+    # and the warp-max/mean skew of the zipf-distributed degrees.
+    b.set_size_hint("__default__", 12)
+    b.set_size_hint("__skew__", 2)
+    return b.build(range_foreach(n, per_node, index_name="n"))
+
+
+def workload(
+    rng: np.random.Generator, N: int = 65536, avg_degree: int = 12, **_: int
+) -> Dict[str, Any]:
+    degrees = np.maximum(
+        1, rng.zipf(1.7, size=N).clip(max=16 * avg_degree)
+    ).astype(np.int64)
+    scale = max(1.0, degrees.mean() / avg_degree)
+    degrees = np.maximum(1, (degrees / scale).astype(np.int64))
+    offsets = np.zeros(N + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(degrees)
+    E = int(offsets[-1])
+    nbrs = rng.integers(0, N, size=E).astype(np.int64)
+    frontier = (rng.random(N) < FRONTIER_PROB).astype(np.int64)
+    visited = frontier.copy()
+    cost = np.where(frontier == 1, 0, -1).astype(np.int64)
+    return {
+        "graph": {"offsets": offsets, "nbrs": nbrs},
+        "frontier": frontier,
+        "visited": visited,
+        "cost": cost,
+        "next_frontier": np.zeros(N, dtype=np.int64),
+        "N": N,
+        "E": E,
+    }
+
+
+def reference(inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """One BFS expansion step in NumPy (sequential semantics)."""
+    offsets = inputs["graph"]["offsets"]
+    nbrs = inputs["graph"]["nbrs"]
+    frontier = inputs["frontier"]
+    visited = inputs["visited"].copy()
+    cost = inputs["cost"].copy()
+    next_frontier = inputs["next_frontier"].copy()
+    for node in np.flatnonzero(frontier == 1):
+        for j in range(offsets[node], offsets[node + 1]):
+            neighbor = nbrs[j]
+            if visited[neighbor] == 0:
+                cost[neighbor] = cost[node] + 1
+                next_frontier[neighbor] = 1
+    return {"cost": cost, "next_frontier": next_frontier}
+
+
+def manual_time_us(device: GpuDevice, **params: int) -> float:
+    """Rodinia's CUDA parallelizes only the node loop: the 1D mapping."""
+    from ..gpusim.simulator import simulate_program
+
+    return simulate_program(build_bfs_step(), "1d", device, **params).total_us
+
+
+BFS = App(
+    name="bfs",
+    build=build_bfs_step,
+    workload=workload,
+    reference=reference,
+    default_params={"N": 65536, "E": 65536 * 12},
+    levels=2,
+    manual_time_us=manual_time_us,
+)

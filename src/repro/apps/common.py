@@ -1,0 +1,49 @@
+"""Shared infrastructure for benchmark applications.
+
+Every application module exposes an :class:`App` instance with:
+
+* ``build(**params)`` — the program in pattern IR;
+* ``workload(rng, **params)`` — synthetic inputs matching the paper's
+  stated shapes (see DESIGN.md, Substitutions);
+* ``reference(inputs)`` — a straight NumPy implementation used as the
+  correctness oracle for the interpreter;
+* optionally ``manual_time_us(device, **params)`` — an analytic profile of
+  the hand-optimized implementation the paper compares against, encoding
+  the specific optimizations (or mistakes) the paper attributes to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..ir.patterns import Program
+
+
+@dataclass
+class App:
+    """A benchmark application: program builder + workload + oracle."""
+
+    name: str
+    build: Callable[..., Program]
+    workload: Callable[..., Dict[str, Any]]
+    reference: Callable[[Dict[str, Any]], Any]
+    default_params: Dict[str, int] = field(default_factory=dict)
+    #: Nest depth of the main kernel (documentation/diagnostics).
+    levels: int = 2
+    #: Analytic profile of the hand-optimized comparison implementation,
+    #: or None when the paper has no manual version for this app.
+    manual_time_us: Optional[Callable[..., float]] = None
+    #: Iterations the app's outer driver loop performs (iterative apps).
+    iterations: int = 1
+
+    def make_rng(self, seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+
+def merge_params(app: App, overrides: Dict[str, int]) -> Dict[str, int]:
+    params = dict(app.default_params)
+    params.update(overrides)
+    return params

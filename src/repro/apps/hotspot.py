@@ -1,0 +1,115 @@
+"""Rodinia Hotspot: iterative 2D thermal stencil (Figures 12 and 13).
+
+Each step computes a new temperature per cell from its four neighbors and
+the local power dissipation.  Written in two traversal orders:
+
+* ``order="R"`` — outer map over rows, inner over columns (row-major);
+* ``order="C"`` — outer map over columns, inner over rows (column-major).
+
+Physical storage is row-major either way, so the (C) variant's natural
+inner index strides by the row length — a fixed inner-dim strategy cannot
+coalesce it, while the mapping analysis just swaps the dimension
+assignment (the Figure 13 experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..ir.builder import Builder, maximum, minimum, range_map
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+#: Stencil coefficients (Rodinia's constants, simplified).
+CAP = 0.5
+RX, RY, RZ = 1.0, 1.0, 1.0 / 0.0005
+
+#: The paper reports MultiDim comparable to manual for Hotspot.
+MANUAL_FACTOR = 1.05
+
+
+def build_hotspot(order: str = "R", **params: int) -> Program:
+    b = Builder(f"hotspot_{order}")
+    rows = b.size("R")
+    cols = b.size("C")
+    temp = b.matrix("temp", F64, rows="R", cols="C")
+    power = b.matrix("power", F64, rows="R", cols="C")
+
+    def cell(i, j):
+        center = temp[i, j]
+        north = temp[maximum(i - 1, 0), j]
+        south = temp[minimum(i + 1, rows - 1), j]
+        west = temp[i, maximum(j - 1, 0)]
+        east = temp[i, minimum(j + 1, cols - 1)]
+        delta = (CAP / RZ) * (
+            power[i, j]
+            + (south + north - center * 2.0) / RY
+            + (east + west - center * 2.0) / RX
+            + (80.0 - center) / RZ
+        )
+        return center + delta
+
+    if order == "R":
+        out = range_map(
+            rows,
+            lambda i: range_map(cols, lambda j: cell(i, j), index_name="j"),
+            index_name="i",
+        )
+    else:
+        out = range_map(
+            cols,
+            lambda j: range_map(rows, lambda i: cell(i, j), index_name="i"),
+            index_name="j",
+        )
+    return b.build(out)
+
+
+def workload(
+    rng: np.random.Generator, R: int = 1024, C: int = 1024, **_: int
+) -> Dict[str, Any]:
+    return {
+        "temp": 323.0 + rng.random((R, C)) * 4.0,
+        "power": rng.random((R, C)) * 0.5,
+        "R": R,
+        "C": C,
+    }
+
+
+def reference(inputs: Dict[str, Any], order: str = "R") -> np.ndarray:
+    temp, power = inputs["temp"], inputs["power"]
+    north = np.vstack([temp[:1], temp[:-1]])
+    south = np.vstack([temp[1:], temp[-1:]])
+    west = np.hstack([temp[:, :1], temp[:, :-1]])
+    east = np.hstack([temp[:, 1:], temp[:, -1:]])
+    delta = (CAP / RZ) * (
+        power
+        + (south + north - 2.0 * temp) / RY
+        + (east + west - 2.0 * temp) / RX
+        + (80.0 - temp) / RZ
+    )
+    result = temp + delta
+    return result if order == "R" else result.T
+
+
+def manual_time_us(device: GpuDevice, **params: int) -> float:
+    from ..gpusim.simulator import simulate_program
+
+    ours = simulate_program(
+        build_hotspot("R"), "multidim", device, **params
+    ).total_us
+    return ours / MANUAL_FACTOR
+
+
+HOTSPOT = App(
+    name="hotspot",
+    build=build_hotspot,
+    workload=workload,
+    reference=reference,
+    default_params={"R": 2048, "C": 2048},
+    levels=2,
+    manual_time_us=manual_time_us,
+)

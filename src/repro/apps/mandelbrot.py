@@ -1,0 +1,210 @@
+"""Rodinia-style Mandelbrot: two-level map with a sequential scalar core.
+
+Each pixel runs the escape-time iteration — inherently sequential per
+element, so it is modeled as a registered device function (see
+:mod:`repro.ir.functions`) with a NumPy implementation for the interpreter,
+a flop estimate for the cost model, and CUDA source for codegen.
+
+This is also the Figure 17 subject: on a skewed (50, 20K) output the fixed
+strategies underutilize the device while the mapping search (plus dynamic
+launch adjustment) stays in the best-performance region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..ir.builder import Builder, fn_call, range_map
+from ..ir.functions import DeviceFunction, register_function
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+MAX_ITER = 64
+
+#: Comparable-to-manual factor: the paper reports MultiDim within a few
+#: percent of hand-optimized CUDA for Mandelbrot (Figure 12).
+MANUAL_FACTOR = 1.0
+
+
+def _mandel_impl(cx, cy, max_iter):
+    """Vectorized escape-time computation."""
+    cx = np.asarray(cx, dtype=np.float64)
+    cy = np.asarray(cy, dtype=np.float64)
+    iters = int(np.max(max_iter)) if np.ndim(max_iter) else int(max_iter)
+    shape = np.broadcast(cx, cy).shape
+    zx = np.zeros(shape)
+    zy = np.zeros(shape)
+    count = np.zeros(shape)
+    active = np.ones(shape, dtype=bool)
+    for _ in range(iters):
+        zx2, zy2 = zx * zx, zy * zy
+        escaped = zx2 + zy2 > 4.0
+        active &= ~escaped
+        if not active.any():
+            break
+        new_zx = np.where(active, zx2 - zy2 + cx, zx)
+        zy = np.where(active, 2.0 * zx * zy + cy, zy)
+        zx = new_zx
+        count = count + active
+    result = count
+    return result if shape else float(result)
+
+
+_MANDEL_CUDA = """\
+__device__ double mandel(double cx, double cy, double max_iter) {
+    double zx = 0.0, zy = 0.0;
+    int count = 0;
+    for (int it = 0; it < (int)max_iter; it++) {
+        double zx2 = zx * zx, zy2 = zy * zy;
+        if (zx2 + zy2 > 4.0) break;
+        double nzx = zx2 - zy2 + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = nzx;
+        count++;
+    }
+    return (double)count;
+}
+"""
+
+register_function(
+    DeviceFunction(
+        name="mandel",
+        arity=3,
+        result_ty=F64,
+        impl=_mandel_impl,
+        # ~8 flops per iteration; escape averages roughly half the budget.
+        flops=8.0 * MAX_ITER / 2,
+        cuda_source=_MANDEL_CUDA,
+    )
+)
+
+
+def build_mandelbrot(**params: int) -> Program:
+    """out[i][j] = escape_time(x0 + j*dx, y0 + i*dy)."""
+    b = Builder("mandelbrot")
+    height = b.size("H")
+    width = b.size("W")
+    x0 = b.scalar("x0", F64)
+    y0 = b.scalar("y0", F64)
+    dx = b.scalar("dx", F64)
+    dy = b.scalar("dy", F64)
+    out = range_map(
+        height,
+        lambda i: range_map(
+            width,
+            lambda j: fn_call(
+                "mandel",
+                x0 + j.cast(F64) * dx,
+                y0 + i.cast(F64) * dy,
+                float(MAX_ITER),
+            ),
+            index_name="j",
+        ),
+        index_name="i",
+    )
+    return b.build(out)
+
+
+def build_mandelbrot_oriented(order: str = "R", **params: int) -> Program:
+    """Figure 13 variant: explicit stores into a fixed row-major image.
+
+    The (R) form walks rows outermost; the (C) form walks columns
+    outermost.  Both store ``img[i, j]``, so the traversal order alone
+    determines which index is sequential — the property fixed strategies
+    cannot adapt to.
+    """
+    from ..ir.builder import range_foreach, store2
+    from ..ir.expr import ExprStmt
+
+    b = Builder(f"mandelbrot_{order}")
+    height = b.size("H")
+    width = b.size("W")
+    img = b.matrix("img", F64, rows="H", cols="W")
+    x0 = b.scalar("x0", F64)
+    y0 = b.scalar("y0", F64)
+    dx = b.scalar("dx", F64)
+    dy = b.scalar("dy", F64)
+
+    def pixel(i, j):
+        return fn_call(
+            "mandel",
+            x0 + j.cast(F64) * dx,
+            y0 + i.cast(F64) * dy,
+            float(MAX_ITER),
+        )
+
+    if order == "R":
+        body = range_foreach(
+            height,
+            lambda i: [
+                ExprStmt(
+                    range_foreach(
+                        width,
+                        lambda j: [store2(img, i, j, pixel(i, j))],
+                        index_name="j",
+                    )
+                )
+            ],
+            index_name="i",
+        )
+    else:
+        body = range_foreach(
+            width,
+            lambda j: [
+                ExprStmt(
+                    range_foreach(
+                        height,
+                        lambda i: [store2(img, i, j, pixel(i, j))],
+                        index_name="i",
+                    )
+                )
+            ],
+            index_name="j",
+        )
+    return b.build(body)
+
+
+def workload(
+    rng: np.random.Generator, H: int = 512, W: int = 512, **_: int
+) -> Dict[str, Any]:
+    return {
+        "H": H,
+        "W": W,
+        "x0": -2.0,
+        "y0": -1.25,
+        "dx": 2.5 / W,
+        "dy": 2.5 / H,
+    }
+
+
+def reference(inputs: Dict[str, Any]) -> np.ndarray:
+    H, W = inputs["H"], inputs["W"]
+    ys = inputs["y0"] + np.arange(H)[:, None] * inputs["dy"]
+    xs = inputs["x0"] + np.arange(W)[None, :] * inputs["dx"]
+    cx = np.broadcast_to(xs, (H, W))
+    cy = np.broadcast_to(ys, (H, W))
+    return _mandel_impl(cx, cy, MAX_ITER)
+
+
+def manual_time_us(device: GpuDevice, **params: int) -> float:
+    from ..gpusim.simulator import simulate_program
+
+    ours = simulate_program(
+        build_mandelbrot(), "multidim", device, **params
+    ).total_us
+    return ours / MANUAL_FACTOR
+
+
+MANDELBROT = App(
+    name="mandelbrot",
+    build=build_mandelbrot,
+    workload=workload,
+    reference=reference,
+    default_params={"H": 2048, "W": 2048},
+    levels=2,
+    manual_time_us=manual_time_us,
+)

@@ -1,0 +1,72 @@
+"""MSMBuilder trajectory clustering (Figure 14).
+
+The performance-critical kernel of Markov-state-model construction: squared
+Euclidean distances between every trajectory frame and every cluster
+center.  Three nested patterns — frames x clusters x coordinates — each
+with a relatively small domain (around 100 elements, per the paper), so a
+1D mapping launches only ~100 threads and badly underutilizes the GPU,
+while MultiDim parallelizes the product of all three levels (2.4x over the
+hand-tuned SSE3 multi-core code, 8.7x over 1D).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..ir.builder import Builder, range_map
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+
+def build_msmbuilder(**params: int) -> Program:
+    """dist[p][k] = sum_d (X[p,d] - Cent[k,d])^2 — a 3-level nest."""
+    b = Builder("msmbuilder")
+    frames = b.size("P")
+    clusters = b.size("K")
+    dims = b.size("D")
+    x = b.matrix("X", F64, rows="P", cols="D")
+    cent = b.matrix("Cent", F64, rows="K", cols="D")
+
+    out = range_map(
+        frames,
+        lambda p: range_map(
+            clusters,
+            lambda k: x.row(p).zip_with(
+                cent.row(k), lambda xv, cv: (xv - cv) * (xv - cv)
+            ).reduce("+"),
+            index_name="k",
+        ),
+        index_name="p",
+    )
+    return b.build(out)
+
+
+def workload(
+    rng: np.random.Generator, P: int = 100, K: int = 100, D: int = 100, **_: int
+) -> Dict[str, Any]:
+    return {
+        "X": rng.random((P, D)),
+        "Cent": rng.random((K, D)),
+        "P": P,
+        "K": K,
+        "D": D,
+    }
+
+
+def reference(inputs: Dict[str, Any]) -> np.ndarray:
+    x, cent = inputs["X"], inputs["Cent"]
+    diff = x[:, None, :] - cent[None, :, :]
+    return (diff * diff).sum(axis=2)
+
+
+MSMBUILDER = App(
+    name="msmbuilder",
+    build=build_msmbuilder,
+    workload=workload,
+    reference=reference,
+    default_params={"P": 2048, "K": 100, "D": 100},
+    levels=3,
+)

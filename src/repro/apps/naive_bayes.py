@@ -1,0 +1,113 @@
+"""Naive Bayes spam-classifier training (Figure 14).
+
+Training runs two aggregations over the *same* document-term matrix with
+opposite access patterns:
+
+* words per document — a row-wise reduction (sequential along columns);
+* per-word spam counts — a column-wise reduction weighted by the document
+  label (sequential along rows).
+
+A 1D mapping can coalesce only one of the two kernels; the mapping
+analysis picks the right dimension assignment per kernel, optimizing both
+(4.5x over 1D, 12.5x over multi-core; 15% better than multi-core even when
+paying the input transfer, Section VI-E).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..ir.builder import Builder
+from ..ir.expr import Bind, Block, Var
+from ..ir.patterns import Program
+from ..ir.symbols import fresh_name
+from ..ir.types import F64
+from .common import App
+
+
+def build_words_per_doc(**params: int) -> Program:
+    """Kernel 1 in isolation (row-wise): for correctness tests."""
+    b = Builder("nbWordsPerDoc")
+    m = b.matrix("m", F64, rows="DOCS", cols="WORDS")
+    return b.build(m.map_rows(lambda row: row.reduce("+")))
+
+
+def build_spam_counts(**params: int) -> Program:
+    """Kernel 2 in isolation (column-wise, label-weighted)."""
+    b = Builder("nbSpamCounts")
+    m = b.matrix("m", F64, rows="DOCS", cols="WORDS")
+    labels = b.vector("labels", F64, length="DOCS")
+    return b.build(
+        m.map_cols(
+            lambda col: col.zip_with(labels, lambda c, l: c * l).reduce("+")
+        )
+    )
+
+
+def build_naive_bayes(**params: int) -> Program:
+    """Both training kernels in one program (the Figure 14 configuration).
+
+    The result block binds each kernel's output; the scalar result exists
+    only to give the program a value (experiments cost the two kernels,
+    correctness tests use the isolated builders above).
+    """
+    b = Builder("naiveBayes")
+    m = b.matrix("m", F64, rows="DOCS", cols="WORDS")
+    labels = b.vector("labels", F64, length="DOCS")
+
+    words_per_doc = m.map_rows(lambda row: row.reduce("+"))
+    spam_counts = m.map_cols(
+        lambda col: col.zip_with(labels, lambda c, l: c * l).reduce("+")
+    )
+
+    wpd_var = Var(fresh_name("wpd"), words_per_doc.expr.ty)
+    spam_var = Var(fresh_name("spam"), spam_counts.expr.ty)
+    from ..ir.expr import ArrayRead, BinOp, Const
+
+    result = Block(
+        (
+            Bind(wpd_var, words_per_doc.expr),
+            Bind(spam_var, spam_counts.expr),
+        ),
+        BinOp(
+            "+",
+            ArrayRead(wpd_var, (Const(0),)),
+            ArrayRead(spam_var, (Const(0),)),
+        ),
+    )
+    return b.build(result)
+
+
+def workload(
+    rng: np.random.Generator, DOCS: int = 8192, WORDS: int = 4096, **_: int
+) -> Dict[str, Any]:
+    m = rng.poisson(0.5, size=(DOCS, WORDS)).astype(np.float64)
+    labels = (rng.random(DOCS) < 0.4).astype(np.float64)
+    return {"m": m, "labels": labels, "DOCS": DOCS, "WORDS": WORDS}
+
+
+def reference(inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    m, labels = inputs["m"], inputs["labels"]
+    return {
+        "words_per_doc": m.sum(axis=1),
+        "spam_counts": (m * labels[:, None]).sum(axis=0),
+    }
+
+
+def input_bytes(**params: int) -> float:
+    """Bytes of training data transferred to the device (Section VI-E)."""
+    docs = params.get("DOCS", 8192)
+    words = params.get("WORDS", 4096)
+    return float(docs) * float(words) * 8.0 + float(docs) * 8.0
+
+
+NAIVE_BAYES = App(
+    name="naiveBayes",
+    build=build_naive_bayes,
+    workload=workload,
+    reference=reference,
+    default_params={"DOCS": 16384, "WORDS": 8192},
+    levels=2,
+)

@@ -1,0 +1,80 @@
+"""Rodinia Nearest Neighbor: one-dimensional baseline app (Figure 12).
+
+Computes the Euclidean distance from every record to a target location.
+Only one level of parallelism exists; the paper includes it to measure the
+quality of generated code against hand-written CUDA in the flat case.  The
+paper's generated code is ~20% slower than manual because its
+multidimensional-array wrappers recompute physical indices from offset/
+stride fields at every access; the manual CUDA uses raw pointers.  The
+manual profile models exactly that: the same mapping minus the
+index-arithmetic overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..ir.builder import Builder, sqrt
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+#: Fractional slowdown of generated code vs raw-pointer CUDA from the
+#: dynamic index computation (Section VI-C's stated ~20%).
+WRAPPER_OVERHEAD = 1.2
+
+
+def build_nearest_neighbor(**params: int) -> Program:
+    b = Builder("nearestNeighbor")
+    lat = b.vector("lat", F64, length="N")
+    lng = b.vector("lng", F64, length="N")
+    target_lat = b.scalar("target_lat", F64)
+    target_lng = b.scalar("target_lng", F64)
+    out = lat.zip_with(
+        lng,
+        lambda a, g: sqrt(
+            (a - target_lat) * (a - target_lat)
+            + (g - target_lng) * (g - target_lng)
+        ),
+    )
+    return b.build(out)
+
+
+def workload(rng: np.random.Generator, N: int = 1 << 20, **_: int) -> Dict[str, Any]:
+    return {
+        "lat": rng.random(N) * 180.0 - 90.0,
+        "lng": rng.random(N) * 360.0 - 180.0,
+        "target_lat": 30.0,
+        "target_lng": -90.0,
+        "N": N,
+    }
+
+
+def reference(inputs: Dict[str, Any]) -> np.ndarray:
+    dlat = inputs["lat"] - inputs["target_lat"]
+    dlng = inputs["lng"] - inputs["target_lng"]
+    return np.sqrt(dlat * dlat + dlng * dlng)
+
+
+def manual_time_us(device: GpuDevice, **params: int) -> float:
+    """Hand-written CUDA: same mapping, raw pointers (no wrapper cost)."""
+    from ..gpusim.simulator import simulate_program
+
+    ours = simulate_program(
+        build_nearest_neighbor(), "multidim", device, **params
+    ).total_us
+    return ours / WRAPPER_OVERHEAD
+
+
+NEAREST_NEIGHBOR = App(
+    name="nearestNeighbor",
+    build=build_nearest_neighbor,
+    workload=workload,
+    reference=reference,
+    default_params={"N": 1 << 20},
+    levels=1,
+    manual_time_us=manual_time_us,
+)

@@ -1,0 +1,84 @@
+"""Outlier filtering + histogram bucketing: Filter and GroupBy end to end.
+
+Not one of the paper's evaluation apps, but it completes Table I coverage
+at application level: both patterns that *force* ``Span(all)`` through the
+dynamic-output-size rule, plus the atomic-compaction costs the simulator
+charges them.  The workload is a sensor-reading cleanup: keep readings
+within range (filter), then bucket the survivors by magnitude (groupBy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..ir.builder import Builder
+from ..ir.patterns import Program
+from ..ir.types import F64, I64
+from .common import App
+
+NUM_BUCKETS = 16
+
+
+def build_outlier_filter(**params: int) -> Program:
+    """Keep readings with absolute value below the threshold."""
+    b = Builder("outlierFilter")
+    xs = b.vector("xs", F64, length="N")
+    threshold = b.scalar("threshold", F64)
+    from ..ir.builder import abs_
+
+    return b.build(xs.filter(lambda e: abs_(e) < threshold))
+
+
+def build_histogram(**params: int) -> Program:
+    """Bucket readings by magnitude into NUM_BUCKETS groups."""
+    b = Builder("histogram")
+    xs = b.vector("xs", F64, length="N")
+    scale = b.scalar("scale", F64)
+    from ..ir.builder import maximum, minimum
+
+    def bucket(e):
+        raw = (e * scale).cast(I64)
+        return minimum(maximum(raw, 0), NUM_BUCKETS - 1).cast(I64)
+
+    return b.build(xs.group_by(bucket))
+
+
+def workload(rng: np.random.Generator, N: int = 1 << 20, **_: int) -> Dict[str, Any]:
+    return {
+        "xs": rng.normal(0.0, 1.0, N),
+        "threshold": 3.0,
+        "scale": float(NUM_BUCKETS) / 6.0,
+        "N": N,
+    }
+
+
+def reference_filter(inputs: Dict[str, Any]) -> np.ndarray:
+    xs = inputs["xs"]
+    return xs[np.abs(xs) < inputs["threshold"]]
+
+
+def reference_histogram(inputs: Dict[str, Any]) -> Dict[int, np.ndarray]:
+    xs = inputs["xs"]
+    keys = np.clip((xs * inputs["scale"]).astype(np.int64), 0, NUM_BUCKETS - 1)
+    return {int(k): xs[keys == k] for k in np.unique(keys)}
+
+
+OUTLIER_FILTER = App(
+    name="outlierFilter",
+    build=build_outlier_filter,
+    workload=workload,
+    reference=reference_filter,
+    default_params={"N": 1 << 20},
+    levels=1,
+)
+
+HISTOGRAM = App(
+    name="histogram",
+    build=build_histogram,
+    workload=workload,
+    reference=reference_histogram,
+    default_params={"N": 1 << 20},
+    levels=1,
+)

@@ -1,0 +1,165 @@
+"""Rodinia SRAD: speckle-reducing anisotropic diffusion (Figures 12, 13).
+
+One step of the diffusion-coefficient computation: per pixel, directional
+derivatives against the four neighbors feed a nonlinear coefficient.  Like
+Hotspot it exists in row-major (R) and column-major (C) traversal variants
+for the fixed-strategy comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..ir.builder import Builder, maximum, minimum, range_map
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+Q0 = 0.5
+MANUAL_FACTOR = 1.05
+
+
+def build_srad(order: str = "R", **params: int) -> Program:
+    b = Builder(f"srad_{order}")
+    rows = b.size("R")
+    cols = b.size("C")
+    img = b.matrix("img", F64, rows="R", cols="C")
+
+    def cell(i, j):
+        center = img[i, j]
+        dn = img[maximum(i - 1, 0), j] - center
+        ds = img[minimum(i + 1, rows - 1), j] - center
+        dw = img[i, maximum(j - 1, 0)] - center
+        de = img[i, minimum(j + 1, cols - 1)] - center
+        g2 = (dn * dn + ds * ds + dw * dw + de * de) / (center * center)
+        l = (dn + ds + dw + de) / center
+        num = (0.5 * g2) - ((1.0 / 16.0) * (l * l))
+        den = 1.0 + 0.25 * l
+        qsqr = num / (den * den)
+        denq = (qsqr - Q0) / (Q0 * (1.0 + Q0))
+        c = 1.0 / (1.0 + denq)
+        return minimum(maximum(c, 0.0), 1.0)
+
+    if order == "R":
+        out = range_map(
+            rows,
+            lambda i: range_map(cols, lambda j: cell(i, j), index_name="j"),
+            index_name="i",
+        )
+    else:
+        out = range_map(
+            cols,
+            lambda j: range_map(rows, lambda i: cell(i, j), index_name="i"),
+            index_name="j",
+        )
+    return b.build(out)
+
+
+def build_srad_update(order: str = "R", **params: int) -> Program:
+    """SRAD phase 2: apply the diffusion update using the coefficients.
+
+    ``img'[i,j] = img[i,j] + lambda/4 * div`` where the divergence sums
+    the coefficient-weighted directional derivatives — the second kernel
+    of Rodinia's SRAD iteration.
+    """
+    b = Builder(f"sradUpdate_{order}")
+    rows = b.size("R")
+    cols = b.size("C")
+    img = b.matrix("img", F64, rows="R", cols="C")
+    coeff = b.matrix("coeff", F64, rows="R", cols="C")
+    lam = b.scalar("lam", F64)
+
+    def cell(i, j):
+        center = img[i, j]
+        c_here = coeff[i, j]
+        c_s = coeff[minimum(i + 1, rows - 1), j]
+        c_e = coeff[i, minimum(j + 1, cols - 1)]
+        dn = img[maximum(i - 1, 0), j] - center
+        ds = img[minimum(i + 1, rows - 1), j] - center
+        dw = img[i, maximum(j - 1, 0)] - center
+        de = img[i, minimum(j + 1, cols - 1)] - center
+        div = c_s * ds + c_here * dn + c_e * de + c_here * dw
+        return center + (lam / 4.0) * div
+
+    if order == "R":
+        out = range_map(
+            rows,
+            lambda i: range_map(cols, lambda j: cell(i, j), index_name="j"),
+            index_name="i",
+        )
+    else:
+        out = range_map(
+            cols,
+            lambda j: range_map(rows, lambda i: cell(i, j), index_name="i"),
+            index_name="j",
+        )
+    return b.build(out)
+
+
+def reference_update(inputs: Dict[str, Any], order: str = "R") -> np.ndarray:
+    img, coeff, lam = inputs["img"], inputs["coeff"], inputs["lam"]
+    north = np.vstack([img[:1], img[:-1]])
+    south = np.vstack([img[1:], img[-1:]])
+    west = np.hstack([img[:, :1], img[:, :-1]])
+    east = np.hstack([img[:, 1:], img[:, -1:]])
+    c_s = np.vstack([coeff[1:], coeff[-1:]])
+    c_e = np.hstack([coeff[:, 1:], coeff[:, -1:]])
+    div = (
+        c_s * (south - img)
+        + coeff * (north - img)
+        + c_e * (east - img)
+        + coeff * (west - img)
+    )
+    result = img + (lam / 4.0) * div
+    return result if order == "R" else result.T
+
+
+def workload(
+    rng: np.random.Generator, R: int = 1024, C: int = 1024, **_: int
+) -> Dict[str, Any]:
+    return {
+        "img": rng.random((R, C)) + 0.5,
+        "R": R,
+        "C": C,
+    }
+
+
+def reference(inputs: Dict[str, Any], order: str = "R") -> np.ndarray:
+    img = inputs["img"]
+    north = np.vstack([img[:1], img[:-1]])
+    south = np.vstack([img[1:], img[-1:]])
+    west = np.hstack([img[:, :1], img[:, :-1]])
+    east = np.hstack([img[:, 1:], img[:, -1:]])
+    dn, ds = north - img, south - img
+    dw, de = west - img, east - img
+    g2 = (dn * dn + ds * ds + dw * dw + de * de) / (img * img)
+    l = (dn + ds + dw + de) / img
+    num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
+    den = 1.0 + 0.25 * l
+    qsqr = num / (den * den)
+    denq = (qsqr - Q0) / (Q0 * (1.0 + Q0))
+    c = np.clip(1.0 / (1.0 + denq), 0.0, 1.0)
+    return c if order == "R" else c.T
+
+
+def manual_time_us(device: GpuDevice, **params: int) -> float:
+    from ..gpusim.simulator import simulate_program
+
+    ours = simulate_program(
+        build_srad("R"), "multidim", device, **params
+    ).total_us
+    return ours / MANUAL_FACTOR
+
+
+SRAD = App(
+    name="srad",
+    build=build_srad,
+    workload=workload,
+    reference=reference,
+    default_params={"R": 2048, "C": 2048},
+    levels=2,
+    manual_time_us=manual_time_us,
+)

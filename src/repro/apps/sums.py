@@ -1,0 +1,117 @@
+"""The paper's running example: sumRows / sumCols and weighted variants.
+
+``sumRows``/``sumCols`` (Figure 1) drive the motivating study of Figure 3;
+``sumWeightedRows``/``sumWeightedCols`` (Figure 15) add a zipWith temporary
+whose per-iteration allocation the preallocation optimization removes
+(Figure 16).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..ir.builder import Builder, let_vec
+from ..ir.patterns import Program
+from ..ir.types import F64
+from .common import App
+
+
+def build_sum_rows(**params: int) -> Program:
+    """out[i] = sum_j m[i, j] — outer Map over rows, inner Reduce."""
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    return b.build(m.map_rows(lambda row: row.reduce("+")))
+
+
+def build_sum_cols(**params: int) -> Program:
+    """out[j] = sum_i m[i, j] — outer Map over columns, inner Reduce."""
+    b = Builder("sumCols")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    return b.build(m.map_cols(lambda col: col.reduce("+")))
+
+
+def build_sum_weighted_rows(**params: int) -> Program:
+    """Figure 15 transposed: weight each row by v before reducing."""
+    b = Builder("sumWeightedRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    v = b.vector("v", F64, length="C")
+    out = m.map_rows(
+        lambda row: let_vec(
+            row.zip_with(v, lambda a, w: a * w),
+            lambda temp: temp.reduce("+"),
+        )
+    )
+    return b.build(out)
+
+
+def build_sum_weighted_cols(**params: int) -> Program:
+    """Figure 15 verbatim: weight each column by v before reducing."""
+    b = Builder("sumWeightedCols")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    v = b.vector("v", F64, length="R")
+    out = m.map_cols(
+        lambda col: let_vec(
+            col.zip_with(v, lambda a, w: a * w),
+            lambda temp: temp.reduce("+"),
+        )
+    )
+    return b.build(out)
+
+
+def _matrix_workload(rng: np.random.Generator, R: int, C: int) -> Dict[str, Any]:
+    return {
+        "m": rng.random((R, C)),
+        "R": R,
+        "C": C,
+    }
+
+
+def _weighted_workload(
+    rng: np.random.Generator, R: int, C: int, along_rows: bool
+) -> Dict[str, Any]:
+    inputs = _matrix_workload(rng, R, C)
+    inputs["v"] = rng.random(C if along_rows else R)
+    return inputs
+
+
+SUM_ROWS = App(
+    name="sumRows",
+    build=build_sum_rows,
+    workload=lambda rng, R=1024, C=1024, **_: _matrix_workload(rng, R, C),
+    reference=lambda inputs: inputs["m"].sum(axis=1),
+    default_params={"R": 8192, "C": 8192},
+    levels=2,
+)
+
+SUM_COLS = App(
+    name="sumCols",
+    build=build_sum_cols,
+    workload=lambda rng, R=1024, C=1024, **_: _matrix_workload(rng, R, C),
+    reference=lambda inputs: inputs["m"].sum(axis=0),
+    default_params={"R": 8192, "C": 8192},
+    levels=2,
+)
+
+SUM_WEIGHTED_ROWS = App(
+    name="sumWeightedRows",
+    build=build_sum_weighted_rows,
+    workload=lambda rng, R=1024, C=1024, **_: _weighted_workload(
+        rng, R, C, along_rows=True
+    ),
+    reference=lambda inputs: (inputs["m"] * inputs["v"][None, :]).sum(axis=1),
+    default_params={"R": 8192, "C": 8192},
+    levels=2,
+)
+
+SUM_WEIGHTED_COLS = App(
+    name="sumWeightedCols",
+    build=build_sum_weighted_cols,
+    workload=lambda rng, R=1024, C=1024, **_: _weighted_workload(
+        rng, R, C, along_rows=False
+    ),
+    reference=lambda inputs: (inputs["m"] * inputs["v"][:, None]).sum(axis=0),
+    default_params={"R": 8192, "C": 8192},
+    levels=2,
+)

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Package overview and modeled devices.
+``apps``
+    List the registered benchmark applications.
+``map <app> [k=v ...]``
+    Show the analysis for an app: constraints, chosen mapping per kernel,
+    and the simulated cost breakdown.
+``cuda <app> [k=v ...] [--strategy S] [--host] [-o FILE]``
+    Dump the generated CUDA for an app (optionally with the host driver).
+``figures [ids ...]``
+    Print experiment tables (all by default).
+``experiments [-o FILE]``
+    Regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+
+def _parse_sizes(pairs: List[str]) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"expected k=v size binding, got {pair!r}")
+        key, _, value = pair.partition("=")
+        sizes[key] = int(value)
+    return sizes
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro.gpusim.device import DEVICES
+
+    print(f"repro {repro.__version__} — Locality-Aware Mapping of Nested "
+          "Parallel Patterns on GPUs (MICRO 2014 reproduction)")
+    print()
+    print("modeled devices:")
+    for name, device in DEVICES.items():
+        print(
+            f"  {name}: {device.num_sms} SMs, "
+            f"{device.max_threads_per_sm} threads/SM, "
+            f"DOP window [{device.min_dop}, {device.max_dop}]"
+        )
+    print()
+    print("see also: python -m repro apps | map | cuda | figures")
+    return 0
+
+
+def cmd_apps(_args: argparse.Namespace) -> int:
+    from repro.apps import ALL_APPS
+
+    width = max(len(name) for name in ALL_APPS)
+    for name, app in sorted(ALL_APPS.items()):
+        params = ", ".join(f"{k}={v}" for k, v in app.default_params.items())
+        print(f"{name:<{width}}  levels={app.levels}  defaults: {params}")
+    return 0
+
+
+def _resolve_app(name: str):
+    from repro.apps import ALL_APPS
+
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_APPS))
+        raise SystemExit(f"unknown app {name!r}; known: {known}")
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_program
+    from repro.gpusim import decide_mapping, default_device
+
+    from repro.apps import merge_params
+
+    app = _resolve_app(args.app)
+    sizes = merge_params(app, _parse_sizes(args.sizes))
+    device = default_device()
+    pa = analyze_program(app.build(), **sizes)
+    for index, ka in enumerate(pa.kernels):
+        print(f"=== kernel {index} (depth {ka.depth}, "
+              f"sizes {ka.level_sizes()}) ===")
+        decision = decide_mapping(ka, args.strategy, device)
+        if args.explain:
+            from repro.analysis import explain_mapping
+
+            print(explain_mapping(ka, decision.mapping).render())
+        else:
+            print(ka.constraints.describe())
+            print(f"mapping: {decision.mapping}")
+        print(decision.cost(device, pa.env).describe())
+        print()
+    return 0
+
+
+def cmd_cuda(args: argparse.Namespace) -> int:
+    from repro.codegen import compile_program, generate_host_driver
+
+    from repro.apps import merge_params
+
+    app = _resolve_app(args.app)
+    sizes = merge_params(app, _parse_sizes(args.sizes))
+    module = compile_program(app.build(), args.strategy, **sizes)
+    source = (
+        generate_host_driver(module, sizes) if args.host else module.source
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures import EXPERIMENTS, run_experiment
+
+    ids = args.ids or list(EXPERIMENTS)
+    for eid in ids:
+        result = run_experiment(eid)
+        if args.plot:
+            from repro.figures.plots import render_experiment_bars
+
+            print(render_experiment_bars(result))
+        else:
+            print(result.render())
+        print()
+        if args.csv_dir:
+            import os
+
+            os.makedirs(args.csv_dir, exist_ok=True)
+            path = os.path.join(args.csv_dir, f"{eid}.csv")
+            result.write_csv(path)
+            print(f"[wrote {path}]")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime import GpuSession
+
+    from repro.apps import merge_params
+
+    app = _resolve_app(args.app)
+    sizes = merge_params(app, _parse_sizes(args.sizes))
+    compiled = GpuSession(strategy=args.strategy).compile(
+        app.build(), **sizes
+    )
+    text = compiled.report()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.figures.runner import write_experiments_md
+
+    write_experiments_md(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview").set_defaults(fn=cmd_info)
+    sub.add_parser("apps", help="list benchmark apps").set_defaults(
+        fn=cmd_apps
+    )
+
+    p_map = sub.add_parser("map", help="show analysis for an app")
+    p_map.add_argument("app")
+    p_map.add_argument("sizes", nargs="*", help="size bindings k=v")
+    p_map.add_argument("--strategy", default="multidim")
+    p_map.add_argument(
+        "--explain", action="store_true",
+        help="per-constraint accounting of the mapping's score",
+    )
+    p_map.set_defaults(fn=cmd_map)
+
+    p_cuda = sub.add_parser("cuda", help="dump generated CUDA for an app")
+    p_cuda.add_argument("app")
+    p_cuda.add_argument("sizes", nargs="*", help="size bindings k=v")
+    p_cuda.add_argument("--strategy", default="multidim")
+    p_cuda.add_argument("--host", action="store_true",
+                        help="include the host driver (complete .cu)")
+    p_cuda.add_argument("-o", "--output", default=None)
+    p_cuda.set_defaults(fn=cmd_cuda)
+
+    p_fig = sub.add_parser("figures", help="print experiment tables")
+    p_fig.add_argument("ids", nargs="*")
+    p_fig.add_argument(
+        "--csv-dir", default=None,
+        help="also write each experiment's rows as CSV into this directory",
+    )
+    p_fig.add_argument(
+        "--plot", action="store_true",
+        help="render bar charts instead of tables",
+    )
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_rep = sub.add_parser(
+        "report", help="markdown compilation report for an app"
+    )
+    p_rep.add_argument("app")
+    p_rep.add_argument("sizes", nargs="*", help="size bindings k=v")
+    p_rep.add_argument("--strategy", default="multidim")
+    p_rep.add_argument("-o", "--output", default=None)
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    p_exp.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early; not an error.
+        return 0

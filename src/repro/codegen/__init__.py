@@ -1,0 +1,12 @@
+"""CUDA code generation (Section IV-E of the paper)."""
+
+from .compiler import CompiledModule, compile_program  # noqa: F401
+from .host import generate_host_driver  # noqa: F401
+from .exprs import ArrayInfo, CodegenContext, c_type, lower_expr  # noqa: F401
+from .kernels import (  # noqa: F401
+    CompiledKernel,
+    KernelGenerator,
+    LaunchConfig,
+    device_function_preamble,
+)
+from .writer import SourceWriter  # noqa: F401

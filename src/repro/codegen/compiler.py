@@ -1,0 +1,77 @@
+"""Program-level compiler: IR -> analyzed, mapped, generated CUDA module.
+
+One kernel is generated per outermost pattern (the paper's one-to-one
+mapping), each with its own mapping decision.  The module also carries the
+device-function preamble and, for ``Split(k)`` mappings, combiner kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..analysis.analyzer import analyze_program
+from ..analysis.mapping import Mapping
+from ..ir.patterns import Program
+from .kernels import CompiledKernel, KernelGenerator, device_function_preamble
+
+Strategy = Union[str, Mapping]
+
+
+@dataclass
+class CompiledModule:
+    """All generated kernels for one program."""
+
+    program: Program
+    kernels: List[CompiledKernel] = field(default_factory=list)
+    preamble: str = ""
+
+    @property
+    def source(self) -> str:
+        """The complete CUDA translation unit."""
+        parts = ["#include <cfloat>", ""]
+        if self.preamble:
+            parts.append(self.preamble)
+        for kernel in self.kernels:
+            parts.append(kernel.full_source)
+        return "\n".join(parts)
+
+
+def compile_program(
+    program: Program,
+    strategy: Strategy = "multidim",
+    device=None,
+    prealloc: bool = True,
+    layout_strides: Optional[Dict[str, Tuple[str, ...]]] = None,
+    **sizes: int,
+) -> CompiledModule:
+    """Analyze, map, and generate CUDA for every kernel of a program."""
+    from ..gpusim.device import default_device
+    from ..gpusim.simulator import decide_mapping
+
+    if device is None:
+        device = default_device()
+    pa = analyze_program(program, **sizes)
+    module = CompiledModule(program=program)
+    preambles = []
+    for index, ka in enumerate(pa.kernels):
+        decision = decide_mapping(ka, strategy, device)
+        name = f"{_sanitize(program.name)}_kernel{index}"
+        generator = KernelGenerator(
+            ka,
+            decision.mapping,
+            program,
+            kernel_name=name,
+            prealloc=prealloc,
+            layout_strides=layout_strides,
+        )
+        module.kernels.append(generator.generate())
+        preamble = device_function_preamble(ka.root)
+        if preamble and preamble not in preambles:
+            preambles.append(preamble)
+    module.preamble = "\n".join(preambles)
+    return module
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)

@@ -1,0 +1,36 @@
+"""Indented source writer used by the CUDA emitter."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SourceWriter:
+    """Accumulates lines with block-structured indentation."""
+
+    def __init__(self, indent: str = "    "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent = indent
+
+    def line(self, text: str = "") -> "SourceWriter":
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def open(self, text: str) -> "SourceWriter":
+        """Emit ``text {`` and indent."""
+        self.line(text + " {")
+        self._depth += 1
+        return self
+
+    def close(self, suffix: str = "") -> "SourceWriter":
+        """Dedent and emit ``}``."""
+        self._depth -= 1
+        self.line("}" + suffix)
+        return self
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"

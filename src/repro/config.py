@@ -1,0 +1,56 @@
+"""Global configuration defaults shared across the analysis and simulator.
+
+The values mirror the constants the paper states explicitly:
+
+* ``WARP_SIZE`` — 32 threads on NVIDIA GPUs (Section II).
+* ``MAX_BLOCK_SIZE`` — 1024 threads per block (Section IV-B).
+* ``MIN_BLOCK_SIZE`` — 64, the global soft constraint floor (Table II).
+* ``DEFAULT_SIZE_HINT`` — 1000, assumed when a pattern size is not a
+  compile-time constant (Section IV-C).
+* ``MIN_DOP`` / ``MAX_DOP`` are device-derived (Section IV-D): for the
+  Tesla K20c, ``MIN_DOP = 13 SMs * 2048 threads`` and
+  ``MAX_DOP = 100 * MIN_DOP``; they live on the device description and the
+  constants here are only used when no device is supplied.
+"""
+
+from __future__ import annotations
+
+WARP_SIZE = 32
+MAX_BLOCK_SIZE = 1024
+MIN_BLOCK_SIZE = 64
+DEFAULT_SIZE_HINT = 1000
+
+# Fallback DOP window (Tesla K20c values; see repro.gpusim.device).
+DEFAULT_MIN_DOP = 13 * 2048
+DEFAULT_MAX_DOP = 100 * DEFAULT_MIN_DOP
+
+# Candidate block sizes considered by the mapping search (Algorithm 1).
+BLOCK_SIZE_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+# Deterministic seed for the paper's "pick randomly" tie-break, so that
+# experiment tables are reproducible run to run.
+TIE_BREAK_SEED = 0x5EED
+
+# Reserved keys in Program.size_hints:
+#   DEFAULT_HINT_KEY overrides the 1000-default for dynamically sized
+#   inner domains (e.g. the average degree of a graph workload);
+#   SKEW_HINT_KEY is the warp-max/mean ratio of dynamic inner domains,
+#   modeling the load imbalance that per-thread sequential execution of a
+#   skewed loop suffers (the motivation for warp-based mappings).
+DEFAULT_HINT_KEY = "__default__"
+SKEW_HINT_KEY = "__skew__"
+
+# L2-size proxy used to discount coalescing constraints for arrays small
+# enough to live in cache after first touch (K20c: 1.25 MB).  The analysis
+# layer must not depend on a concrete device, so this is a standalone
+# constant; the simulator uses the real per-device value.
+ANALYSIS_CACHE_BYTES = 1_310_720
+
+# Intrinsic soft-constraint weights (Section IV-C).  Memory coalescing gets
+# the highest intrinsic weight because pattern workloads are typically
+# bandwidth-bound; the remaining weights express the relative importance the
+# paper describes qualitatively.
+INTRINSIC_WEIGHT_COALESCE = 10.0
+INTRINSIC_WEIGHT_BLOCK_FLOOR = 2.0
+INTRINSIC_WEIGHT_NO_DIVERGENCE = 1.0
+INTRINSIC_WEIGHT_PARALLELISM = 1.0

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing
+programming errors (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR node is constructed or combined incorrectly."""
+
+
+class TypeMismatchError(IRError):
+    """Raised when expression operand types are incompatible."""
+
+
+class ValidationError(IRError):
+    """Raised when an IR tree fails well-formedness validation."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the mapping analysis cannot process an IR tree."""
+
+
+class MappingError(AnalysisError):
+    """Raised for invalid mapping parameter combinations."""
+
+
+class SearchError(AnalysisError):
+    """Raised when the mapping search cannot find any feasible mapping."""
+
+
+class CodegenError(ReproError):
+    """Raised when CUDA code generation fails for a mapping decision."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU simulator is given an inconsistent kernel plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the functional interpreter cannot evaluate an IR tree."""
+
+
+class RuntimeConfigError(ReproError):
+    """Raised for invalid runtime/session configuration."""

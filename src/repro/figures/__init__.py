@@ -1,0 +1,5 @@
+"""Experiment harness regenerating every evaluation table and figure."""
+
+from .registry import EXPERIMENTS  # noqa: F401
+from .runner import main, run_all, run_experiment  # noqa: F401
+from .tables import ExperimentResult, render_table  # noqa: F401

@@ -1,0 +1,88 @@
+"""Terminal bar charts for experiment results.
+
+The paper presents its evaluation as bar charts; these render the same
+series as Unicode horizontal bars so `python -m repro figures --plot`
+shows shapes, not just numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .tables import ExperimentResult
+
+_BAR = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value) / scale * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    return _BAR * full + (_PARTIAL[frac].strip() or "")
+
+
+def render_bars(
+    result: ExperimentResult,
+    value_columns: Sequence[str],
+    label_columns: Optional[Sequence[str]] = None,
+    width: int = 40,
+    log_note: bool = True,
+) -> str:
+    """Render one bar per (row, value column), grouped by row."""
+    if label_columns is None:
+        label_columns = [
+            c for c in result.columns
+            if not _numeric_column(result, c)
+        ]
+    numeric = [
+        c for c in value_columns if _numeric_column(result, c)
+    ]
+    if not numeric:
+        return "(no numeric series to plot)"
+    peak = max(
+        float(row[c])
+        for row in result.rows
+        for c in numeric
+        if isinstance(row.get(c), (int, float))
+    )
+    label_width = max(len(c) for c in numeric)
+    lines = [result.title, "=" * len(result.title)]
+    for row in result.rows:
+        label = "  ".join(str(row.get(c, "")) for c in label_columns)
+        lines.append(label)
+        for column in numeric:
+            value = row.get(column)
+            if not isinstance(value, (int, float)):
+                continue
+            bar = _bar(float(value), peak, width)
+            lines.append(
+                f"  {column:<{label_width}} {float(value):8.2f} {bar}"
+            )
+    return "\n".join(lines)
+
+
+def _numeric_column(result: ExperimentResult, column: str) -> bool:
+    return any(
+        isinstance(row.get(column), (int, float)) for row in result.rows
+    )
+
+
+#: Which series each experiment plots (normalized columns).
+PLOT_SERIES: Dict[str, List[str]] = {
+    "fig3": ["1d", "thread-block/thread", "warp-based"],
+    "fig12": ["multidim", "1d"],
+    "fig13": ["thread-block/thread", "warp-based"],
+    "fig14": ["1d", "multidim"],
+    "fig16": ["prealloc_only", "malloc"],
+}
+
+
+def render_experiment_bars(result: ExperimentResult, width: int = 40) -> str:
+    """Plot an experiment using its registered series (tables otherwise)."""
+    series = PLOT_SERIES.get(result.experiment_id)
+    if series is None:
+        return result.render()
+    return render_bars(result, series, width=width)

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The rows regenerating one of the paper's tables or figures."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def column_values(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows, self.notes)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV (header row first)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=self.columns, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, Any]],
+    notes: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    table = [[c for c in columns]]
+    for row in rows:
+        table.append([_format(row.get(c, "")) for c in columns])
+    widths = [
+        max(len(line[i]) for line in table) for i in range(len(columns))
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(c.ljust(w) for c, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in table[1:]:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)

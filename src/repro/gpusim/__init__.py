@@ -1,0 +1,20 @@
+"""Analytic GPU simulator substrate.
+
+Replaces the paper's Tesla K20c testbed (see DESIGN.md, Substitutions):
+exact warp-level coalescing, occupancy-derated bandwidth/latency, and the
+overhead terms (launch, block scheduling, device malloc, shared memory,
+atomics, combiner kernels) that drive every evaluation figure.
+"""
+
+from .coalescing import WarpAccessProfile, lane_coordinates, warp_transactions  # noqa: F401
+from .cost import (  # noqa: F401
+    LaunchPlan,
+    count_ops,
+    estimate_kernel_cost,
+    runtime_level_sizes,
+)
+from .cpu import CpuDevice, XEON_X5550_DUAL, estimate_cpu_time_us  # noqa: F401
+from .device import DEVICES, GpuDevice, TESLA_C2050, TESLA_K20C, default_device  # noqa: F401
+from .occupancy import Occupancy, compute_occupancy  # noqa: F401
+from .simulator import KernelDecision, decide_mapping, simulate_program  # noqa: F401
+from .stats import AccessCost, KernelCost, ProgramCost  # noqa: F401

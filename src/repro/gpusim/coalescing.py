@@ -1,0 +1,143 @@
+"""Warp-level memory-coalescing model.
+
+The memory controller merges the 32 per-lane requests of a warp into
+128-byte segment transactions (Section II).  Given a mapping and an access
+site's affine descriptor, this module computes exactly how many segments one
+warp instruction touches by enumerating the 32 lane coordinates:
+
+* lanes are consecutive linear thread IDs; CUDA linearizes x fastest;
+* each parallel nest level contributes ``stride_coefficient * lane_coord``
+  along its assigned dimension;
+* opaque (non-affine) index components group lanes: lanes that agree on
+  every opaque-dependent coordinate share an unknown-but-common base, and
+  segments are counted per group;
+* random components defeat coalescing entirely (one segment per distinct
+  lane address pattern).
+
+This is the same machinery real hardware applies, so a mapping that the
+constraint system calls "coalesced" genuinely produces fewer transactions
+here — the analysis and the simulator cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.access import AccessSite
+from ..analysis.mapping import Dim, Mapping
+from .device import GpuDevice
+
+
+@dataclass(frozen=True)
+class WarpAccessProfile:
+    """Transactions one warp instruction issues for one access site."""
+
+    transactions: int
+    #: Bytes actually requested by the lanes (useful-traffic accounting).
+    useful_bytes: int
+    #: True when every lane hit the same minimal segment count possible.
+    fully_coalesced: bool
+
+
+def lane_coordinates(
+    block_shape: Dict[Dim, int], warp_size: int
+) -> List[Dict[Dim, int]]:
+    """Per-lane multidimensional coordinates of the first warp of a block.
+
+    CUDA linearizes thread IDs with x fastest, then y, then z; warps take
+    consecutive linear IDs (Figure 4b of the paper).
+    """
+    dims = sorted(block_shape.keys())
+    coords: List[Dict[Dim, int]] = []
+    for lane in range(warp_size):
+        remaining = lane
+        coord: Dict[Dim, int] = {}
+        for dim in dims:
+            extent = max(1, block_shape[dim])
+            coord[dim] = remaining % extent
+            remaining //= extent
+        coords.append(coord)
+    return coords
+
+
+def distinct_warp_combos(
+    site: AccessSite, mapping: Mapping, device: GpuDevice
+) -> int:
+    """Distinct index combinations of the site's levels within one warp.
+
+    Writes are guarded so only one thread per combination executes them
+    (Section V-B's "guard" discussion); the number of *distinct*
+    combinations a warp covers therefore determines how many warps a
+    guarded statement needs.
+    """
+    block_shape = mapping.block_shape()
+    active_lanes = min(device.warp_size, max(1, mapping.threads_per_block()))
+    coords = lane_coordinates(block_shape, device.warp_size)[:active_lanes]
+    relevant_dims = []
+    for level in range(min(site.level + 1, mapping.num_levels)):
+        lm = mapping.level(level)
+        if lm.parallel:
+            relevant_dims.append(lm.dim)
+    combos = {
+        tuple(coord.get(dim, 0) for dim in relevant_dims) for coord in coords
+    }
+    return max(1, len(combos))
+
+
+def warp_transactions(
+    site: AccessSite,
+    mapping: Mapping,
+    device: GpuDevice,
+    strides: Optional[Sequence[int]] = None,
+) -> WarpAccessProfile:
+    """Count the 128-byte segments one warp touches for this access."""
+    offset = site.offset_form(strides)
+    block_shape = mapping.block_shape()
+    active_lanes = min(device.warp_size, max(1, mapping.threads_per_block()))
+    coords = lane_coordinates(block_shape, device.warp_size)[:active_lanes]
+
+    # Map each enclosing pattern index to the dimension it rides on.
+    level_dims: Dict[str, Optional[Dim]] = {}
+    for level, name in enumerate(site.index_names):
+        if level < mapping.num_levels and mapping.level(level).parallel:
+            level_dims[name] = mapping.level(level).dim
+        else:
+            level_dims[name] = None  # sequential: constant within a warp
+
+    seg = device.mem_transaction_bytes
+
+    # Group lanes by the coordinates of opaque-dependent dimensions; lanes
+    # in different groups have unrelated base addresses.
+    def opaque_group(coord: Dict[Dim, int]) -> Tuple:
+        key: List[int] = []
+        for name in offset.opaque_deps:
+            dim = level_dims.get(name)
+            if dim is not None and dim in coord:
+                key.append(coord[dim])
+        return tuple(key)
+
+    # Randomness is already folded into opaque_deps (a fresh draw per
+    # enclosing iteration), so grouping by opaque coordinates handles it:
+    # lanes sharing every opaque coordinate share the same arbitrary base.
+    groups: Dict[Tuple, List[int]] = {}
+    for lane, coord in enumerate(coords):
+        byte_offset = 0.0
+        for name, coeff in offset.coeffs:
+            dim = level_dims.get(name)
+            if dim is not None and dim in coord:
+                byte_offset += coeff * coord[dim] * site.elem_bytes
+        groups.setdefault(opaque_group(coord), []).append(int(byte_offset))
+
+    transactions = 0
+    for offsets in groups.values():
+        segments = {off // seg for off in offsets}
+        transactions += len(segments)
+
+    useful = active_lanes * site.elem_bytes
+    fully = len(groups) == 1 and transactions <= max(1, -(-useful // seg))
+    return WarpAccessProfile(
+        transactions=max(1, transactions),
+        useful_bytes=useful,
+        fully_coalesced=fully,
+    )

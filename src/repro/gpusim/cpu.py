@@ -1,0 +1,65 @@
+"""Analytic multi-core CPU reference model.
+
+Figure 14 compares GPU mappings against hand-optimized multi-core CPU
+implementations (two quad-core Xeon 2.67 GHz, the paper's host machine).
+With no testbed available, this roofline-style model stands in: time is the
+maximum of the compute term (cores x SIMD x clock, derated by an efficiency
+factor for how well-tuned the reference code is) and the memory term
+(footprint over socket bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.analyzer import KernelAnalysis
+from ..analysis.shapes import SizeEnv
+from .cost import count_ops
+
+
+@dataclass(frozen=True)
+class CpuDevice:
+    """An analytic multi-core CPU model."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: Double-precision lanes per core (SSE3: 2).
+    simd_width: int
+    mem_bandwidth_gbs: float
+    #: Fraction of peak a tuned implementation achieves.
+    efficiency: float = 0.6
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cores * self.simd_width * self.clock_ghz * 1e9
+
+
+#: The paper's host: Dell Precision T7500n, two quad-core Xeon 2.67 GHz.
+XEON_X5550_DUAL = CpuDevice(
+    name="2x quad-core Xeon 2.67GHz",
+    cores=8,
+    clock_ghz=2.67,
+    simd_width=2,
+    mem_bandwidth_gbs=20.0,
+    efficiency=0.6,
+)
+
+
+def estimate_cpu_time_us(
+    analysis: KernelAnalysis,
+    env: SizeEnv = None,
+    cpu: CpuDevice = XEON_X5550_DUAL,
+    efficiency: float = None,
+) -> float:
+    """Roofline estimate for one kernel's work on the CPU."""
+    if env is None:
+        env = analysis.env
+    eff = cpu.efficiency if efficiency is None else efficiency
+    ops = count_ops(analysis.root, env)
+    bytes_touched = sum(
+        site.footprint_bytes(env) for site in analysis.accesses.sites
+    )
+    compute_s = ops / (cpu.peak_flops * eff)
+    memory_s = bytes_touched / (cpu.mem_bandwidth_gbs * 1e9)
+    return max(compute_s, memory_s) * 1e6

@@ -1,0 +1,77 @@
+"""Shared-memory bank-conflict model.
+
+Shared memory is divided into 32 banks (4-byte words on Fermi, 8-byte mode
+on Kepler); when lanes of a warp hit distinct addresses in the same bank
+the accesses serialize.  The paper's Figure 9 template indexes scratch as
+``smem[threadIdx.y][threadIdx.x]``, whose conflict behaviour depends on the
+row pitch — exactly what this model prices for the tree-reduction and
+prefetch costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .device import GpuDevice
+
+#: Banks on all modeled devices.
+NUM_BANKS = 32
+
+
+@dataclass(frozen=True)
+class BankConflictProfile:
+    """Serialization of one warp-wide shared-memory access."""
+
+    #: Maximum lanes hitting distinct words of one bank (1 = conflict-free).
+    serialization: int
+    #: True when every lane mapped to a different bank (or broadcast).
+    conflict_free: bool
+
+
+def bank_conflicts(
+    lane_word_offsets: List[int], banks: int = NUM_BANKS
+) -> BankConflictProfile:
+    """Conflict profile for explicit per-lane word offsets.
+
+    Lanes accessing the *same* word broadcast (no conflict); lanes
+    accessing different words in the same bank serialize.
+    """
+    per_bank: Dict[int, set] = {}
+    for offset in lane_word_offsets:
+        per_bank.setdefault(offset % banks, set()).add(offset)
+    serialization = max(
+        (len(words) for words in per_bank.values()), default=1
+    )
+    return BankConflictProfile(
+        serialization=max(1, serialization),
+        conflict_free=serialization <= 1,
+    )
+
+
+def strided_access_conflicts(
+    stride_words: int, active_lanes: int = 32, banks: int = NUM_BANKS
+) -> BankConflictProfile:
+    """Conflict profile for the common strided pattern
+    ``smem[lane * stride]``.
+
+    Power-of-two strides are the classic worst case: stride 2 gives 2-way
+    conflicts, stride 32 gives 32-way.
+    """
+    offsets = [lane * stride_words for lane in range(active_lanes)]
+    return bank_conflicts(offsets, banks)
+
+
+def tree_reduce_conflict_factor(
+    dim_stride_words: int, block_size: int, device: GpuDevice
+) -> float:
+    """Average serialization of the Figure 9 tree reduction.
+
+    Each step accesses ``smem[lin]`` and ``smem[lin + off * stride]``; the
+    lane-to-word stride equals the reduce dimension's linear stride.  The
+    factor multiplies the shared-memory time term.
+    """
+    profile = strided_access_conflicts(
+        max(1, dim_stride_words), min(device.warp_size, block_size)
+    )
+    return float(profile.serialization)

@@ -1,0 +1,99 @@
+"""Simulator facade: program + strategy -> estimated execution time.
+
+This is the low-level entry point the runtime session and the benchmark
+harness build on.  A *strategy* is either the name of a fixed baseline
+("1d", "thread-block/thread", "warp-based"), the string "multidim" (run the
+paper's search per kernel), or an explicit :class:`Mapping` applied to every
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..analysis.analyzer import KernelAnalysis, analyze_program
+from ..analysis.mapping import Mapping
+from ..analysis.shapes import SizeEnv
+from ..ir.patterns import Program
+from .cost import LaunchPlan, estimate_kernel_cost
+from .device import GpuDevice, default_device
+from .stats import KernelCost, ProgramCost
+
+Strategy = Union[str, Mapping]
+
+
+@dataclass
+class KernelDecision:
+    """The mapping (and plan) chosen for one kernel under a strategy."""
+
+    analysis: KernelAnalysis
+    mapping: Mapping
+    plan: LaunchPlan
+    score: Optional[float] = None
+
+    def cost(self, device: GpuDevice, env: Optional[SizeEnv] = None) -> KernelCost:
+        return estimate_kernel_cost(
+            self.analysis, self.mapping, device, env, self.plan
+        )
+
+
+def decide_mapping(
+    analysis: KernelAnalysis,
+    strategy: Strategy,
+    device: GpuDevice,
+    optimize: bool = True,
+) -> KernelDecision:
+    """Resolve a strategy to a concrete mapping for one kernel.
+
+    With ``optimize=True`` (the default, matching the paper's "all results
+    utilized the optimizations where applicable") the Section-V pipeline
+    builds the launch plan; otherwise a bare plan with preallocation only.
+    """
+    score: Optional[float] = None
+    if isinstance(strategy, Mapping):
+        mapping = strategy
+    elif strategy == "multidim":
+        result = analysis.select_mapping(window=device.dop_window())
+        mapping, score = result.mapping, result.score
+    else:
+        mapping = analysis.strategy_mapping(strategy)
+    if optimize:
+        from ..optim.pipeline import build_plan
+
+        plan = build_plan(analysis, mapping, device)
+    else:
+        plan = LaunchPlan(prealloc=True)
+    return KernelDecision(analysis, mapping, plan, score)
+
+
+def simulate_program(
+    program: Program,
+    strategy: Strategy = "multidim",
+    device: Optional[GpuDevice] = None,
+    plan: Optional[LaunchPlan] = None,
+    input_bytes: float = 0.0,
+    include_transfer: bool = False,
+    **sizes: int,
+) -> ProgramCost:
+    """Estimate a whole program's execution time under a strategy.
+
+    ``sizes`` override the program's size hints (the benchmark harness
+    sweeps shapes this way).  ``input_bytes``/``include_transfer`` model
+    the host-to-device copy the paper includes only in Section VI-E.
+    """
+    if device is None:
+        device = default_device()
+    pa = analyze_program(program, **sizes)
+    result = ProgramCost()
+    for ka in pa.kernels:
+        decision = decide_mapping(ka, strategy, device)
+        if plan is not None:
+            decision.plan = plan
+        result.kernels.append(decision.cost(device, pa.env))
+    if include_transfer and input_bytes > 0:
+        result.transfer_us = (
+            device.pcie_latency_us
+            + input_bytes / (device.pcie_bandwidth_gbs * 1e9) * 1e6
+        )
+    return result

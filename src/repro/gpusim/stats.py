@@ -1,0 +1,102 @@
+"""Result records produced by the GPU cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .occupancy import Occupancy
+
+
+@dataclass
+class AccessCost:
+    """Per-access-site memory accounting (diagnostics)."""
+
+    array_key: str
+    kind: str
+    level: int
+    issues: float
+    transactions_per_issue: int
+    issued_bytes: float
+    footprint_bytes: float
+    effective_bytes: float
+    smem_prefetched: bool = False
+
+
+@dataclass
+class KernelCost:
+    """Time breakdown for one kernel launch, in microseconds.
+
+    ``total_us`` is the model's estimate of wall-clock execution time; the
+    components are reported so experiments can explain *why* a mapping wins
+    (bandwidth-bound vs latency-bound vs overhead-bound).
+    """
+
+    launch_us: float = 0.0
+    block_sched_us: float = 0.0
+    malloc_us: float = 0.0
+    mem_bandwidth_us: float = 0.0
+    mem_latency_us: float = 0.0
+    compute_us: float = 0.0
+    shared_mem_us: float = 0.0
+    atomic_us: float = 0.0
+    combiner_us: float = 0.0
+    occupancy: Optional[Occupancy] = None
+    traffic_bytes: float = 0.0
+    accesses: List[AccessCost] = field(default_factory=list)
+
+    @property
+    def memory_us(self) -> float:
+        """The memory-system time: bandwidth and latency terms overlap, so
+        the binding one dominates."""
+        return max(self.mem_bandwidth_us, self.mem_latency_us)
+
+    @property
+    def total_us(self) -> float:
+        return (
+            self.launch_us
+            + self.block_sched_us
+            + self.malloc_us
+            + max(self.memory_us, self.compute_us)
+            + self.shared_mem_us
+            + self.atomic_us
+            + self.combiner_us
+        )
+
+    def describe(self) -> str:
+        occ = self.occupancy
+        lines = [
+            f"total        {self.total_us:12.1f} us",
+            f"  launch     {self.launch_us:12.1f}",
+            f"  blocks     {self.block_sched_us:12.1f}",
+            f"  malloc     {self.malloc_us:12.1f}",
+            f"  mem (bw)   {self.mem_bandwidth_us:12.1f}",
+            f"  mem (lat)  {self.mem_latency_us:12.1f}",
+            f"  compute    {self.compute_us:12.1f}",
+            f"  smem       {self.shared_mem_us:12.1f}",
+            f"  atomic     {self.atomic_us:12.1f}",
+            f"  combiner   {self.combiner_us:12.1f}",
+            f"  traffic    {self.traffic_bytes / 1e6:12.1f} MB",
+        ]
+        if occ is not None:
+            lines.append(
+                f"  occupancy  {occ.occupancy:12.2%} "
+                f"({occ.resident_warps} warps, {occ.total_blocks} blocks)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ProgramCost:
+    """Cost of a whole program: per-kernel costs plus transfer time."""
+
+    kernels: List[KernelCost] = field(default_factory=list)
+    transfer_us: float = 0.0
+
+    @property
+    def kernels_us(self) -> float:
+        return sum(k.total_us for k in self.kernels)
+
+    @property
+    def total_us(self) -> float:
+        return self.kernels_us + self.transfer_us

@@ -1,0 +1,234 @@
+"""Thread-level trace validation of the analytic memory model.
+
+The cost model predicts per-warp transaction counts and warp-issue counts
+analytically from affine access descriptors.  This module *executes* the
+same launch geometry thread by thread for small problem sizes: it assigns
+concrete index values to every (block, thread, iteration) combination using
+exactly the index computations the code generator emits, evaluates the
+access's real index expressions, groups lanes into warps, and counts
+128-byte segments with a plain set.
+
+Tests cross-check the brute-force totals against the analytic prediction —
+the strongest evidence that a mapping the constraint system calls
+"coalesced" genuinely issues fewer transactions.
+
+Only affine accesses to arrays with known shapes are traceable (gathers
+would need input data); sizes should stay small (the enumeration is
+exhaustive by design).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.access import AccessSite
+from ..analysis.analyzer import KernelAnalysis
+from ..analysis.mapping import Dim, LevelMapping, Mapping, Seq, Span, SpanAll, Split
+from ..analysis.shapes import SizeEnv
+from ..errors import SimulationError
+from ..interp.env import Env
+from ..interp.evaluator import Evaluator
+from ..ir.patterns import Program
+from .device import GpuDevice
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Brute-force totals for one access site over a whole kernel run."""
+
+    total_transactions: int
+    total_warp_issues: int
+
+    @property
+    def transactions_per_issue(self) -> float:
+        if self.total_warp_issues == 0:
+            return 0.0
+        return self.total_transactions / self.total_warp_issues
+
+
+def _level_index_values(
+    lm: LevelMapping, size: int
+) -> List[List[Tuple[int, int, int]]]:
+    """Per level: a list of blocks, each a list of (thread_coord,
+    iteration, index_value) triples.
+
+    The index computations mirror the code generator's templates exactly.
+    """
+    blocks: List[List[Tuple[int, int, int]]] = []
+    if isinstance(lm.span, Seq):
+        blocks.append([(0, it, it) for it in range(size)])
+        return blocks
+    b = lm.block_size
+    if isinstance(lm.span, Span):
+        n = lm.span.n
+        num_blocks = max(1, math.ceil(size / (b * n)))
+        for bi in range(num_blocks):
+            entries = []
+            for s in range(n):
+                for t in range(b):
+                    idx = bi * b * n + s * b + t
+                    if idx < size:
+                        entries.append((t, s, idx))
+            blocks.append(entries)
+        return blocks
+    if isinstance(lm.span, SpanAll):
+        entries = []
+        iters = max(1, math.ceil(size / b))
+        for k in range(iters):
+            for t in range(b):
+                idx = t + k * b
+                if idx < size:
+                    entries.append((t, k, idx))
+        blocks.append(entries)
+        return blocks
+    if isinstance(lm.span, Split):
+        k_split = lm.span.k
+        region = math.ceil(size / k_split)
+        for bi in range(k_split):
+            start, end = bi * region, min(size, (bi + 1) * region)
+            entries = []
+            iters = max(1, math.ceil(region / b))
+            for it in range(iters):
+                for t in range(b):
+                    idx = start + t + it * b
+                    if idx < end:
+                        entries.append((t, it, idx))
+            blocks.append(entries)
+        return blocks
+    raise SimulationError(f"unknown span {lm.span}")  # pragma: no cover
+
+
+def _traceable(site: AccessSite) -> bool:
+    if site.index_exprs is None:
+        return False
+    for form in site.axis_forms:
+        if form.has_random or form.opaque_deps:
+            return False
+    return True
+
+
+def trace_site(
+    site: AccessSite,
+    mapping: Mapping,
+    sizes: Sequence[int],
+    device: GpuDevice,
+    env: SizeEnv,
+    program: Optional[Program] = None,
+    strides: Optional[Sequence[int]] = None,
+) -> TraceStats:
+    """Exhaustively count warp issues and transactions for one site.
+
+    ``sizes`` are the runtime domain sizes per level (keep them small: the
+    enumeration is the full cross product).  The access executes once per
+    index combination of levels at or above the site's level; deeper
+    levels still contribute *threads* (which redundantly re-issue reads,
+    or are masked out for guarded writes — matching the cost model's
+    assumptions and the generated code).
+    """
+    if not _traceable(site):
+        raise SimulationError(
+            f"site {site.array_key!r} is not traceable (non-affine)"
+        )
+    if strides is None:
+        strides = site.row_major_strides()
+
+    from ..ir.expr import Const
+
+    evaluator = Evaluator(
+        program if program is not None else Program("trace", (), Const(0))
+    )
+
+    level_count = mapping.num_levels
+    per_level = [
+        _level_index_values(mapping.level(level), sizes[level])
+        for level in range(level_count)
+    ]
+
+    # Warp linearization: x fastest.  Precompute each level's dim stride
+    # within the block's linear thread id.
+    block_shape = mapping.block_shape()
+    dims_sorted = sorted(block_shape)
+    dim_strides: Dict[Dim, int] = {}
+    acc = 1
+    for dim in dims_sorted:
+        dim_strides[dim] = acc
+        acc *= block_shape[dim]
+
+    seg = device.mem_transaction_bytes
+
+    # Enumerate the cross product of per-level (block, entry) choices.
+    transactions = 0
+    issues = 0
+    level_choices = []
+    for level in range(level_count):
+        choices = []
+        for block_id, entries in enumerate(per_level[level]):
+            for thread_coord, iteration, index_value in entries:
+                choices.append((block_id, thread_coord, iteration, index_value))
+        level_choices.append(choices)
+
+    # Group executions into warp instructions: a warp instruction is
+    # identified by (block ids, iteration vector of levels <= L, warp id,
+    # and index values of levels > L are irrelevant for the access but
+    # define which threads participate).  We enumerate all thread/iter
+    # combos and bucket addresses.
+    L = site.level
+    buckets: Dict[Tuple, set] = {}
+    for combo in itertools.product(*level_choices):
+        block_key = tuple(c[0] for c in combo)
+        iter_key = tuple(c[2] for c in combo[: L + 1])
+        lin_tid = 0
+        for level, (block_id, thread_coord, iteration, index_value) in enumerate(
+            combo
+        ):
+            lm = mapping.level(level)
+            if lm.parallel:
+                lin_tid += thread_coord * dim_strides[lm.dim]
+        warp_id = lin_tid // device.warp_size
+
+        scope = Env()
+        for name, value in env.values.items():
+            scope.bind(name, value)
+        for level, (block_id, thread_coord, iteration, index_value) in enumerate(
+            combo
+        ):
+            scope.bind(site.pattern_stack[level].index.name, index_value)
+
+        offset = 0
+        for idx_expr, stride in zip(site.index_exprs, strides):
+            offset += int(evaluator.eval_expr(idx_expr, scope)) * stride
+        address = offset * site.elem_bytes
+
+        key = (block_key, iter_key, warp_id)
+        buckets.setdefault(key, set()).add(address // seg)
+
+    for segments in buckets.values():
+        transactions += len(segments)
+        issues += 1
+
+    return TraceStats(
+        total_transactions=transactions, total_warp_issues=issues
+    )
+
+
+def trace_kernel(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    sizes: Sequence[int],
+    device: GpuDevice,
+    env: Optional[SizeEnv] = None,
+    program: Optional[Program] = None,
+) -> Dict[int, TraceStats]:
+    """Trace every traceable access site of a kernel; keyed by site index."""
+    if env is None:
+        env = analysis.env
+    results: Dict[int, TraceStats] = {}
+    for index, site in enumerate(analysis.accesses.sites):
+        if _traceable(site):
+            results[index] = trace_site(
+                site, mapping, sizes, device, env, program
+            )
+    return results

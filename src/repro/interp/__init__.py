@@ -1,0 +1,4 @@
+"""Functional interpreter: the reproduction's correctness oracle."""
+
+from .env import Env  # noqa: F401
+from .evaluator import Evaluator, run_program  # noqa: F401

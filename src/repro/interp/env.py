@@ -1,0 +1,40 @@
+"""Evaluation environments for the functional interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+class Env:
+    """A chained name -> value environment.
+
+    Lookup walks the chain outward; binding always writes the innermost
+    frame, so pattern bodies can shadow outer names without copying.
+    """
+
+    __slots__ = ("_frame", "_parent")
+
+    def __init__(self, parent: Optional["Env"] = None):
+        self._frame: Dict[str, Any] = {}
+        self._parent = parent
+
+    def child(self) -> "Env":
+        return Env(self)
+
+    def bind(self, name: str, value: Any) -> None:
+        self._frame[name] = value
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env._frame:
+                return env._frame[name]
+            env = env._parent
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env._frame:
+                return True
+            env = env._parent
+        return False

@@ -1,0 +1,518 @@
+"""Functional interpreter: executes pattern IR over NumPy values.
+
+The interpreter is the reproduction's *correctness oracle*: pattern
+semantics here match the codegen templates, but execution is mapping-
+independent by construction, so any mapping decision must produce the same
+values.  Tests compare interpreter output against straight NumPy reference
+implementations of each application.
+
+Evaluation strategy: pattern bodies that are pure expressions (no nested
+patterns, statements, or randomness) evaluate *vectorized* — the index
+variable is bound to ``np.arange(size)`` and NumPy broadcasting does the
+rest.  Everything else falls back to a per-iteration loop, which keeps the
+interpreter simple and general; test-sized inputs make this affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ir.expr import (
+    Alloc,
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    ExprStmt,
+    FieldRead,
+    If,
+    Length,
+    Node,
+    Param,
+    RandomIndex,
+    Select,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+)
+from ..ir.functions import FnCall
+from ..ir.patterns import (
+    Filter,
+    Foreach,
+    GroupBy,
+    Map,
+    PatternExpr,
+    Program,
+    Reduce,
+)
+from ..ir.types import ScalarType
+from .env import Env
+
+_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+    "//": np.floor_divide,
+    "%": np.mod,
+    "min": np.minimum,
+    "max": np.maximum,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+}
+
+_CMPOPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_CALLS = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "pow": np.power,
+    "abs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tanh": np.tanh,
+}
+
+_REDUCERS = {
+    "+": np.add.reduce,
+    "*": np.multiply.reduce,
+    "min": np.minimum.reduce,
+    "max": np.maximum.reduce,
+}
+
+_REDUCE_INIT = {
+    "+": 0.0,
+    "*": 1.0,
+}
+
+
+def _is_vectorizable(node: Node) -> bool:
+    """Pure expression bodies evaluate in one NumPy shot."""
+    if isinstance(node, (PatternExpr, Block, Store, If, Alloc, RandomIndex)):
+        return False
+    return all(_is_vectorizable(child) for child in node.children())
+
+
+def _array_reads_of(node: Node):
+    """Yield every ArrayRead under an expression (pre-order)."""
+    if isinstance(node, ArrayRead):
+        yield node
+    for child in node.children():
+        yield from _array_reads_of(child)
+
+
+class Evaluator:
+    """Evaluates a :class:`~repro.ir.patterns.Program` on concrete inputs."""
+
+    def __init__(self, program: Program, seed: int = 0):
+        self.program = program
+        self.rng = np.random.default_rng(seed)
+
+    def run(self, **inputs: Any) -> Any:
+        """Execute the program; inputs are keyed by parameter name.
+
+        Arrays should be NumPy arrays; struct parameters are dictionaries
+        of field name to value.
+        """
+        env = Env()
+        for param in self.program.params:
+            if param.name not in inputs:
+                raise ExecutionError(
+                    f"missing input {param.name!r} for {self.program.name}"
+                )
+            env.bind(param.name, inputs[param.name])
+        return self.eval_expr(self.program.result, env)
+
+    # -- expressions ------------------------------------------------------
+
+    def eval_expr(self, node: Expr, env: Env) -> Any:
+        if isinstance(node, Const):
+            return node.value
+        if isinstance(node, (Var, Param)):
+            try:
+                return env.lookup(node.name)
+            except KeyError:
+                raise ExecutionError(f"unbound name {node.name!r}")
+        if isinstance(node, BinOp):
+            lhs = self.eval_expr(node.lhs, env)
+            rhs = self.eval_expr(node.rhs, env)
+            return _BINOPS[node.op](lhs, rhs)
+        if isinstance(node, UnOp):
+            value = self.eval_expr(node.operand, env)
+            return np.logical_not(value) if node.op == "not" else np.negative(value)
+        if isinstance(node, Cmp):
+            lhs = self.eval_expr(node.lhs, env)
+            rhs = self.eval_expr(node.rhs, env)
+            return _CMPOPS[node.op](lhs, rhs)
+        if isinstance(node, Select):
+            cond = self.eval_expr(node.cond, env)
+            if_true = self.eval_expr(node.if_true, env)
+            if_false = self.eval_expr(node.if_false, env)
+            return np.where(cond, if_true, if_false) if np.ndim(cond) else (
+                if_true if cond else if_false
+            )
+        if isinstance(node, Call):
+            args = [self.eval_expr(a, env) for a in node.args]
+            return _CALLS[node.fn](*args)
+        if isinstance(node, FnCall):
+            args = [self.eval_expr(a, env) for a in node.args]
+            return node.fn.impl(*args)
+        if isinstance(node, Cast):
+            value = self.eval_expr(node.operand, env)
+            dtype = node.ty.np_dtype
+            return np.asarray(value).astype(dtype) if np.ndim(value) else (
+                dtype.type(value)
+            )
+        if isinstance(node, ArrayRead):
+            base = self.eval_expr(node.array, env)
+            idx = tuple(self._as_index(self.eval_expr(i, env)) for i in node.indices)
+            return base[idx if len(idx) > 1 else idx[0]]
+        if isinstance(node, FieldRead):
+            struct = self.eval_expr(node.struct, env)
+            try:
+                return struct[node.field_name]
+            except (KeyError, TypeError):
+                raise ExecutionError(
+                    f"struct value has no field {node.field_name!r}"
+                )
+        if isinstance(node, Length):
+            base = self.eval_expr(node.array, env)
+            return np.asarray(base).shape[node.axis]
+        if isinstance(node, Alloc):
+            shape = tuple(int(self.eval_expr(s, env)) for s in node.shape)
+            dtype = (
+                node.elem.np_dtype
+                if isinstance(node.elem, ScalarType)
+                else np.float64
+            )
+            return np.zeros(shape, dtype=dtype)
+        if isinstance(node, RandomIndex):
+            size = int(self.eval_expr(node.size, env))
+            return int(self.rng.integers(0, max(1, size)))
+        if isinstance(node, Block):
+            inner = env.child()
+            for stmt in node.stmts:
+                self.exec_stmt(stmt, inner)
+            return self.eval_expr(node.result, inner)
+        if isinstance(node, PatternExpr):
+            return self.eval_pattern(node, env)
+        raise ExecutionError(f"cannot evaluate {type(node).__name__}")
+
+    @staticmethod
+    def _as_index(value: Any) -> Any:
+        if np.ndim(value):
+            return np.asarray(value).astype(np.int64)
+        return int(value)
+
+    # -- statements -------------------------------------------------------
+
+    def exec_stmt(self, stmt: Stmt, env: Env) -> None:
+        if isinstance(stmt, Bind):
+            env.bind(stmt.var.name, self.eval_expr(stmt.value, env))
+            return
+        if isinstance(stmt, Store):
+            base = self.eval_expr(stmt.array, env)
+            idx = tuple(
+                self._as_index(self.eval_expr(i, env)) for i in stmt.indices
+            )
+            value = self.eval_expr(stmt.value, env)
+            base[idx if len(idx) > 1 else idx[0]] = value
+            return
+        if isinstance(stmt, If):
+            cond = self.eval_expr(stmt.cond, env)
+            branch = stmt.then if cond else stmt.otherwise
+            for inner in branch:
+                self.exec_stmt(inner, env)
+            return
+        if isinstance(stmt, ExprStmt):
+            self.eval_expr(stmt.expr, env)
+            return
+        raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    # -- patterns ---------------------------------------------------------
+
+    def eval_pattern(self, pattern: PatternExpr, env: Env) -> Any:
+        size = int(self.eval_expr(pattern.size, env))
+        if isinstance(pattern, Map):  # covers ZipWith
+            return self._eval_map(pattern, env, size)
+        if isinstance(pattern, Reduce):
+            return self._eval_reduce(pattern, env, size)
+        if isinstance(pattern, Filter):
+            return self._eval_filter(pattern, env, size)
+        if isinstance(pattern, GroupBy):
+            return self._eval_groupby(pattern, env, size)
+        if isinstance(pattern, Foreach):
+            return self._eval_foreach(pattern, env, size)
+        raise ExecutionError(f"unknown pattern {type(pattern).__name__}")
+
+    def _eval_map(self, pattern: Map, env: Env, size: int) -> np.ndarray:
+        if _is_vectorizable(pattern.body):
+            inner = env.child()
+            inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
+            result = self.eval_expr(pattern.body, inner)
+            if np.ndim(result) == 0:
+                result = np.full(size, result)
+            return np.asarray(result)
+        values = []
+        for i in range(size):
+            inner = env.child()
+            inner.bind(pattern.index.name, i)
+            values.append(self.eval_expr(pattern.body, inner))
+        if not values:
+            return np.zeros(0)
+        try:
+            return np.stack([np.asarray(v) for v in values])
+        except ValueError:
+            ragged = np.empty(len(values), dtype=object)
+            for i, v in enumerate(values):
+                ragged[i] = v
+            return ragged
+
+    def _eval_reduce(self, pattern: Reduce, env: Env, size: int) -> Any:
+        if pattern.op != "custom" and _is_vectorizable(pattern.body):
+            inner = env.child()
+            inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
+            values = self.eval_expr(pattern.body, inner)
+            if np.ndim(values) == 0:
+                values = np.full(size, values)
+            if size == 0:
+                if pattern.op in _REDUCE_INIT:
+                    return _REDUCE_INIT[pattern.op]
+                raise ExecutionError(
+                    f"empty {pattern.op}-reduce has no identity"
+                )
+            return _REDUCERS[pattern.op](np.asarray(values))
+        acc = None
+        for i in range(size):
+            inner = env.child()
+            inner.bind(pattern.index.name, i)
+            value = self.eval_expr(pattern.body, inner)
+            if acc is None:
+                acc = value
+            elif pattern.op == "custom":
+                lhs, rhs, combine = pattern.combine  # type: ignore[misc]
+                combine_env = env.child()
+                combine_env.bind(lhs.name, acc)
+                combine_env.bind(rhs.name, value)
+                acc = self.eval_expr(combine, combine_env)
+            else:
+                acc = _BINOPS[pattern.op](acc, value)
+        if acc is None:
+            if pattern.op in _REDUCE_INIT:
+                return _REDUCE_INIT[pattern.op]
+            raise ExecutionError(f"empty {pattern.op}-reduce has no identity")
+        return acc
+
+    def _eval_filter(self, pattern: Filter, env: Env, size: int) -> np.ndarray:
+        if _is_vectorizable(pattern.pred) and _is_vectorizable(pattern.value):
+            inner = env.child()
+            inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
+            mask = np.asarray(self.eval_expr(pattern.pred, inner))
+            values = self.eval_expr(pattern.value, inner)
+            if np.ndim(values) == 0:
+                values = np.full(size, values)
+            if np.ndim(mask) == 0:
+                mask = np.full(size, bool(mask))
+            return np.asarray(values)[mask]
+        kept = []
+        for i in range(size):
+            inner = env.child()
+            inner.bind(pattern.index.name, i)
+            if self.eval_expr(pattern.pred, inner):
+                kept.append(self.eval_expr(pattern.value, inner))
+        return np.asarray(kept)
+
+    def _eval_groupby(self, pattern: GroupBy, env: Env, size: int) -> Dict[int, np.ndarray]:
+        groups: Dict[int, list] = {}
+        if _is_vectorizable(pattern.key) and _is_vectorizable(pattern.value):
+            inner = env.child()
+            inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
+            keys = np.asarray(self.eval_expr(pattern.key, inner))
+            values = self.eval_expr(pattern.value, inner)
+            if np.ndim(values) == 0:
+                values = np.full(size, values)
+            values = np.asarray(values)
+            if np.ndim(keys) == 0:
+                keys = np.full(size, keys)
+            for key in np.unique(keys):
+                groups[int(key)] = values[keys == key]
+            return groups
+        for i in range(size):
+            inner = env.child()
+            inner.bind(pattern.index.name, i)
+            key = int(self.eval_expr(pattern.key, inner))
+            groups.setdefault(key, []).append(self.eval_expr(pattern.value, inner))
+        return {k: np.asarray(v) for k, v in groups.items()}
+
+    def _eval_foreach(self, pattern: Foreach, env: Env, size: int) -> None:
+        if self._try_vectorized_foreach(pattern, env, size):
+            return None
+        for i in range(size):
+            inner = env.child()
+            inner.bind(pattern.index.name, i)
+            for stmt in pattern.body:
+                self.exec_stmt(stmt, inner)
+        return None
+
+    # -- vectorized foreach fast path --------------------------------------
+
+    def _try_vectorized_foreach(
+        self, pattern: Foreach, env: Env, size: int
+    ) -> bool:
+        """Scatter all iterations at once when provably equivalent.
+
+        Supported bodies: flat sequences of ``Store`` and one-level ``If``
+        whose branches contain only Stores, with every expression
+        vectorizable.  Safety: sequential semantics let iteration j read
+        values written by iterations < j; the batched evaluation is
+        equivalent only if no iteration reads a position a *different*
+        iteration writes.  With concrete index values in hand, that
+        aliasing condition is checked numerically; any overlap (e.g. BFS's
+        neighbor updates) falls back to the sequential loop.
+        """
+        stores: list = []  # (mask_expr_or_None, negate, Store)
+        for stmt in pattern.body:
+            if isinstance(stmt, Store):
+                stores.append((None, False, stmt))
+            elif isinstance(stmt, If):
+                if not _is_vectorizable(stmt.cond):
+                    return False
+                for inner in stmt.then:
+                    if not isinstance(inner, Store):
+                        return False
+                    stores.append((stmt.cond, False, inner))
+                for inner in stmt.otherwise:
+                    if not isinstance(inner, Store):
+                        return False
+                    stores.append((stmt.cond, True, inner))
+            else:
+                return False
+        if not stores:
+            return False
+        for cond, _neg, store in stores:
+            if not all(_is_vectorizable(i) for i in store.indices):
+                return False
+            if not _is_vectorizable(store.value):
+                return False
+
+        if size == 0:
+            return True
+
+        inner = env.child()
+        indices = np.arange(size, dtype=np.int64)
+        inner.bind(pattern.index.name, indices)
+
+        # Statement-order hazard: a later store reading an array an
+        # earlier store writes would need per-iteration interleaving.
+        written_ids: set = set()
+        for cond, _neg, store in stores:
+            exprs = [store.value, *store.indices]
+            if cond is not None:
+                exprs.append(cond)
+            for expr in exprs:
+                for read in _array_reads_of(expr):
+                    read_base = self.eval_expr(read.array, inner)
+                    if id(read_base) in written_ids:
+                        return False
+            written_ids.add(id(self.eval_expr(store.array, inner)))
+
+        # Phase A: evaluate every index, value, and mask before touching
+        # any target (guarded out-of-bounds reads fall back to the loop).
+        try:
+            planned = []
+            write_positions: dict = {}
+            for cond, neg, store in stores:
+                base = self.eval_expr(store.array, inner)
+                base_arr = np.asarray(base)
+                idx_values = [
+                    np.broadcast_to(
+                        np.asarray(self.eval_expr(i, inner)), (size,)
+                    ).astype(np.int64)
+                    for i in store.indices
+                ]
+                flat = np.zeros(size, dtype=np.int64)
+                stride = 1
+                for axis in range(len(idx_values) - 1, -1, -1):
+                    flat = flat + idx_values[axis] * stride
+                    stride *= base_arr.shape[axis]
+                value = np.array(
+                    np.broadcast_to(
+                        np.asarray(self.eval_expr(store.value, inner)),
+                        (size,),
+                    )
+                )
+                if cond is not None:
+                    mask = np.broadcast_to(
+                        np.asarray(self.eval_expr(cond, inner)), (size,)
+                    ).astype(bool)
+                    if neg:
+                        mask = ~mask
+                else:
+                    mask = np.ones(size, dtype=bool)
+                planned.append((store, base, idx_values, flat, value, mask))
+                write_positions.setdefault(id(base), []).append(flat)
+
+            # Cross-iteration aliasing: reads of a stored array may only
+            # hit the same iteration's own write position.
+            for cond, neg, store in stores:
+                exprs = [store.value, *store.indices]
+                if cond is not None:
+                    exprs.append(cond)
+                for expr in exprs:
+                    for read in _array_reads_of(expr):
+                        read_base = self.eval_expr(read.array, inner)
+                        if id(read_base) not in write_positions:
+                            continue
+                        shape = np.asarray(read_base).shape
+                        read_flat = np.zeros(size, dtype=np.int64)
+                        stride = 1
+                        for axis in range(len(read.indices) - 1, -1, -1):
+                            axis_idx = np.broadcast_to(
+                                np.asarray(
+                                    self.eval_expr(read.indices[axis], inner)
+                                ),
+                                (size,),
+                            ).astype(np.int64)
+                            read_flat = read_flat + axis_idx * stride
+                            stride *= shape[axis]
+                        for written in write_positions[id(read_base)]:
+                            foreign = read_flat[read_flat != written]
+                            if foreign.size and np.isin(
+                                foreign, written
+                            ).any():
+                                return False
+        except IndexError:
+            return False
+
+        # Phase B: scatter (NumPy assigns in index order: last write wins,
+        # matching the sequential loop).
+        for store, base, idx_values, flat, value, mask in planned:
+            target = np.asarray(base)
+            selected = tuple(iv[mask] for iv in idx_values)
+            target[selected if len(selected) > 1 else selected[0]] = value[mask]
+        return True
+
+
+def run_program(program: Program, seed: int = 0, **inputs: Any) -> Any:
+    """One-call convenience wrapper around :class:`Evaluator`."""
+    return Evaluator(program, seed=seed).run(**inputs)

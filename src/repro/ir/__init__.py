@@ -1,0 +1,76 @@
+"""Pattern intermediate representation (Section III of the paper).
+
+Public surface:
+
+* :mod:`repro.ir.types` — scalar/array/struct types.
+* :mod:`repro.ir.expr` — expression and statement nodes.
+* :mod:`repro.ir.patterns` — the six parallel patterns and ``Program``.
+* :mod:`repro.ir.builder` — the front-end DSL used by applications.
+* :mod:`repro.ir.traversal` / :mod:`repro.ir.rewrite` — analysis substrate.
+"""
+
+from .types import (  # noqa: F401
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    ArrayType,
+    ScalarType,
+    StructType,
+    Type,
+)
+from .expr import (  # noqa: F401
+    Alloc,
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    ExprStmt,
+    FieldRead,
+    If,
+    Length,
+    Node,
+    Param,
+    RandomIndex,
+    Select,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+)
+from .patterns import (  # noqa: F401
+    ALL_PATTERN_CLASSES,
+    Filter,
+    Foreach,
+    GroupBy,
+    Map,
+    PatternExpr,
+    Program,
+    Reduce,
+    ZipWith,
+)
+from .builder import Builder, EH, Mat, SliceView, Vec, fn_call, lift  # noqa: F401
+from .functions import (  # noqa: F401
+    DeviceFunction,
+    FnCall,
+    get_function,
+    has_function,
+    register_function,
+)
+from .printer import pretty, pretty_program  # noqa: F401
+from .traversal import (  # noqa: F401
+    child_patterns,
+    find_instances,
+    find_patterns,
+    max_nest_depth,
+    pattern_paths,
+    structurally_equal,
+    walk,
+)
+from .validate import validate_expr, validate_program  # noqa: F401

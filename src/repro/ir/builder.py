@@ -1,0 +1,627 @@
+"""Front-end DSL: a thin wrapper for building pattern IR (Section III).
+
+The paper demonstrates its analysis on a small data-parallel language that
+wraps the IR; this module is that wrapper.  Applications construct programs
+through handle objects with operator overloading::
+
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    out = m.map_rows(lambda row: row.reduce("+"))
+    prog = b.build(out)
+
+Collection operations are lowered on the spot to index-oriented pattern
+nodes: ``row.reduce`` above becomes ``Reduce(C, j, ArrayRead(m, (i, j)))``
+nested in ``Map(R, i, ...)`` — the canonical form every analysis consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import IRError, TypeMismatchError
+from .expr import (
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    ExprStmt,
+    FieldRead,
+    If,
+    Length,
+    Param,
+    RandomIndex,
+    Select,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+)
+from .patterns import Filter, Foreach, GroupBy, Map, Program, Reduce, ZipWith
+from .symbols import fresh_name
+from .types import F64, I64, ArrayType, ScalarType, StructType, Type
+
+Liftable = Union["EH", Expr, int, float, bool]
+
+
+def lift(value: Liftable) -> Expr:
+    """Convert a handle, node, or Python number into an expression."""
+    if isinstance(value, EH):
+        return value.expr
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (bool, int, float)):
+        return Const(value)
+    raise TypeMismatchError(f"cannot lift {value!r} into the IR")
+
+
+class EH:
+    """Expression handle: wraps an :class:`Expr` with Python operators."""
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    @property
+    def ty(self) -> Type:
+        return self.expr.ty
+
+    # -- arithmetic ---------------------------------------------------
+    def __add__(self, other: Liftable) -> "EH":
+        return EH(BinOp("+", self.expr, lift(other)))
+
+    def __radd__(self, other: Liftable) -> "EH":
+        return EH(BinOp("+", lift(other), self.expr))
+
+    def __sub__(self, other: Liftable) -> "EH":
+        return EH(BinOp("-", self.expr, lift(other)))
+
+    def __rsub__(self, other: Liftable) -> "EH":
+        return EH(BinOp("-", lift(other), self.expr))
+
+    def __mul__(self, other: Liftable) -> "EH":
+        return EH(BinOp("*", self.expr, lift(other)))
+
+    def __rmul__(self, other: Liftable) -> "EH":
+        return EH(BinOp("*", lift(other), self.expr))
+
+    def __truediv__(self, other: Liftable) -> "EH":
+        return EH(BinOp("/", self.expr, lift(other)))
+
+    def __rtruediv__(self, other: Liftable) -> "EH":
+        return EH(BinOp("/", lift(other), self.expr))
+
+    def __floordiv__(self, other: Liftable) -> "EH":
+        return EH(BinOp("//", self.expr, lift(other)))
+
+    def __mod__(self, other: Liftable) -> "EH":
+        return EH(BinOp("%", self.expr, lift(other)))
+
+    def __neg__(self) -> "EH":
+        return EH(UnOp("-", self.expr))
+
+    # -- comparisons --------------------------------------------------
+    def __lt__(self, other: Liftable) -> "EH":
+        return EH(Cmp("<", self.expr, lift(other)))
+
+    def __le__(self, other: Liftable) -> "EH":
+        return EH(Cmp("<=", self.expr, lift(other)))
+
+    def __gt__(self, other: Liftable) -> "EH":
+        return EH(Cmp(">", self.expr, lift(other)))
+
+    def __ge__(self, other: Liftable) -> "EH":
+        return EH(Cmp(">=", self.expr, lift(other)))
+
+    def eq(self, other: Liftable) -> "EH":
+        """Element equality (named method; ``__eq__`` keeps identity)."""
+        return EH(Cmp("==", self.expr, lift(other)))
+
+    def ne(self, other: Liftable) -> "EH":
+        return EH(Cmp("!=", self.expr, lift(other)))
+
+    # -- misc ---------------------------------------------------------
+    def cast(self, ty: ScalarType) -> "EH":
+        return EH(Cast(self.expr, ty))
+
+    def where(self, if_true: Liftable, if_false: Liftable, prob: float = 0.5) -> "EH":
+        """``self ? if_true : if_false`` — self must be boolean."""
+        return EH(Select(self.expr, lift(if_true), lift(if_false), prob))
+
+
+def _fn(name: str) -> Callable[..., EH]:
+    def apply(*args: Liftable) -> EH:
+        return EH(Call(name, [lift(a) for a in args]))
+
+    apply.__name__ = name
+    apply.__doc__ = f"The {name} intrinsic."
+    return apply
+
+
+sqrt = _fn("sqrt")
+exp = _fn("exp")
+log = _fn("log")
+pow_ = _fn("pow")
+abs_ = _fn("abs")
+floor = _fn("floor")
+ceil = _fn("ceil")
+sin = _fn("sin")
+cos = _fn("cos")
+tanh = _fn("tanh")
+
+
+def fn_call(name: str, *args: Liftable) -> EH:
+    """Call a registered device function (see :mod:`repro.ir.functions`)."""
+    from .functions import FnCall
+
+    return EH(FnCall(name, [lift(a) for a in args]))
+
+
+def minimum(a: Liftable, b: Liftable) -> EH:
+    """Elementwise minimum of two scalars."""
+    return EH(BinOp("min", lift(a), lift(b)))
+
+
+def maximum(a: Liftable, b: Liftable) -> EH:
+    """Elementwise maximum of two scalars."""
+    return EH(BinOp("max", lift(a), lift(b)))
+
+
+def let(value: Liftable, body: Callable[[EH], Liftable], name: str = "v") -> EH:
+    """Bind ``value`` once and use it in ``body`` (emits a Block/Bind).
+
+    Bindings are what make a nest *imperfect*: statements evaluated outside
+    the innermost pattern, which is the trigger for the shared-memory
+    optimization (Section V-B).
+    """
+    value_expr = lift(value)
+    var = Var(fresh_name(name), value_expr.ty)
+    result = lift(body(EH(var)))
+    if isinstance(result, Block):
+        return EH(Block((Bind(var, value_expr),) + result.stmts, result.result))
+    return EH(Block((Bind(var, value_expr),), result))
+
+
+def let_vec(
+    value: "Vec", body: Callable[["Vec"], Liftable], name: str = "arr"
+) -> EH:
+    """Bind an array-valued pattern result and use it as a collection.
+
+    This is how the paper's Figure 10/15 temporaries are written: the
+    binding materializes the inner pattern's output, creating the dynamic
+    allocation that the preallocation optimization then removes.
+    """
+    var = Var(fresh_name(name), value.expr.ty)
+    vec = Vec(var, value.length)
+    result = lift(body(vec))
+    if isinstance(result, Block):
+        return EH(Block((Bind(var, value.expr),) + result.stmts, result.result))
+    return EH(Block((Bind(var, value.expr),), result))
+
+
+def random_index(size: Liftable, seed_hint: int = 0) -> EH:
+    """A uniformly random index in ``[0, size)`` (marks random access)."""
+    return EH(RandomIndex(lift(size), seed_hint))
+
+
+def range_map(
+    size: Liftable, fn: Callable[[EH], Liftable], index_name: str = "i"
+) -> EH:
+    """Map over the index domain ``[0, size)``; fn receives the index.
+
+    Returns a :class:`Vec` when the element type is scalar (so the result
+    supports the collection API); nested maps (array-valued bodies) return
+    a plain handle suitable for ``Builder.build``.
+    """
+    idx = Var(fresh_name(index_name), I64)
+    size_expr = lift(size)
+    body = lift(fn(EH(idx)))
+    node = Map(size_expr, idx, body)
+    if isinstance(node.ty, ArrayType) and node.ty.rank == 1:
+        return Vec(node, size_expr)
+    return EH(node)
+
+
+def range_reduce(
+    size: Liftable,
+    fn: Callable[[EH], Liftable],
+    op: str = "+",
+    index_name: str = "i",
+) -> EH:
+    """Reduce over the index domain ``[0, size)``; fn receives the index."""
+    idx = Var(fresh_name(index_name), I64)
+    body = lift(fn(EH(idx)))
+    return EH(Reduce(lift(size), idx, body, op))
+
+
+def range_foreach(
+    size: Liftable,
+    fn: Callable[[EH], Sequence[Stmt]],
+    index_name: str = "i",
+) -> Foreach:
+    """Effectful loop over the index domain; fn receives the index."""
+    idx = Var(fresh_name(index_name), I64)
+    stmts = tuple(fn(EH(idx)))
+    return Foreach(lift(size), idx, stmts)
+
+
+def if_then(
+    cond: Liftable,
+    then: Sequence[Stmt],
+    otherwise: Sequence[Stmt] = (),
+    prob: float = 0.5,
+) -> If:
+    """Statement-level conditional for Foreach bodies."""
+    return If(lift(cond), then, otherwise, prob)
+
+
+def store(target: "Vec", index: Liftable, value: Liftable) -> Store:
+    """``target[index] = value`` statement for Foreach bodies."""
+    return Store(target.expr, (lift(index),), lift(value))
+
+
+def store2(target: "Mat", i: Liftable, j: Liftable, value: Liftable) -> Store:
+    """``target[i, j] = value`` statement for Foreach bodies."""
+    return Store(target.expr, (lift(i), lift(j)), lift(value))
+
+
+class Vec(EH):
+    """Handle for a rank-1 collection; exposes the Table-I pattern API."""
+
+    def __init__(self, expr: Expr, length: Optional[Expr] = None):
+        if not isinstance(expr.ty, ArrayType) or expr.ty.rank != 1:
+            raise TypeMismatchError(f"Vec requires a rank-1 array, got {expr.ty}")
+        super().__init__(expr)
+        self.length = length if length is not None else Length(expr, 0)
+
+    @property
+    def elem_ty(self) -> Type:
+        return self.expr.ty.elem  # type: ignore[union-attr]
+
+    def __getitem__(self, index: Liftable) -> EH:
+        if isinstance(self.expr, Map):
+            from .rewrite import substitute_var
+
+            return EH(
+                substitute_var(
+                    self.expr.body, self.expr.index.name, lift(index)
+                )
+            )
+        return EH(ArrayRead(self.expr, (lift(index),)))
+
+    def _element(self, idx: Var) -> EH:
+        """The element at ``idx`` — fused through an unmaterialized Map.
+
+        When this Vec wraps a Map/ZipWith node directly (not a let-bound
+        variable), consuming patterns fuse with it instead of reading a
+        materialized intermediate, matching the Delite-style fusion the
+        paper's front end performs.  Materialization requires an explicit
+        :func:`let_vec`.
+        """
+        if isinstance(self.expr, Map):
+            from .rewrite import substitute_var
+
+            return EH(
+                substitute_var(self.expr.body, self.expr.index.name, idx)
+            )
+        return EH(ArrayRead(self.expr, (idx,)))
+
+    def map(self, fn: Callable[[EH], Liftable], index_name: str = "i") -> "Vec":
+        """``map`` — new collection from a pure per-element function."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self._element(idx)))
+        return Vec(Map(self.length, idx, body), self.length)
+
+    def map_indexed(self, fn: Callable[[EH], Liftable], index_name: str = "i") -> "Vec":
+        """``map`` where the function sees the *index* instead of the value."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(EH(idx)))
+        return Vec(Map(self.length, idx, body), self.length)
+
+    def zip_with(
+        self, other: "Vec", fn: Callable[[EH, EH], Liftable], index_name: str = "i"
+    ) -> "Vec":
+        """``zipWith`` — combine two equal-length collections pairwise."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self._element(idx), other[EH(idx)]))
+        return Vec(ZipWith(self.length, idx, body), self.length)
+
+    def reduce(self, op: str = "+", index_name: str = "i") -> EH:
+        """``reduce`` with a built-in associative operator."""
+        idx = Var(fresh_name(index_name), I64)
+        body = self._element(idx).expr
+        return EH(Reduce(self.length, idx, body, op))
+
+    def map_reduce(
+        self,
+        fn: Callable[[EH], Liftable],
+        op: str = "+",
+        index_name: str = "i",
+    ) -> EH:
+        """Fused ``map`` then ``reduce`` (a reduce whose body applies fn)."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self._element(idx)))
+        return EH(Reduce(self.length, idx, body, op))
+
+    def reduce_fn(
+        self,
+        fn: Callable[[EH, EH], Liftable],
+        index_name: str = "i",
+    ) -> EH:
+        """``reduce`` with a custom associative combiner."""
+        idx = Var(fresh_name(index_name), I64)
+        body = self._element(idx).expr
+        elem_ty = body.ty
+        lhs = Var(fresh_name("a"), elem_ty)
+        rhs = Var(fresh_name("b"), elem_ty)
+        combine_expr = lift(fn(EH(lhs), EH(rhs)))
+        return EH(
+            Reduce(self.length, idx, body, "custom", (lhs, rhs, combine_expr))
+        )
+
+    def filter(self, pred: Callable[[EH], Liftable], index_name: str = "i") -> "Vec":
+        """``filter`` — keep elements whose predicate holds."""
+        idx = Var(fresh_name(index_name), I64)
+        elem = self._element(idx)
+        node = Filter(self.length, idx, lift(pred(elem)), elem.expr)
+        return Vec(node)
+
+    def group_by(
+        self, key: Callable[[EH], Liftable], index_name: str = "i"
+    ) -> EH:
+        """``groupBy`` — bucket elements by an integer key function."""
+        idx = Var(fresh_name(index_name), I64)
+        elem = self._element(idx)
+        return EH(GroupBy(self.length, idx, lift(key(elem)), elem.expr))
+
+    def foreach(
+        self,
+        fn: Callable[[EH, EH], Sequence[Stmt]],
+        index_name: str = "i",
+    ) -> Foreach:
+        """``foreach`` — effectful per-element function.
+
+        ``fn(elem, idx)`` returns the statements to execute per iteration.
+        """
+        idx = Var(fresh_name(index_name), I64)
+        stmts = tuple(fn(self[EH(idx)], EH(idx)))
+        return Foreach(self.length, idx, stmts)
+
+
+class Mat(EH):
+    """Handle for a rank-2 collection with row/column pattern entry points."""
+
+    def __init__(self, expr: Expr, rows: Expr, cols: Expr):
+        if not isinstance(expr.ty, ArrayType) or expr.ty.rank != 2:
+            raise TypeMismatchError(f"Mat requires a rank-2 array, got {expr.ty}")
+        super().__init__(expr)
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def elem_ty(self) -> Type:
+        return self.expr.ty.elem  # type: ignore[union-attr]
+
+    def __getitem__(self, ij: Tuple[Liftable, Liftable]) -> EH:
+        i, j = ij
+        return EH(ArrayRead(self.expr, (lift(i), lift(j))))
+
+    def row(self, i: Liftable) -> "SliceView":
+        """A view of row ``i`` supporting the vector pattern API."""
+        return SliceView(self, lift(i), axis=1)
+
+    def col(self, j: Liftable) -> "SliceView":
+        """A view of column ``j`` supporting the vector pattern API."""
+        return SliceView(self, lift(j), axis=0)
+
+    def map_rows(
+        self, fn: Callable[["SliceView"], Liftable], index_name: str = "i"
+    ) -> EH:
+        """``mapRows`` — outer Map over rows; fn receives the row view."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self.row(EH(idx))))
+        node = Map(self.rows, idx, body)
+        if node.ty.rank == 1:
+            return Vec(node, self.rows)
+        return EH(node)
+
+    def map_cols(
+        self, fn: Callable[["SliceView"], Liftable], index_name: str = "j"
+    ) -> EH:
+        """``mapCols`` — outer Map over columns; fn receives the col view."""
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self.col(EH(idx))))
+        node = Map(self.cols, idx, body)
+        if node.ty.rank == 1:
+            return Vec(node, self.cols)
+        return EH(node)
+
+    def map_elements(
+        self,
+        fn: Callable[[EH, EH], Liftable],
+        index_names: Tuple[str, str] = ("i", "j"),
+    ) -> Vec:
+        """Nested Map over all (i, j); fn receives the two indices."""
+        outer_idx = Var(fresh_name(index_names[0]), I64)
+        inner_idx = Var(fresh_name(index_names[1]), I64)
+        body = lift(fn(EH(outer_idx), EH(inner_idx)))
+        inner = Map(self.cols, inner_idx, body)
+        return Vec(Map(self.rows, outer_idx, inner), self.rows)
+
+    def foreach_elements(
+        self,
+        fn: Callable[[EH, EH], Sequence[Stmt]],
+        index_names: Tuple[str, str] = ("i", "j"),
+    ) -> Foreach:
+        """Nested Foreach over all (i, j) for in-place updates."""
+        outer_idx = Var(fresh_name(index_names[0]), I64)
+        inner_idx = Var(fresh_name(index_names[1]), I64)
+        stmts = tuple(fn(EH(outer_idx), EH(inner_idx)))
+        inner = Foreach(self.cols, inner_idx, stmts)
+        return Foreach(self.rows, outer_idx, (ExprStmt(inner),))
+
+
+class SliceView:
+    """A 1-D view of a matrix row or column.
+
+    ``axis`` is the *free* axis: 1 for a row view (column index varies),
+    0 for a column view (row index varies).  Element access produces a
+    two-index :class:`ArrayRead` on the underlying matrix, preserving the
+    information the locality analysis needs.
+    """
+
+    def __init__(self, mat: Mat, fixed: Expr, axis: int):
+        if axis not in (0, 1):
+            raise IRError(f"axis must be 0 or 1, got {axis}")
+        self.mat = mat
+        self.fixed = fixed
+        self.axis = axis
+        self.length = mat.cols if axis == 1 else mat.rows
+
+    def _indices(self, free: Expr) -> Tuple[Expr, Expr]:
+        if self.axis == 1:
+            return (self.fixed, free)
+        return (free, self.fixed)
+
+    def __getitem__(self, index: Liftable) -> EH:
+        return EH(ArrayRead(self.mat.expr, self._indices(lift(index))))
+
+    @property
+    def elem_ty(self) -> Type:
+        return self.mat.elem_ty
+
+    def map(self, fn: Callable[[EH], Liftable], index_name: str = "k") -> Vec:
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self[EH(idx)]))
+        return Vec(Map(self.length, idx, body), self.length)
+
+    def zip_with(
+        self, other: Union[Vec, "SliceView"], fn: Callable[[EH, EH], Liftable],
+        index_name: str = "k",
+    ) -> Vec:
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self[EH(idx)], other[EH(idx)]))
+        return Vec(ZipWith(self.length, idx, body), self.length)
+
+    def reduce(self, op: str = "+", index_name: str = "k") -> EH:
+        idx = Var(fresh_name(index_name), I64)
+        body = ArrayRead(self.mat.expr, self._indices(idx))
+        return EH(Reduce(self.length, idx, body, op))
+
+    def map_reduce(
+        self, fn: Callable[[EH], Liftable], op: str = "+", index_name: str = "k"
+    ) -> EH:
+        idx = Var(fresh_name(index_name), I64)
+        body = lift(fn(self[EH(idx)]))
+        return EH(Reduce(self.length, idx, body, op))
+
+
+class Builder:
+    """Accumulates program parameters and builds the final Program."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: List[Param] = []
+        self._size_hints: Dict[str, int] = {}
+        self._array_shapes: Dict[str, Tuple[Expr, ...]] = {}
+
+    def _add(self, param: Param) -> Param:
+        if any(p.name == param.name for p in self._params):
+            raise IRError(f"duplicate parameter {param.name!r}")
+        self._params.append(param)
+        return param
+
+    def size(self, name: str, hint: Optional[int] = None) -> EH:
+        """Declare an integer size parameter with an optional analysis hint."""
+        param = self._add(Param(name, I64))
+        if hint is not None:
+            self._size_hints[name] = hint
+        return EH(param)
+
+    def scalar(self, name: str, ty: ScalarType) -> EH:
+        """Declare a scalar input parameter."""
+        return EH(self._add(Param(name, ty)))
+
+    def vector(
+        self, name: str, elem: ScalarType, length: Union[str, Liftable]
+    ) -> Vec:
+        """Declare a rank-1 array parameter.
+
+        ``length`` may be the name of a (new or existing) size parameter or
+        any integer expression.
+        """
+        length_expr = self._size_expr(length)
+        param = self._add(Param(name, ArrayType(elem, 1)))
+        self._array_shapes[name] = (length_expr,)
+        return Vec(param, length_expr)
+
+    def matrix(
+        self,
+        name: str,
+        elem: ScalarType,
+        rows: Union[str, Liftable],
+        cols: Union[str, Liftable],
+    ) -> Mat:
+        """Declare a rank-2 array parameter (row-major logical layout)."""
+        rows_expr = self._size_expr(rows)
+        cols_expr = self._size_expr(cols)
+        param = self._add(Param(name, ArrayType(elem, 2)))
+        self._array_shapes[name] = (rows_expr, cols_expr)
+        return Mat(param, rows_expr, cols_expr)
+
+    def struct(self, name: str, ty: StructType) -> "StructHandle":
+        """Declare a struct parameter (e.g. a CSR graph)."""
+        handle = StructHandle(self._add(Param(name, ty)))
+        handle._builder = self
+        return handle
+
+    def _size_expr(self, size: Union[str, Liftable]) -> Expr:
+        if isinstance(size, str):
+            for p in self._params:
+                if p.name == size:
+                    return p
+            return self._add(Param(size, I64))
+        return lift(size)
+
+    def set_size_hint(self, name: str, value: int) -> None:
+        """Provide the representative value used when a size is dynamic."""
+        self._size_hints[name] = value
+
+    def build(self, result: Liftable, validate: bool = True) -> Program:
+        """Finalize the program (optionally validating well-formedness)."""
+        program = Program(
+            self.name,
+            tuple(self._params),
+            lift(result),
+            dict(self._size_hints),
+            dict(self._array_shapes),
+        )
+        if validate:
+            from .validate import validate_program
+
+            validate_program(program)
+        return program
+
+
+class StructHandle(EH):
+    """Handle for a struct parameter; fields are accessed by name."""
+
+    _builder: Optional["Builder"] = None
+
+    def field(self, name: str) -> EH:
+        return EH(FieldRead(self.expr, name))
+
+    def field_vector(self, name: str, length: Liftable) -> Vec:
+        """Access an array field, supplying its logical length.
+
+        The length is registered as the field array's shape so the access
+        analysis can size footprints and strides correctly.
+        """
+        length_expr = lift(length)
+        if self._builder is not None and isinstance(self.expr, Param):
+            key = f"{self.expr.name}.{name}"
+            self._builder._array_shapes.setdefault(key, (length_expr,))
+        return Vec(FieldRead(self.expr, name), length_expr)

@@ -1,0 +1,521 @@
+"""Expression and statement nodes of the pattern IR.
+
+The IR follows the paper's Section III: programs are trees of basic
+sequential expressions (arithmetic, comparisons, conditionals, array and
+struct accesses, allocations) with parallel-pattern nodes
+(:mod:`repro.ir.patterns`) embedded anywhere an expression may appear.
+
+Nodes use *identity* equality (two structurally identical reads are distinct
+occurrences) because the analysis attaches per-occurrence metadata such as
+execution counts and branch discounts.  Structural comparison for tests is
+provided by :func:`repro.ir.traversal.structurally_equal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Optional, Sequence, Tuple, Union
+
+from ..errors import IRError, TypeMismatchError
+from .types import (
+    BOOL,
+    F64,
+    I64,
+    ArrayType,
+    ScalarType,
+    StructType,
+    Type,
+    common_scalar,
+)
+
+#: Binary arithmetic operators supported by :class:`BinOp`.
+ARITH_OPS = ("+", "-", "*", "/", "%", "//", "min", "max", "&", "|", "^")
+
+#: Comparison operators supported by :class:`Cmp`.
+CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+#: Intrinsic math functions supported by :class:`Call`.
+INTRINSICS = (
+    "sqrt",
+    "exp",
+    "log",
+    "pow",
+    "abs",
+    "floor",
+    "ceil",
+    "sin",
+    "cos",
+    "tanh",
+)
+
+
+class Node:
+    """Common base for every IR node (expressions, statements, patterns)."""
+
+    def children(self) -> Tuple["Node", ...]:
+        """The direct sub-nodes, in evaluation order."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Expr(Node):
+    """Base for nodes that produce a value; every Expr has a type."""
+
+    @property
+    def ty(self) -> Type:
+        raise NotImplementedError
+
+
+class Stmt(Node):
+    """Base for effectful statements (used inside blocks and Foreach)."""
+
+
+# ---------------------------------------------------------------------------
+# Leaf expressions
+# ---------------------------------------------------------------------------
+
+
+class Const(Expr):
+    """A compile-time constant scalar."""
+
+    def __init__(self, value: Union[int, float, bool], ty: Optional[ScalarType] = None):
+        if ty is None:
+            if isinstance(value, bool):
+                ty = BOOL
+            elif isinstance(value, int):
+                ty = I64
+            elif isinstance(value, float):
+                ty = F64
+            else:
+                raise TypeMismatchError(f"unsupported constant {value!r}")
+        self.value = value
+        self._ty = ty
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+class Var(Expr):
+    """A reference to a bound variable (pattern index or let-binding)."""
+
+    def __init__(self, name: str, ty: Type):
+        self.name = name
+        self._ty = ty
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class Param(Expr):
+    """A program input (array, struct, or scalar such as a size)."""
+
+    def __init__(self, name: str, ty: Type):
+        self.name = name
+        self._ty = ty
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Param({self.name}: {self.ty})"
+
+
+class RandomIndex(Expr):
+    """A uniformly random index in ``[0, size)``.
+
+    Models stochastic access patterns (e.g. QPSCD HogWild!'s random row
+    selection).  The access analysis treats any index containing this node
+    as *random*, which is precisely the property that defeats coalescing.
+    """
+
+    def __init__(self, size: Expr, seed_hint: int = 0):
+        self.size = size
+        self.seed_hint = seed_hint
+
+    @property
+    def ty(self) -> Type:
+        return I64
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.size,)
+
+    def __repr__(self) -> str:
+        return "RandomIndex()"
+
+
+# ---------------------------------------------------------------------------
+# Compound expressions
+# ---------------------------------------------------------------------------
+
+
+class BinOp(Expr):
+    """Binary arithmetic over scalars, with C-like type promotion."""
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in ARITH_OPS:
+            raise IRError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self._ty = common_scalar(lhs.ty, rhs.ty)
+        if op == "/" and isinstance(self._ty, ScalarType) and self._ty.is_integer:
+            # True division always yields a float, as in Python / NumPy.
+            self._ty = F64
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op})"
+
+
+class UnOp(Expr):
+    """Unary negation / logical not."""
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in ("-", "not"):
+            raise IRError(f"unknown unary operator {op!r}")
+        if op == "not" and operand.ty != BOOL:
+            raise TypeMismatchError("'not' requires a bool operand")
+        self.op = op
+        self.operand = operand
+
+    @property
+    def ty(self) -> Type:
+        return self.operand.ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+class Cmp(Expr):
+    """Comparison producing a bool."""
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in CMP_OPS:
+            raise IRError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @property
+    def ty(self) -> Type:
+        return BOOL
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+class Select(Expr):
+    """A pure conditional expression ``cond ? if_true : if_false``.
+
+    ``prob`` is the static estimate of the probability that ``cond`` holds;
+    the constraint-weight derivation discounts accesses under a branch by it
+    (Section IV-C).
+    """
+
+    def __init__(self, cond: Expr, if_true: Expr, if_false: Expr, prob: float = 0.5):
+        if cond.ty != BOOL:
+            raise TypeMismatchError("Select condition must be bool")
+        if not 0.0 <= prob <= 1.0:
+            raise IRError(f"branch probability must be in [0,1], got {prob}")
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+        self.prob = prob
+        if isinstance(if_true.ty, ScalarType) and isinstance(if_false.ty, ScalarType):
+            self._ty: Type = common_scalar(if_true.ty, if_false.ty)
+        elif if_true.ty == if_false.ty:
+            self._ty = if_true.ty
+        else:
+            raise TypeMismatchError(
+                f"Select branches disagree: {if_true.ty} vs {if_false.ty}"
+            )
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+
+class Call(Expr):
+    """An intrinsic math function call."""
+
+    def __init__(self, fn: str, args: Sequence[Expr]):
+        if fn not in INTRINSICS:
+            raise IRError(f"unknown intrinsic {fn!r}")
+        arity = 2 if fn == "pow" else 1
+        if len(args) != arity:
+            raise IRError(f"intrinsic {fn} takes {arity} argument(s), got {len(args)}")
+        self.fn = fn
+        self.args = tuple(args)
+        result = self.args[0].ty
+        if fn in ("sqrt", "exp", "log", "sin", "cos", "tanh", "pow") and isinstance(
+            result, ScalarType
+        ) and not result.is_float:
+            result = F64
+        self._ty = result
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.args
+
+
+class Cast(Expr):
+    """Explicit scalar conversion."""
+
+    def __init__(self, operand: Expr, ty: ScalarType):
+        if not isinstance(operand.ty, ScalarType):
+            raise TypeMismatchError("can only cast scalars")
+        self.operand = operand
+        self._ty = ty
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+class ArrayRead(Expr):
+    """Read one element of an array: ``array[indices...]``.
+
+    The number of indices must match the array rank; linearization into a
+    physical offset is a codegen/layout concern, not an IR concern.
+    """
+
+    def __init__(self, array: Expr, indices: Sequence[Expr]):
+        aty = array.ty
+        if not isinstance(aty, ArrayType):
+            raise TypeMismatchError(f"cannot index non-array of type {aty}")
+        if len(indices) != aty.rank:
+            raise TypeMismatchError(
+                f"rank-{aty.rank} array indexed with {len(indices)} indices"
+            )
+        self.array = array
+        self.indices = tuple(indices)
+
+    @property
+    def ty(self) -> Type:
+        return self.array.ty.elem  # type: ignore[union-attr]
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.array, *self.indices)
+
+    def __repr__(self) -> str:
+        return f"ArrayRead(rank={len(self.indices)})"
+
+
+class FieldRead(Expr):
+    """Read one field of a struct value."""
+
+    def __init__(self, struct: Expr, field_name: str):
+        sty = struct.ty
+        if not isinstance(sty, StructType):
+            raise TypeMismatchError(f"cannot read field of non-struct {sty}")
+        self.struct = struct
+        self.field_name = field_name
+        self._ty = sty.field_type(field_name)
+
+    @property
+    def ty(self) -> Type:
+        return self._ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.struct,)
+
+
+class Length(Expr):
+    """The extent of one axis of an array."""
+
+    def __init__(self, array: Expr, axis: int = 0):
+        aty = array.ty
+        if not isinstance(aty, ArrayType):
+            raise TypeMismatchError(f"Length of non-array {aty}")
+        if not 0 <= axis < aty.rank:
+            raise IRError(f"axis {axis} out of range for rank-{aty.rank} array")
+        self.array = array
+        self.axis = axis
+
+    @property
+    def ty(self) -> Type:
+        return I64
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.array,)
+
+
+class Alloc(Expr):
+    """Allocate a fresh array of the given element type and shape.
+
+    When an ``Alloc`` (or a materialized inner pattern) occurs inside an
+    outer pattern body, every parallel instance performs a dynamic
+    allocation — the exact overhead the preallocation optimization
+    (Section V-A) removes.
+    """
+
+    def __init__(self, elem: Type, shape: Sequence[Expr]):
+        if not shape:
+            raise IRError("Alloc requires at least one extent")
+        self.elem = elem
+        self.shape = tuple(shape)
+
+    @property
+    def ty(self) -> Type:
+        return ArrayType(self.elem, len(self.shape))
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.shape
+
+
+# ---------------------------------------------------------------------------
+# Statements and blocks
+# ---------------------------------------------------------------------------
+
+
+class Bind(Stmt):
+    """A pure let-binding: evaluate ``value`` once, name it ``var``."""
+
+    def __init__(self, var: Var, value: Expr):
+        self.var = var
+        self.value = value
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"Bind({self.var.name})"
+
+
+class Store(Stmt):
+    """An effectful element write: ``array[indices...] = value``."""
+
+    def __init__(self, array: Expr, indices: Sequence[Expr], value: Expr):
+        aty = array.ty
+        if not isinstance(aty, ArrayType):
+            raise TypeMismatchError(f"cannot store into non-array {aty}")
+        if len(indices) != aty.rank:
+            raise TypeMismatchError(
+                f"rank-{aty.rank} array stored with {len(indices)} indices"
+            )
+        self.array = array
+        self.indices = tuple(indices)
+        self.value = value
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.array, *self.indices, self.value)
+
+
+class If(Stmt):
+    """A statement-level conditional with a static taken-probability."""
+
+    def __init__(
+        self,
+        cond: Expr,
+        then: Sequence[Stmt],
+        otherwise: Sequence[Stmt] = (),
+        prob: float = 0.5,
+    ):
+        if cond.ty != BOOL:
+            raise TypeMismatchError("If condition must be bool")
+        if not 0.0 <= prob <= 1.0:
+            raise IRError(f"branch probability must be in [0,1], got {prob}")
+        self.cond = cond
+        self.then = tuple(then)
+        self.otherwise = tuple(otherwise)
+        self.prob = prob
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.cond, *self.then, *self.otherwise)
+
+
+class ExprStmt(Stmt):
+    """Evaluate an expression for its effect (e.g. a nested Foreach)."""
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr,)
+
+
+class Block(Expr):
+    """A sequence of statements followed by a result expression.
+
+    Blocks are how imperfect nesting is expressed: statements before the
+    trailing pattern are the "memory accesses outside the innermost
+    pattern" that drive the shared-memory optimization (Section V-B).
+    """
+
+    def __init__(self, stmts: Sequence[Stmt], result: Expr):
+        self.stmts = tuple(stmts)
+        self.result = result
+
+    @property
+    def ty(self) -> Type:
+        return self.result.ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return (*self.stmts, self.result)
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.stmts)} stmts)"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def const(value: Union[int, float, bool], ty: Optional[ScalarType] = None) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value, ty)
+
+
+def add(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("+", lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("-", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("*", lhs, rhs)
+
+
+def div(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("/", lhs, rhs)

@@ -1,0 +1,85 @@
+"""Registry of user-defined scalar device functions.
+
+Some pattern bodies contain inherently sequential scalar computations (the
+canonical example is Mandelbrot's escape-time loop).  These are not parallel
+patterns — they run entirely inside one thread — so the IR models them as
+opaque named functions with:
+
+* a vectorized NumPy implementation (for the functional interpreter),
+* a floating-point-operation estimate (for the compute-cost model),
+* CUDA C source (for the code generator).
+
+Registered functions are invoked through :class:`FnCall`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import IRError
+from .expr import Expr, Node
+from .types import ScalarType, Type
+
+
+@dataclass(frozen=True)
+class DeviceFunction:
+    """A named scalar function usable inside pattern bodies."""
+
+    name: str
+    arity: int
+    result_ty: ScalarType
+    #: Vectorized implementation: takes NumPy arrays/scalars, returns same.
+    impl: Callable
+    #: Estimated floating-point (or equivalent) operations per invocation.
+    flops: float
+    #: CUDA C body used by codegen, as a ``__device__`` function definition.
+    cuda_source: str = ""
+
+
+_REGISTRY: Dict[str, DeviceFunction] = {}
+
+
+def register_function(fn: DeviceFunction) -> DeviceFunction:
+    """Register (or replace) a device function by name."""
+    _REGISTRY[fn.name] = fn
+    return fn
+
+
+def get_function(name: str) -> DeviceFunction:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise IRError(f"unknown device function {name!r}")
+
+
+def has_function(name: str) -> bool:
+    return name in _REGISTRY
+
+
+class FnCall(Expr):
+    """A call to a registered device function."""
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        fn = get_function(name)
+        if len(args) != fn.arity:
+            raise IRError(
+                f"device function {name} takes {fn.arity} args, got {len(args)}"
+            )
+        self.name = name
+        self.args = tuple(args)
+        self._fn = fn
+
+    @property
+    def fn(self) -> DeviceFunction:
+        return self._fn
+
+    @property
+    def ty(self) -> Type:
+        return self._fn.result_ty
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"FnCall({self.name})"

@@ -1,0 +1,290 @@
+"""Parallel-pattern nodes (Table I of the paper) and the Program container.
+
+Each pattern binds an index variable over a rectangular domain ``[0, size)``
+and carries a body written in terms of that index.  Collection-oriented
+front-end forms (``xs map f``) are lowered to this index-oriented canonical
+form by :mod:`repro.ir.builder`: element access becomes an explicit
+:class:`~repro.ir.expr.ArrayRead` on the bound index, which is what makes
+memory-access analysis possible.
+
+Patterns are themselves expressions, so nesting is direct: a ``Map`` whose
+body contains a ``Reduce`` is the paper's two-level nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import IRError, TypeMismatchError
+from .expr import Const, Expr, Node, Stmt, Var
+from .types import ArrayType, ScalarType, Type
+
+#: Built-in associative reduction operators and their identities.
+REDUCE_OPS = {
+    "+": 0,
+    "*": 1,
+    "min": None,  # identity depends on element type (+inf / INT_MAX)
+    "max": None,  # identity depends on element type (-inf / INT_MIN)
+}
+
+
+class PatternExpr(Expr):
+    """Base class for all parallel-pattern nodes.
+
+    Attributes:
+        size: the domain extent (an index-typed expression; a
+            :class:`~repro.ir.expr.Const` when statically known).
+        index: the variable bound to the domain index inside the body.
+    """
+
+    size: Expr
+    index: Var
+
+    #: Whether combining partial results requires global synchronization
+    #: when this pattern's own domain is parallelized (Table II hard
+    #: constraint).  Overridden per subclass.
+    needs_global_sync: bool = False
+
+    #: Whether the output size is known only at run time (Filter/GroupBy),
+    #: which also forces Span(all) (Section IV-A).
+    dynamic_output_size: bool = False
+
+    @property
+    def static_size(self) -> Optional[int]:
+        """The domain size if it is a compile-time constant, else None."""
+        if isinstance(self.size, Const):
+            return int(self.size.value)
+        return None
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        """The nodes making up the pattern body (excluding size/index)."""
+        raise NotImplementedError
+
+
+def _check_index(index: Var) -> None:
+    if not isinstance(index.ty, ScalarType) or not index.ty.is_integer:
+        raise TypeMismatchError(f"pattern index {index.name} must be integer-typed")
+
+
+class Map(PatternExpr):
+    """Construct a new collection by applying a pure function per element.
+
+    ``Map(size=N, index=i, body=e)`` evaluates ``e`` for ``i`` in ``[0, N)``
+    and collects the results.  If the body produces arrays, the result is a
+    nested array (a rank-(r+1) array once materialized).
+    """
+
+    def __init__(self, size: Expr, index: Var, body: Expr):
+        _check_index(index)
+        self.size = size
+        self.index = index
+        self.body = body
+
+    @property
+    def ty(self) -> Type:
+        body_ty = self.body.ty
+        if isinstance(body_ty, ArrayType):
+            return ArrayType(body_ty.elem, body_ty.rank + 1)
+        return ArrayType(body_ty, 1)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.size, self.body)
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.index.name} < {self.size!r})"
+
+
+class ZipWith(Map):
+    """Apply a pure function to pairs drawn from two equal-length inputs.
+
+    Structurally a :class:`Map` whose body reads two collections at the
+    bound index; kept as a distinct node for Table-I fidelity and for the
+    printer.  All analyses treat it exactly as a Map.
+    """
+
+
+class Foreach(PatternExpr):
+    """Apply an effectful function per element; produces no value.
+
+    The body is a statement sequence; the writes it performs must be
+    disjoint across iterations for the pattern to be a valid parallel
+    Foreach (checked best-effort by :mod:`repro.ir.validate`).
+    """
+
+    needs_global_sync = False
+
+    def __init__(self, size: Expr, index: Var, body: Sequence[Stmt]):
+        _check_index(index)
+        if not body:
+            raise IRError("Foreach body must contain at least one statement")
+        self.size = size
+        self.index = index
+        self.body = tuple(body)
+
+    @property
+    def ty(self) -> Type:
+        raise TypeMismatchError("Foreach produces no value")
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.size, *self.body)
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        return self.body
+
+
+class Filter(PatternExpr):
+    """Keep the values whose predicate holds, preserving order.
+
+    Compaction requires a scan across the whole domain, so parallelizing a
+    Filter requires global synchronization and its output size is dynamic —
+    both properties force ``Span(all)`` on its level.
+    """
+
+    needs_global_sync = True
+    dynamic_output_size = True
+
+    def __init__(self, size: Expr, index: Var, pred: Expr, value: Expr):
+        _check_index(index)
+        from .types import BOOL  # local import to avoid cycle noise
+
+        if pred.ty != BOOL:
+            raise TypeMismatchError("Filter predicate must be bool")
+        self.size = size
+        self.index = index
+        self.pred = pred
+        self.value = value
+
+    @property
+    def ty(self) -> Type:
+        vty = self.value.ty
+        if isinstance(vty, ArrayType):
+            return ArrayType(vty.elem, vty.rank + 1)
+        return ArrayType(vty, 1)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.size, self.pred, self.value)
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        return (self.pred, self.value)
+
+
+class Reduce(PatternExpr):
+    """Fold the domain with an associative binary operator.
+
+    Either a built-in operator (``op`` in :data:`REDUCE_OPS`) or a custom
+    combiner given as ``(lhs_var, rhs_var, combine_expr)``.  Associativity
+    of custom combiners is the caller's obligation (as in the paper's
+    language) and is spot-checked by the validator on sample inputs.
+    """
+
+    needs_global_sync = True
+
+    def __init__(
+        self,
+        size: Expr,
+        index: Var,
+        body: Expr,
+        op: str = "+",
+        combine: Optional[Tuple[Var, Var, Expr]] = None,
+    ):
+        _check_index(index)
+        if combine is None and op not in REDUCE_OPS:
+            raise IRError(f"unknown reduction operator {op!r}")
+        if combine is not None and op != "custom":
+            raise IRError("custom combiner requires op='custom'")
+        if not isinstance(body.ty, ScalarType):
+            raise TypeMismatchError("Reduce body must produce a scalar")
+        self.size = size
+        self.index = index
+        self.body = body
+        self.op = op
+        self.combine = combine
+
+    @property
+    def ty(self) -> Type:
+        return self.body.ty
+
+    def children(self) -> Tuple[Node, ...]:
+        extra: Tuple[Node, ...] = ()
+        if self.combine is not None:
+            extra = (self.combine[2],)
+        return (self.size, self.body, *extra)
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"Reduce({self.index.name} < {self.size!r}, op={self.op})"
+
+
+class GroupBy(PatternExpr):
+    """Group values by a computed key.
+
+    The result is a pair of parallel arrays (unique keys, per-key buckets).
+    Like Filter, the output shape is dynamic and bucket insertion requires
+    global coordination, so parallelizing a GroupBy forces ``Span(all)``.
+    """
+
+    needs_global_sync = True
+    dynamic_output_size = True
+
+    def __init__(self, size: Expr, index: Var, key: Expr, value: Expr):
+        _check_index(index)
+        if not isinstance(key.ty, ScalarType) or not key.ty.is_integer:
+            raise TypeMismatchError("GroupBy key must be integer-typed")
+        self.size = size
+        self.index = index
+        self.key = key
+        self.value = value
+
+    @property
+    def ty(self) -> Type:
+        vty = self.value.ty
+        if isinstance(vty, ArrayType):
+            return ArrayType(vty.elem, vty.rank + 2)
+        return ArrayType(vty, 2)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.size, self.key, self.value)
+
+    def body_nodes(self) -> Tuple[Node, ...]:
+        return (self.key, self.value)
+
+
+ALL_PATTERN_CLASSES = (Map, ZipWith, Foreach, Filter, Reduce, GroupBy)
+
+
+@dataclass
+class Program:
+    """A compilable unit: named inputs plus a result expression.
+
+    ``result`` is usually a pattern expression (the outermost level-0
+    pattern); ``size_hints`` optionally binds non-constant size parameters
+    to representative values for the analysis (Section IV-C lets users
+    provide size information; 1000 is assumed otherwise).
+    """
+
+    name: str
+    params: Tuple["Param", ...]  # noqa: F821 - forward ref to expr.Param
+    result: Expr
+    size_hints: dict = None  # type: ignore[assignment]
+    #: Shape expressions per array parameter name (filled by the builder);
+    #: lets the access analysis compute strides for multi-dim params.
+    array_shapes: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.size_hints is None:
+            self.size_hints = {}
+        if self.array_shapes is None:
+            self.array_shapes = {}
+
+    def param(self, name: str):
+        """Look up a parameter by name."""
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise IRError(f"program {self.name} has no parameter {name!r}")

@@ -1,0 +1,184 @@
+"""Human-readable pretty printer for IR trees.
+
+The output is a stable, indented text form used in documentation, debug
+logging, and golden tests.  It is intentionally close to the paper's
+pseudocode style (Figure 5)::
+
+    map(i < R) {
+      reduce(j < C, +) {
+        m[i, j]
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import (
+    Alloc,
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    ExprStmt,
+    FieldRead,
+    If,
+    Length,
+    Node,
+    Param,
+    RandomIndex,
+    Select,
+    Store,
+    UnOp,
+    Var,
+)
+from .patterns import Filter, Foreach, GroupBy, Map, Program, Reduce, ZipWith
+
+_INDENT = "  "
+
+
+def pretty(node: Node) -> str:
+    """Render any IR node to indented text."""
+    lines: List[str] = []
+    _emit(node, lines, 0)
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a full program: header with params, then the result tree."""
+    header = f"program {program.name}(" + ", ".join(
+        f"{p.name}: {p.ty}" for p in program.params
+    ) + ")"
+    return header + "\n" + pretty(program.result)
+
+
+def _inline(node: Node) -> str:
+    """Render an expression on one line (no patterns/blocks inside)."""
+    if isinstance(node, Const):
+        return repr(node.value) if isinstance(node.value, bool) else str(node.value)
+    if isinstance(node, (Var, Param)):
+        return node.name
+    if isinstance(node, RandomIndex):
+        return f"rand({_inline(node.size)})"
+    if isinstance(node, BinOp):
+        if node.op in ("min", "max"):
+            return f"{node.op}({_inline(node.lhs)}, {_inline(node.rhs)})"
+        return f"({_inline(node.lhs)} {node.op} {_inline(node.rhs)})"
+    if isinstance(node, UnOp):
+        return f"({node.op} {_inline(node.operand)})"
+    if isinstance(node, Cmp):
+        return f"({_inline(node.lhs)} {node.op} {_inline(node.rhs)})"
+    if isinstance(node, Select):
+        return (
+            f"({_inline(node.cond)} ? {_inline(node.if_true)}"
+            f" : {_inline(node.if_false)})"
+        )
+    if isinstance(node, Call):
+        return f"{node.fn}(" + ", ".join(_inline(a) for a in node.args) + ")"
+    from .functions import FnCall
+
+    if isinstance(node, FnCall):
+        return f"{node.name}(" + ", ".join(_inline(a) for a in node.args) + ")"
+    if isinstance(node, Cast):
+        return f"{node.ty}({_inline(node.operand)})"
+    if isinstance(node, ArrayRead):
+        return f"{_inline(node.array)}[" + ", ".join(
+            _inline(i) for i in node.indices
+        ) + "]"
+    if isinstance(node, FieldRead):
+        return f"{_inline(node.struct)}.{node.field_name}"
+    if isinstance(node, Length):
+        return f"len({_inline(node.array)}, {node.axis})"
+    if isinstance(node, Alloc):
+        return f"alloc[{node.elem}](" + ", ".join(_inline(s) for s in node.shape) + ")"
+    return f"<{type(node).__name__}>"
+
+
+def _is_inline(node: Node) -> bool:
+    from .patterns import PatternExpr
+
+    return not any(
+        isinstance(n, (PatternExpr, Block))
+        for n in _walk_shallow(node)
+    )
+
+
+def _walk_shallow(node: Node):
+    yield node
+    for child in node.children():
+        yield from _walk_shallow(child)
+
+
+def _emit(node: Node, lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Map):
+        kind = "zipWith" if isinstance(node, ZipWith) else "map"
+        lines.append(f"{pad}{kind}({node.index.name} < {_inline(node.size)}) {{")
+        _emit(node.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, Reduce):
+        op = node.op
+        lines.append(f"{pad}reduce({node.index.name} < {_inline(node.size)}, {op}) {{")
+        _emit(node.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, Filter):
+        lines.append(f"{pad}filter({node.index.name} < {_inline(node.size)}) {{")
+        lines.append(f"{pad}{_INDENT}pred:")
+        _emit(node.pred, lines, depth + 2)
+        lines.append(f"{pad}{_INDENT}value:")
+        _emit(node.value, lines, depth + 2)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, GroupBy):
+        lines.append(f"{pad}groupBy({node.index.name} < {_inline(node.size)}) {{")
+        lines.append(f"{pad}{_INDENT}key:")
+        _emit(node.key, lines, depth + 2)
+        lines.append(f"{pad}{_INDENT}value:")
+        _emit(node.value, lines, depth + 2)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, Foreach):
+        lines.append(f"{pad}foreach({node.index.name} < {_inline(node.size)}) {{")
+        for stmt in node.body:
+            _emit(stmt, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, Block):
+        for stmt in node.stmts:
+            _emit(stmt, lines, depth)
+        _emit(node.result, lines, depth)
+    elif isinstance(node, Bind):
+        if _is_inline(node.value):
+            lines.append(f"{pad}{node.var.name} = {_inline(node.value)}")
+        else:
+            lines.append(f"{pad}{node.var.name} =")
+            _emit(node.value, lines, depth + 1)
+    elif isinstance(node, Store):
+        target = f"{_inline(node.array)}[" + ", ".join(
+            _inline(i) for i in node.indices
+        ) + "]"
+        lines.append(f"{pad}{target} := {_inline(node.value)}")
+    elif isinstance(node, If):
+        lines.append(f"{pad}if {_inline(node.cond)} (p={node.prob}) {{")
+        for stmt in node.then:
+            _emit(stmt, lines, depth + 1)
+        if node.otherwise:
+            lines.append(f"{pad}}} else {{")
+            for stmt in node.otherwise:
+                _emit(stmt, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, ExprStmt):
+        _emit(node.expr, lines, depth)
+    elif _is_inline(node):
+        lines.append(f"{pad}{_inline(node)}")
+    else:
+        if isinstance(node, Select):
+            lines.append(f"{pad}select {_inline(node.cond)}")
+            _emit(node.if_true, lines, depth + 1)
+            _emit(node.if_false, lines, depth + 1)
+        else:
+            lines.append(f"{pad}<{type(node).__name__}>")
+            for child in node.children():
+                _emit(child, lines, depth + 1)

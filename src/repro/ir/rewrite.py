@@ -1,0 +1,244 @@
+"""Generic bottom-up IR rewriting.
+
+The optimizers (:mod:`repro.optim`) express themselves as node-local
+transforms applied by :func:`rewrite`.  The rewriter reconstructs only the
+spine above changed nodes, preserving identity of untouched subtrees so that
+per-occurrence analysis results remain valid where nothing moved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import IRError
+from .expr import (
+    Alloc,
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    Expr,
+    ExprStmt,
+    FieldRead,
+    If,
+    Length,
+    Node,
+    Param,
+    RandomIndex,
+    Select,
+    Store,
+    UnOp,
+    Var,
+)
+from .patterns import Filter, Foreach, GroupBy, Map, Reduce, ZipWith
+
+Transform = Callable[[Node], Optional[Node]]
+
+
+def rewrite(node: Node, transform: Transform) -> Node:
+    """Apply ``transform`` bottom-up; ``None`` means "keep this node".
+
+    Children are rewritten first, the node is rebuilt if any child changed,
+    and finally ``transform`` sees the (possibly rebuilt) node and may
+    replace it.
+    """
+    rebuilt = _rebuild(node, transform)
+    replacement = transform(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def substitute(node: Node, mapping: Dict[Node, Node]) -> Node:
+    """Replace occurrences of specific node objects (by identity)."""
+
+    def transform(n: Node) -> Optional[Node]:
+        return mapping.get(n)
+
+    return rewrite(node, transform)
+
+
+def substitute_var(node: Node, name: str, replacement: Expr) -> Node:
+    """Replace every free occurrence of variable ``name``.
+
+    Occurrences shadowed by an inner binder of the same name are left
+    untouched (capture-avoiding in the shadowing direction; the caller is
+    responsible for not introducing captures via ``replacement``).
+    """
+
+    def transform(n: Node) -> Optional[Node]:
+        if isinstance(n, Var) and n.name == name:
+            return replacement
+        return None
+
+    return _rewrite_scoped(node, name, transform)
+
+
+def _rewrite_scoped(node: Node, name: str, transform: Transform) -> Node:
+    from .patterns import PatternExpr
+
+    if isinstance(node, PatternExpr) and node.index.name == name:
+        return node  # shadowed below this binder
+    if isinstance(node, Block):
+        new_stmts = []
+        changed = False
+        shadowed = False
+        for stmt in node.stmts:
+            if shadowed:
+                new_stmts.append(stmt)
+                continue
+            new_stmt = _rewrite_scoped(stmt, name, transform)
+            changed = changed or new_stmt is not stmt
+            new_stmts.append(new_stmt)
+            if isinstance(stmt, Bind) and stmt.var.name == name:
+                shadowed = True
+        new_result = node.result if shadowed else _rewrite_scoped(
+            node.result, name, transform
+        )
+        changed = changed or new_result is not node.result
+        return Block(tuple(new_stmts), new_result) if changed else node
+    rebuilt = _rebuild(node, lambda n: _scoped_transform(n, name, transform))
+    replacement = transform(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _scoped_transform(n: Node, name: str, transform: Transform) -> Optional[Node]:
+    result = _rewrite_scoped(n, name, transform)
+    return result if result is not n else None
+
+
+def _rebuild(node: Node, transform: Transform) -> Node:
+    """Rebuild ``node`` with each child rewritten; preserve identity if
+    nothing changed."""
+
+    def go(child: Node) -> Node:
+        return rewrite(child, transform)
+
+    if isinstance(node, (Const, Var, Param)):
+        return node
+    if isinstance(node, RandomIndex):
+        size = go(node.size)
+        return node if size is node.size else RandomIndex(size, node.seed_hint)
+    if isinstance(node, BinOp):
+        lhs, rhs = go(node.lhs), go(node.rhs)
+        if lhs is node.lhs and rhs is node.rhs:
+            return node
+        return BinOp(node.op, lhs, rhs)
+    if isinstance(node, UnOp):
+        operand = go(node.operand)
+        return node if operand is node.operand else UnOp(node.op, operand)
+    if isinstance(node, Cmp):
+        lhs, rhs = go(node.lhs), go(node.rhs)
+        if lhs is node.lhs and rhs is node.rhs:
+            return node
+        return Cmp(node.op, lhs, rhs)
+    if isinstance(node, Select):
+        cond, t, f = go(node.cond), go(node.if_true), go(node.if_false)
+        if cond is node.cond and t is node.if_true and f is node.if_false:
+            return node
+        return Select(cond, t, f, node.prob)
+    if isinstance(node, Call):
+        args = tuple(go(a) for a in node.args)
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        return Call(node.fn, args)
+    if isinstance(node, Cast):
+        operand = go(node.operand)
+        return node if operand is node.operand else Cast(operand, node.ty)
+    from .functions import FnCall
+
+    if isinstance(node, FnCall):
+        args = tuple(go(a) for a in node.args)
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        return FnCall(node.name, args)
+    if isinstance(node, ArrayRead):
+        array = go(node.array)
+        indices = tuple(go(i) for i in node.indices)
+        if array is node.array and all(a is b for a, b in zip(indices, node.indices)):
+            return node
+        return ArrayRead(array, indices)
+    if isinstance(node, FieldRead):
+        struct = go(node.struct)
+        return node if struct is node.struct else FieldRead(struct, node.field_name)
+    if isinstance(node, Length):
+        array = go(node.array)
+        return node if array is node.array else Length(array, node.axis)
+    if isinstance(node, Alloc):
+        shape = tuple(go(s) for s in node.shape)
+        if all(a is b for a, b in zip(shape, node.shape)):
+            return node
+        return Alloc(node.elem, shape)
+    if isinstance(node, Bind):
+        value = go(node.value)
+        return node if value is node.value else Bind(node.var, value)
+    if isinstance(node, Store):
+        array = go(node.array)
+        indices = tuple(go(i) for i in node.indices)
+        value = go(node.value)
+        if (
+            array is node.array
+            and value is node.value
+            and all(a is b for a, b in zip(indices, node.indices))
+        ):
+            return node
+        return Store(array, indices, value)
+    if isinstance(node, If):
+        cond = go(node.cond)
+        then = tuple(go(s) for s in node.then)
+        otherwise = tuple(go(s) for s in node.otherwise)
+        if (
+            cond is node.cond
+            and all(a is b for a, b in zip(then, node.then))
+            and all(a is b for a, b in zip(otherwise, node.otherwise))
+        ):
+            return node
+        return If(cond, then, otherwise, node.prob)
+    if isinstance(node, ExprStmt):
+        expr = go(node.expr)
+        return node if expr is node.expr else ExprStmt(expr)
+    if isinstance(node, Block):
+        stmts = tuple(go(s) for s in node.stmts)
+        result = go(node.result)
+        if result is node.result and all(a is b for a, b in zip(stmts, node.stmts)):
+            return node
+        return Block(stmts, result)
+    if isinstance(node, ZipWith):
+        size, body = go(node.size), go(node.body)
+        if size is node.size and body is node.body:
+            return node
+        return ZipWith(size, node.index, body)
+    if isinstance(node, Map):
+        size, body = go(node.size), go(node.body)
+        if size is node.size and body is node.body:
+            return node
+        return Map(size, node.index, body)
+    if isinstance(node, Reduce):
+        size, body = go(node.size), go(node.body)
+        combine = node.combine
+        if combine is not None:
+            new_combine_body = go(combine[2])
+            if new_combine_body is not combine[2]:
+                combine = (combine[0], combine[1], new_combine_body)
+        if size is node.size and body is node.body and combine is node.combine:
+            return node
+        return Reduce(size, node.index, body, node.op, combine)
+    if isinstance(node, Filter):
+        size, pred, value = go(node.size), go(node.pred), go(node.value)
+        if size is node.size and pred is node.pred and value is node.value:
+            return node
+        return Filter(size, node.index, pred, value)
+    if isinstance(node, GroupBy):
+        size, key, value = go(node.size), go(node.key), go(node.value)
+        if size is node.size and key is node.key and value is node.value:
+            return node
+        return GroupBy(size, node.index, key, value)
+    if isinstance(node, Foreach):
+        size = go(node.size)
+        body = tuple(go(s) for s in node.body)
+        if size is node.size and all(a is b for a, b in zip(body, node.body)):
+            return node
+        return Foreach(size, node.index, body)
+    raise IRError(f"rewrite does not know node class {type(node).__name__}")

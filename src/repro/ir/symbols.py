@@ -1,0 +1,48 @@
+"""Fresh-name generation for IR binders.
+
+The front-end builder introduces index variables and temporaries; giving each
+a unique name keeps printed IR and generated CUDA unambiguous without
+requiring alpha-renaming passes later.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class SymbolTable:
+    """Thread-safe fresh-name generator.
+
+    Names are ``<prefix><counter>`` (e.g. ``i0``, ``i1``, ``tmp7``).  A
+    process-wide default instance backs :func:`fresh_name`; tests may create
+    isolated tables for deterministic output.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+        self._lock = threading.Lock()
+
+    def fresh(self, prefix: str = "t") -> str:
+        """Return a name with the given prefix that was never returned before."""
+        with self._lock:
+            counter = self._counters.setdefault(prefix, itertools.count())
+            return f"{prefix}{next(counter)}"
+
+    def reset(self) -> None:
+        """Forget all counters (test isolation only)."""
+        with self._lock:
+            self._counters.clear()
+
+
+_DEFAULT = SymbolTable()
+
+
+def fresh_name(prefix: str = "t") -> str:
+    """Return a fresh name from the process-wide symbol table."""
+    return _DEFAULT.fresh(prefix)
+
+
+def reset_names() -> None:
+    """Reset the process-wide symbol table (intended for tests)."""
+    _DEFAULT.reset()

@@ -1,0 +1,177 @@
+"""Generic IR traversal utilities.
+
+These walkers are the substrate for every analysis: nest extraction, access
+collection, constraint generation, and the optimizers all express themselves
+as traversals over ``Node.children()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Type as PyType, TypeVar
+
+from .expr import BinOp, Block, Call, Cast, Cmp, Const, Node, Param, Var
+from .patterns import PatternExpr
+
+T = TypeVar("T", bound=Node)
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every transitive child, pre-order."""
+    stack: List[Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+def find_instances(node: Node, cls: PyType[T]) -> List[T]:
+    """Collect all nodes of the given class, in pre-order."""
+    return [n for n in walk(node) if isinstance(n, cls)]
+
+
+def find_patterns(node: Node, include_root: bool = True) -> List[PatternExpr]:
+    """Collect all pattern nodes under (and optionally including) ``node``."""
+    found = find_instances(node, PatternExpr)
+    if not include_root and found and found[0] is node:
+        return found[1:]
+    return found
+
+
+def child_patterns(pattern: PatternExpr) -> List[PatternExpr]:
+    """Patterns nested *directly* inside a pattern's body.
+
+    A pattern P is a direct child of Q when it appears in Q's body with no
+    other pattern in between — these are exactly the patterns one nest
+    level deeper than Q.
+    """
+    result: List[PatternExpr] = []
+    stack: List[Node] = list(reversed(pattern.body_nodes()))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, PatternExpr):
+            result.append(current)
+            continue  # deeper patterns belong to the child's subtree
+        stack.extend(reversed(current.children()))
+    return result
+
+
+def pattern_paths(root: PatternExpr) -> List[Tuple[PatternExpr, ...]]:
+    """Enumerate all root-to-pattern nest paths.
+
+    Each returned tuple starts at ``root`` and ends at some (possibly the
+    same) pattern; the tuple length minus one is that pattern's nest level.
+    """
+    paths: List[Tuple[PatternExpr, ...]] = []
+
+    def visit(path: Tuple[PatternExpr, ...]) -> None:
+        paths.append(path)
+        for child in child_patterns(path[-1]):
+            visit(path + (child,))
+
+    visit((root,))
+    return paths
+
+
+def max_nest_depth(root: PatternExpr) -> int:
+    """The number of nest levels under ``root`` (1 for a flat pattern)."""
+    return max(len(p) for p in pattern_paths(root))
+
+
+def free_vars(node: Node) -> List[Var]:
+    """Variables read under ``node`` that are not bound under ``node``.
+
+    Pattern index variables and ``Bind`` targets introduce bindings; any
+    other :class:`Var` occurrence is free.  Used by the validator and by
+    codegen to compute kernel parameters.
+    """
+    from .expr import Bind
+
+    bound: set = set()
+    seen: List[Var] = []
+    order: List[Var] = []
+
+    def visit(current: Node, local_bound: frozenset) -> None:
+        if isinstance(current, Var):
+            if current.name not in local_bound and current not in seen:
+                seen.append(current)
+                order.append(current)
+            return
+        new_bound = local_bound
+        if isinstance(current, PatternExpr):
+            new_bound = local_bound | {current.index.name}
+            if hasattr(current, "combine") and getattr(current, "combine", None):
+                lhs, rhs, _ = current.combine  # type: ignore[attr-defined]
+                new_bound = new_bound | {lhs.name, rhs.name}
+        if isinstance(current, Block):
+            inner = new_bound
+            for stmt in current.stmts:
+                if isinstance(stmt, Bind):
+                    visit(stmt.value, inner)
+                    inner = inner | {stmt.var.name}
+                else:
+                    visit(stmt, inner)
+            visit(current.result, inner)
+            return
+        for child in current.children():
+            visit(child, new_bound)
+
+    visit(node, frozenset())
+    return order
+
+
+def structurally_equal(a: Node, b: Node) -> bool:
+    """Structural equality modulo binder names (alpha-equivalence).
+
+    Nodes use identity equality by design; tests use this helper to compare
+    rewritten trees against expected shapes.
+    """
+    return _structural(a, b, {})
+
+
+def _structural(a: Node, b: Node, renaming: dict) -> bool:
+    if type(a) is not type(b):
+        # ZipWith is-a Map but prints/compares as its own class.
+        return False
+    if isinstance(a, Const):
+        return a.value == b.value and a.ty == b.ty  # type: ignore[union-attr]
+    if isinstance(a, Var):
+        return renaming.get(a.name, a.name) == b.name  # type: ignore[union-attr]
+    if isinstance(a, Param):
+        return a.name == b.name and a.ty == b.ty  # type: ignore[union-attr]
+    if isinstance(a, BinOp) and a.op != b.op:  # type: ignore[union-attr]
+        return False
+    if isinstance(a, Cmp) and a.op != b.op:  # type: ignore[union-attr]
+        return False
+    if isinstance(a, Call) and a.fn != b.fn:  # type: ignore[union-attr]
+        return False
+    if isinstance(a, Cast) and a.ty != b.ty:  # type: ignore[union-attr]
+        return False
+    inner = renaming
+    if isinstance(a, PatternExpr):
+        inner = dict(renaming)
+        inner[a.index.name] = b.index.name  # type: ignore[union-attr]
+    from .expr import Bind
+
+    if isinstance(a, Block):
+        if len(a.stmts) != len(b.stmts):  # type: ignore[union-attr]
+            return False
+        inner = dict(renaming)
+        for sa, sb in zip(a.stmts, b.stmts):  # type: ignore[union-attr]
+            if isinstance(sa, Bind) != isinstance(sb, Bind):
+                return False
+            if isinstance(sa, Bind):
+                if not _structural(sa.value, sb.value, inner):
+                    return False
+                inner[sa.var.name] = sb.var.name
+            elif not _structural(sa, sb, inner):
+                return False
+        return _structural(a.result, b.result, inner)  # type: ignore[union-attr]
+    ca, cb = a.children(), b.children()
+    if len(ca) != len(cb):
+        return False
+    return all(_structural(x, y, inner) for x, y in zip(ca, cb))
+
+
+def count_nodes(node: Node) -> int:
+    """Total number of nodes in the tree (diagnostics/metrics)."""
+    return sum(1 for _ in walk(node))

@@ -1,0 +1,164 @@
+"""Type system for the pattern IR.
+
+The paper's language supports scalar types, arrays, and structs
+(Section III).  Structs compose other types, which is how higher-level data
+structures such as CSR graphs are expressed (a struct of three arrays).
+
+Types are immutable value objects with structural equality so they can be
+compared, hashed, and used as dictionary keys during analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A primitive numeric or boolean type.
+
+    Attributes:
+        name: canonical short name (``f32``, ``f64``, ``i32``, ``i64``,
+            ``bool``).
+        size_bytes: storage footprint, used by the coalescing model.
+    """
+
+    name: str
+    size_bytes: int
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The NumPy dtype used by the functional interpreter."""
+        return np.dtype(_NUMPY_DTYPES[self.name])
+
+    @property
+    def cuda_name(self) -> str:
+        """The CUDA C type name used by the code generator."""
+        return _CUDA_NAMES[self.name]
+
+    @property
+    def is_float(self) -> bool:
+        return self.name in ("f32", "f64")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name in ("i32", "i64")
+
+
+_NUMPY_DTYPES = {
+    "f32": np.float32,
+    "f64": np.float64,
+    "i32": np.int32,
+    "i64": np.int64,
+    "bool": np.bool_,
+}
+
+_CUDA_NAMES = {
+    "f32": "float",
+    "f64": "double",
+    "i32": "int",
+    "i64": "long long",
+    "bool": "bool",
+}
+
+F32 = ScalarType("f32", 4)
+F64 = ScalarType("f64", 8)
+I32 = ScalarType("i32", 4)
+I64 = ScalarType("i64", 8)
+BOOL = ScalarType("bool", 1)
+
+SCALAR_TYPES: Tuple[ScalarType, ...] = (F32, F64, I32, I64, BOOL)
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A dense rectangular array of scalars (or structs).
+
+    Rank-``r`` arrays are stored linearized; the logical-to-physical index
+    translation is owned by the layout machinery (``repro.optim.layout``),
+    which is what lets the preallocation optimization change layout without
+    touching the logical IR.
+    """
+
+    elem: Type
+    rank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise TypeMismatchError(f"array rank must be >= 1, got {self.rank}")
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{','.join(':' * 0 or ':' for _ in range(self.rank))}]".replace(
+            "[]", "[" + ",".join([":"] * self.rank) + "]"
+        )
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A named record type composing other types.
+
+    ``fields`` preserves declaration order; field access is by name via
+    :class:`repro.ir.expr.FieldRead`.
+    """
+
+    name: str
+    fields: Tuple[Tuple[str, Type], ...]
+
+    @staticmethod
+    def of(name: str, fields: Mapping[str, Type]) -> "StructType":
+        """Build a struct type from a mapping (order preserved)."""
+        return StructType(name, tuple(fields.items()))
+
+    def field_type(self, field_name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == field_name:
+                return ftype
+        raise TypeMismatchError(f"struct {self.name} has no field {field_name!r}")
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(fname for fname, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"{self.name}{{{inner}}}"
+
+
+def common_scalar(lhs: Type, rhs: Type) -> ScalarType:
+    """Return the promoted scalar type for a binary arithmetic operation.
+
+    Promotion follows C-like rules restricted to the supported scalar set:
+    float beats int, wider beats narrower.  Raises
+    :class:`TypeMismatchError` if either side is not scalar.
+    """
+    if not isinstance(lhs, ScalarType) or not isinstance(rhs, ScalarType):
+        raise TypeMismatchError(f"expected scalar operands, got {lhs} and {rhs}")
+    if lhs == rhs:
+        return lhs
+    order = {"bool": 0, "i32": 1, "i64": 2, "f32": 3, "f64": 4}
+    winner = lhs if order[lhs.name] >= order[rhs.name] else rhs
+    # i64 + f32 promotes to f64 to avoid precision loss, matching NumPy.
+    if {lhs.name, rhs.name} == {"i64", "f32"}:
+        return F64
+    return winner
+
+
+def element_type(ty: Type) -> Type:
+    """Return the element type of an array type (error otherwise)."""
+    if not isinstance(ty, ArrayType):
+        raise TypeMismatchError(f"expected an array type, got {ty}")
+    return ty.elem

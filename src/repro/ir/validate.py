@@ -1,0 +1,98 @@
+"""Well-formedness validation for IR trees and programs.
+
+Validation runs before analysis and codegen so later stages can assume a
+clean tree.  Checks:
+
+* every :class:`~repro.ir.expr.Var` occurrence is bound (by an enclosing
+  pattern index, a custom-combiner binder, or an earlier ``Bind``);
+* size expressions are integer-typed and contain no pattern nodes;
+* custom reduce combiners reference only their two binders;
+* program parameters are uniquely named and every free variable of the
+  result is a parameter.
+"""
+
+from __future__ import annotations
+
+
+from ..errors import ValidationError
+from .expr import Bind, Block, Expr, Node, Var
+from .patterns import PatternExpr, Program, Reduce
+from .traversal import find_instances, walk
+
+
+def validate_program(program: Program) -> None:
+    """Validate a full program; raises :class:`ValidationError` on failure."""
+    names = [p.name for p in program.params]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"duplicate parameter names in {program.name}: {names}")
+    bound = frozenset(names)
+    _validate_node(program.result, bound, program.name)
+
+
+def validate_expr(expr: Expr) -> None:
+    """Validate a bare expression with no externally bound variables."""
+    _validate_node(expr, frozenset(), "<expr>")
+
+
+def _validate_node(node: Node, bound: frozenset, context: str) -> None:
+    if isinstance(node, Var):
+        if node.name not in bound:
+            raise ValidationError(
+                f"{context}: unbound variable {node.name!r}"
+            )
+        return
+    if isinstance(node, PatternExpr):
+        _validate_size(node, context)
+        inner = bound | {node.index.name}
+        if isinstance(node, Reduce) and node.combine is not None:
+            lhs, rhs, body = node.combine
+            combiner_bound = frozenset({lhs.name, rhs.name})
+            for sub in walk(body):
+                if isinstance(sub, Var) and sub.name not in combiner_bound:
+                    raise ValidationError(
+                        f"{context}: reduce combiner references {sub.name!r}; "
+                        "combiners may only use their two binders"
+                    )
+            _validate_node(node.size, bound, context)
+            _validate_node(node.body, inner, context)
+            return
+        _validate_node(node.size, bound, context)
+        for body_node in node.body_nodes():
+            _validate_block_aware(body_node, inner, context)
+        return
+    _validate_block_aware(node, bound, context)
+
+
+def _validate_block_aware(node: Node, bound: frozenset, context: str) -> None:
+    if isinstance(node, Block):
+        inner = bound
+        for stmt in node.stmts:
+            if isinstance(stmt, Bind):
+                _validate_node(stmt.value, inner, context)
+                inner = inner | {stmt.var.name}
+            else:
+                _validate_node(stmt, inner, context)
+        _validate_node(node.result, inner, context)
+        return
+    if isinstance(node, (Var, PatternExpr)):
+        _validate_node(node, bound, context)
+        return
+    for child in node.children():
+        _validate_node(child, bound, context)
+
+
+def _validate_size(pattern: PatternExpr, context: str) -> None:
+    from .types import ScalarType
+
+    size_ty = pattern.size.ty
+    if not isinstance(size_ty, ScalarType) or not size_ty.is_integer:
+        raise ValidationError(
+            f"{context}: pattern size must be integer-typed, got {size_ty}"
+        )
+    if find_instances(pattern.size, PatternExpr):
+        raise ValidationError(
+            f"{context}: pattern size expression may not contain patterns"
+        )
+    static = pattern.static_size
+    if static is not None and static < 0:
+        raise ValidationError(f"{context}: negative pattern size {static}")

@@ -1,0 +1,6 @@
+"""Mapping-coupled compiler optimizations (Section V of the paper)."""
+
+from .layout import LayoutDecision, choose_layout, row_major  # noqa: F401
+from .pipeline import OptimizationFlags, build_plan  # noqa: F401
+from .prealloc import PreallocDecision, plan_preallocations  # noqa: F401
+from .shared_memory import PrefetchDecision, plan_shared_memory  # noqa: F401

@@ -1,0 +1,92 @@
+"""Mapping-directed physical layout selection (Section V-A, Figure 11).
+
+Preallocated intermediates are logically indexed by the enclosing pattern
+indices plus their own; because the buffer is private to the kernel, the
+compiler may pick *any* physical axis order.  The optimal order makes the
+axis whose index rides logical dimension x the unit-stride axis, so the
+same logical accesses coalesce regardless of which dimension the mapping
+assigned to which level — precisely why the analysis can ignore flexible
+arrays when scoring (their constraints are satisfiable after the fact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class LayoutDecision:
+    """Chosen physical layout for one flexible array."""
+
+    array_key: str
+    #: Logical extents per axis (leading axes = enclosing pattern levels).
+    shape: Tuple[int, ...]
+    #: Element stride per *logical* axis under the chosen physical order.
+    strides: Tuple[int, ...]
+    #: The physical axis order (logical axis indices, outermost first).
+    axis_order: Tuple[int, ...]
+
+    @property
+    def total_elems(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= max(1, extent)
+        return total
+
+
+def row_major(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical row-major strides (the unoptimized fixed layout)."""
+    strides: List[int] = []
+    acc = 1
+    for extent in reversed(shape):
+        strides.append(acc)
+        acc *= max(1, extent)
+    strides.reverse()
+    return tuple(strides)
+
+
+def choose_layout(
+    array_key: str,
+    shape: Sequence[int],
+    axis_levels: Sequence[Optional[int]],
+    mapping: Mapping,
+) -> LayoutDecision:
+    """Pick the physical axis order that coalesces accesses under ``mapping``.
+
+    ``axis_levels[a]`` is the nest level whose index addresses logical axis
+    ``a`` (None when unknown).  Axes are ordered by the logical dimension of
+    their level: the dim-x axis becomes innermost (unit stride), dim-y next,
+    and so on; sequential or unknown axes stay outermost in their original
+    relative order.
+    """
+    shape = tuple(int(s) for s in shape)
+
+    def sort_key(axis: int) -> Tuple[int, int]:
+        level = axis_levels[axis] if axis < len(axis_levels) else None
+        if level is None or level >= mapping.num_levels:
+            # Unknown/sequential axes stay outermost (slowest varying).
+            return (999, -axis)
+        lm = mapping.level(level)
+        if not lm.parallel:
+            return (999, -axis)
+        # Higher dim value = slower varying = more outer.
+        return (int(lm.dim), -axis)
+
+    # Outermost first: sort descending by dim value.
+    axis_order = tuple(
+        sorted(range(len(shape)), key=sort_key, reverse=True)
+    )
+    physical_shape = [shape[a] for a in axis_order]
+    physical_strides = row_major(physical_shape)
+    strides = [0] * len(shape)
+    for pos, axis in enumerate(axis_order):
+        strides[axis] = physical_strides[pos]
+    return LayoutDecision(
+        array_key=array_key,
+        shape=shape,
+        strides=tuple(strides),
+        axis_order=axis_order,
+    )

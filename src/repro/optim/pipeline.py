@@ -1,0 +1,71 @@
+"""Optimization pipeline: analysis + mapping -> a LaunchPlan.
+
+Applies, in order, the paper's two mapping-coupled optimizations:
+
+1. preallocation of inner allocations with mapping-directed layout
+   (Section V-A), and
+2. shared-memory prefetching for imperfect nests (Section V-B),
+
+producing the :class:`~repro.gpusim.cost.LaunchPlan` the cost model and the
+runtime consume.  Flags allow each optimization to be disabled for the
+ablation experiments (Figure 16's three configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..analysis.analyzer import KernelAnalysis
+from ..analysis.mapping import Mapping
+from ..gpusim.cost import LaunchPlan
+from ..gpusim.device import GpuDevice, default_device
+from .prealloc import plan_preallocations
+from .shared_memory import plan_shared_memory
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which optimizations to apply (all on by default, as in the paper)."""
+
+    prealloc: bool = True
+    layout_opt: bool = True
+    shared_memory: bool = True
+
+
+def build_plan(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    device: Optional[GpuDevice] = None,
+    flags: OptimizationFlags = OptimizationFlags(),
+) -> LaunchPlan:
+    """Run the optimization pipeline for one kernel."""
+    if device is None:
+        device = default_device()
+
+    layout_strides: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    if flags.prealloc:
+        decisions = plan_preallocations(
+            analysis, mapping, optimize_layout=flags.layout_opt
+        )
+        layout_strides = tuple(
+            (d.array_key, d.layout.strides) for d in decisions
+        )
+
+    smem_keys = frozenset()
+    extra_shared = 0
+    if flags.shared_memory:
+        prefetch = plan_shared_memory(
+            analysis,
+            mapping,
+            shared_budget_bytes=device.shared_mem_per_sm_bytes,
+        )
+        smem_keys = prefetch.array_keys
+        extra_shared = prefetch.shared_bytes_per_block
+
+    return LaunchPlan(
+        prealloc=flags.prealloc,
+        layout_strides=layout_strides,
+        smem_prefetch=smem_keys,
+        extra_shared_bytes=extra_shared,
+    )

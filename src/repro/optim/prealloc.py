@@ -1,0 +1,79 @@
+"""Preallocation of inner-pattern dynamic allocations (Section V-A).
+
+When the allocation size is uniform across outer iterations, the compiler
+allocates one buffer for the whole outer domain before launch and rewrites
+per-iteration accesses to an offset/stride region — eliminating the
+per-thread device mallocs whose serialized cost Figure 16 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.access import AccessSite
+from ..analysis.analyzer import KernelAnalysis
+from ..analysis.mapping import Mapping
+from .layout import LayoutDecision, choose_layout, row_major
+
+
+@dataclass(frozen=True)
+class PreallocDecision:
+    """One preallocated buffer and its chosen layout."""
+
+    array_key: str
+    elem_bytes: int
+    layout: LayoutDecision
+
+    @property
+    def total_bytes(self) -> int:
+        return self.layout.total_elems * self.elem_bytes
+
+
+def _axis_levels(site: AccessSite) -> List[Optional[int]]:
+    """Nest level addressing each logical axis, from the access's forms."""
+    name_to_level = {name: lvl for lvl, name in enumerate(site.index_names)}
+    levels: List[Optional[int]] = []
+    for form in site.axis_forms:
+        if len(form.coeffs) == 1 and not form.opaque_deps and not form.has_random:
+            name, coeff = form.coeffs[0]
+            levels.append(name_to_level.get(name) if coeff == 1.0 else None)
+        else:
+            levels.append(None)
+    return levels
+
+
+def plan_preallocations(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    optimize_layout: bool = True,
+) -> List[PreallocDecision]:
+    """Choose a preallocated buffer (and layout) per flexible array.
+
+    With ``optimize_layout=False`` the canonical row-major layout is kept —
+    the "prealloc without layout opt" configuration of Figure 16.
+    """
+    decisions: List[PreallocDecision] = []
+    for key in analysis.accesses.flexible_arrays():
+        sites = analysis.accesses.for_array(key)
+        # The synthetic write site carries the full physical rank.
+        best = max(sites, key=lambda s: len(s.axis_forms))
+        if optimize_layout:
+            layout = choose_layout(
+                key, best.shape, _axis_levels(best), mapping
+            )
+        else:
+            layout = LayoutDecision(
+                array_key=key,
+                shape=tuple(best.shape),
+                strides=row_major(best.shape),
+                axis_order=tuple(range(len(best.shape))),
+            )
+        decisions.append(
+            PreallocDecision(
+                array_key=key,
+                elem_bytes=best.elem_bytes,
+                layout=layout,
+            )
+        )
+    return decisions

@@ -1,0 +1,62 @@
+"""Shared-memory prefetching for imperfectly nested patterns (Section V-B).
+
+When memory accesses exist outside the innermost pattern, a multidimensional
+kernel would (a) leave most threads idle while computing the outer level and
+(b) possibly access that data uncoalesced.  The optimization has dim-x
+threads cooperatively load a contiguous chunk of the outer-level data into
+shared memory, fixing both problems at once.
+
+The pass selects which arrays to stage: global (non-flexible) arrays read at
+a non-innermost level, small enough per-block to fit the shared-memory
+budget alongside any reduction scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from ..analysis.analyzer import KernelAnalysis
+from ..analysis.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class PrefetchDecision:
+    """Arrays staged through shared memory, with the per-block budget."""
+
+    array_keys: FrozenSet[str]
+    shared_bytes_per_block: int
+
+
+def plan_shared_memory(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    shared_budget_bytes: int = 48 * 1024,
+    reserve_bytes: int = 8 * 1024,
+) -> PrefetchDecision:
+    """Select outer-level reads to stage through shared memory."""
+    depth = analysis.nest.depth
+    candidates: List[Tuple[str, int]] = []
+    seen: Set[str] = set()
+    for site in analysis.accesses.sites:
+        if site.kind != "read" or site.synthetic or site.flexible_layout:
+            continue
+        if site.level >= depth - 1:
+            continue  # innermost accesses don't benefit
+        if site.array_key in seen:
+            continue
+        seen.add(site.array_key)
+        # Chunk per block: one element per thread covering the outer level.
+        chunk = mapping.threads_per_block() * site.elem_bytes
+        candidates.append((site.array_key, chunk))
+
+    budget = max(0, shared_budget_bytes - reserve_bytes)
+    chosen: Set[str] = set()
+    used = 0
+    for key, chunk in sorted(candidates, key=lambda kv: kv[1]):
+        if used + chunk <= budget:
+            chosen.add(key)
+            used += chunk
+    return PrefetchDecision(
+        array_keys=frozenset(chosen), shared_bytes_per_block=used
+    )

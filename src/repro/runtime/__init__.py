@@ -1,0 +1,5 @@
+"""Runtime layer: sessions, buffers, and dynamic launch adjustment."""
+
+from .buffers import BufferManager, DeviceBuffer  # noqa: F401
+from .launcher import adjust_at_launch  # noqa: F401
+from .session import CompiledProgram, GpuSession  # noqa: F401

@@ -1,0 +1,85 @@
+"""Dynamic launch-parameter adjustment (Section IV-D, last paragraph).
+
+The compile-time decision fixes what determines code structure — dimension
+assignment and span *kinds* — while block sizes and span/split *factors*
+are re-derived at launch from the actual sizes.  This is why Figure 17's
+skewed Mandelbrot still lands in the best-performance region: the static
+mapping was chosen at representative sizes, but the launch adapts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from ..analysis.constraints import ConstraintSet
+from ..analysis.dop import DopWindow, control_dop
+from ..analysis.mapping import (
+    DIM_MAX_THREADS,
+    LevelMapping,
+    Mapping,
+    Span,
+    SpanAll,
+    Split,
+)
+from ..analysis.scoring import score_mapping
+from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE
+
+
+def adjust_at_launch(
+    mapping: Mapping,
+    cset: ConstraintSet,
+    sizes: Sequence[int],
+    window: Optional[DopWindow] = None,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+) -> Mapping:
+    """Re-tune block sizes and span/split factors for the runtime sizes.
+
+    Dimensions and span kinds are preserved (the generated code depends on
+    them); every block-size combination is rescored under the actual sizes
+    and ControlDOP reapplies the span(n)/split(k) factors.
+    """
+    if window is None:
+        window = DopWindow()
+    sizes = list(sizes)
+
+    parallel_levels = [i for i, lm in enumerate(mapping.levels) if lm.parallel]
+    if not parallel_levels:
+        return mapping
+
+    best = mapping
+    best_score = -1.0
+    best_dop = -1
+    best_tpb = -1
+    for combo in itertools.product(block_sizes, repeat=len(parallel_levels)):
+        levels: List[LevelMapping] = list(mapping.levels)
+        product = 1
+        valid = True
+        for level, size in zip(parallel_levels, combo):
+            lm = mapping.level(level)
+            if size > DIM_MAX_THREADS[lm.dim]:
+                valid = False
+                break
+            product *= size
+            # Reset span factors to their kind's base; ControlDOP retunes.
+            span = lm.span
+            if isinstance(span, Span):
+                span = Span(1)
+            elif isinstance(span, Split):
+                span = SpanAll()
+            levels[level] = LevelMapping(lm.dim, size, span)
+        if not valid or product > MAX_BLOCK_SIZE:
+            continue
+        candidate = Mapping(tuple(levels))
+        score = score_mapping(candidate, cset, sizes)
+        if score is None:
+            continue
+        dop = candidate.dop(sizes)
+        tpb = candidate.threads_per_block()
+        # Tie-break chain: score, then DOP, then larger blocks (fewer
+        # blocks means less scheduling overhead at equal parallelism).
+        key = (score, dop, tpb)
+        if key > (best_score, best_dop, best_tpb):
+            best, best_score, best_dop, best_tpb = candidate, score, dop, tpb
+
+    return control_dop(best, sizes, window, cset.span_all_levels())

@@ -1,0 +1,270 @@
+"""Tests for memory-access analysis: linear forms and access collection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Builder, F64
+from repro.ir.builder import let, let_vec, random_index, range_map
+from repro.ir.expr import BinOp, Const, Param, RandomIndex, Var
+from repro.ir.types import I64
+from repro.analysis.access import (
+    LinearForm,
+    collect_accesses,
+    inline_scalar_binds,
+    linear_form,
+)
+from repro.analysis.shapes import SizeEnv
+
+
+IDX = frozenset({"i", "j"})
+
+
+def lf(expr, env=None):
+    return linear_form(expr, IDX, env or SizeEnv())
+
+
+class TestLinearForm:
+    def test_constant(self):
+        form = lf(Const(5))
+        assert form.is_pure_constant and form.const == 5
+
+    def test_index(self):
+        form = lf(Var("i", I64))
+        assert form.coeff("i") == 1.0
+
+    def test_affine_combination(self):
+        # i*C + j with C = 100
+        env = SizeEnv(values={"C": 100})
+        expr = BinOp(
+            "+", BinOp("*", Var("i", I64), Param("C", I64)), Var("j", I64)
+        )
+        form = lf(expr, env)
+        assert form.coeff("i") == 100.0
+        assert form.coeff("j") == 1.0
+
+    def test_subtraction_and_negation(self):
+        from repro.ir.expr import UnOp
+
+        expr = BinOp("-", Var("i", I64), Var("j", I64))
+        form = lf(expr)
+        assert form.coeff("j") == -1.0
+        neg = lf(UnOp("-", Var("i", I64)))
+        assert neg.coeff("i") == -1.0
+
+    def test_index_product_is_opaque(self):
+        expr = BinOp("*", Var("i", I64), Var("j", I64))
+        form = lf(expr)
+        assert form.opaque_deps == {"i", "j"}
+        assert form.coeff("i") == 0.0
+
+    def test_min_max_clamp_transparent(self):
+        """Stencil boundary clamps keep the affine structure."""
+        expr = BinOp("max", BinOp("-", Var("i", I64), Const(1)), Const(0))
+        form = lf(expr)
+        assert form.coeff("i") == 1.0
+        assert not form.opaque_deps
+
+    def test_min_of_constants(self):
+        assert lf(BinOp("min", Const(3), Const(7))).const == 3
+
+    def test_random_is_opaque_per_iteration(self):
+        form = lf(RandomIndex(Const(100)))
+        assert form.has_random
+        assert form.opaque_deps == IDX
+
+    def test_division_blurs(self):
+        expr = BinOp("//", Var("i", I64), Const(2))
+        form = lf(expr)
+        assert "i" in form.opaque_deps
+
+    def test_depends_on(self):
+        form = LinearForm(coeffs=(("i", 2.0),), opaque_deps=frozenset({"j"}))
+        assert form.depends_on("i") and form.depends_on("j")
+        assert not form.depends_on("k")
+
+    def test_plus_merges_and_cancels(self):
+        a = LinearForm(coeffs=(("i", 2.0),))
+        b = LinearForm(coeffs=(("i", -2.0), ("j", 1.0)))
+        merged = a.plus(b)
+        assert merged.coeff("i") == 0.0
+        assert merged.coeff("j") == 1.0
+
+    def test_scaled(self):
+        form = LinearForm(coeffs=(("i", 2.0),), const=3.0).scaled(4.0)
+        assert form.coeff("i") == 8.0 and form.const == 12.0
+
+    def test_bindings_resolve_let_bound_scalars(self):
+        bindings = {"r": LinearForm(opaque_deps=frozenset({"i"}),
+                                    has_random=True)}
+        form = linear_form(
+            BinOp("+", Var("r", I64), Var("j", I64)),
+            IDX, SizeEnv(), bindings,
+        )
+        assert form.has_random and form.coeff("j") == 1.0
+
+
+class TestCollectAccesses:
+    def test_sum_rows_sites(self, sum_rows_program):
+        env = SizeEnv(values={"R": 64, "C": 32})
+        summary = collect_accesses(sum_rows_program.result, env)
+        m_reads = [s for s in summary.sites if s.array_key == "m"]
+        assert len(m_reads) == 1
+        assert m_reads[0].sequential_levels() == [1]
+
+    def test_sum_cols_sequential_in_outer(self, sum_cols_program):
+        env = SizeEnv(values={"R": 64, "C": 32})
+        summary = collect_accesses(sum_cols_program.result, env)
+        m_reads = [s for s in summary.sites if s.array_key == "m"]
+        assert m_reads[0].sequential_levels() == [0]
+
+    def test_synthetic_output_for_map_reduce(self, sum_rows_program):
+        env = SizeEnv(values={"R": 64, "C": 32})
+        summary = collect_accesses(sum_rows_program.result, env)
+        outs = [s for s in summary.sites if s.array_key == "__out__"]
+        assert len(outs) == 1
+        assert outs[0].kind == "write" and outs[0].level == 0
+
+    def test_exec_count_uses_stack_sizes(self, sum_rows_program):
+        env = SizeEnv(values={"R": 64, "C": 32})
+        summary = collect_accesses(sum_rows_program.result, env)
+        m_read = next(s for s in summary.sites if s.array_key == "m")
+        assert m_read.exec_count(env) == 64 * 32
+
+    def test_footprint_capped_by_array(self):
+        b = Builder("gather")
+        xs = b.vector("xs", F64, length="N")
+        idx_arr = b.vector("ids", I64, length="M")
+        out = idx_arr.map(lambda e: xs[e.cast(I64)])
+        prog = b.build(out)
+        env = SizeEnv.for_program(prog, N=10, M=100000)
+        summary = collect_accesses(prog.result, env)
+        xs_read = next(s for s in summary.sites if s.array_key == "xs")
+        # gather through ids: opaque, footprint capped at 10 elements
+        assert xs_read.footprint_bytes(env) == 10 * 8
+
+    def test_loop_invariant_hoisting(self):
+        """An access not involving the inner index is charged at the
+        outermost level it depends on."""
+        from repro.ir.expr import ArrayRead
+        from repro.ir.patterns import Map
+        from repro.ir.types import ArrayType
+
+        i, j = Var("i", I64), Var("j", I64)
+        v_param = Param("v", ArrayType(F64, 1))
+        inner = Map(Param("C", I64), j, ArrayRead(v_param, (i,)))
+        outer = Map(Param("R", I64), i, inner)
+        env = SizeEnv(values={"R": 8, "C": 16})
+        summary = collect_accesses(outer, env)
+        site = next(s for s in summary.sites if s.array_key == "v")
+        assert site.level == 0
+        assert site.exec_count(env) == 8  # once per row, not per element
+
+    def test_random_access_not_hoisted(self):
+        b = Builder("r")
+        n = b.size("N")
+        xs = b.vector("xs", F64, length="N")
+        out = range_map(
+            n, lambda s: xs[random_index(n).cast(I64)], index_name="s"
+        )
+        prog = b.build(out)
+        env = SizeEnv(values={"N": 50})
+        summary = collect_accesses(prog.result, env)
+        site = next(s for s in summary.sites if s.array_key == "xs")
+        assert site.level == 0
+        assert site.axis_forms[0].has_random
+
+
+class TestIntermediates:
+    def test_let_vec_creates_flexible_array(self, sum_weighted_cols_program):
+        env = SizeEnv(values={"R": 16, "C": 8})
+        summary = collect_accesses(sum_weighted_cols_program.result, env)
+        flex = summary.flexible_arrays()
+        assert len(flex) == 1
+
+    def test_intermediate_gains_leading_axes(self, sum_weighted_cols_program):
+        env = SizeEnv(values={"R": 16, "C": 8})
+        summary = collect_accesses(sum_weighted_cols_program.result, env)
+        key = summary.flexible_arrays()[0]
+        sites = summary.for_array(key)
+        assert all(len(s.axis_forms) == 2 for s in sites)
+        assert all(s.shape == (8, 16) for s in sites)  # (cols, rows)
+
+    def test_alloc_site_recorded(self, sum_weighted_cols_program):
+        env = SizeEnv(values={"R": 16, "C": 8})
+        summary = collect_accesses(sum_weighted_cols_program.result, env)
+        assert len(summary.allocs) == 1
+        assert summary.allocs[0].alloc_count(env) == 8  # one per column
+        assert summary.allocs[0].elems_per_alloc == 16
+
+    def test_no_alloc_outside_patterns(self, sum_rows_program):
+        env = SizeEnv(values={"R": 16, "C": 8})
+        summary = collect_accesses(sum_rows_program.result, env)
+        assert summary.allocs == []
+
+
+class TestInlineScalarBinds:
+    def test_pure_scalar_inlined(self):
+        b = Builder("il")
+        m = b.matrix("m", F64, rows="R", cols="C")
+        from repro.ir.builder import EH
+
+        out = m.map_rows(
+            lambda row: let(
+                EH(Const(0)) + 0, lambda base: row.map_reduce(lambda e: e)
+            )
+        )
+        prog = b.build(out)
+        root = inline_scalar_binds(prog.result)
+        from repro.ir.expr import Bind
+        from repro.ir.traversal import find_instances
+
+        assert find_instances(root, Bind) == []
+
+    def test_random_bind_kept(self):
+        b = Builder("il2")
+        n = b.size("N")
+        xs = b.vector("xs", F64, length="N")
+        out = range_map(
+            n,
+            lambda s: let(random_index(n), lambda r: xs[r.cast(I64)]),
+            index_name="s",
+        )
+        prog = b.build(out)
+        root = inline_scalar_binds(prog.result)
+        from repro.ir.expr import Bind
+        from repro.ir.traversal import find_instances
+
+        assert len(find_instances(root, Bind)) == 1
+
+    def test_array_bind_kept(self, sum_weighted_cols_program):
+        root = inline_scalar_binds(sum_weighted_cols_program.result)
+        from repro.ir.expr import Bind
+        from repro.ir.traversal import find_instances
+
+        binds = find_instances(root, Bind)
+        assert len(binds) == 1  # the materialized zipWith
+
+
+# -- property-based -------------------------------------------------------
+
+coeff_strategy = st.integers(min_value=-100, max_value=100)
+
+
+@given(a=coeff_strategy, b=coeff_strategy, c=coeff_strategy)
+@settings(max_examples=50)
+def test_linear_form_add_commutes(a, b, c):
+    f1 = LinearForm(coeffs=(("i", float(a)),), const=float(c))
+    f2 = LinearForm(coeffs=(("i", float(b)), ("j", 1.0)))
+    left = f1.plus(f2)
+    right = f2.plus(f1)
+    assert left.coeff("i") == right.coeff("i")
+    assert left.coeff("j") == right.coeff("j")
+    assert left.const == right.const
+
+
+@given(a=coeff_strategy, scale=st.integers(min_value=-10, max_value=10))
+@settings(max_examples=50)
+def test_linear_form_scale_distributes(a, scale):
+    f = LinearForm(coeffs=(("i", float(a)),), const=2.0)
+    assert f.scaled(float(scale)).coeff("i") == a * scale

@@ -1,0 +1,136 @@
+"""Tests for the thread-divergence constraint and its cost-model term."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.analysis.constraints import AvoidDivergence
+from repro.analysis.mapping import Dim, LevelMapping, Mapping, Span, SpanAll, seq_level
+from repro.gpusim import TESLA_K20C
+from repro.gpusim.cost import count_ops
+from repro.ir import Builder, F64
+from repro.ir.builder import if_then, range_foreach, store
+
+
+def build_branchy():
+    """foreach node: if frontier[node]: out[node] = expensive(node)."""
+    b = Builder("branchy")
+    n = b.size("N")
+    frontier = b.vector("frontier", F64, length="N")
+    xs = b.matrix("xs", F64, rows="N", cols="M")
+    out = b.vector("out", F64, length="N")
+
+    def per_node(i):
+        return [
+            if_then(
+                frontier[i] > 0,
+                [store(out, i, xs.row(i).map_reduce(lambda e: e * e))],
+                prob=0.2,
+            )
+        ]
+
+    return b.build(range_foreach(n, per_node, index_name="i"))
+
+
+class TestVariesWithinWarp:
+    def test_x_always_varies(self):
+        m = Mapping((LevelMapping(Dim.X, 32, Span(1)),))
+        assert m.varies_within_warp(0)
+
+    def test_y_uniform_when_x_fills_warp(self):
+        m = Mapping(
+            (LevelMapping(Dim.Y, 4, Span(1)),
+             LevelMapping(Dim.X, 32, Span(1)))
+        )
+        assert not m.varies_within_warp(0)  # y: stride 32 >= warp
+        assert m.varies_within_warp(1)
+
+    def test_y_varies_when_x_narrow(self):
+        m = Mapping(
+            (LevelMapping(Dim.Y, 4, Span(1)),
+             LevelMapping(Dim.X, 8, Span(1)))
+        )
+        assert m.varies_within_warp(0)  # warp spans 8x * 4y
+
+    def test_sequential_level_never_varies(self):
+        m = Mapping((LevelMapping(Dim.X, 32, Span(1)), seq_level()))
+        assert not m.varies_within_warp(1)
+
+    def test_block_size_one_never_varies(self):
+        m = Mapping(
+            (LevelMapping(Dim.Y, 1, Span(1)),
+             LevelMapping(Dim.X, 32, SpanAll()))
+        )
+        assert not m.varies_within_warp(0)
+
+
+class TestConstraintGeneration:
+    def test_branch_generates_divergence_constraint(self):
+        pa = analyze_program(build_branchy(), N=4096, M=256)
+        ka = pa.kernel(0)
+        divergence = [
+            c for c in ka.constraints.soft
+            if isinstance(c, AvoidDivergence)
+        ]
+        assert divergence
+        assert divergence[0].levels == (0,)
+
+    def test_satisfaction_depends_on_mapping(self):
+        pa = analyze_program(build_branchy(), N=4096, M=256)
+        ka = pa.kernel(0)
+        constraint = next(
+            c for c in ka.constraints.soft
+            if isinstance(c, AvoidDivergence)
+        )
+        uniform = Mapping(
+            (LevelMapping(Dim.Y, 2, Span(1)),
+             LevelMapping(Dim.X, 32, SpanAll()))
+        )
+        varying = Mapping(
+            (LevelMapping(Dim.X, 32, Span(1)),
+             LevelMapping(Dim.Y, 2, SpanAll()))
+        )
+        sizes = (4096, 256)
+        assert constraint.satisfied_by(uniform, sizes)
+        assert not constraint.satisfied_by(varying, sizes)
+
+    def test_branch_free_program_has_no_constraint(self, sum_rows_program):
+        pa = analyze_program(sum_rows_program, R=64, C=64)
+        assert not [
+            c for c in pa.kernel(0).constraints.soft
+            if isinstance(c, AvoidDivergence)
+        ]
+
+    def test_bfs_generates_divergence_constraints(self):
+        from repro.apps.bfs import build_bfs_step
+
+        pa = analyze_program(build_bfs_step(), N=4096, E=4096 * 12)
+        divergence = [
+            c for c in pa.kernel(0).constraints.soft
+            if isinstance(c, AvoidDivergence)
+        ]
+        assert divergence
+
+
+class TestDivergenceCost:
+    def test_diverged_branches_bill_both_paths(self):
+        program = build_branchy()
+        pa = analyze_program(program, N=4096, M=256)
+        ka = pa.kernel(0)
+        index_levels = {
+            info.pattern.index.name: info.level
+            for info in ka.nest.info_by_pattern.values()
+        }
+        varying = Mapping(
+            (LevelMapping(Dim.X, 32, Span(1)),
+             LevelMapping(Dim.Y, 2, SpanAll()))
+        )
+        uniform = Mapping(
+            (LevelMapping(Dim.Y, 2, Span(1)),
+             LevelMapping(Dim.X, 32, SpanAll()))
+        )
+        base = count_ops(ka.root, pa.env)
+        diverged = count_ops(ka.root, pa.env, varying, index_levels)
+        coherent = count_ops(ka.root, pa.env, uniform, index_levels)
+        # prob 0.2 branch: divergence bills the 80%-skipped body too
+        assert diverged > coherent
+        assert coherent == pytest.approx(base, rel=0.01)

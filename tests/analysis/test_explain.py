@@ -1,0 +1,78 @@
+"""Tests for mapping-decision explanations."""
+
+import pytest
+
+from repro.analysis import analyze_program, explain_mapping
+from repro.analysis.mapping import Dim, LevelMapping, Mapping, Span, SpanAll
+from repro.gpusim import TESLA_K20C, decide_mapping
+
+
+@pytest.fixture
+def kernel(sum_rows_program):
+    return analyze_program(sum_rows_program, R=1024, C=65536).kernel(0)
+
+
+class TestExplain:
+    def test_chosen_mapping_scores_full(self, kernel):
+        decision = decide_mapping(kernel, "multidim", TESLA_K20C)
+        explanation = explain_mapping(kernel, decision.mapping)
+        assert explanation.score is not None
+        assert explanation.score == pytest.approx(
+            explanation.satisfied_weight
+        )
+
+    def test_verdicts_cover_every_constraint(self, kernel):
+        decision = decide_mapping(kernel, "multidim", TESLA_K20C)
+        explanation = explain_mapping(kernel, decision.mapping)
+        assert len(explanation.verdicts) == len(
+            kernel.constraints.constraints
+        )
+
+    def test_infeasible_mapping_reported(self, kernel):
+        bad = Mapping(
+            (
+                LevelMapping(Dim.Y, 1, Span(1)),
+                LevelMapping(Dim.X, 64, Span(1)),  # reduce needs Span(all)
+            )
+        )
+        explanation = explain_mapping(kernel, bad)
+        assert explanation.score is None
+        assert "INFEASIBLE" in explanation.render()
+
+    def test_sacrificed_constraints_listed(self, kernel):
+        # a mapping that gives up the big coalescing win
+        swapped = Mapping(
+            (
+                LevelMapping(Dim.X, 32, Span(1)),
+                LevelMapping(Dim.Y, 32, SpanAll()),
+            )
+        )
+        explanation = explain_mapping(kernel, swapped)
+        sacrificed = {v.description for v in explanation.sacrificed}
+        assert any("'m'" in d for d in sacrificed)
+
+    def test_baselines_compared(self, kernel):
+        decision = decide_mapping(kernel, "multidim", TESLA_K20C)
+        explanation = explain_mapping(kernel, decision.mapping)
+        names = {name for name, _ in explanation.baselines}
+        assert names == {"1d", "thread-block/thread", "warp-based"}
+        multidim_score = explanation.score
+        for _name, score in explanation.baselines:
+            if score is not None:
+                assert score <= multidim_score + 1e-9
+
+    def test_render_structure(self, kernel):
+        decision = decide_mapping(kernel, "multidim", TESLA_K20C)
+        text = explain_mapping(kernel, decision.mapping).render()
+        assert "score:" in text
+        assert "[hard]" in text and "[soft]" in text
+        assert "baseline strategies" in text
+
+    def test_cli_explain_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["map", "sumRows", "R=1024", "C=65536", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attainable weight" in out

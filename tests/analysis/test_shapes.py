@@ -1,0 +1,120 @@
+"""Tests for size/shape evaluation."""
+
+import pytest
+
+from repro.config import DEFAULT_SIZE_HINT
+from repro.ir import Builder, F64
+from repro.ir.expr import ArrayRead, BinOp, Cast, Const, Length, Param, Var
+from repro.ir.types import ArrayType, F32, I64
+from repro.analysis.shapes import (
+    SizeEnv,
+    eval_size,
+    size_depends_on_indices,
+)
+
+
+class TestEvalSize:
+    def test_constant(self):
+        v = eval_size(Const(42), SizeEnv())
+        assert int(v) == 42 and v.exact
+
+    def test_param_bound(self):
+        env = SizeEnv(values={"N": 100})
+        v = eval_size(Param("N", I64), env)
+        assert int(v) == 100 and v.exact
+
+    def test_param_unbound_uses_default(self):
+        v = eval_size(Param("N", I64), SizeEnv())
+        assert int(v) == DEFAULT_SIZE_HINT and not v.exact
+
+    def test_custom_default(self):
+        v = eval_size(Param("N", I64), SizeEnv(default=16))
+        assert int(v) == 16
+
+    def test_arithmetic(self):
+        env = SizeEnv(values={"N": 10})
+        expr = BinOp("+", BinOp("*", Param("N", I64), Const(2)), Const(1))
+        assert int(eval_size(expr, env)) == 21
+
+    def test_min_max(self):
+        env = SizeEnv(values={"N": 10})
+        expr = BinOp("min", Param("N", I64), Const(4))
+        assert int(eval_size(expr, env)) == 4
+
+    def test_inexact_arithmetic_falls_back_to_default(self):
+        """offsets[n+1] - offsets[n] must not 'evaluate' to zero."""
+        arr = Param("offsets", ArrayType(I64, 1))
+        n = Var("n", I64)
+        expr = BinOp(
+            "-",
+            ArrayRead(arr, (BinOp("+", n, Const(1)),)),
+            ArrayRead(arr, (n,)),
+        )
+        env = SizeEnv(default=16)
+        v = eval_size(expr, env)
+        assert int(v) == 16 and not v.exact
+
+    def test_cast_transparent(self):
+        env = SizeEnv(values={"N": 5})
+        assert int(eval_size(Cast(Param("N", I64), I64), env)) == 5
+
+    def test_length_with_shape(self):
+        arr = Param("xs", ArrayType(F64, 2))
+        env = SizeEnv(array_shapes={"xs": (7, 9)})
+        assert int(eval_size(Length(arr, 1), env)) == 9
+        assert eval_size(Length(arr, 1), env).exact
+
+    def test_length_without_shape(self):
+        arr = Param("xs", ArrayType(F64, 1))
+        v = eval_size(Length(arr, 0), SizeEnv())
+        assert not v.exact
+
+
+class TestForProgram:
+    def test_hints_and_overrides(self, sum_rows_program):
+        env = SizeEnv.for_program(sum_rows_program, R=64, C=32)
+        assert env.values["R"] == 64
+
+    def test_array_shapes_evaluated(self, sum_rows_program):
+        env = SizeEnv.for_program(sum_rows_program, R=64, C=32)
+        assert env.array_shapes["m"] == (64, 32)
+
+    def test_reserved_keys(self):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        b.set_size_hint("__default__", 8)
+        b.set_size_hint("__skew__", 3)
+        prog = b.build(xs.reduce("+"))
+        env = SizeEnv.for_program(prog, N=100)
+        assert env.default == 8
+        assert env.skew == 3.0
+        assert "__default__" not in env.values
+
+    def test_bind_preserves_settings(self):
+        env = SizeEnv(values={"a": 1}, default=7, skew=2.0)
+        child = env.bind(b=2)
+        assert child.default == 7 and child.skew == 2.0
+        assert child.values == {"a": 1, "b": 2}
+        assert env.values == {"a": 1}  # original untouched
+
+
+class TestLaunchDynamic:
+    def test_param_size_is_static(self):
+        assert not size_depends_on_indices(Param("N", I64), frozenset({"i"}))
+
+    def test_index_dependent_size(self):
+        n = Var("n", I64)
+        expr = BinOp("-", Param("N", I64), n)
+        assert size_depends_on_indices(expr, frozenset({"n"}))
+
+    def test_length_of_indexed_substructure(self):
+        # Length of a per-row neighbor list selected by the outer index.
+        rows = Param("rows", ArrayType(F64, 2))
+        n = Var("n", I64)
+        nested = Length(rows, 1)
+        assert not size_depends_on_indices(nested, frozenset({"n"}))
+
+    def test_unrelated_index(self):
+        n = Var("n", I64)
+        expr = BinOp("-", Param("N", I64), n)
+        assert not size_depends_on_indices(expr, frozenset({"other"}))

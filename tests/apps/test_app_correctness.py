@@ -1,0 +1,260 @@
+"""Correctness of every benchmark app: interpreter vs NumPy reference."""
+
+import numpy as np
+import pytest
+
+from repro.interp import run_program
+
+
+class TestSums:
+    def test_sum_rows(self, rng):
+        from repro.apps.sums import SUM_ROWS
+
+        inp = SUM_ROWS.workload(rng, R=40, C=30)
+        out = run_program(SUM_ROWS.build(), **inp)
+        assert np.allclose(out, SUM_ROWS.reference(inp))
+
+    def test_sum_cols(self, rng):
+        from repro.apps.sums import SUM_COLS
+
+        inp = SUM_COLS.workload(rng, R=40, C=30)
+        out = run_program(SUM_COLS.build(), **inp)
+        assert np.allclose(out, SUM_COLS.reference(inp))
+
+    def test_sum_weighted_rows(self, rng):
+        from repro.apps.sums import SUM_WEIGHTED_ROWS
+
+        inp = SUM_WEIGHTED_ROWS.workload(rng, R=24, C=16)
+        out = run_program(SUM_WEIGHTED_ROWS.build(), **inp)
+        assert np.allclose(out, SUM_WEIGHTED_ROWS.reference(inp))
+
+    def test_sum_weighted_cols(self, rng):
+        from repro.apps.sums import SUM_WEIGHTED_COLS
+
+        inp = SUM_WEIGHTED_COLS.workload(rng, R=24, C=16)
+        out = run_program(SUM_WEIGHTED_COLS.build(), **inp)
+        assert np.allclose(out, SUM_WEIGHTED_COLS.reference(inp))
+
+
+class TestPageRank:
+    def test_one_iteration(self, rng):
+        from repro.apps.pagerank import PAGERANK
+
+        inp = PAGERANK.workload(rng, N=150, avg_degree=6)
+        out = run_program(PAGERANK.build(), **inp)
+        assert np.allclose(out, PAGERANK.reference(inp))
+
+    def test_ranks_sum_near_one(self, rng):
+        from repro.apps.pagerank import PAGERANK
+
+        inp = PAGERANK.workload(rng, N=100, avg_degree=4)
+        out = run_program(PAGERANK.build(), **inp)
+        # with uniform priors, mass stays near 1 (not exact: dangling mass)
+        assert 0.5 < out.sum() < 2.0
+
+
+class TestRodinia:
+    def test_nearest_neighbor(self, rng):
+        from repro.apps.nearest_neighbor import NEAREST_NEIGHBOR
+
+        inp = NEAREST_NEIGHBOR.workload(rng, N=200)
+        out = run_program(NEAREST_NEIGHBOR.build(), **inp)
+        assert np.allclose(out, NEAREST_NEIGHBOR.reference(inp))
+
+    @pytest.mark.parametrize("order", ["R", "C"])
+    def test_hotspot(self, rng, order):
+        from repro.apps.hotspot import HOTSPOT, reference
+
+        inp = HOTSPOT.workload(rng, R=18, C=22)
+        out = run_program(HOTSPOT.build(order=order), **inp)
+        assert np.allclose(out, reference(inp, order))
+
+    @pytest.mark.parametrize("order", ["R", "C"])
+    def test_srad(self, rng, order):
+        from repro.apps.srad import SRAD, reference
+
+        inp = SRAD.workload(rng, R=14, C=17)
+        out = run_program(SRAD.build(order=order), **inp)
+        assert np.allclose(out, reference(inp, order))
+
+    def test_mandelbrot(self, rng):
+        from repro.apps.mandelbrot import MANDELBROT
+
+        inp = MANDELBROT.workload(rng, H=12, W=16)
+        out = run_program(MANDELBROT.build(), **inp)
+        assert np.allclose(out, MANDELBROT.reference(inp))
+
+    def test_mandelbrot_oriented_variants_agree(self, rng):
+        from repro.apps.mandelbrot import (
+            MANDELBROT,
+            build_mandelbrot_oriented,
+        )
+
+        inp = MANDELBROT.workload(rng, H=8, W=10)
+        expected = MANDELBROT.reference(inp)
+        for order in ("R", "C"):
+            img = np.zeros((8, 10))
+            run_program(build_mandelbrot_oriented(order), img=img, **inp)
+            assert np.allclose(img, expected), order
+
+    @pytest.mark.parametrize("order", ["R", "C"])
+    def test_gaussian_step(self, rng, order):
+        from repro.apps.gaussian import GAUSSIAN
+
+        inp = GAUSSIAN.workload(rng, N=15, T=3)
+        state = {**inp, "a": inp["a"].copy(), "mult": inp["mult"].copy()}
+        run_program(GAUSSIAN.build(order=order), **state)
+        expected = GAUSSIAN.reference(inp)
+        assert np.allclose(state["a"], expected["a"])
+        assert np.allclose(state["mult"], expected["mult"])
+
+    def test_gaussian_zeroes_column(self, rng):
+        """After a full elimination run, the sub-diagonal is zero."""
+        from repro.apps.gaussian import GAUSSIAN
+
+        inp = GAUSSIAN.workload(rng, N=8, T=0)
+        a = inp["a"].copy()
+        mult = inp["mult"].copy()
+        prog = GAUSSIAN.build(order="R")
+        for t in range(7):
+            run_program(prog, a=a, mult=mult, N=8, T=t)
+        assert np.allclose(np.tril(a, -1), 0.0, atol=1e-9)
+
+    def test_pathfinder_step(self, rng):
+        from repro.apps.pathfinder import PATHFINDER
+
+        inp = PATHFINDER.workload(rng, R=5, C=60)
+        out = run_program(PATHFINDER.build(), **inp)
+        assert np.allclose(out, PATHFINDER.reference(inp))
+
+    def test_lud_step(self, rng):
+        from repro.apps.lud import LUD
+
+        inp = LUD.workload(rng, N=14, T=4)
+        a = inp["a"].copy()
+        run_program(LUD.build(), a=a, N=14, T=4)
+        assert np.allclose(a, LUD.reference(inp))
+
+    def test_bfs_step(self, rng):
+        from repro.apps.bfs import BFS
+
+        inp = BFS.workload(rng, N=80, avg_degree=4)
+        state = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in inp.items()
+            if k != "graph"
+        }
+        state["graph"] = inp["graph"]
+        run_program(BFS.build(), **state)
+        expected = BFS.reference(inp)
+        assert np.array_equal(state["cost"], expected["cost"])
+        assert np.array_equal(
+            state["next_frontier"], expected["next_frontier"]
+        )
+
+
+class TestRealWorld:
+    def test_qpscd(self, rng):
+        from repro.apps.qpscd import QPSCD
+
+        inp = QPSCD.workload(rng, S=15, N=40, C=12)
+        out = run_program(QPSCD.build(), seed=11, **inp)
+        assert np.allclose(out, QPSCD.reference(inp, seed=11))
+
+    def test_msmbuilder(self, rng):
+        from repro.apps.msmbuilder import MSMBUILDER
+
+        inp = MSMBUILDER.workload(rng, P=9, K=7, D=5)
+        out = run_program(MSMBUILDER.build(), **inp)
+        assert np.allclose(out, MSMBUILDER.reference(inp))
+
+    def test_msmbuilder_distances_nonnegative(self, rng):
+        from repro.apps.msmbuilder import MSMBUILDER
+
+        inp = MSMBUILDER.workload(rng, P=6, K=5, D=4)
+        out = run_program(MSMBUILDER.build(), **inp)
+        assert np.all(out >= 0)
+
+    def test_naive_bayes_kernels(self, rng):
+        from repro.apps.naive_bayes import (
+            NAIVE_BAYES,
+            build_spam_counts,
+            build_words_per_doc,
+        )
+
+        inp = NAIVE_BAYES.workload(rng, DOCS=25, WORDS=18)
+        expected = NAIVE_BAYES.reference(inp)
+        wpd = run_program(
+            build_words_per_doc(), m=inp["m"], DOCS=25, WORDS=18
+        )
+        spam = run_program(
+            build_spam_counts(),
+            m=inp["m"], labels=inp["labels"], DOCS=25, WORDS=18,
+        )
+        assert np.allclose(wpd, expected["words_per_doc"])
+        assert np.allclose(spam, expected["spam_counts"])
+
+
+class TestRegistry:
+    def test_all_apps_registered(self):
+        from repro.apps import ALL_APPS, RODINIA_APPS
+
+        assert len(ALL_APPS) == 18
+        assert len(RODINIA_APPS) == 8
+
+    def test_every_app_builds_and_validates(self):
+        from repro.apps import ALL_APPS
+        from repro.ir.validate import validate_program
+
+        for app in ALL_APPS.values():
+            program = app.build()
+            validate_program(program)
+
+    def test_every_app_analyzes(self):
+        from repro.apps import ALL_APPS
+        from repro.analysis import analyze_program
+
+        for app in ALL_APPS.values():
+            pa = analyze_program(app.build(), **{
+                k: v for k, v in app.default_params.items()
+            })
+            assert len(pa) >= 1
+
+
+class TestSradFullIteration:
+    """SRAD's two phases composed: coefficients, then diffusion update."""
+
+    @pytest.mark.parametrize("order", ["R", "C"])
+    def test_update_kernel(self, rng, order):
+        from repro.apps.srad import (
+            SRAD,
+            build_srad_update,
+            reference_update,
+        )
+        from repro.interp import run_program
+
+        base = SRAD.workload(rng, R=13, C=15)
+        coeff = rng.random((13, 15))
+        inputs = {**base, "coeff": coeff, "lam": 0.5}
+        out = run_program(build_srad_update(order=order), **inputs)
+        assert np.allclose(out, reference_update(inputs, order))
+
+    def test_two_phase_iteration_smooths(self, rng):
+        """A full coefficient+update step reduces image variance
+        (anisotropic diffusion smooths speckle)."""
+        from repro.apps.srad import (
+            SRAD,
+            build_srad,
+            build_srad_update,
+        )
+        from repro.interp import run_program
+
+        inputs = SRAD.workload(rng, R=24, C=24)
+        img = inputs["img"]
+        for _ in range(3):
+            coeff = run_program(build_srad("R"), img=img, R=24, C=24)
+            img = run_program(
+                build_srad_update("R"),
+                img=img, coeff=coeff, lam=0.25, R=24, C=24,
+            )
+        assert img.var() < inputs["img"].var()

@@ -1,0 +1,156 @@
+"""End-to-end iterative algorithm drivers: full eliminations,
+factorizations, and traversals validated against textbook references."""
+
+import numpy as np
+import pytest
+
+from repro.apps.drivers import (
+    bfs_reference,
+    lu_reconstruct,
+    pathfinder_reference,
+    run_bfs,
+    run_gaussian_elimination,
+    run_lud,
+    run_pagerank,
+    run_pathfinder,
+)
+
+
+class TestGaussianFull:
+    def test_full_elimination_upper_triangular(self, rng):
+        n = 10
+        a = rng.random((n, n)) + np.eye(n) * n
+        result = run_gaussian_elimination(a)
+        assert result.iterations == n - 1
+        assert np.allclose(np.tril(result.result, -1), 0.0, atol=1e-9)
+
+    def test_preserves_linear_system(self, rng):
+        """Elimination preserves the solution of A x = b (applied to the
+        augmented matrix)."""
+        n = 8
+        a = rng.random((n, n)) + np.eye(n) * n
+        x_true = rng.random(n)
+        b = a @ x_true
+        augmented = np.hstack([a, b[:, None], np.zeros((n, 1))])
+        square = np.zeros((n + 2, n + 2))
+        square[:n, :n + 1] = augmented[:, :n + 1]
+        square[np.arange(n, n + 2), np.arange(n, n + 2)] = 1.0
+        result = run_gaussian_elimination(square)
+        u = result.result[:n, :n]
+        c = result.result[:n, n]
+        x = np.linalg.solve(u, c)
+        assert np.allclose(x, x_true, atol=1e-8)
+
+    def test_simulated_time_accumulates(self, rng):
+        a = rng.random((6, 6)) + np.eye(6) * 6
+        result = run_gaussian_elimination(a)
+        assert result.simulated_us > 0
+
+
+class TestLudFull:
+    def test_factorization_reconstructs(self, rng):
+        n = 12
+        a = rng.random((n, n)) + np.eye(n) * n
+        result = run_lud(a)
+        assert np.allclose(lu_reconstruct(result.result), a, atol=1e-8)
+
+    def test_matches_scipy_style_doolittle(self, rng):
+        n = 6
+        a = rng.random((n, n)) + np.eye(n) * n
+        result = run_lud(a)
+        u = np.triu(result.result)
+        # U's diagonal equals the pivots of unpivoted elimination
+        ref = a.copy()
+        for t in range(n - 1):
+            ref[t + 1:, t] /= ref[t, t]
+            ref[t + 1:, t + 1:] -= np.outer(ref[t + 1:, t], ref[t, t + 1:])
+        assert np.allclose(result.result, ref, atol=1e-9)
+
+
+class TestPathfinderFull:
+    def test_full_dp_matches_reference(self, rng):
+        wall = rng.random((12, 40)) * 10
+        result = run_pathfinder(wall)
+        assert result.iterations == 11
+        assert np.allclose(result.result, pathfinder_reference(wall))
+
+    def test_costs_monotone_in_rows(self, rng):
+        wall = np.abs(rng.random((6, 20)))
+        result = run_pathfinder(wall)
+        # accumulated costs can only grow with nonnegative walls
+        assert np.all(result.result >= wall[0].min())
+
+
+class TestBfsFull:
+    def test_levels_match_textbook_bfs(self, rng):
+        from repro.apps.bfs import workload
+
+        inputs = workload(rng, N=120, avg_degree=4)
+        graph = inputs["graph"]
+        result = run_bfs(graph, source=0, n=120)
+        expected = bfs_reference(graph, source=0, n=120)
+        assert np.array_equal(result.result, expected)
+
+    def test_terminates_on_disconnected_graph(self):
+        graph = {
+            "offsets": np.array([0, 1, 2, 2], dtype=np.int64),
+            "nbrs": np.array([1, 0], dtype=np.int64),
+        }
+        result = run_bfs(graph, source=0, n=3)
+        assert result.result[2] == -1  # unreachable
+        assert result.iterations <= 3
+
+
+class TestPageRankFull:
+    def test_converges(self, rng):
+        from repro.apps.pagerank import workload
+
+        inputs = workload(rng, N=80, avg_degree=5)
+        result = run_pagerank(
+            inputs["graph"], n=80, e=inputs["E"], tolerance=1e-12
+        )
+        assert result.iterations < 200
+        # a further iteration changes nothing
+        from repro.apps.pagerank import build_pagerank
+        from repro.interp import run_program
+
+        again = run_program(
+            build_pagerank(),
+            graph=inputs["graph"], prev=result.result,
+            N=80, E=inputs["E"],
+        )
+        assert np.allclose(again, result.result, atol=1e-10)
+
+    def test_ranks_positive(self, rng):
+        from repro.apps.pagerank import workload
+
+        inputs = workload(rng, N=60, avg_degree=4)
+        result = run_pagerank(inputs["graph"], n=60, e=inputs["E"])
+        assert np.all(result.result > 0)
+
+
+class TestHotspotDriver:
+    def test_temperatures_approach_steady_state(self, rng):
+        from repro.apps.drivers import run_hotspot
+        from repro.apps.hotspot import HOTSPOT
+
+        inputs = HOTSPOT.workload(rng, R=20, C=20)
+        short = run_hotspot(inputs["temp"], inputs["power"], steps=5)
+        long = run_hotspot(inputs["temp"], inputs["power"], steps=50)
+        # successive steps change less and less
+        one_more = run_hotspot(long.result, inputs["power"], steps=1)
+        first_delta = np.abs(
+            run_hotspot(inputs["temp"], inputs["power"], steps=1).result
+            - inputs["temp"]
+        ).max()
+        late_delta = np.abs(one_more.result - long.result).max()
+        assert late_delta < first_delta
+
+    def test_simulated_time_scales_with_steps(self, rng):
+        from repro.apps.drivers import run_hotspot
+        from repro.apps.hotspot import HOTSPOT
+
+        inputs = HOTSPOT.workload(rng, R=16, C=16)
+        five = run_hotspot(inputs["temp"], inputs["power"], steps=5)
+        ten = run_hotspot(inputs["temp"], inputs["power"], steps=10)
+        assert ten.simulated_us == pytest.approx(2 * five.simulated_us)

@@ -1,0 +1,27 @@
+// Mapping decision:
+//   Level 0: [dimy, 32, span(1)]
+//   Level 1: [dimx, 32, span(all)]
+__global__ void pagerank_snapshot(long long N, long long E, const long long* graph_offsets, const long long* graph_nbrs, const double* graph_degrees, const double* prev, double* out) {
+    long long n0 = blockIdx.y * blockDim.y + threadIdx.y;
+    if (n0 < N) {
+        double pv0 = 0;
+        double acc_i0 = 0;
+        for (long long i0 = threadIdx.x; i0 < (graph_offsets[(n0 + 1)] - graph_offsets[n0]); i0 += blockDim.x) {
+            acc_i0 = acc_i0 + (prev[graph_nbrs[(graph_offsets[n0] + i0)]] / graph_degrees[graph_nbrs[(graph_offsets[n0] + i0)]]);
+        }
+        __shared__ double smem1[1024];
+        int lin_smem1 = threadIdx.x + threadIdx.y * blockDim.x + threadIdx.z * blockDim.x * blockDim.y;
+        smem1[lin_smem1] = acc_i0;
+        __syncthreads();
+        for (int off = blockDim.x / 2; off > 0; off >>= 1) {
+            if (threadIdx.x < off) {
+                smem1[lin_smem1] = smem1[lin_smem1] + smem1[lin_smem1 + off * 1];
+            }
+            __syncthreads();
+        }
+        pv0 = smem1[lin_smem1 - threadIdx.x * 1];
+        if (threadIdx.x == 0) {
+            out[n0] = ((0.15000000000000002 / ((double)N)) + (0.85 * pv0));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+// Mapping decision:
+//   Level 0: [dimy, 16, span(1)]
+//   Level 1: [dimx, 64, span(all)]
+__global__ void sumRows_fig9(long long R, long long C, const double* m, double* out) {
+    long long i0 = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i0 < R) {
+        double acc_k0 = 0;
+        for (long long k0 = threadIdx.x; k0 < C; k0 += blockDim.x) {
+            acc_k0 = acc_k0 + m[i0 * (C) + k0];
+        }
+        __shared__ double smem0[1024];
+        int lin_smem0 = threadIdx.x + threadIdx.y * blockDim.x + threadIdx.z * blockDim.x * blockDim.y;
+        smem0[lin_smem0] = acc_k0;
+        __syncthreads();
+        for (int off = blockDim.x / 2; off > 0; off >>= 1) {
+            if (threadIdx.x < off) {
+                smem0[lin_smem0] = smem0[lin_smem0] + smem0[lin_smem0 + off * 1];
+            }
+            __syncthreads();
+        }
+        if (threadIdx.x == 0) {
+            out[i0] = smem0[lin_smem0 - threadIdx.x * 1];
+        }
+    }
+}

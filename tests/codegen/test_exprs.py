@@ -1,0 +1,130 @@
+"""Tests for expression lowering to CUDA C."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.codegen.exprs import (
+    ArrayInfo,
+    CodegenContext,
+    array_ref,
+    c_type,
+    lower_expr,
+)
+from repro.ir.expr import (
+    ArrayRead,
+    BinOp,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    FieldRead,
+    Param,
+    Select,
+    UnOp,
+    Var,
+)
+from repro.ir.types import BOOL, F32, F64, I64, ArrayType, StructType
+
+
+def ctx_with(name="m", strides=("C", "1")):
+    ctx = CodegenContext()
+    ctx.arrays[name] = ArrayInfo(name, tuple(strides))
+    return ctx
+
+
+class TestCTypes:
+    def test_scalars(self):
+        assert c_type(F64) == "double"
+        assert c_type(F32) == "float"
+        assert c_type(I64) == "long long"
+        assert c_type(BOOL) == "bool"
+
+    def test_arrays(self):
+        assert c_type(ArrayType(F64, 2)) == "double*"
+
+
+class TestLowering:
+    def test_constants(self):
+        ctx = CodegenContext()
+        assert lower_expr(Const(3), ctx) == "3"
+        assert lower_expr(Const(2.5), ctx) == "2.5"
+        assert lower_expr(Const(True), ctx) == "true"
+        assert lower_expr(Const(1.0), ctx) == "1.0"
+
+    def test_binops(self):
+        ctx = CodegenContext()
+        e = BinOp("+", Const(1), Const(2))
+        assert lower_expr(e, ctx) == "(1 + 2)"
+
+    def test_min_max_as_functions(self):
+        ctx = CodegenContext()
+        e = BinOp("min", Const(1), Const(2))
+        assert lower_expr(e, ctx) == "min(1, 2)"
+
+    def test_comparison_and_select(self):
+        ctx = CodegenContext()
+        sel = Select(Cmp("<", Const(1), Const(2)), Const(3), Const(4))
+        assert lower_expr(sel, ctx) == "((1 < 2) ? 3 : 4)"
+
+    def test_intrinsics(self):
+        ctx = CodegenContext()
+        assert lower_expr(Call("sqrt", [Const(2.0)]), ctx) == "sqrt(2.0)"
+        assert lower_expr(Call("abs", [Const(-1.0)]), ctx) == "fabs(-1.0)"
+
+    def test_cast(self):
+        ctx = CodegenContext()
+        assert lower_expr(Cast(Const(1), F32), ctx) == "((float)1)"
+
+    def test_renames(self):
+        ctx = CodegenContext(renames={"i": "tid_x"})
+        assert lower_expr(Var("i", I64), ctx) == "tid_x"
+
+    def test_substitutions_by_identity(self):
+        node = Const(7)
+        ctx = CodegenContext()
+        ctx.substitutions[node] = "pv0"
+        assert lower_expr(node, ctx) == "pv0"
+        assert lower_expr(Const(7), ctx) == "7"  # different node
+
+
+class TestArrayRef:
+    def test_row_major_linearization(self):
+        ctx = ctx_with()
+        m = Param("m", ArrayType(F64, 2))
+        e = ArrayRead(m, (Var("i", I64), Var("j", I64)))
+        assert lower_expr(e, ctx) == "m[i * C + j]"
+
+    def test_unit_stride_elided(self):
+        ctx = ctx_with(strides=("1",))
+        xs = Param("m", ArrayType(F64, 1))
+        e = ArrayRead(xs, (Var("i", I64),))
+        assert lower_expr(e, ctx) == "m[i]"
+
+    def test_offset_prepended(self):
+        ctx = CodegenContext()
+        ctx.arrays["t"] = ArrayInfo("t_buf", ("1",), offset="j0 * R")
+        t = Var("t", ArrayType(F64, 1))
+        e = ArrayRead(t, (Var("k", I64),))
+        assert lower_expr(e, ctx) == "t_buf[j0 * R + k]"
+
+    def test_struct_field_flattening(self):
+        sty = StructType.of("G", {"nbrs": ArrayType(I64, 1)})
+        g = Param("g", sty)
+        ctx = CodegenContext()
+        # the kernel generator registers flattened struct fields under
+        # their C identifier
+        ctx.arrays["g_nbrs"] = ArrayInfo("g_nbrs", ("1",))
+        e = ArrayRead(FieldRead(g, "nbrs"), (Var("i", I64),))
+        assert lower_expr(e, ctx) == "g_nbrs[i]"
+
+    def test_unregistered_array_fails(self):
+        ctx = CodegenContext()
+        m = Param("m", ArrayType(F64, 1))
+        with pytest.raises(CodegenError, match="no layout"):
+            lower_expr(ArrayRead(m, (Const(0),)), ctx)
+
+    def test_too_many_indices(self):
+        ctx = ctx_with(strides=("1",))
+        m = Param("m", ArrayType(F64, 2))
+        with pytest.raises(CodegenError):
+            array_ref(m, (Const(0), Const(1)), ctx)

@@ -1,0 +1,44 @@
+"""Tests for the terminal bar-chart rendering."""
+
+import pytest
+
+from repro.figures import run_experiment
+from repro.figures.plots import render_bars, render_experiment_bars
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_experiment("fig12")
+
+
+class TestBars:
+    def test_bars_scale_monotonically(self, fig12):
+        text = render_bars(fig12, ["multidim", "1d"], width=20)
+        lines = [l for l in text.split("\n") if "1d" in l or "multidim" in l]
+        assert lines
+        # the longest bar belongs to the largest value
+        def bar_len(line):
+            return line.count("█")
+
+        def value(line):
+            return float(line.split()[1])
+
+        pairs = [(value(l), bar_len(l)) for l in lines]
+        ordered = sorted(pairs)
+        lengths = [b for _, b in ordered]
+        assert lengths == sorted(lengths)
+
+    def test_registered_experiments_plot(self):
+        for eid in ("fig3", "fig16"):
+            text = render_experiment_bars(run_experiment(eid))
+            assert "█" in text
+
+    def test_unregistered_falls_back_to_table(self):
+        text = render_experiment_bars(run_experiment("fig7"))
+        assert "dop" in text
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures", "fig16", "--plot"]) == 0
+        assert "█" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Tests for the warp-level coalescing model."""
+
+import pytest
+
+from repro.analysis.access import AccessSite, LinearForm
+from repro.analysis.mapping import Dim, LevelMapping, Mapping, Span, SpanAll, seq_level
+from repro.gpusim.coalescing import (
+    distinct_warp_combos,
+    lane_coordinates,
+    warp_transactions,
+)
+from repro.gpusim.device import TESLA_K20C
+from repro.ir.expr import Const, Var
+from repro.ir.patterns import Map
+from repro.ir.types import I64
+
+
+def make_site(axis_forms, shape, stack_names, elem_bytes=8, kind="read"):
+    patterns = []
+    for name, size in zip(stack_names, shape + (1000,) * 5):
+        patterns.append(Map(Const(10**4), Var(name, I64), Const(1.0)))
+    return AccessSite(
+        array_key="a",
+        kind=kind,
+        elem_bytes=elem_bytes,
+        axis_forms=tuple(axis_forms),
+        shape=tuple(shape),
+        pattern_stack=tuple(patterns),
+    )
+
+
+def mapping_2d(bx=32, by=4, x_level=1):
+    if x_level == 1:
+        return Mapping(
+            (
+                LevelMapping(Dim.Y, by, Span(1)),
+                LevelMapping(Dim.X, bx, Span(1)),
+            )
+        )
+    return Mapping(
+        (
+            LevelMapping(Dim.X, bx, Span(1)),
+            LevelMapping(Dim.Y, by, Span(1)),
+        )
+    )
+
+
+class TestLaneCoordinates:
+    def test_x_varies_fastest(self):
+        """Figure 4b: linear thread ids fill x first, then y."""
+        coords = lane_coordinates({Dim.X: 16, Dim.Y: 4}, 32)
+        assert coords[0] == {Dim.X: 0, Dim.Y: 0}
+        assert coords[15] == {Dim.X: 15, Dim.Y: 0}
+        assert coords[16] == {Dim.X: 0, Dim.Y: 1}
+        assert coords[31] == {Dim.X: 15, Dim.Y: 1}
+
+    def test_wide_x_spans_whole_warp(self):
+        coords = lane_coordinates({Dim.X: 64, Dim.Y: 2}, 32)
+        assert all(c[Dim.Y] == 0 for c in coords)
+        assert [c[Dim.X] for c in coords] == list(range(32))
+
+
+class TestTransactions:
+    def test_unit_stride_f64_two_segments(self):
+        """32 lanes x 8B contiguous = 256B = two 128B segments."""
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+        )
+        m = mapping_2d(bx=32, by=4, x_level=1)
+        profile = warp_transactions(site, m, TESLA_K20C)
+        assert profile.transactions == 2
+        assert profile.fully_coalesced
+
+    def test_unit_stride_f32_one_segment(self):
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+            elem_bytes=4,
+        )
+        m = mapping_2d(bx=32, by=4, x_level=1)
+        assert warp_transactions(site, m, TESLA_K20C).transactions == 1
+
+    def test_large_stride_one_per_lane(self):
+        """The inner index mapped to y: warp lanes stride by the row
+        length, one transaction each."""
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+        )
+        m = mapping_2d(bx=32, by=4, x_level=0)  # x is the *outer* level
+        profile = warp_transactions(site, m, TESLA_K20C)
+        assert profile.transactions == 32
+        assert not profile.fully_coalesced
+
+    def test_broadcast_single_segment(self):
+        """All lanes reading the same element coalesce to one segment."""
+        site = make_site(
+            [LinearForm.constant(5.0)], (1024,), ("i",)
+        )
+        m = mapping_2d()
+        assert warp_transactions(site, m, TESLA_K20C).transactions == 1
+
+    def test_opaque_dep_on_warp_varying_dim_scatters(self):
+        """A gather whose base varies per x-lane cannot coalesce."""
+        site = make_site(
+            [LinearForm.opaque(frozenset({"j"}))],
+            (10**6,),
+            ("i", "j"),
+        )
+        m = mapping_2d(bx=32, by=4, x_level=1)  # j rides x
+        assert warp_transactions(site, m, TESLA_K20C).transactions == 32
+
+    def test_opaque_dep_on_warp_constant_dim_groups(self):
+        """A per-row base (e.g. CSR row start) is warp-constant when the
+        row index rides a dim that does not vary within the warp."""
+        site = make_site(
+            [
+                LinearForm(
+                    coeffs=(("j", 1.0),), opaque_deps=frozenset({"i"})
+                )
+            ],
+            (10**6,),
+            ("i", "j"),
+        )
+        m = mapping_2d(bx=32, by=4, x_level=1)  # i rides y: one group
+        assert warp_transactions(site, m, TESLA_K20C).transactions == 2
+
+    def test_random_per_iteration(self):
+        """A random index drawn per outer iteration scatters when outer
+        varies within the warp, coalesces when it does not."""
+        form = LinearForm(
+            coeffs=(("j", 1.0),),
+            opaque_deps=frozenset({"i"}),
+            has_random=True,
+        )
+        site = make_site([form], (10**6,), ("i", "j"))
+        warp_constant = mapping_2d(bx=32, by=4, x_level=1)
+        assert warp_transactions(site, warp_constant, TESLA_K20C).transactions == 2
+        warp_varying = mapping_2d(bx=32, by=4, x_level=0)
+        assert warp_transactions(site, warp_varying, TESLA_K20C).transactions == 32
+
+    def test_seq_level_constant_within_warp(self):
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+        )
+        m = Mapping((LevelMapping(Dim.X, 32, Span(1)), seq_level()))
+        # j sequential per thread: within a warp only i varies -> strided
+        assert warp_transactions(site, m, TESLA_K20C).transactions == 32
+
+    def test_custom_strides_change_coalescing(self):
+        """The Figure 11 layout effect: same logical access, different
+        physical strides, different transactions."""
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+        )
+        m = mapping_2d(bx=32, by=4, x_level=0)  # outer rides x
+        bad = warp_transactions(site, m, TESLA_K20C, strides=(1024, 1))
+        good = warp_transactions(site, m, TESLA_K20C, strides=(1, 1024))
+        assert bad.transactions == 32
+        assert good.transactions == 2
+
+
+class TestDistinctCombos:
+    def test_outer_write_one_combo_per_warp(self):
+        site = make_site([LinearForm.index("i")], (1024,), ("i",), kind="write")
+        m = mapping_2d(bx=32, by=4, x_level=1)  # i rides y, 4-high block
+        # warp covers y in {0}: one distinct i per warp... block 32x4:
+        # first warp = 32 x-lanes at y=0 -> 1 combo
+        assert distinct_warp_combos(site, m, TESLA_K20C) == 1
+
+    def test_inner_write_many_combos(self):
+        site = make_site(
+            [LinearForm.index("i"), LinearForm.index("j")],
+            (1024, 1024),
+            ("i", "j"),
+            kind="write",
+        )
+        m = mapping_2d(bx=32, by=4, x_level=1)
+        assert distinct_warp_combos(site, m, TESLA_K20C) == 32

@@ -1,0 +1,62 @@
+"""Cross-device portability: conclusions must hold on the Fermi-era
+C2050, not just the K20c the paper evaluates on."""
+
+import pytest
+
+from repro.gpusim import TESLA_C2050, TESLA_K20C, simulate_program
+
+
+class TestDeviceDerivedWindows:
+    def test_dop_windows_differ(self):
+        k20c = TESLA_K20C.dop_window()
+        c2050 = TESLA_C2050.dop_window()
+        assert k20c.min_dop == 13 * 2048
+        assert c2050.min_dop == 14 * 1536
+        assert k20c.min_dop != c2050.min_dop
+
+
+@pytest.mark.parametrize("device", [TESLA_K20C, TESLA_C2050],
+                         ids=["K20c", "C2050"])
+class TestConclusionsPortable:
+    def test_multidim_flat_across_shapes(self, device, sum_rows_program):
+        times = [
+            simulate_program(
+                sum_rows_program, "multidim", device, R=r, C=c
+            ).total_us
+            for r, c in ((65536, 1024), (8192, 8192), (1024, 65536))
+        ]
+        assert max(times) / min(times) < 1.4
+
+    def test_one_d_collapses_on_skew(self, device, sum_rows_program):
+        base = simulate_program(
+            sum_rows_program, "multidim", device, R=1024, C=65536
+        ).total_us
+        oned = simulate_program(
+            sum_rows_program, "1d", device, R=1024, C=65536
+        ).total_us
+        assert oned > 5 * base
+
+    def test_fixed_2d_cannot_coalesce_sum_cols(
+        self, device, sum_cols_program
+    ):
+        base = simulate_program(
+            sum_cols_program, "multidim", device, R=8192, C=8192
+        ).total_us
+        for strategy in ("thread-block/thread", "warp-based"):
+            other = simulate_program(
+                sum_cols_program, strategy, device, R=8192, C=8192
+            ).total_us
+            assert other > 3 * base
+
+    def test_mappings_adapt_to_device(self, device, sum_rows_program):
+        """The chosen mapping stays hard-feasible and DOP-controlled for
+        the device's own window."""
+        from repro.analysis import analyze_program
+        from repro.analysis.scoring import hard_feasible
+        from repro.gpusim import decide_mapping
+
+        pa = analyze_program(sum_rows_program, R=8192, C=8192)
+        ka = pa.kernel(0)
+        d = decide_mapping(ka, "multidim", device)
+        assert hard_feasible(d.mapping, ka.constraints, ka.level_sizes())
+        assert d.mapping.dop(ka.level_sizes()) <= device.max_dop * 2

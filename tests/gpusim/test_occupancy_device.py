@@ -1,0 +1,107 @@
+"""Tests for the occupancy model and device catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.device import DEVICES, TESLA_C2050, TESLA_K20C, default_device
+from repro.gpusim.occupancy import compute_occupancy
+
+
+class TestDeviceCatalog:
+    def test_k20c_matches_paper(self):
+        """The paper: K20c has 13 SMs, 2048 threads/SM max."""
+        assert TESLA_K20C.num_sms == 13
+        assert TESLA_K20C.max_threads_per_sm == 2048
+        assert TESLA_K20C.warp_size == 32
+        assert TESLA_K20C.max_threads_per_block == 1024
+
+    def test_c2050_sms(self):
+        """Section II mentions 14 SMs for the C2050."""
+        assert TESLA_C2050.num_sms == 14
+
+    def test_default_is_k20c(self):
+        assert default_device() is TESLA_K20C
+
+    def test_registry(self):
+        assert "Tesla K20c" in DEVICES
+
+    def test_derived_quantities(self):
+        assert TESLA_K20C.max_warps_per_sm == 64
+        assert TESLA_K20C.max_resident_warps == 13 * 64
+        assert TESLA_K20C.peak_flops > 1e12
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        occ = compute_occupancy(TESLA_K20C, total_blocks=1000,
+                                threads_per_block=256)
+        assert occ.occupancy == 1.0
+        assert occ.resident_warps == TESLA_K20C.max_resident_warps
+
+    def test_few_threads(self):
+        occ = compute_occupancy(TESLA_K20C, total_blocks=4,
+                                threads_per_block=256)
+        assert occ.resident_warps == 32
+        assert occ.occupancy < 0.05
+
+    def test_block_slot_limit(self):
+        # tiny blocks: limited by 16 blocks/SM, not threads
+        occ = compute_occupancy(TESLA_K20C, total_blocks=10**6,
+                                threads_per_block=32)
+        assert occ.resident_blocks == 13 * 16
+        assert occ.resident_warps == 13 * 16  # one warp per block
+
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(
+            TESLA_K20C, total_blocks=1000, threads_per_block=128,
+            shared_mem_per_block=24 * 1024,
+        )
+        # 48KB/SM with 24KB blocks -> 2 blocks/SM
+        assert occ.resident_blocks == 13 * 2
+
+    def test_oversized_shared_memory_degrades(self):
+        occ = compute_occupancy(
+            TESLA_K20C, total_blocks=10, threads_per_block=128,
+            shared_mem_per_block=100 * 1024,
+        )
+        assert occ.resident_blocks >= 1  # degrades, never zero
+
+    def test_waves(self):
+        occ = compute_occupancy(TESLA_K20C, total_blocks=13 * 8 * 3,
+                                threads_per_block=256)
+        assert occ.waves == pytest.approx(3.0)
+
+    def test_bandwidth_fraction_full_at_high_occupancy(self):
+        occ = compute_occupancy(TESLA_K20C, 10**4, 256)
+        assert occ.bandwidth_fraction == 1.0
+
+    def test_bandwidth_fraction_superlinear_at_low(self):
+        occ = compute_occupancy(TESLA_K20C, 1, 64)
+        linear = occ.resident_warps / TESLA_K20C.warps_for_peak_bw
+        assert occ.bandwidth_fraction < linear
+
+
+@given(
+    blocks=st.integers(min_value=1, max_value=10**6),
+    tpb=st.sampled_from([1, 32, 64, 128, 256, 512, 1024]),
+)
+@settings(max_examples=60)
+def test_occupancy_invariants(blocks, tpb):
+    occ = compute_occupancy(TESLA_K20C, blocks, tpb)
+    assert 0 < occ.resident_warps <= TESLA_K20C.max_resident_warps
+    assert occ.resident_blocks <= blocks
+    assert 0.0 <= occ.occupancy <= 1.0
+    assert 0.0 <= occ.bandwidth_fraction <= 1.0
+    assert occ.total_warps >= occ.resident_warps
+
+
+@given(
+    blocks_small=st.integers(min_value=1, max_value=50),
+    extra=st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=40)
+def test_more_blocks_never_reduce_residency(blocks_small, extra):
+    a = compute_occupancy(TESLA_K20C, blocks_small, 256)
+    b = compute_occupancy(TESLA_K20C, blocks_small + extra, 256)
+    assert b.resident_warps >= a.resident_warps

@@ -1,0 +1,61 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import pytest
+
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.sharedmem import (
+    NUM_BANKS,
+    bank_conflicts,
+    strided_access_conflicts,
+    tree_reduce_conflict_factor,
+)
+
+
+class TestBankConflicts:
+    def test_unit_stride_conflict_free(self):
+        profile = strided_access_conflicts(1)
+        assert profile.conflict_free
+        assert profile.serialization == 1
+
+    def test_stride_two_two_way(self):
+        assert strided_access_conflicts(2).serialization == 2
+
+    def test_stride_32_full_serialization(self):
+        assert strided_access_conflicts(32).serialization == 32
+
+    def test_odd_stride_conflict_free(self):
+        """Classic trick: odd strides avoid conflicts entirely."""
+        for stride in (1, 3, 5, 7, 33):
+            assert strided_access_conflicts(stride).conflict_free, stride
+
+    def test_broadcast_is_free(self):
+        profile = bank_conflicts([0] * 32)
+        assert profile.conflict_free
+
+    def test_mixed_same_bank_distinct_words(self):
+        profile = bank_conflicts([0, NUM_BANKS, 2 * NUM_BANKS])
+        assert profile.serialization == 3
+
+    def test_fewer_lanes(self):
+        profile = strided_access_conflicts(32, active_lanes=4)
+        assert profile.serialization == 4
+
+
+class TestTreeReduceFactor:
+    def test_reduce_along_x_is_free(self):
+        """smem[lin] with the reduce dim at stride 1: conflict-free."""
+        assert tree_reduce_conflict_factor(1, 256, TESLA_K20C) == 1.0
+
+    def test_reduce_along_y_with_pow2_x_conflicts(self):
+        """Reduce along y with blockDim.x = 32: every lane of a warp is
+        in the same bank."""
+        factor = tree_reduce_conflict_factor(32, 32, TESLA_K20C)
+        assert factor == 32.0
+
+    def test_tree_reduce_linear_ids_conflict_free(self):
+        """The generated tree reduce indexes scratch by the linear thread
+        id: a warp's 32 lanes touch 32 consecutive words, which is
+        conflict-free — the reason the cost model charges no conflict
+        factor for reductions."""
+        profile = bank_conflicts(list(range(32)))
+        assert profile.conflict_free

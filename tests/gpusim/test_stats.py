@@ -1,0 +1,80 @@
+"""Tests for the cost-result records and their reporting."""
+
+import pytest
+
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.stats import AccessCost, KernelCost, ProgramCost
+
+
+def make_cost(**overrides):
+    defaults = dict(
+        launch_us=6.0,
+        block_sched_us=1.0,
+        malloc_us=0.0,
+        mem_bandwidth_us=100.0,
+        mem_latency_us=40.0,
+        compute_us=30.0,
+        shared_mem_us=2.0,
+        atomic_us=0.0,
+        combiner_us=0.0,
+        traffic_bytes=1e6,
+    )
+    defaults.update(overrides)
+    return KernelCost(**defaults)
+
+
+class TestKernelCost:
+    def test_memory_is_max_of_bw_and_latency(self):
+        cost = make_cost(mem_bandwidth_us=100.0, mem_latency_us=250.0)
+        assert cost.memory_us == 250.0
+
+    def test_total_overlaps_memory_and_compute(self):
+        cost = make_cost(mem_bandwidth_us=100.0, compute_us=30.0)
+        # memory dominates; compute hides under it
+        assert cost.total_us == pytest.approx(6 + 1 + 100 + 2)
+
+    def test_compute_bound_kernel(self):
+        cost = make_cost(mem_bandwidth_us=10.0, mem_latency_us=5.0,
+                         compute_us=500.0)
+        assert cost.total_us == pytest.approx(6 + 1 + 500 + 2)
+
+    def test_overheads_always_additive(self):
+        cost = make_cost(malloc_us=1000.0, combiner_us=20.0, atomic_us=3.0)
+        assert cost.total_us == pytest.approx(6 + 1 + 1000 + 100 + 2 + 3 + 20)
+
+    def test_describe_mentions_terms(self):
+        cost = make_cost()
+        cost.occupancy = compute_occupancy(TESLA_K20C, 100, 256)
+        text = cost.describe()
+        for term in ("launch", "malloc", "mem (bw)", "compute",
+                     "occupancy", "traffic"):
+            assert term in text
+
+    def test_access_costs_attachable(self):
+        cost = make_cost()
+        cost.accesses.append(
+            AccessCost(
+                array_key="m", kind="read", level=1, issues=10.0,
+                transactions_per_issue=2, issued_bytes=2560.0,
+                footprint_bytes=1000.0, effective_bytes=1000.0,
+            )
+        )
+        assert cost.accesses[0].array_key == "m"
+
+
+class TestProgramCost:
+    def test_totals_sum_kernels_and_transfer(self):
+        program = ProgramCost(
+            kernels=[make_cost(), make_cost(launch_us=10.0)],
+            transfer_us=50.0,
+        )
+        assert program.kernels_us == pytest.approx(
+            program.kernels[0].total_us + program.kernels[1].total_us
+        )
+        assert program.total_us == pytest.approx(
+            program.kernels_us + 50.0
+        )
+
+    def test_empty_program(self):
+        assert ProgramCost().total_us == 0.0

@@ -1,0 +1,294 @@
+"""Trace-based validation: the analytic memory model vs exhaustive
+thread-level enumeration on small problem sizes.
+
+These are the strongest tests in the suite: they execute the exact index
+computations the code generator emits for every (block, thread, iteration)
+combination and count 128-byte segments with a set, then compare against
+the closed-form prediction the cost model uses.
+"""
+
+import pytest
+
+from repro.analysis.analyzer import analyze_program
+from repro.analysis.mapping import (
+    Dim,
+    LevelMapping,
+    Mapping,
+    Span,
+    SpanAll,
+    Split,
+    seq_level,
+)
+from repro.gpusim.coalescing import warp_transactions
+from repro.gpusim.cost import _site_issues
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.trace import trace_site
+
+
+def analyze(program, **sizes):
+    pa = analyze_program(program, **sizes)
+    return pa.kernel(0), pa.env
+
+
+def m_site(ka):
+    return next(s for s in ka.accesses.sites if s.array_key == "m")
+
+
+def analytic(site, mapping, sizes, env):
+    tpb = mapping.threads_per_block()
+    blocks = mapping.total_blocks(list(sizes))
+    warps_per_block = -(-tpb // 32)
+    total_warps = blocks * warps_per_block
+    issues = _site_issues(site, mapping, list(sizes), total_warps,
+                          TESLA_K20C, env)
+    trans = warp_transactions(site, mapping, TESLA_K20C).transactions
+    return issues, trans
+
+
+CASES = [
+    # (mapping, sizes (R, C))
+    pytest.param(
+        Mapping((LevelMapping(Dim.Y, 2, Span(1)),
+                 LevelMapping(Dim.X, 32, SpanAll()))),
+        (8, 64),
+        id="coalesced-spanall",
+    ),
+    pytest.param(
+        Mapping((LevelMapping(Dim.X, 32, Span(1)),
+                 LevelMapping(Dim.Y, 2, SpanAll()))),
+        (64, 8),
+        id="outer-on-x",
+    ),
+    pytest.param(
+        Mapping((LevelMapping(Dim.X, 32, Span(1)), seq_level())),
+        (64, 16),
+        id="one-d",
+    ),
+    pytest.param(
+        Mapping((LevelMapping(Dim.Y, 2, Span(2)),
+                 LevelMapping(Dim.X, 32, SpanAll()))),
+        (16, 64),
+        id="span-2",
+    ),
+    pytest.param(
+        Mapping((LevelMapping(Dim.Y, 1, Span(1)),
+                 LevelMapping(Dim.X, 32, Split(2)))),
+        (4, 128),
+        id="split-2",
+    ),
+]
+
+
+class TestSumRowsTrace:
+    """sumRows: the read m[i, j] under several mappings."""
+
+    @pytest.mark.parametrize("mapping,sizes", CASES)
+    def test_issue_counts_match(self, sum_rows_program, mapping, sizes):
+        R, C = sizes
+        ka, env = analyze(sum_rows_program, R=R, C=C)
+        site = m_site(ka)
+        stats = trace_site(site, mapping, [R, C], TESLA_K20C, env)
+        issues, _ = analytic(site, mapping, sizes, env)
+        assert stats.total_warp_issues == pytest.approx(issues, rel=0.25)
+
+    @pytest.mark.parametrize("mapping,sizes", CASES)
+    def test_transactions_per_issue_match(
+        self, sum_rows_program, mapping, sizes
+    ):
+        R, C = sizes
+        ka, env = analyze(sum_rows_program, R=R, C=C)
+        site = m_site(ka)
+        stats = trace_site(site, mapping, [R, C], TESLA_K20C, env)
+        _, trans = analytic(site, mapping, sizes, env)
+        assert stats.transactions_per_issue == pytest.approx(trans, rel=0.3)
+
+    @pytest.mark.parametrize("mapping,sizes", CASES)
+    def test_total_traffic_matches(self, sum_rows_program, mapping, sizes):
+        """The product (issues x transactions) is what the cost model
+        charges; it must track the brute-force total."""
+        R, C = sizes
+        ka, env = analyze(sum_rows_program, R=R, C=C)
+        site = m_site(ka)
+        stats = trace_site(site, mapping, [R, C], TESLA_K20C, env)
+        issues, trans = analytic(site, mapping, sizes, env)
+        assert stats.total_transactions == pytest.approx(
+            issues * trans, rel=0.3
+        )
+
+
+class TestOrderingPreserved:
+    """Whatever the absolute agreement, the brute-force trace must agree
+    with the model about WHICH mapping moves less memory."""
+
+    def test_coalesced_vs_strided_ordering(self, sum_rows_program):
+        R, C = 32, 64
+        ka, env = analyze(sum_rows_program, R=R, C=C)
+        site = m_site(ka)
+        good = Mapping((LevelMapping(Dim.Y, 2, Span(1)),
+                        LevelMapping(Dim.X, 32, SpanAll())))
+        bad = Mapping((LevelMapping(Dim.X, 32, Span(1)),
+                       LevelMapping(Dim.Y, 2, SpanAll())))
+        t_good = trace_site(site, good, [R, C], TESLA_K20C, env)
+        t_bad = trace_site(site, bad, [R, C], TESLA_K20C, env)
+        assert t_good.total_transactions < t_bad.total_transactions
+        # and the analytic model agrees
+        _, a_good = analytic(site, good, (R, C), env)
+        _, a_bad = analytic(site, bad, (R, C), env)
+        assert a_good < a_bad
+
+    def test_layout_strides_effect(self, sum_weighted_cols_program):
+        """Tracing the temp with Fig 11(a) vs (b) strides reproduces the
+        layout optimization's effect."""
+        R, C = 32, 32
+        ka, env = analyze(sum_weighted_cols_program, R=R, C=C)
+        temp = next(
+            s for s in ka.accesses.sites
+            if s.flexible_layout and s.kind == "read"
+        )
+        mapping = Mapping((LevelMapping(Dim.X, 32, Span(1)),
+                           LevelMapping(Dim.Y, 2, SpanAll())))
+        row_major = (R, 1)   # Fig 11(a): temp[j][k]
+        col_major = (1, C)   # Fig 11(b): temp[k][j]
+        t_bad = trace_site(temp, mapping, [R, C], TESLA_K20C, env,
+                           strides=row_major)
+        t_good = trace_site(temp, mapping, [R, C], TESLA_K20C, env,
+                            strides=col_major)
+        assert t_good.total_transactions < t_bad.total_transactions
+
+
+class TestTraceability:
+    def test_gather_rejected(self):
+        from repro.apps.qpscd import build_qpscd
+        from repro.errors import SimulationError
+        from repro.analysis.mapping import seq_level
+
+        pa = analyze_program(build_qpscd(), S=8, N=8, C=8)
+        ka = pa.kernel(0)
+        a_site = next(s for s in ka.accesses.sites if s.array_key == "A")
+        mapping = Mapping((LevelMapping(Dim.X, 32, Span(1)), seq_level()))
+        with pytest.raises(SimulationError, match="not traceable"):
+            trace_site(a_site, mapping, [8, 8], TESLA_K20C, pa.env)
+
+    def test_trace_kernel_covers_affine_sites(self, sum_rows_program):
+        from repro.gpusim.trace import trace_kernel
+
+        pa = analyze_program(sum_rows_program, R=16, C=32)
+        ka = pa.kernel(0)
+        mapping = Mapping((LevelMapping(Dim.Y, 2, Span(1)),
+                           LevelMapping(Dim.X, 32, SpanAll())))
+        results = trace_kernel(ka, mapping, [16, 32], TESLA_K20C)
+        assert len(results) >= 1
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    bx=st.sampled_from([8, 16, 32]),
+    by=st.sampled_from([1, 2, 4]),
+    outer_span=st.integers(min_value=1, max_value=2),
+    x_is_inner=st.booleans(),
+    rows=st.integers(min_value=32, max_value=64),
+    cols=st.integers(min_value=32, max_value=80),
+)
+@settings(max_examples=25, deadline=None)
+def test_trace_matches_model_for_random_mappings(
+    bx, by, outer_span, x_is_inner, rows, cols
+):
+    """Property: for random geometries whose domains reasonably fill the
+    blocks, the analytic traffic product (issues x transactions) tracks
+    the exhaustive trace.  The model ignores bounds-guard savings at
+    partial blocks/warps, so the tolerance combines a relative band with
+    an absolute slack proportional to one block's worth of issues.
+    """
+    from tests.conftest import make_sum_rows
+
+    program = make_sum_rows()
+    ka, env = analyze(program, R=rows, C=cols)
+    site = m_site(ka)
+    if x_is_inner:
+        mapping = Mapping(
+            (LevelMapping(Dim.Y, by, Span(outer_span)),
+             LevelMapping(Dim.X, bx, SpanAll()))
+        )
+    else:
+        mapping = Mapping(
+            (LevelMapping(Dim.X, bx, Span(outer_span)),
+             LevelMapping(Dim.Y, by, SpanAll()))
+        )
+    stats = trace_site(site, mapping, [rows, cols], TESLA_K20C, env)
+    issues, trans = analytic(site, mapping, (rows, cols), env)
+    predicted = issues * trans
+    actual = stats.total_transactions
+    # Two modeled-vs-real gaps bound the tolerance:
+    # * partial blocks: the model bills them at full rate while the
+    #   trace's bounds guards skip the invalid tail (one block's worth);
+    # * alignment: the model assumes 128B-aligned bases, so a real
+    #   misaligned span can cost one extra segment per issue.
+    warps_per_block = -(-mapping.threads_per_block() // 32)
+    iters_per_thread = (
+        mapping.thread_iterations(0, rows)
+        * mapping.thread_iterations(1, cols)
+    )
+    slack = trans * iters_per_thread * warps_per_block + issues
+    assert (
+        predicted == pytest.approx(actual, rel=0.4)
+        or abs(predicted - actual) <= slack
+    )
+
+
+class TestThreeLevelTrace:
+    """The trace generalizes to deeper nests (msmbuilder-style)."""
+
+    def test_three_level_traffic_matches(self):
+        from repro.apps.msmbuilder import build_msmbuilder
+
+        program = build_msmbuilder()
+        ka, env = analyze(program, P=8, K=6, D=32)
+        site = next(
+            s for s in ka.accesses.sites if s.array_key == "X"
+        )
+        mapping = Mapping(
+            (
+                LevelMapping(Dim.Z, 2, Span(1)),
+                LevelMapping(Dim.Y, 2, Span(1)),
+                LevelMapping(Dim.X, 32, SpanAll()),
+            )
+        )
+        stats = trace_site(site, mapping, [8, 6, 32], TESLA_K20C, env)
+        tpb = mapping.threads_per_block()
+        blocks = mapping.total_blocks([8, 6, 32])
+        warps = blocks * (-(-tpb // 32))
+        issues = _site_issues(site, mapping, [8, 6, 32], warps,
+                              TESLA_K20C, env)
+        trans = warp_transactions(site, mapping, TESLA_K20C).transactions
+        assert stats.total_transactions == pytest.approx(
+            issues * trans, rel=0.35
+        )
+
+    def test_three_level_dim_choice_ordering(self):
+        """Tracing confirms the model's preference: D (unit stride) on x
+        moves less memory than K on x."""
+        from repro.apps.msmbuilder import build_msmbuilder
+
+        program = build_msmbuilder()
+        ka, env = analyze(program, P=8, K=32, D=32)
+        site = next(s for s in ka.accesses.sites if s.array_key == "Cent")
+        good = Mapping(
+            (
+                LevelMapping(Dim.Z, 2, Span(1)),
+                LevelMapping(Dim.Y, 2, Span(1)),
+                LevelMapping(Dim.X, 32, SpanAll()),
+            )
+        )
+        bad = Mapping(
+            (
+                LevelMapping(Dim.Z, 2, Span(1)),
+                LevelMapping(Dim.X, 32, Span(1)),
+                LevelMapping(Dim.Y, 2, SpanAll()),
+            )
+        )
+        t_good = trace_site(site, good, [8, 32, 32], TESLA_K20C, env)
+        t_bad = trace_site(site, bad, [8, 32, 32], TESLA_K20C, env)
+        assert t_good.total_transactions < t_bad.total_transactions

@@ -1,0 +1,129 @@
+"""End-to-end integration: compile -> run -> estimate across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import GpuSession, OptimizationFlags, TESLA_C2050, TESLA_K20C
+
+
+class TestFullPipeline:
+    def test_sum_rows_end_to_end(self, rng):
+        from repro.apps.sums import SUM_ROWS
+
+        session = GpuSession()
+        compiled = session.compile(SUM_ROWS.build(), R=128, C=64)
+        inputs = SUM_ROWS.workload(rng, R=128, C=64)
+        out = compiled.run(**inputs)
+        assert np.allclose(out, SUM_ROWS.reference(inputs))
+        assert compiled.estimate_time_us() > 0
+        assert "__global__" in compiled.cuda_source
+        assert "__shared__" in compiled.cuda_source  # tree reduce emitted
+
+    def test_pagerank_end_to_end(self, rng):
+        from repro.apps.pagerank import PAGERANK
+
+        session = GpuSession()
+        compiled = session.compile(PAGERANK.build(), N=4096, E=65536)
+        inputs = PAGERANK.workload(rng, N=120, avg_degree=5)
+        out = compiled.run(**inputs)
+        assert np.allclose(out, PAGERANK.reference(inputs))
+        # graph mapping: inner Span(all)
+        from repro.analysis import SpanAll
+
+        assert isinstance(
+            compiled.mappings()[0].level(1).span, SpanAll
+        )
+
+    def test_every_app_compiles_on_both_devices(self):
+        from repro.apps import ALL_APPS
+
+        for device in (TESLA_K20C, TESLA_C2050):
+            for name in ("sumRows", "mandelbrot", "qpscd", "pagerank"):
+                app = ALL_APPS[name]
+                session = GpuSession(device=device)
+                compiled = session.compile(app.build(), **app.default_params)
+                assert compiled.estimate_time_us() > 0
+                assert "__global__" in compiled.cuda_source
+
+    def test_all_strategies_full_stack(self, rng):
+        """Every strategy compiles, generates CUDA, and runs correctly
+        (functional results are mapping-independent)."""
+        from repro.apps.sums import SUM_COLS
+
+        inputs = SUM_COLS.workload(rng, R=48, C=36)
+        expected = SUM_COLS.reference(inputs)
+        for strategy in ("multidim", "1d", "thread-block/thread",
+                         "warp-based"):
+            session = GpuSession(strategy=strategy)
+            compiled = session.compile(SUM_COLS.build(), R=48, C=36)
+            out = compiled.run(**inputs)
+            assert np.allclose(out, expected), strategy
+
+    def test_optimization_ablation_full_stack(self, rng):
+        """Fig 16's three configurations through the session API."""
+        from repro.apps.sums import SUM_WEIGHTED_COLS
+
+        prog = SUM_WEIGHTED_COLS.build()
+        times = {}
+        for label, flags in {
+            "full": OptimizationFlags(True, True, True),
+            "no_layout": OptimizationFlags(True, False, True),
+            "malloc": OptimizationFlags(False, False, False),
+        }.items():
+            session = GpuSession(flags=flags, dynamic_launch=False)
+            compiled = session.compile(prog, R=8192, C=8192)
+            times[label] = compiled.estimate_time_us()
+        assert times["full"] < times["no_layout"] < times["malloc"]
+
+    def test_estimates_scale_with_problem_size(self):
+        from repro.apps.mandelbrot import MANDELBROT
+
+        session = GpuSession()
+        compiled = session.compile(MANDELBROT.build(), H=2048, W=2048)
+        small = compiled.estimate_time_us(H=512, W=512)
+        large = compiled.estimate_time_us(H=4096, W=4096)
+        assert large > 10 * small
+
+    def test_dynamic_launch_no_worse_than_static(self):
+        """Section IV-D: runtime block-size adjustment helps (or at least
+        does not hurt) on skewed runtime sizes."""
+        from repro.apps.mandelbrot import MANDELBROT
+
+        prog = MANDELBROT.build()
+        static = GpuSession(dynamic_launch=False).compile(
+            prog, H=2048, W=2048
+        )
+        dynamic = GpuSession(dynamic_launch=True).compile(
+            prog, H=2048, W=2048
+        )
+        skew = {"H": 50, "W": 20000}
+        assert (
+            dynamic.estimate_time_us(**skew)
+            <= static.estimate_time_us(**skew) * 1.05
+        )
+
+
+class TestMappingInvariance:
+    """Functional results must not depend on the mapping decision."""
+
+    @pytest.mark.parametrize(
+        "app_name,sizes",
+        [
+            ("sumRows", {"R": 33, "C": 17}),
+            ("sumWeightedCols", {"R": 21, "C": 13}),
+            ("mandelbrot", {"H": 9, "W": 11}),
+            ("msmbuilder", {"P": 6, "K": 5, "D": 4}),
+        ],
+    )
+    def test_strategies_agree(self, rng, app_name, sizes):
+        from repro.apps import ALL_APPS
+
+        app = ALL_APPS[app_name]
+        inputs = app.workload(rng, **sizes)
+        results = []
+        for strategy in ("multidim", "1d"):
+            compiled = GpuSession(strategy=strategy).compile(
+                app.build(), **sizes
+            )
+            results.append(np.asarray(compiled.run(**inputs), dtype=float))
+        assert np.allclose(results[0], results[1])

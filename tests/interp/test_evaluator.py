@@ -1,0 +1,223 @@
+"""Tests for the functional interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.interp import Evaluator, run_program
+from repro.ir import Builder, F32, F64, I64
+from repro.ir.builder import (
+    EH,
+    let,
+    let_vec,
+    maximum,
+    minimum,
+    range_foreach,
+    range_map,
+    range_reduce,
+    sqrt,
+    store,
+)
+from repro.ir.expr import Const
+
+
+class TestExpressions:
+    def test_arithmetic(self, rng):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build((x + 1) * 2 - 0.5)
+        assert run_program(prog, x=3.0) == pytest.approx(7.5)
+
+    def test_division_semantics(self):
+        b = Builder("p")
+        x = b.scalar("x", I64)
+        prog = b.build(x / 4)
+        assert run_program(prog, x=10) == pytest.approx(2.5)
+        b2 = Builder("p2")
+        y = b2.scalar("y", I64)
+        prog2 = b2.build(y // 4)
+        assert run_program(prog2, y=10) == 2
+
+    def test_intrinsics(self):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build(sqrt(x))
+        assert run_program(prog, x=16.0) == pytest.approx(4.0)
+
+    def test_min_max(self):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build(minimum(maximum(x, 0.0), 1.0))
+        assert run_program(prog, x=3.0) == 1.0
+        assert run_program(prog, x=-3.0) == 0.0
+
+    def test_select_scalar(self):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build((x > 0).where(x, -x))
+        assert run_program(prog, x=-5.0) == 5.0
+
+    def test_cast(self):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build(x.cast(I64))
+        assert run_program(prog, x=3.9) == 3
+
+    def test_let_binding(self):
+        b = Builder("p")
+        x = b.scalar("x", F64)
+        prog = b.build(let(x * 2, lambda t: t + t))
+        assert run_program(prog, x=3.0) == 12.0
+
+    def test_missing_input(self, sum_rows_program):
+        with pytest.raises(ExecutionError, match="missing input"):
+            run_program(sum_rows_program, R=2, C=2)
+
+
+class TestPatterns:
+    def test_map(self, rng):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.map(lambda e: e * 2 + 1))
+        data = rng.random(64)
+        assert np.allclose(run_program(prog, xs=data, N=64), data * 2 + 1)
+
+    def test_zip_with(self, rng):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        ys = b.vector("ys", F64, length="N")
+        prog = b.build(xs.zip_with(ys, lambda a, c: a * c))
+        x, y = rng.random(32), rng.random(32)
+        assert np.allclose(run_program(prog, xs=x, ys=y, N=32), x * y)
+
+    def test_reduce_ops(self, rng):
+        data = rng.random(100)
+        for op, expected in (
+            ("+", data.sum()),
+            ("*", data.prod()),
+            ("min", data.min()),
+            ("max", data.max()),
+        ):
+            b = Builder("p" + op)
+            xs = b.vector("xs", F64, length="N")
+            prog = b.build(xs.reduce(op))
+            assert run_program(prog, xs=data, N=100) == pytest.approx(expected)
+
+    def test_custom_reduce(self, rng):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.reduce_fn(lambda a, c: maximum(a, c)))
+        data = rng.random(50)
+        assert run_program(prog, xs=data, N=50) == pytest.approx(data.max())
+
+    def test_empty_sum_reduce_identity(self):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.reduce("+"))
+        assert run_program(prog, xs=np.zeros(0), N=0) == 0.0
+
+    def test_empty_min_reduce_raises(self):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.reduce("min"))
+        with pytest.raises(ExecutionError, match="identity"):
+            run_program(prog, xs=np.zeros(0), N=0)
+
+    def test_filter(self, rng):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.filter(lambda e: e > 0.5))
+        data = rng.random(200)
+        assert np.allclose(run_program(prog, xs=data, N=200),
+                           data[data > 0.5])
+
+    def test_groupby(self):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        prog = b.build(xs.group_by(lambda e: (e * 3).cast(I64)))
+        data = np.array([0.1, 0.5, 0.9, 0.2])
+        groups = run_program(prog, xs=data, N=4)
+        assert set(groups) == {0, 1, 2}
+        assert np.allclose(groups[0], [0.1, 0.2])
+
+    def test_foreach_stores(self, rng):
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        out = b.vector("out", F64, length="N")
+        prog = b.build(xs.foreach(lambda e, i: [store(out, i, e * e)]))
+        data = rng.random(16)
+        buffer = np.zeros(16)
+        run_program(prog, xs=data, out=buffer, N=16)
+        assert np.allclose(buffer, data * data)
+
+    def test_nested_map_stacks(self, rng):
+        prog_b = Builder("p")
+        n = prog_b.size("N")
+        m = prog_b.size("M")
+        out = range_map(
+            n, lambda i: range_map(
+                m, lambda j: i.cast(F64) * 10 + j.cast(F64),
+                index_name="j",
+            ),
+            index_name="i",
+        )
+        prog = prog_b.build(out)
+        result = run_program(prog, N=3, M=4)
+        assert result.shape == (3, 4)
+        assert result[2, 3] == 23.0
+
+    def test_ragged_nested_map(self):
+        b = Builder("p")
+        n = b.size("N")
+        out = range_map(
+            n,
+            lambda i: range_map(i + 1, lambda j: j.cast(F64), index_name="j"),
+            index_name="i",
+        )
+        prog = b.build(out)
+        result = run_program(prog, N=3)
+        assert result.dtype == object
+        assert len(result[2]) == 3
+
+    def test_random_index_reproducible(self):
+        b = Builder("p")
+        n = b.size("N")
+        xs = b.vector("xs", F64, length="N")
+        from repro.ir.builder import random_index
+
+        out = range_map(
+            n, lambda s: xs[random_index(n).cast(I64)], index_name="s"
+        )
+        prog = b.build(out)
+        data = np.arange(50, dtype=np.float64)
+        a = run_program(prog, seed=3, xs=data, N=50)
+        c = run_program(prog, seed=3, xs=data, N=50)
+        d = run_program(prog, seed=4, xs=data, N=50)
+        assert np.array_equal(a, c)
+        assert not np.array_equal(a, d)
+
+    def test_struct_inputs(self):
+        from repro.ir.types import ArrayType, StructType
+
+        sty = StructType.of("S", {"xs": ArrayType(F64, 1)})
+        b = Builder("p")
+        n = b.size("N")
+        s = b.struct("s", sty)
+        prog = b.build(s.field_vector("xs", n).reduce("+"))
+        assert run_program(
+            prog, s={"xs": np.ones(5)}, N=5
+        ) == pytest.approx(5.0)
+
+    def test_let_vec_materialization_matches_fusion(self, rng):
+        data = rng.random(64)
+        b1 = Builder("fused")
+        xs1 = b1.vector("xs", F64, length="N")
+        fused = b1.build(xs1.map(lambda e: e * 2).reduce("+"))
+        b2 = Builder("mat")
+        xs2 = b2.vector("xs", F64, length="N")
+        materialized = b2.build(
+            let_vec(xs2.map(lambda e: e * 2), lambda t: t.reduce("+"))
+        )
+        assert run_program(fused, xs=data, N=64) == pytest.approx(
+            run_program(materialized, xs=data, N=64)
+        )

@@ -1,0 +1,215 @@
+"""Tests for the vectorized Foreach fast path: every supported shape must
+match the sequential loop exactly, and every unsafe shape must fall back."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Evaluator, run_program
+from repro.ir import Builder, F64, I64
+from repro.ir.builder import if_then, range_foreach, store, store2
+from repro.ir.expr import ExprStmt
+
+
+def run_both(make_program, inputs_factory, rng):
+    """Run once through whatever path the evaluator takes, and once with
+    the fast path disabled; results must agree."""
+    prog = make_program()
+    fast_inputs = inputs_factory(rng)
+    slow_inputs = {
+        k: (v.copy() if isinstance(v, np.ndarray) else v)
+        for k, v in fast_inputs.items()
+    }
+    run_program(prog, **fast_inputs)
+
+    evaluator = Evaluator(prog)
+    evaluator._try_vectorized_foreach = lambda *a, **k: False
+    evaluator.run(**slow_inputs)
+    return fast_inputs, slow_inputs
+
+
+class TestAgreementWithSequentialLoop:
+    def test_plain_scatter(self, rng):
+        def build():
+            b = Builder("p")
+            xs = b.vector("xs", F64, length="N")
+            out = b.vector("out", F64, length="N")
+            return b.build(
+                xs.foreach(lambda e, i: [store(out, i, e * 2 + 1)])
+            )
+
+        fast, slow = run_both(
+            build,
+            lambda r: {"xs": r.random(64), "out": np.zeros(64), "N": 64},
+            rng,
+        )
+        assert np.allclose(fast["out"], slow["out"])
+        assert np.allclose(fast["out"], fast["xs"] * 2 + 1)
+
+    def test_guarded_scatter(self, rng):
+        def build():
+            b = Builder("p")
+            xs = b.vector("xs", F64, length="N")
+            out = b.vector("out", F64, length="N")
+            return b.build(
+                xs.foreach(
+                    lambda e, i: [
+                        if_then(e > 0.5, [store(out, i, e)],
+                                [store(out, i, -e)])
+                    ]
+                )
+            )
+
+        fast, slow = run_both(
+            build,
+            lambda r: {"xs": r.random(100), "out": np.zeros(100), "N": 100},
+            rng,
+        )
+        assert np.allclose(fast["out"], slow["out"])
+
+    def test_read_own_position(self, rng):
+        """a[i] = a[i] * 2: reads only the iteration's own write slot."""
+
+        def build():
+            b = Builder("p")
+            a = b.vector("a", F64, length="N")
+            return b.build(a.foreach(lambda e, i: [store(a, i, e * 2)]))
+
+        fast, slow = run_both(
+            build, lambda r: {"a": r.random(50), "N": 50}, rng
+        )
+        assert np.allclose(fast["a"], slow["a"])
+
+    def test_gaussian_style_rank1_update(self, rng):
+        """The Fan2 inner loop: reads a row never written by the loop."""
+
+        def build():
+            b = Builder("p")
+            n = b.size("N")
+            a = b.matrix("a", F64, rows="N", cols="N")
+            return b.build(
+                range_foreach(
+                    n - 1,
+                    lambda j: [
+                        store2(a, 1 + j, j, a[1 + j, j] - a[0, j])
+                    ],
+                    index_name="j",
+                )
+            )
+
+        fast, slow = run_both(
+            build, lambda r: {"a": r.random((12, 12)), "N": 12}, rng
+        )
+        assert np.allclose(fast["a"], slow["a"])
+
+    def test_duplicate_targets_last_wins(self, rng):
+        """Non-injective scatter: both paths keep the last iteration."""
+
+        def build():
+            b = Builder("p")
+            n = b.size("N")
+            out = b.vector("out", F64, length="N")
+            return b.build(
+                range_foreach(
+                    n, lambda i: [store(out, (i // 2), i.cast(F64))],
+                    index_name="i",
+                )
+            )
+
+        fast, slow = run_both(
+            build, lambda r: {"out": np.zeros(32), "N": 32}, rng
+        )
+        assert np.allclose(fast["out"], slow["out"])
+
+
+class TestFallbacks:
+    def test_cross_iteration_dependency_falls_back(self, rng):
+        """prefix-sum-style a[i] = a[i] + a[i-1] must stay sequential."""
+        from repro.ir.builder import maximum
+
+        b = Builder("p")
+        a = b.vector("a", F64, length="N")
+        prog = b.build(
+            a.foreach(
+                lambda e, i: [store(a, i, e + a[maximum(i - 1, 0)])]
+            )
+        )
+        data = rng.random(20)
+        expected = data.copy()
+        for i in range(20):
+            expected[i] = expected[i] + expected[max(i - 1, 0)]
+        work = data.copy()
+        run_program(prog, a=work, N=20)
+        assert np.allclose(work, expected)
+
+    def test_nested_foreach_outer_falls_back(self, rng):
+        """Nested Foreach bodies (ExprStmt) aren't batched at the outer
+        level but still compute correctly."""
+        b = Builder("p")
+        n = b.size("N")
+        out = b.matrix("out", F64, rows="N", cols="N")
+        prog = b.build(
+            range_foreach(
+                n,
+                lambda i: [
+                    ExprStmt(
+                        range_foreach(
+                            n,
+                            lambda j: [
+                                store2(out, i, j, i.cast(F64) * 100
+                                       + j.cast(F64))
+                            ],
+                            index_name="j",
+                        )
+                    )
+                ],
+                index_name="i",
+            )
+        )
+        grid = np.zeros((8, 8))
+        run_program(prog, out=grid, N=8)
+        expected = (np.arange(8)[:, None] * 100
+                    + np.arange(8)[None, :]).astype(float)
+        assert np.allclose(grid, expected)
+
+    def test_bfs_still_correct(self, rng):
+        """BFS's neighbor scatter aliases across iterations: the fast path
+        must decline and the result stays right."""
+        from repro.apps.bfs import BFS
+
+        inp = BFS.workload(rng, N=60, avg_degree=4)
+        state = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in inp.items()
+            if k != "graph"
+        }
+        state["graph"] = inp["graph"]
+        run_program(BFS.build(), **state)
+        expected = BFS.reference(inp)
+        assert np.array_equal(state["cost"], expected["cost"])
+
+
+class TestSpeedup:
+    def test_vectorized_is_materially_faster(self, rng):
+        import time
+
+        b = Builder("p")
+        xs = b.vector("xs", F64, length="N")
+        out = b.vector("out", F64, length="N")
+        prog = b.build(xs.foreach(lambda e, i: [store(out, i, e * 2)]))
+        n = 200_000
+        data = rng.random(n)
+
+        fast_buf = np.zeros(n)
+        t0 = time.perf_counter()
+        run_program(prog, xs=data, out=fast_buf, N=n)
+        fast_time = time.perf_counter() - t0
+
+        slow_buf = np.zeros(n)
+        evaluator = Evaluator(prog)
+        evaluator._try_vectorized_foreach = lambda *a, **k: False
+        t0 = time.perf_counter()
+        evaluator.run(xs=data, out=slow_buf, N=n)
+        slow_time = time.perf_counter() - t0
+
+        assert np.allclose(fast_buf, slow_buf)
+        assert fast_time < slow_time / 5

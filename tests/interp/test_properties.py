@@ -1,0 +1,109 @@
+"""Property-based tests: interpreter semantics vs NumPy on random data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.interp import run_program
+from repro.ir import Builder, F64, I64
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+float_arrays = arrays(
+    np.float64, st.integers(min_value=1, max_value=64), elements=finite_floats
+)
+
+
+@given(data=float_arrays)
+@settings(max_examples=40, deadline=None)
+def test_sum_reduce_matches_numpy(data):
+    b = Builder("sum")
+    xs = b.vector("xs", F64, length="N")
+    prog = b.build(xs.reduce("+"))
+    result = run_program(prog, xs=data, N=len(data))
+    assert np.isclose(result, data.sum(), rtol=1e-9, atol=1e-9)
+
+
+@given(data=float_arrays)
+@settings(max_examples=40, deadline=None)
+def test_map_then_reduce_equals_fused(data):
+    """map(f) . reduce == map_reduce(f) for the interpreter."""
+    b1 = Builder("two")
+    xs1 = b1.vector("xs", F64, length="N")
+    two_step = b1.build(xs1.map(lambda e: e * 2 + 1).reduce("+"))
+    b2 = Builder("one")
+    xs2 = b2.vector("xs", F64, length="N")
+    fused = b2.build(xs2.map_reduce(lambda e: e * 2 + 1))
+    a = run_program(two_step, xs=data, N=len(data))
+    c = run_program(fused, xs=data, N=len(data))
+    assert np.isclose(a, c, rtol=1e-9)
+
+
+@given(data=float_arrays, threshold=finite_floats)
+@settings(max_examples=40, deadline=None)
+def test_filter_partition_invariant(data, threshold):
+    """filter(p) and filter(not p) partition the input."""
+    b1 = Builder("keep")
+    xs1 = b1.vector("xs", F64, length="N")
+    keep = b1.build(xs1.filter(lambda e: e > threshold))
+    b2 = Builder("drop")
+    xs2 = b2.vector("xs", F64, length="N")
+    drop = b2.build(xs2.filter(lambda e: e <= threshold))
+    kept = run_program(keep, xs=data, N=len(data))
+    dropped = run_program(drop, xs=data, N=len(data))
+    assert len(kept) + len(dropped) == len(data)
+    assert np.isclose(
+        np.sum(kept) + np.sum(dropped), data.sum(), rtol=1e-9, atol=1e-9
+    )
+
+
+@given(data=arrays(np.float64, st.integers(min_value=1, max_value=48),
+                   elements=st.floats(min_value=0, max_value=10)))
+@settings(max_examples=40, deadline=None)
+def test_groupby_partitions_elements(data):
+    b = Builder("g")
+    xs = b.vector("xs", F64, length="N")
+    prog = b.build(xs.group_by(lambda e: e.cast(I64)))
+    groups = run_program(prog, xs=data, N=len(data))
+    total = sum(len(v) for v in groups.values())
+    assert total == len(data)
+    for key, values in groups.items():
+        assert np.all(values.astype(np.int64) == key)
+
+
+@given(data=float_arrays)
+@settings(max_examples=40, deadline=None)
+def test_zipwith_add_commutes(data):
+    b1 = Builder("ab")
+    xs1 = b1.vector("xs", F64, length="N")
+    ys1 = b1.vector("ys", F64, length="N")
+    ab = b1.build(xs1.zip_with(ys1, lambda a, c: a + c))
+    b2 = Builder("ba")
+    xs2 = b2.vector("xs", F64, length="N")
+    ys2 = b2.vector("ys", F64, length="N")
+    ba = b2.build(ys2.zip_with(xs2, lambda a, c: a + c))
+    other = data[::-1].copy()
+    r1 = run_program(ab, xs=data, ys=other, N=len(data))
+    r2 = run_program(ba, xs=data, ys=other, N=len(data))
+    assert np.allclose(r1, r2)
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_sum_rows_cols_consistency(rows, cols, seed):
+    """Total mass is conserved whichever way the matrix is reduced."""
+    from tests.conftest import make_sum_cols, make_sum_rows
+
+    rng = np.random.default_rng(seed)
+    m = rng.random((rows, cols))
+    by_rows = run_program(make_sum_rows(), m=m, R=rows, C=cols)
+    by_cols = run_program(make_sum_cols(), m=m, R=rows, C=cols)
+    assert np.isclose(np.sum(by_rows), np.sum(by_cols), rtol=1e-9)
+    assert np.allclose(by_rows, m.sum(axis=1))
+    assert np.allclose(by_cols, m.sum(axis=0))

@@ -1,0 +1,229 @@
+"""Tests for the front-end DSL (builder lowering to canonical IR)."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir import Builder, F64, I64
+from repro.ir.builder import (
+    EH,
+    Vec,
+    let,
+    let_vec,
+    lift,
+    maximum,
+    minimum,
+    range_foreach,
+    range_map,
+    range_reduce,
+    sqrt,
+    store,
+)
+from repro.ir.expr import (
+    ArrayRead,
+    BinOp,
+    Block,
+    Bind,
+    Cmp,
+    Const,
+    Param,
+    Select,
+    Var,
+)
+from repro.ir.patterns import Filter, Foreach, GroupBy, Map, Reduce, ZipWith
+from repro.ir.types import ArrayType, StructType
+
+
+class TestLift:
+    def test_numbers(self):
+        assert isinstance(lift(3), Const)
+        assert lift(3.5).ty == F64
+        assert lift(True).ty.name == "bool"
+
+    def test_handles_and_nodes(self):
+        c = Const(1)
+        assert lift(EH(c)) is c
+        assert lift(c) is c
+
+    def test_junk(self):
+        with pytest.raises(TypeMismatchError):
+            lift("nope")
+
+
+class TestOperators:
+    def test_arithmetic_builds_binops(self):
+        x = EH(Var("x", F64))
+        expr = ((x + 1) * 2 - 3) / 4
+        assert isinstance(expr.expr, BinOp)
+
+    def test_reflected_operators(self):
+        x = EH(Var("x", F64))
+        assert isinstance((1 + x).expr, BinOp)
+        assert isinstance((2.0 / x).expr, BinOp)
+
+    def test_comparisons(self):
+        x = EH(Var("x", F64))
+        assert isinstance((x < 1).expr, Cmp)
+        assert isinstance(x.eq(1).expr, Cmp)
+        assert isinstance(x.ne(1).expr, Cmp)
+
+    def test_where(self):
+        x = EH(Var("x", F64))
+        sel = (x > 0).where(x, -x, prob=0.8)
+        assert isinstance(sel.expr, Select)
+        assert sel.expr.prob == 0.8
+
+    def test_min_max_helpers(self):
+        x = EH(Var("x", F64))
+        assert minimum(x, 0).expr.op == "min"
+        assert maximum(x, 0).expr.op == "max"
+
+    def test_intrinsic_helpers(self):
+        x = EH(Var("x", F64))
+        assert sqrt(x).expr.fn == "sqrt"
+
+
+class TestBuilderParams:
+    def test_duplicate_param_rejected(self):
+        b = Builder("p")
+        b.scalar("x", F64)
+        with pytest.raises(IRError):
+            b.scalar("x", F64)
+
+    def test_size_reuse_by_name(self):
+        b = Builder("p")
+        m = b.matrix("m", F64, rows="N", cols="N")
+        # N declared once even though referenced twice.
+        assert [p.name for p in b._params] == ["N", "m"]
+
+    def test_size_hint_recorded(self):
+        b = Builder("p")
+        b.size("N", hint=42)
+        v = b.vector("xs", F64, length="N")
+        prog = b.build(v.reduce("+"))
+        assert prog.size_hints["N"] == 42
+
+
+class TestLowering:
+    def test_map_rows_produces_map_reduce_nest(self, sum_rows_program):
+        root = sum_rows_program.result
+        assert isinstance(root, Map)
+        assert isinstance(root.body, Reduce)
+        read = root.body.body
+        assert isinstance(read, ArrayRead)
+        # row view: indices are (outer, inner)
+        assert read.indices[0] is root.index
+        assert read.indices[1] is root.body.index
+
+    def test_map_cols_swaps_indices(self, sum_cols_program):
+        root = sum_cols_program.result
+        read = root.body.body
+        assert read.indices[0] is root.body.index  # row index is inner
+        assert read.indices[1] is root.index
+
+    def test_zip_with_builds_zipwith_node(self):
+        b = Builder("z")
+        a = b.vector("a", F64, length="N")
+        c = b.vector("c", F64, length="N")
+        out = a.zip_with(c, lambda x, y: x + y)
+        assert isinstance(out.expr, ZipWith)
+
+    def test_filter_and_groupby(self):
+        b = Builder("f")
+        xs = b.vector("xs", F64, length="N")
+        assert isinstance(xs.filter(lambda e: e > 0).expr, Filter)
+        b2 = Builder("g")
+        ys = b2.vector("ys", F64, length="N")
+        assert isinstance(ys.group_by(lambda e: e.cast(I64)).expr, GroupBy)
+
+    def test_custom_reduce(self):
+        b = Builder("r")
+        xs = b.vector("xs", F64, length="N")
+        r = xs.reduce_fn(lambda a, c: maximum(a, c))
+        assert isinstance(r.expr, Reduce)
+        assert r.expr.op == "custom"
+
+    def test_foreach_builds_stores(self):
+        b = Builder("fe")
+        xs = b.vector("xs", F64, length="N")
+        out = b.vector("out", F64, length="N")
+        node = xs.foreach(lambda e, i: [store(out, i, e * 2)])
+        assert isinstance(node, Foreach)
+
+    def test_range_helpers(self):
+        v = range_map(10, lambda i: EH(Const(1.0)))
+        assert isinstance(v.expr, Map)
+        r = range_reduce(10, lambda i: EH(Const(1.0)))
+        assert isinstance(r.expr, Reduce)
+        f = range_foreach(10, lambda i: [store(_outvec(), i, 0.0)])
+        assert isinstance(f, Foreach)
+
+    def test_nested_range_map_returns_plain_handle(self):
+        out = range_map(4, lambda i: range_map(5, lambda j: EH(Const(1.0))))
+        assert isinstance(out, EH) and not isinstance(out, Vec)
+        assert out.expr.ty == ArrayType(F64, 2)
+
+
+def _outvec():
+    b = Builder("tmp")
+    return b.vector("out", F64, length="N")
+
+
+class TestFusion:
+    """Consuming an unmaterialized Map fuses instead of reading a temp."""
+
+    def test_map_reduce_fuses(self):
+        b = Builder("f")
+        xs = b.vector("xs", F64, length="N")
+        r = xs.map(lambda e: e * 2).reduce("+")
+        node = r.expr
+        assert isinstance(node, Reduce)
+        # The reduce body is the map body (a multiply), not an ArrayRead
+        # of a temp.
+        assert isinstance(node.body, BinOp)
+
+    def test_map_map_fuses(self):
+        b = Builder("f")
+        xs = b.vector("xs", F64, length="N")
+        v = xs.map(lambda e: e + 1).map(lambda e: e * 2)
+        assert isinstance(v.expr, Map)
+        assert isinstance(v.expr.body, BinOp)
+        # fused: no nested Map in the body
+        from repro.ir.traversal import find_patterns
+
+        assert len(find_patterns(v.expr)) == 1
+
+    def test_let_vec_materializes(self):
+        b = Builder("f")
+        xs = b.vector("xs", F64, length="N")
+        out = let_vec(xs.map(lambda e: e * 2), lambda t: t.reduce("+"))
+        block = out.expr
+        assert isinstance(block, Block)
+        assert isinstance(block.stmts[0], Bind)
+        assert isinstance(block.stmts[0].value, Map)
+
+
+class TestLet:
+    def test_let_builds_block(self):
+        b = Builder("l")
+        x = b.scalar("x", F64)
+        out = let(x * 2, lambda t: t + 1)
+        assert isinstance(out.expr, Block)
+        assert isinstance(out.expr.stmts[0], Bind)
+
+    def test_nested_let_flattens(self):
+        b = Builder("l")
+        x = b.scalar("x", F64)
+        out = let(x * 2, lambda t: let(t + 1, lambda u: u * u))
+        assert isinstance(out.expr, Block)
+        assert len(out.expr.stmts) == 2
+
+
+class TestStructHandle:
+    def test_field_vector_registers_shape(self):
+        sty = StructType.of("S", {"xs": ArrayType(F64, 1)})
+        b = Builder("s")
+        n = b.size("N")
+        s = b.struct("s", sty)
+        s.field_vector("xs", n)
+        prog = b.build(s.field_vector("xs", n).reduce("+"))
+        assert "s.xs" in prog.array_shapes

@@ -1,0 +1,189 @@
+"""Tests for expression and statement node construction and typing."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.expr import (
+    Alloc,
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Call,
+    Cast,
+    Cmp,
+    Const,
+    FieldRead,
+    If,
+    Length,
+    Param,
+    RandomIndex,
+    Select,
+    Store,
+    UnOp,
+    Var,
+)
+from repro.ir.types import BOOL, F32, F64, I64, ArrayType, StructType
+
+
+def arr(name="a", elem=F64, rank=1):
+    return Param(name, ArrayType(elem, rank))
+
+
+class TestLeaves:
+    def test_const_infers_types(self):
+        assert Const(1).ty == I64
+        assert Const(1.5).ty == F64
+        assert Const(True).ty == BOOL
+
+    def test_const_rejects_junk(self):
+        with pytest.raises(TypeMismatchError):
+            Const("hello")
+
+    def test_var_and_param(self):
+        v = Var("x", F64)
+        assert v.ty == F64 and v.children() == ()
+        p = Param("n", I64)
+        assert p.ty == I64
+
+    def test_identity_equality(self):
+        a, b = Const(1), Const(1)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+    def test_random_index(self):
+        r = RandomIndex(Const(10))
+        assert r.ty == I64
+        assert r.children() == (Const(10),) or len(r.children()) == 1
+
+
+class TestBinOp:
+    def test_promotion(self):
+        e = BinOp("+", Const(1), Const(2.0))
+        assert e.ty == F64
+
+    def test_true_division_yields_float(self):
+        e = BinOp("/", Const(1), Const(2))
+        assert e.ty == F64
+
+    def test_floor_division_stays_int(self):
+        e = BinOp("//", Const(1), Const(2))
+        assert e.ty == I64
+
+    def test_unknown_op(self):
+        with pytest.raises(IRError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_children_order(self):
+        lhs, rhs = Const(1), Const(2)
+        assert BinOp("+", lhs, rhs).children() == (lhs, rhs)
+
+
+class TestUnOpCmp:
+    def test_negate(self):
+        assert UnOp("-", Const(1.0)).ty == F64
+
+    def test_not_requires_bool(self):
+        with pytest.raises(TypeMismatchError):
+            UnOp("not", Const(1))
+
+    def test_cmp_yields_bool(self):
+        assert Cmp("<", Const(1), Const(2)).ty == BOOL
+
+    def test_cmp_unknown_op(self):
+        with pytest.raises(IRError):
+            Cmp("<>", Const(1), Const(2))
+
+
+class TestSelect:
+    def test_type_promotion(self):
+        e = Select(Const(True), Const(1), Const(2.0))
+        assert e.ty == F64
+
+    def test_requires_bool_condition(self):
+        with pytest.raises(TypeMismatchError):
+            Select(Const(1), Const(1), Const(2))
+
+    def test_prob_range(self):
+        with pytest.raises(IRError):
+            Select(Const(True), Const(1), Const(2), prob=1.5)
+
+    def test_mismatched_branches(self):
+        with pytest.raises(TypeMismatchError):
+            Select(Const(True), Const(1), arr())
+
+
+class TestCall:
+    def test_sqrt_promotes_int(self):
+        assert Call("sqrt", [Const(4)]).ty == F64
+
+    def test_pow_arity(self):
+        assert Call("pow", [Const(2.0), Const(3.0)]).ty == F64
+        with pytest.raises(IRError):
+            Call("pow", [Const(2.0)])
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(IRError):
+            Call("frobnicate", [Const(1)])
+
+
+class TestArrayAccess:
+    def test_read_type(self):
+        e = ArrayRead(arr(rank=2), (Const(0), Const(1)))
+        assert e.ty == F64
+
+    def test_rank_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            ArrayRead(arr(rank=2), (Const(0),))
+
+    def test_non_array(self):
+        with pytest.raises(TypeMismatchError):
+            ArrayRead(Param("x", F64), (Const(0),))
+
+    def test_store_rank_check(self):
+        with pytest.raises(TypeMismatchError):
+            Store(arr(rank=1), (Const(0), Const(1)), Const(0.0))
+
+    def test_length_axis_bounds(self):
+        assert Length(arr(rank=2), 1).ty == I64
+        with pytest.raises(IRError):
+            Length(arr(rank=2), 2)
+
+
+class TestStructAccess:
+    def test_field_read(self):
+        sty = StructType.of("S", {"xs": ArrayType(F64)})
+        e = FieldRead(Param("s", sty), "xs")
+        assert e.ty == ArrayType(F64)
+
+    def test_field_read_non_struct(self):
+        with pytest.raises(TypeMismatchError):
+            FieldRead(Param("x", F64), "a")
+
+
+class TestAllocBlock:
+    def test_alloc_type(self):
+        a = Alloc(F32, (Const(8), Const(4)))
+        assert a.ty == ArrayType(F32, 2)
+
+    def test_alloc_needs_shape(self):
+        with pytest.raises(IRError):
+            Alloc(F32, ())
+
+    def test_block_type_is_result_type(self):
+        v = Var("t", F64)
+        b = Block((Bind(v, Const(1.0)),), v)
+        assert b.ty == F64
+
+    def test_if_prob_validation(self):
+        with pytest.raises(IRError):
+            If(Cmp("<", Const(1), Const(2)), (), (), prob=-0.1)
+
+    def test_if_requires_bool(self):
+        with pytest.raises(TypeMismatchError):
+            If(Const(1), ())
+
+    def test_cast(self):
+        assert Cast(Const(1), F32).ty == F32
+        with pytest.raises(TypeMismatchError):
+            Cast(arr(), F32)

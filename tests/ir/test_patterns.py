@@ -1,0 +1,148 @@
+"""Tests for the six parallel-pattern nodes (Table I coverage)."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.expr import ArrayRead, Cmp, Const, Param, Store, Var
+from repro.ir.patterns import (
+    ALL_PATTERN_CLASSES,
+    Filter,
+    Foreach,
+    GroupBy,
+    Map,
+    Program,
+    Reduce,
+    ZipWith,
+)
+from repro.ir.types import F64, I64, ArrayType
+
+
+def idx(name="i"):
+    return Var(name, I64)
+
+
+def vec(name="xs"):
+    return Param(name, ArrayType(F64, 1))
+
+
+def elem(v, i):
+    return ArrayRead(v, (i,))
+
+
+class TestTableICoverage:
+    """Every pattern of Table I is constructible and typed correctly."""
+
+    def test_map(self):
+        i = idx()
+        m = Map(Const(10), i, elem(vec(), i))
+        assert m.ty == ArrayType(F64, 1)
+        assert not m.needs_global_sync
+
+    def test_zipwith(self):
+        i = idx()
+        z = ZipWith(Const(10), i, elem(vec("a"), i))
+        assert isinstance(z, Map)  # analyses treat it as a Map
+        assert z.ty == ArrayType(F64, 1)
+
+    def test_foreach(self):
+        i = idx()
+        f = Foreach(Const(10), i, (Store(vec(), (i,), Const(0.0)),))
+        assert not f.needs_global_sync
+        with pytest.raises(TypeMismatchError):
+            f.ty  # produces no value
+
+    def test_filter(self):
+        i = idx()
+        f = Filter(Const(10), i, Cmp(">", elem(vec(), i), Const(0.0)),
+                   elem(vec(), i))
+        assert f.needs_global_sync and f.dynamic_output_size
+        assert f.ty == ArrayType(F64, 1)
+
+    def test_reduce(self):
+        i = idx()
+        r = Reduce(Const(10), i, elem(vec(), i), "+")
+        assert r.needs_global_sync and not r.dynamic_output_size
+        assert r.ty == F64
+
+    def test_groupby(self):
+        i = idx()
+        g = GroupBy(Const(10), i, i, elem(vec(), i))
+        assert g.needs_global_sync and g.dynamic_output_size
+
+    def test_six_pattern_classes(self):
+        assert len(ALL_PATTERN_CLASSES) == 6
+
+
+class TestValidation:
+    def test_index_must_be_integer(self):
+        with pytest.raises(TypeMismatchError):
+            Map(Const(10), Var("i", F64), Const(1.0))
+
+    def test_reduce_unknown_op(self):
+        i = idx()
+        with pytest.raises(IRError):
+            Reduce(Const(10), i, elem(vec(), i), "concat")
+
+    def test_reduce_body_must_be_scalar(self):
+        i = idx()
+        inner = Map(Const(5), idx("j"), Const(1.0))
+        with pytest.raises(TypeMismatchError):
+            Reduce(Const(10), i, inner, "+")
+
+    def test_custom_combine_requires_custom_op(self):
+        i = idx()
+        a, b = Var("a", F64), Var("b", F64)
+        from repro.ir.expr import BinOp
+
+        with pytest.raises(IRError):
+            Reduce(Const(10), i, elem(vec(), i), "+", (a, b, BinOp("+", a, b)))
+
+    def test_filter_predicate_must_be_bool(self):
+        i = idx()
+        with pytest.raises(TypeMismatchError):
+            Filter(Const(10), i, Const(1), elem(vec(), i))
+
+    def test_groupby_key_must_be_integer(self):
+        i = idx()
+        with pytest.raises(TypeMismatchError):
+            GroupBy(Const(10), i, Const(1.0), elem(vec(), i))
+
+    def test_foreach_requires_body(self):
+        with pytest.raises(IRError):
+            Foreach(Const(10), idx(), ())
+
+
+class TestStaticSize:
+    def test_constant(self):
+        m = Map(Const(7), idx(), Const(1.0))
+        assert m.static_size == 7
+
+    def test_dynamic(self):
+        m = Map(Param("n", I64), idx(), Const(1.0))
+        assert m.static_size is None
+
+
+class TestNestedTypes:
+    def test_map_of_map_is_rank2(self):
+        j = idx("j")
+        inner = Map(Const(4), j, Const(1.0))
+        outer = Map(Const(3), idx("i"), inner)
+        assert outer.ty == ArrayType(F64, 2)
+
+    def test_map_of_reduce_is_rank1(self):
+        i, j = idx("i"), idx("j")
+        m = Param("m", ArrayType(F64, 2))
+        inner = Reduce(Const(4), j, ArrayRead(m, (i, j)), "+")
+        outer = Map(Const(3), i, inner)
+        assert outer.ty == ArrayType(F64, 1)
+
+
+class TestProgram:
+    def test_param_lookup(self, sum_rows_program):
+        assert sum_rows_program.param("m").name == "m"
+        with pytest.raises(IRError):
+            sum_rows_program.param("zzz")
+
+    def test_array_shapes_recorded(self, sum_rows_program):
+        assert "m" in sum_rows_program.array_shapes
+        assert len(sum_rows_program.array_shapes["m"]) == 2

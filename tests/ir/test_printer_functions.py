@@ -1,0 +1,97 @@
+"""Tests for the pretty printer, symbols, and device-function registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Builder, F64, pretty, pretty_program
+from repro.ir.functions import (
+    DeviceFunction,
+    FnCall,
+    get_function,
+    has_function,
+    register_function,
+)
+from repro.ir.expr import Const
+from repro.ir.symbols import SymbolTable, fresh_name
+
+
+class TestPrinter:
+    def test_program_header(self, sum_rows_program):
+        text = pretty_program(sum_rows_program)
+        assert text.startswith("program sumRows(")
+        assert "m: f64[:,:]" in text
+
+    def test_nest_structure(self, sum_rows_program):
+        text = pretty(sum_rows_program.result)
+        assert "map(" in text
+        assert "reduce(" in text
+        assert text.index("map(") < text.index("reduce(")
+
+    def test_inline_expressions(self, sum_weighted_cols_program):
+        text = pretty(sum_weighted_cols_program.result)
+        assert "zipWith(" in text
+        assert "*" in text
+
+    def test_filter_shape(self):
+        b = Builder("f")
+        xs = b.vector("xs", F64, length="N")
+        text = pretty(xs.filter(lambda e: e > 0).expr)
+        assert "filter(" in text and "pred:" in text and "value:" in text
+
+
+class TestSymbols:
+    def test_fresh_names_unique(self):
+        table = SymbolTable()
+        names = {table.fresh("i") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix_isolation(self):
+        table = SymbolTable()
+        assert table.fresh("a") == "a0"
+        assert table.fresh("b") == "b0"
+        assert table.fresh("a") == "a1"
+
+    def test_reset(self):
+        table = SymbolTable()
+        table.fresh("x")
+        table.reset()
+        assert table.fresh("x") == "x0"
+
+    def test_module_level_helper(self):
+        assert fresh_name("zz") != fresh_name("zz")
+
+
+class TestDeviceFunctions:
+    def test_register_and_call(self):
+        fn = DeviceFunction(
+            name="triple_test_fn",
+            arity=1,
+            result_ty=F64,
+            impl=lambda x: 3.0 * np.asarray(x),
+            flops=1.0,
+        )
+        register_function(fn)
+        assert has_function("triple_test_fn")
+        call = FnCall("triple_test_fn", [Const(2.0)])
+        assert call.ty == F64
+        assert call.fn.flops == 1.0
+
+    def test_arity_check(self):
+        register_function(
+            DeviceFunction("pair_test_fn", 2, F64, lambda a, b: a, 2.0)
+        )
+        with pytest.raises(IRError):
+            FnCall("pair_test_fn", [Const(1.0)])
+
+    def test_unknown_function(self):
+        with pytest.raises(IRError):
+            get_function("no_such_fn_xyz")
+
+    def test_mandel_registered(self):
+        # Importing the app registers the escape-time function.
+        from repro.apps import mandelbrot  # noqa: F401
+
+        assert has_function("mandel")
+        fn = get_function("mandel")
+        assert fn.cuda_source.startswith("__device__")

@@ -1,0 +1,123 @@
+"""Tests for IR traversal utilities."""
+
+import pytest
+
+from repro.ir import Builder, F64
+from repro.ir.expr import BinOp, Const, Var
+from repro.ir.patterns import Map, Reduce
+from repro.ir.traversal import (
+    child_patterns,
+    count_nodes,
+    find_instances,
+    find_patterns,
+    free_vars,
+    max_nest_depth,
+    pattern_paths,
+    structurally_equal,
+    walk,
+)
+from repro.ir.types import I64
+
+
+class TestWalk:
+    def test_preorder_root_first(self, sum_rows_program):
+        nodes = list(walk(sum_rows_program.result))
+        assert nodes[0] is sum_rows_program.result
+
+    def test_visits_all(self):
+        e = BinOp("+", Const(1), BinOp("*", Const(2), Const(3)))
+        assert count_nodes(e) == 5
+
+    def test_find_instances(self, sum_rows_program):
+        reduces = find_instances(sum_rows_program.result, Reduce)
+        assert len(reduces) == 1
+
+
+class TestPatternStructure:
+    def test_find_patterns(self, sum_rows_program):
+        pats = find_patterns(sum_rows_program.result)
+        assert len(pats) == 2
+
+    def test_child_patterns_direct_only(self):
+        k = Var("k", I64)
+        innermost = Map(Const(2), k, Const(1.0))
+        j = Var("j", I64)
+        mid = Map(Const(3), j, innermost)
+        i = Var("i", I64)
+        outer = Map(Const(4), i, mid)
+        assert child_patterns(outer) == [mid]
+        assert child_patterns(mid) == [innermost]
+
+    def test_pattern_paths_levels(self, sum_rows_program):
+        paths = pattern_paths(sum_rows_program.result)
+        depths = sorted(len(p) for p in paths)
+        assert depths == [1, 2]
+
+    def test_max_nest_depth(self, sum_rows_program):
+        assert max_nest_depth(sum_rows_program.result) == 2
+
+    def test_siblings_at_same_level(self):
+        # Fig 5 style: two patterns nested in the same body.
+        from repro.ir.expr import Bind, Block
+
+        j = Var("j", I64)
+        k = Var("k", I64)
+        inner_map = Map(Const(5), j, Const(1.0))
+        inner_red = Reduce(Const(5), k, Const(1.0), "+")
+        t = Var("t", inner_map.ty)
+        body = Block((Bind(t, inner_map),), inner_red)
+        i = Var("i", I64)
+        outer = Map(Const(4), i, body)
+        assert len(child_patterns(outer)) == 2
+        assert max_nest_depth(outer) == 2
+
+
+class TestFreeVars:
+    def test_pattern_index_is_bound(self, sum_rows_program):
+        names = {v.name for v in free_vars(sum_rows_program.result)}
+        root = sum_rows_program.result
+        assert root.index.name not in names
+
+    def test_free_variable_detected(self):
+        i = Var("i", I64)
+        loose = Var("loose", F64)
+        m = Map(Const(3), i, BinOp("+", loose, Const(1.0)))
+        assert [v.name for v in free_vars(m)] == ["loose"]
+
+    def test_bind_scopes(self):
+        from repro.ir.expr import Bind, Block
+
+        t = Var("t", F64)
+        block = Block((Bind(t, Const(1.0)),), t)
+        assert free_vars(block) == []
+
+
+class TestStructuralEquality:
+    def test_alpha_equivalence(self):
+        def build(idx_name):
+            b = Builder("p" + idx_name)
+            m = b.matrix("m", F64, rows="R", cols="C")
+            return b.build(
+                m.map_rows(lambda r: r.reduce("+", index_name=idx_name),
+                           index_name=idx_name + "o")
+            )
+
+        a = build("x")
+        c = build("y")
+        assert structurally_equal(a.result, c.result)
+
+    def test_different_ops_differ(self):
+        a = BinOp("+", Const(1), Const(2))
+        b = BinOp("*", Const(1), Const(2))
+        assert not structurally_equal(a, b)
+
+    def test_different_constants_differ(self):
+        assert not structurally_equal(Const(1), Const(2))
+
+    def test_zipwith_is_not_plain_map(self):
+        from repro.ir.patterns import ZipWith
+
+        i, j = Var("i", I64), Var("j", I64)
+        assert not structurally_equal(
+            Map(Const(3), i, Const(1.0)), ZipWith(Const(3), j, Const(1.0))
+        )

@@ -1,0 +1,109 @@
+"""Tests for the IR type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    ArrayType,
+    ScalarType,
+    StructType,
+    common_scalar,
+    element_type,
+)
+
+
+class TestScalarTypes:
+    def test_sizes(self):
+        assert F32.size_bytes == 4
+        assert F64.size_bytes == 8
+        assert I32.size_bytes == 4
+        assert I64.size_bytes == 8
+        assert BOOL.size_bytes == 1
+
+    def test_numpy_dtypes(self):
+        assert F64.np_dtype == np.dtype(np.float64)
+        assert I32.np_dtype == np.dtype(np.int32)
+        assert BOOL.np_dtype == np.dtype(np.bool_)
+
+    def test_cuda_names(self):
+        assert F32.cuda_name == "float"
+        assert F64.cuda_name == "double"
+        assert I64.cuda_name == "long long"
+
+    def test_classification(self):
+        assert F64.is_float and not F64.is_integer
+        assert I32.is_integer and not I32.is_float
+        assert not BOOL.is_float and not BOOL.is_integer
+
+    def test_equality_is_structural(self):
+        assert F64 == ScalarType("f64", 8)
+        assert F64 != F32
+
+
+class TestPromotion:
+    def test_same_type(self):
+        assert common_scalar(F64, F64) == F64
+
+    def test_float_beats_int(self):
+        assert common_scalar(F32, I32) == F32
+        assert common_scalar(I64, F64) == F64
+
+    def test_wider_beats_narrower(self):
+        assert common_scalar(I32, I64) == I64
+        assert common_scalar(F32, F64) == F64
+
+    def test_i64_f32_promotes_to_f64(self):
+        assert common_scalar(I64, F32) == F64
+        assert common_scalar(F32, I64) == F64
+
+    def test_bool_promotes(self):
+        assert common_scalar(BOOL, I32) == I32
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            common_scalar(ArrayType(F64), F64)
+
+
+class TestArrayType:
+    def test_rank_validation(self):
+        with pytest.raises(TypeMismatchError):
+            ArrayType(F64, 0)
+
+    def test_element_type(self):
+        assert element_type(ArrayType(F32, 2)) == F32
+
+    def test_element_type_rejects_scalar(self):
+        with pytest.raises(TypeMismatchError):
+            element_type(F64)
+
+    def test_structural_equality(self):
+        assert ArrayType(F64, 2) == ArrayType(F64, 2)
+        assert ArrayType(F64, 1) != ArrayType(F64, 2)
+
+
+class TestStructType:
+    def test_of_preserves_order(self):
+        s = StructType.of("S", {"a": F64, "b": ArrayType(I64)})
+        assert s.field_names() == ("a", "b")
+
+    def test_field_type(self):
+        s = StructType.of("S", {"a": F64})
+        assert s.field_type("a") == F64
+
+    def test_missing_field(self):
+        s = StructType.of("S", {"a": F64})
+        with pytest.raises(TypeMismatchError):
+            s.field_type("nope")
+
+    def test_csr_graph_shape(self):
+        csr = StructType.of(
+            "Csr",
+            {"offsets": ArrayType(I64), "nbrs": ArrayType(I64)},
+        )
+        assert isinstance(csr.field_type("nbrs"), ArrayType)

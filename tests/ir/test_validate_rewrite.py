@@ -1,0 +1,134 @@
+"""Tests for validation and rewriting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir import Builder, F64
+from repro.ir.expr import (
+    ArrayRead,
+    BinOp,
+    Bind,
+    Block,
+    Const,
+    Param,
+    Var,
+)
+from repro.ir.patterns import Map, Program, Reduce
+from repro.ir.rewrite import rewrite, substitute, substitute_var
+from repro.ir.types import ArrayType, I64
+from repro.ir.validate import validate_expr, validate_program
+
+
+class TestValidate:
+    def test_valid_program_passes(self, sum_rows_program):
+        validate_program(sum_rows_program)
+
+    def test_unbound_variable(self):
+        i = Var("i", I64)
+        loose = Var("loose", F64)
+        prog = Program("bad", (), Map(Const(3), i, loose))
+        with pytest.raises(ValidationError, match="unbound"):
+            validate_program(prog)
+
+    def test_duplicate_params(self):
+        p = Param("x", F64)
+        prog = Program("bad", (p, Param("x", F64)), Const(1))
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_program(prog)
+
+    def test_size_may_not_contain_pattern(self):
+        i, j = Var("i", I64), Var("j", I64)
+        inner = Reduce(Const(3), j, Const(1), "+")
+        with pytest.raises(ValidationError, match="pattern"):
+            validate_expr(Map(inner, i, Const(1.0)))
+
+    def test_negative_size(self):
+        i = Var("i", I64)
+        with pytest.raises(ValidationError, match="negative"):
+            validate_expr(Map(Const(-1), i, Const(1.0)))
+
+    def test_combiner_may_only_use_binders(self):
+        i = Var("i", I64)
+        a, b = Var("a", F64), Var("b", F64)
+        outsider = Var("outsider", F64)
+        bad = Reduce(
+            Const(3), i, Const(1.0), "custom",
+            (a, b, BinOp("+", a, outsider)),
+        )
+        with pytest.raises(ValidationError, match="combiner"):
+            validate_expr(bad)
+
+    def test_block_bind_ordering(self):
+        t = Var("t", F64)
+        # use before bind
+        bad = Block((Bind(Var("u", F64), t), Bind(t, Const(1.0))), t)
+        with pytest.raises(ValidationError, match="unbound"):
+            validate_expr(bad)
+
+
+class TestRewrite:
+    def test_identity_preserved_when_unchanged(self, sum_rows_program):
+        root = sum_rows_program.result
+        result = rewrite(root, lambda n: None)
+        assert result is root
+
+    def test_constant_replacement(self):
+        e = BinOp("+", Const(1), Const(2))
+
+        def transform(n):
+            if isinstance(n, Const) and n.value == 1:
+                return Const(10)
+            return None
+
+        out = rewrite(e, transform)
+        assert out.lhs.value == 10
+        assert out.rhs is e.rhs  # untouched subtree keeps identity
+
+    def test_substitute_by_identity(self):
+        target = Const(5)
+        e = BinOp("*", target, Const(2))
+        out = substitute(e, {target: Const(7)})
+        assert out.lhs.value == 7
+
+    def test_substitute_var(self):
+        x = Var("x", I64)
+        e = BinOp("+", x, Const(1))
+        out = substitute_var(e, "x", Const(9))
+        assert out.lhs.value == 9
+
+    def test_substitute_var_respects_shadowing(self):
+        # map binds its own 'i'; outer substitution must not reach inside.
+        i = Var("i", I64)
+        arr = Param("xs", ArrayType(F64, 1))
+        inner = Map(Const(3), i, ArrayRead(arr, (i,)))
+        out = substitute_var(inner, "i", Const(0))
+        assert out is inner
+
+    def test_substitute_var_in_block_respects_rebinding(self):
+        x_outer = Var("x", I64)
+        x_rebound = Var("x", I64)
+        use_before = BinOp("+", x_outer, Const(1))
+        use_after = BinOp("+", Var("x", I64), Const(2))
+        block = Block(
+            (
+                Bind(Var("a", I64), use_before),
+                Bind(x_rebound, Const(99)),
+                Bind(Var("b", I64), use_after),
+            ),
+            Var("b", I64),
+        )
+        out = substitute_var(block, "x", Const(7))
+        # first use substituted, second (after rebind) untouched
+        assert out.stmts[0].value.lhs.value == 7
+        assert isinstance(out.stmts[2].value.lhs, Var)
+
+    def test_rewrite_rebuilds_patterns(self, sum_rows_program):
+        root = sum_rows_program.result
+
+        def transform(n):
+            if isinstance(n, Const) and n.value == 0:
+                return Const(1)
+            return None
+
+        # no zeros in tree: unchanged
+        assert rewrite(root, transform) is root

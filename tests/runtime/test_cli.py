@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla K20c" in out
+        assert "DOP window [26624" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "sumRows" in out and "pagerank" in out
+
+    def test_map(self, capsys):
+        assert main(["map", "sumRows", "R=1024", "C=4096"]) == 0
+        out = capsys.readouterr().out
+        assert "mapping: L0[" in out
+        assert "[hard/local]" in out
+        assert "occupancy" in out
+
+    def test_map_with_strategy(self, capsys):
+        assert main(["map", "sumRows", "--strategy", "1d"]) == 0
+        out = capsys.readouterr().out
+        assert "[seq]" in out
+
+    def test_cuda(self, capsys):
+        assert main(["cuda", "sumRows", "R=256", "C=256"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+
+    def test_cuda_with_host(self, capsys):
+        assert main(["cuda", "sumRows", "R=256", "C=256", "--host"]) == 0
+        out = capsys.readouterr().out
+        assert "int main()" in out
+
+    def test_cuda_to_file(self, tmp_path, capsys):
+        target = tmp_path / "k.cu"
+        assert main(
+            ["cuda", "sumRows", "R=64", "C=64", "-o", str(target)]
+        ) == 0
+        assert "__global__" in target.read_text()
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_experiments_written(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        assert main(["experiments", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "Figure 3" in text and "Figure 17" in text
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["map", "nosuchapp"])
+
+    def test_bad_size_binding(self):
+        with pytest.raises(SystemExit, match="k=v"):
+            main(["map", "sumRows", "R:64"])
+
+    def test_report(self, capsys):
+        assert main(["report", "sumCols", "R=65536", "C=1024"]) == 0
+        out = capsys.readouterr().out
+        assert "# Compilation report: sumCols" in out
+        assert "Why this mapping" in out
+        assert "```cuda" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(
+            ["report", "sumRows", "R=256", "C=256", "-o", str(target)]
+        ) == 0
+        assert "Simulated cost" in target.read_text()

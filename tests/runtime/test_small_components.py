@@ -1,0 +1,92 @@
+"""Coverage for small supporting components: writer, env, app helpers."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, merge_params
+from repro.codegen.writer import SourceWriter
+from repro.interp.env import Env
+
+
+class TestSourceWriter:
+    def test_block_structure(self):
+        w = SourceWriter()
+        w.line("int x = 0;")
+        w.open("if (x)")
+        w.line("x++;")
+        w.close()
+        text = w.text()
+        assert text == "int x = 0;\nif (x) {\n    x++;\n}\n"
+
+    def test_nested_indent(self):
+        w = SourceWriter(indent="  ")
+        w.open("a")
+        w.open("b")
+        w.line("c;")
+        w.close()
+        w.close()
+        assert "    c;" in w.text()
+
+    def test_close_suffix(self):
+        w = SourceWriter()
+        w.open("do")
+        w.close(" while (0);")
+        assert "} while (0);" in w.text()
+
+    def test_blank_line(self):
+        w = SourceWriter()
+        w.line("a;")
+        w.line()
+        w.line("b;")
+        assert w.text() == "a;\n\nb;\n"
+
+
+class TestEnv:
+    def test_lookup_walks_chain(self):
+        outer = Env()
+        outer.bind("x", 1)
+        inner = outer.child()
+        assert inner.lookup("x") == 1
+
+    def test_shadowing(self):
+        outer = Env()
+        outer.bind("x", 1)
+        inner = outer.child()
+        inner.bind("x", 2)
+        assert inner.lookup("x") == 2
+        assert outer.lookup("x") == 1
+
+    def test_contains(self):
+        outer = Env()
+        outer.bind("x", 1)
+        inner = outer.child()
+        assert "x" in inner
+        assert "y" not in inner
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            Env().lookup("nope")
+
+
+class TestMergeParams:
+    def test_overrides_win(self):
+        app = ALL_APPS["sumRows"]
+        merged = merge_params(app, {"R": 7})
+        assert merged["R"] == 7
+        assert merged["C"] == app.default_params["C"]
+
+    def test_defaults_untouched(self):
+        app = ALL_APPS["sumRows"]
+        before = dict(app.default_params)
+        merge_params(app, {"R": 7})
+        assert app.default_params == before
+
+
+class TestProgramCostDescribe:
+    def test_kernel_cost_describe_has_all_lines(self):
+        from repro.gpusim import simulate_program
+        from tests.conftest import make_sum_rows
+
+        cost = simulate_program(make_sum_rows(), "multidim", R=256, C=256)
+        text = cost.kernels[0].describe()
+        assert text.count("\n") >= 9
