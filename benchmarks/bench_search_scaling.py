@@ -1,0 +1,229 @@
+"""Search-scaling benchmark: reference vs pruned vs cached.
+
+Quantifies the staged search's two wins across nest depths 1-4 and two
+block-size grids:
+
+* **pruning** — wall time and candidates-scored of the branch-and-bound
+  walk against the exhaustive reference (same winner, byte-identical);
+* **memoization** — the cross-sweep cache hit rate when a shape sweep
+  re-decides mappings for unchanged kernels.
+
+Rows are written to ``BENCH_search_scaling.json`` at the repo root (same
+one-row-per-measurement layout as the other ``BENCH_*`` artifacts).  Run
+under pytest (``pytest benchmarks/bench_search_scaling.py -s``) or
+directly (``PYTHONPATH=src python benchmarks/bench_search_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis import (
+    analyze_program,
+    clear_caches,
+    search_mapping,
+    search_mapping_reference,
+)
+from repro.analysis.cache import get_search_cache
+from repro.config import BLOCK_SIZE_CANDIDATES
+from repro.ir import Builder, F64
+from repro.ir.builder import range_map
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_search_scaling.json"
+
+#: Depth-3 speedup the pruned walk must deliver on the default grid.
+MIN_SPEEDUP_DEPTH3 = 5.0
+#: Hit rate the memo must reach on a sweep of unchanged kernels.
+MIN_HIT_RATE = 0.90
+
+
+def _make_scale():
+    b = Builder("scaleVec")
+    v = b.vector("v", F64, length="N")
+    return b.build(v.map(lambda x: x * 2.0))
+
+
+def _make_sum_rows():
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    return b.build(m.map_rows(lambda row: row.reduce("+")))
+
+
+def _make_msmbuilder():
+    from repro.apps.msmbuilder import build_msmbuilder
+
+    return build_msmbuilder()
+
+
+def _make_batched():
+    """Four parallel levels: batch x frame x cluster x feature distance."""
+    b = Builder("batchedClustering")
+    batches = b.size("B")
+    frames = b.size("P")
+    clusters = b.size("K")
+    x = b.matrix("X", F64, rows="P", cols="D")
+    cent = b.matrix("Cent", F64, rows="K", cols="D")
+    scale = b.vector("scale", F64, length="B")
+    out = range_map(
+        batches,
+        lambda bi: range_map(
+            frames,
+            lambda pi: range_map(
+                clusters,
+                lambda ki: x.row(pi).zip_with(
+                    cent.row(ki), lambda a, c: (a - c) * (a - c)
+                ).reduce("+") * scale[bi],
+                index_name="ki",
+            ),
+            index_name="pi",
+        ),
+        index_name="bi",
+    )
+    return b.build(out)
+
+
+#: depth -> (program builder, analysis sizes).
+DEPTH_CASES = {
+    1: (_make_scale, dict(N=1 << 20)),
+    2: (_make_sum_rows, dict(R=8192, C=8192)),
+    3: (_make_msmbuilder, dict(P=2048, K=100, D=100)),
+    4: (_make_batched, dict(B=8, P=64, K=64, D=64)),
+}
+
+#: grid label -> block-size candidates.
+GRIDS = {
+    "default": BLOCK_SIZE_CANDIDATES,
+    "coarse": (1, 8, 64, 512),
+}
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def run_scaling() -> List[Dict]:
+    """Reference vs pruned vs cached rows for every (depth, grid)."""
+    rows: List[Dict] = []
+    for depth, (make, sizes) in sorted(DEPTH_CASES.items()):
+        ka = analyze_program(make(), **sizes).kernel(0)
+        args = (ka.depth, ka.constraints, ka.level_sizes())
+        for grid_name, grid in GRIDS.items():
+            ref = search_mapping_reference(*args, block_sizes=grid)
+            ref_ms = _time_best(
+                lambda: search_mapping_reference(*args, block_sizes=grid),
+                repeats=1 if depth >= 3 else 3,
+            )
+
+            clear_caches()
+            pruned = search_mapping(*args, block_sizes=grid)
+            assert pruned.mapping == ref.mapping, (depth, grid_name)
+            assert pruned.score == ref.score, (depth, grid_name)
+            assert pruned.candidates_total == ref.candidates_total
+            assert pruned.candidates_feasible == ref.candidates_feasible
+            pruned_ms = _time_best(
+                lambda: search_mapping(*args, block_sizes=grid,
+                                       use_cache=False),
+                repeats=3,
+            )
+            cached_ms = _time_best(
+                lambda: search_mapping(*args, block_sizes=grid),
+                repeats=3,
+            )
+
+            for strategy, wall_ms, result in (
+                ("reference", ref_ms, ref),
+                ("pruned", pruned_ms, pruned),
+                ("cached", cached_ms, pruned),
+            ):
+                rows.append(dict(
+                    bench="search_scaling",
+                    depth=depth,
+                    grid=grid_name,
+                    strategy=strategy,
+                    wall_ms=round(wall_ms, 4),
+                    speedup_vs_reference=round(
+                        ref_ms / wall_ms, 2) if wall_ms else None,
+                    candidates_total=result.candidates_total,
+                    candidates_feasible=result.candidates_feasible,
+                    candidates_scored=(
+                        0 if strategy == "cached"
+                        else result.candidates_scored
+                    ),
+                    nodes_pruned=result.nodes_pruned,
+                ))
+    return rows
+
+
+def run_cache_sweep(points: int = 10, repeats_per_point: int = 11) -> Dict:
+    """A shape sweep that re-decides each point's mapping several times.
+
+    Models how the figure runners behave: every sweep point is a new
+    shape (cache miss), but repeated kernels within the point reuse the
+    memo.  With 11 invocations per point that is 10 misses against 100
+    hits — the acceptance bar is a >= 90% hit rate.
+    """
+    program = _make_sum_rows()
+    clear_caches()
+    for i in range(points):
+        ka = analyze_program(
+            program, R=1024 + 512 * i, C=4096
+        ).kernel(0)
+        for _ in range(repeats_per_point):
+            search_mapping(ka.depth, ka.constraints, ka.level_sizes())
+    stats = get_search_cache().stats()
+    return dict(
+        bench="search_cache_sweep",
+        points=points,
+        repeats_per_point=repeats_per_point,
+        hits=stats.hits,
+        misses=stats.misses,
+        hit_rate=round(stats.hit_rate, 4),
+    )
+
+
+def _depth3_speedup(rows: List[Dict]) -> float:
+    by_key = {
+        (r["depth"], r["grid"], r["strategy"]): r["wall_ms"] for r in rows
+    }
+    return by_key[(3, "default", "reference")] / by_key[(3, "default", "pruned")]
+
+
+def _write(rows: List[Dict], sweep: Dict) -> None:
+    _OUT.write_text(json.dumps(
+        dict(rows=rows + [sweep]), indent=2) + "\n")
+
+
+def test_bench_search_scaling_and_cache():
+    rows = run_scaling()
+    sweep = run_cache_sweep()
+    _write(rows, sweep)
+
+    speedup = _depth3_speedup(rows)
+    print()
+    for row in rows:
+        print(
+            f"depth {row['depth']} {row['grid']:<8} {row['strategy']:<10}"
+            f" {row['wall_ms']:>10.3f} ms"
+            f"  scored {row['candidates_scored']:>7}"
+            f" / {row['candidates_total']:>7}"
+        )
+    print(f"depth-3 default-grid speedup: {speedup:.1f}x "
+          f"(floor {MIN_SPEEDUP_DEPTH3}x)")
+    print(f"cache sweep hit rate: {sweep['hit_rate']:.1%} "
+          f"(floor {MIN_HIT_RATE:.0%})")
+
+    assert speedup >= MIN_SPEEDUP_DEPTH3
+    assert sweep["hit_rate"] >= MIN_HIT_RATE
+
+
+if __name__ == "__main__":
+    test_bench_search_scaling_and_cache()
+    print(f"wrote {_OUT}")

@@ -4,7 +4,9 @@ Public surface:
 
 * :mod:`repro.analysis.mapping` — Dim / block size / Span-Split parameters.
 * :mod:`repro.analysis.analyzer` — one-call program analysis facade.
-* :mod:`repro.analysis.search` — the Algorithm-1 brute-force search.
+* :mod:`repro.analysis.search` — the staged Algorithm-1 search (pruned
+  branch-and-bound plus an exhaustive reference oracle).
+* :mod:`repro.analysis.cache` — cross-sweep memoization of search results.
 * :mod:`repro.analysis.strategies` — fixed baselines from prior work.
 """
 
@@ -17,7 +19,20 @@ from .access import (  # noqa: F401
     linear_form,
 )
 from .autotune import AutotuneResult, autotune_mapping  # noqa: F401
-from .explain import MappingExplanation, explain_mapping  # noqa: F401
+from .cache import (  # noqa: F401
+    CacheStats,
+    SearchCache,
+    clear_caches,
+    constraint_set_fingerprint,
+    get_autotune_cache,
+    get_search_cache,
+    search_cache_key,
+)
+from .explain import (  # noqa: F401
+    MappingExplanation,
+    explain_mapping,
+    render_telemetry,
+)
 from .analyzer import (  # noqa: F401
     KernelAnalysis,
     ProgramAnalysis,
@@ -46,8 +61,14 @@ from .mapping import (  # noqa: F401
 )
 from .nesting import Nest, build_nest, extract_kernels, outermost_patterns  # noqa: F401
 from .scoring import ScoredMapping, score_mapping, satisfied_constraints  # noqa: F401
-from .search import SearchResult, enumerate_candidates, search_mapping  # noqa: F401
+from .search import (  # noqa: F401
+    SearchResult,
+    enumerate_candidates,
+    search_mapping,
+    search_mapping_reference,
+)
 from .shapes import SizeEnv, eval_size  # noqa: F401
+from .tables import ConstraintTables, span_options_for_levels  # noqa: F401
 from .strategies import (  # noqa: F401
     FIXED_STRATEGIES,
     fixed_strategy,

@@ -51,14 +51,21 @@ class KernelAnalysis:
         self,
         window: Optional[DopWindow] = None,
         keep_all: bool = False,
+        use_cache: bool = True,
     ) -> SearchResult:
-        """Run the Algorithm-1 search for this kernel (MultiDim strategy)."""
+        """Run the Algorithm-1 search for this kernel (MultiDim strategy).
+
+        The staged search memoizes whole results, so shape sweeps and
+        repeated kernels return instantly (``use_cache=False`` forces a
+        fresh walk; the result is identical either way).
+        """
         return search_mapping(
             self.depth,
             self.constraints,
             self.level_sizes(),
             window=window,
             keep_all=keep_all,
+            use_cache=use_cache,
         )
 
     def strategy_mapping(self, name: str) -> Mapping:

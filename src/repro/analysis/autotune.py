@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..config import BLOCK_SIZE_CANDIDATES
 from ..errors import SearchError
 from .analyzer import KernelAnalysis
+from .cache import constraint_set_fingerprint, get_autotune_cache
 from .dop import DopWindow, control_dop
 from .mapping import Mapping
 from .scoring import hard_feasible
@@ -40,6 +41,42 @@ class AutotuneResult:
     candidates: int
     #: (mapping, time) pairs, fastest first, truncated to ``keep_top``.
     frontier: List[Tuple[Mapping, float]] = field(default_factory=list)
+    #: True when this result was served from the cross-sweep memo.
+    cache_hit: bool = False
+
+
+def _autotune_cache_key(
+    analysis: KernelAnalysis,
+    device,
+    env: SizeEnv,
+    window: DopWindow,
+    block_sizes: Tuple[int, ...],
+    keep_top: int,
+    apply_control_dop: bool,
+) -> Tuple:
+    """Everything the cost-model pricing reads, canonicalized.
+
+    Unlike the constraint search, the tuner's result depends on the full
+    kernel (access sites drive the cost model), so the key includes the
+    canonical IR rendering and the size environment alongside the
+    constraint fingerprint.
+    """
+    from ..ir.printer import pretty
+
+    return (
+        "autotune",
+        pretty(analysis.root),
+        tuple(sorted(env.values.items())),
+        tuple(sorted(env.array_shapes.items())),
+        (env.default, env.skew),
+        constraint_set_fingerprint(analysis.constraints),
+        tuple(analysis.level_sizes()),
+        device.name,
+        (window.min_dop, window.max_dop),
+        block_sizes,
+        keep_top,
+        apply_control_dop,
+    )
 
 
 def autotune_mapping(
@@ -50,20 +87,38 @@ def autotune_mapping(
     block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
     keep_top: int = 10,
     apply_control_dop: bool = True,
+    use_cache: bool = True,
 ) -> AutotuneResult:
     """Pick the mapping the cost model likes best.
 
     Every candidate satisfying the hard constraints is priced with
     :func:`repro.gpusim.cost.estimate_kernel_cost`; ControlDOP is applied
     per candidate (its Span(n)/Split(k) refinement changes cost too).
+    Results are memoized per (kernel IR, sizes, device, grid) so repeated
+    tuning of an unchanged kernel is free.
     """
+    from dataclasses import replace
+
     from ..gpusim.cost import estimate_kernel_cost
 
     if env is None:
         env = analysis.env
     if window is None:
         window = device.dop_window()
-    sizes = analysis.level_sizes()
+    block_sizes = tuple(block_sizes)
+
+    cache = get_autotune_cache() if use_cache else None
+    key = None
+    if cache is not None:
+        key = _autotune_cache_key(
+            analysis, device, env, window, block_sizes, keep_top,
+            apply_control_dop,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return replace(hit, cache_hit=True)
+
+    sizes = tuple(analysis.level_sizes())
     splittable = analysis.constraints.span_all_levels()
 
     timed: List[Tuple[Mapping, float]] = []
@@ -83,9 +138,12 @@ def autotune_mapping(
         raise SearchError("no feasible mapping to autotune over")
     timed.sort(key=lambda mt: mt[1])
     best_mapping, best_time = timed[0]
-    return AutotuneResult(
+    result = AutotuneResult(
         mapping=best_mapping,
         time_us=best_time,
         candidates=len(timed),
         frontier=timed[:keep_top],
     )
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

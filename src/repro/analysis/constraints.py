@@ -18,7 +18,7 @@ discounted by enclosing branch probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import (
     ANALYSIS_CACHE_BYTES,
@@ -44,6 +44,28 @@ class Constraint:
 
     def satisfied_by(self, mapping: Mapping, sizes: Tuple[int, ...]) -> bool:
         raise NotImplementedError
+
+    def footprint(self) -> Optional[Tuple]:
+        """Which part of a candidate mapping satisfaction depends on.
+
+        The staged search (:mod:`repro.analysis.tables`) uses this to
+        precompute partial-satisfaction tables instead of calling
+        :meth:`satisfied_by` per candidate.  Given fixed analysis sizes, a
+        constraint may declare that it reads only
+
+        * ``("level", i)`` — the :class:`~repro.analysis.mapping.LevelMapping`
+          of level ``i`` (its dim, block size, and span);
+        * ``("block",)`` — the total threads per block;
+        * ``("warp", levels)`` — the warp-variance of the given levels
+          (dims and block sizes of every level, but no spans).
+
+        ``None`` (the default) means *opaque*: satisfaction may depend on
+        anything, and the search falls back to per-candidate evaluation.
+        Subclasses that override this promise that ``satisfied_by`` really
+        is invariant in everything outside the declared footprint for the
+        candidates the search enumerates (all-parallel levels).
+        """
+        return None
 
 
 @dataclass(frozen=True)
@@ -72,6 +94,9 @@ class SpanAllRequired(Constraint):
     def splittable(self) -> bool:
         return self.reason == "sync"
 
+    def footprint(self) -> Optional[Tuple]:
+        return ("level", self.level)
+
 
 @dataclass(frozen=True)
 class CoalesceDimX(Constraint):
@@ -94,6 +119,9 @@ class CoalesceDimX(Constraint):
             return False
         return lm.dim == Dim.X and lm.block_size % WARP_SIZE == 0
 
+    def footprint(self) -> Optional[Tuple]:
+        return ("level", self.level)
+
 
 @dataclass(frozen=True)
 class AvoidDivergence(Constraint):
@@ -115,6 +143,9 @@ class AvoidDivergence(Constraint):
             for level in self.levels
         )
 
+    def footprint(self) -> Optional[Tuple]:
+        return ("warp", self.levels)
+
 
 @dataclass(frozen=True)
 class BlockSizeFloor(Constraint):
@@ -124,6 +155,9 @@ class BlockSizeFloor(Constraint):
 
     def satisfied_by(self, mapping: Mapping, sizes: Tuple[int, ...]) -> bool:
         return mapping.threads_per_block() >= MIN_BLOCK_SIZE
+
+    def footprint(self) -> Optional[Tuple]:
+        return ("block",)
 
 
 @dataclass(frozen=True)
@@ -145,6 +179,9 @@ class NoWastedThreads(Constraint):
             return True
         size = sizes[self.level] if self.level < len(sizes) else 1
         return lm.block_size <= max(1, size)
+
+    def footprint(self) -> Optional[Tuple]:
+        return ("level", self.level)
 
 
 @dataclass

@@ -15,6 +15,7 @@ from .analyzer import KernelAnalysis
 from .constraints import Constraint
 from .mapping import Mapping
 from .scoring import hard_feasible, score_mapping
+from .search import SearchResult
 from .strategies import FIXED_STRATEGIES
 
 
@@ -38,6 +39,8 @@ class MappingExplanation:
     verdicts: List[ConstraintVerdict] = field(default_factory=list)
     #: (strategy name, score or None) comparisons.
     baselines: List[tuple] = field(default_factory=list)
+    #: Telemetry from the search that chose this mapping, when available.
+    search: Optional[SearchResult] = None
 
     @property
     def satisfied_weight(self) -> float:
@@ -78,7 +81,32 @@ class MappingExplanation:
             for name, score in self.baselines:
                 shown = "infeasible" if score is None else f"{score:.4g}"
                 lines.append(f"  {name:<22} score {shown}")
+        if self.search is not None:
+            lines.append("")
+            lines.append("search telemetry:")
+            lines.extend("  " + line for line in render_telemetry(self.search))
         return "\n".join(lines)
+
+
+def render_telemetry(result: SearchResult) -> List[str]:
+    """Human-readable lines for a :class:`SearchResult`'s diagnostics."""
+    lines = [
+        f"strategy: {result.strategy}"
+        + (" (served from cache)" if result.cache_hit else ""),
+        (
+            f"candidates: {result.candidates_total} enumerated, "
+            f"{result.candidates_feasible} feasible"
+        ),
+        (
+            f"work: {result.candidates_scored} scored, "
+            f"{result.candidates_skipped} skipped via "
+            f"{result.nodes_pruned} pruned subtrees"
+        ),
+        f"wall time: {result.elapsed_ms:.3g} ms"
+        + (" (original search; cache lookup was ~free)"
+           if result.cache_hit else ""),
+    ]
+    return lines
 
 
 def explain_mapping(
@@ -86,6 +114,7 @@ def explain_mapping(
     mapping: Mapping,
     sizes: Optional[Sequence[int]] = None,
     compare_baselines: bool = True,
+    search_result: Optional[SearchResult] = None,
 ) -> MappingExplanation:
     """Account for a mapping's score constraint by constraint."""
     if sizes is None:
@@ -104,9 +133,10 @@ def explain_mapping(
     ]
     explanation = MappingExplanation(
         mapping=mapping,
-        score=score_mapping(mapping, cset, sizes),
+        score=score_mapping(mapping, cset, sizes_t),
         max_score=cset.max_score(),
         verdicts=verdicts,
+        search=search_result,
     )
     if compare_baselines:
         for name in FIXED_STRATEGIES:
@@ -115,6 +145,6 @@ def explain_mapping(
             except Exception:
                 continue
             explanation.baselines.append(
-                (name, score_mapping(baseline, cset, sizes))
+                (name, score_mapping(baseline, cset, sizes_t))
             )
     return explanation

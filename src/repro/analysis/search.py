@@ -1,4 +1,4 @@
-"""Brute-force mapping search (Algorithm 1 of the paper).
+"""Mapping search (Algorithm 1 of the paper), staged and pruned.
 
 Candidates are the cross product, per nest level, of
 
@@ -8,23 +8,52 @@ Candidates are the cross product, per nest level, of
   introduced afterwards by :func:`~repro.analysis.dop.control_dop`).
 
 Hard constraints prune candidates; the rest are scored by the satisfied
-soft-constraint weights.  Ties break toward higher DOP, then by a seeded
-random choice (the paper picks randomly; seeding keeps runs reproducible).
+soft-constraint weights.  Ties break toward higher DOP, then toward
+lexicographically larger block sizes (outermost level first), then by a
+seeded reservoir sample over the tied candidates (the paper picks
+randomly; seeding keeps runs reproducible, and reservoir sampling keeps
+the pick uniform however many candidates tie).
+
+Two implementations share that contract:
+
+* :func:`search_mapping_reference` — the original exhaustive loop.  It
+  enumerates every structurally valid candidate and calls every
+  constraint's ``satisfied_by`` per candidate.  Retained as the oracle
+  for equivalence tests.
+* :func:`search_mapping` — a staged, pruned, memoized pipeline that
+  returns byte-identical results.  Constraint satisfaction is
+  precomputed into per-``(level, dim, block_size, span)`` tables
+  (:mod:`repro.analysis.tables`); enumeration is a level-by-level
+  branch-and-bound walk that discards subtrees which violate a hard
+  constraint or whose optimistic score cannot reach the incumbent
+  (candidate counts for skipped subtrees are reconstructed exactly by a
+  small counting DP, so the telemetry matches the reference); and whole
+  results are memoized across shape sweeps (:mod:`repro.analysis.cache`).
+
+Equivalence rests on two invariants: the walk visits candidates in the
+reference's enumeration order, and pruning is *strict* — only subtrees
+whose best possible score is strictly below the incumbent are skipped, so
+every potential tie still reaches the reservoir sampler and consumes the
+same random draws.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import random
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE, TIE_BREAK_SEED
 from ..errors import SearchError
+from .cache import get_search_cache, search_cache_key
 from .constraints import ConstraintSet
 from .dop import DopWindow, control_dop
-from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping, Span, SpanAll
+from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping
 from .scoring import ScoredMapping, score_mapping
+from .tables import ConstraintTables, span_options_for_levels
 
 
 @dataclass
@@ -39,6 +68,31 @@ class SearchResult:
     #: Every feasible candidate with its score (populated only when
     #: ``keep_all=True``; used by the Fig. 17 scatter experiment).
     all_scored: List[ScoredMapping] = field(default_factory=list)
+    # -- search telemetry ------------------------------------------------
+    #: Candidates whose score was individually evaluated.
+    candidates_scored: int = 0
+    #: Candidates accounted for without individual evaluation (their
+    #: subtree was pruned by a hard violation or the score bound).
+    candidates_skipped: int = 0
+    #: Tree nodes cut by branch-and-bound (each covers many candidates).
+    nodes_pruned: int = 0
+    #: True when this result was served from the cross-sweep memo.
+    cache_hit: bool = False
+    #: Wall time of the search that produced this result.
+    elapsed_ms: float = 0.0
+    #: "pruned", "reference", or "reference-fallback" (opaque constraints).
+    strategy: str = "pruned"
+
+
+def _effective_block_sizes(
+    num_levels: int, block_sizes: Sequence[int]
+) -> Tuple[int, ...]:
+    if num_levels >= 4 and block_sizes is BLOCK_SIZE_CANDIDATES:
+        # The space is exponential in nest depth (Section IV-D); beyond
+        # three levels a power-of-4 block grid keeps the search under a
+        # second while still spanning the useful shapes.
+        return (1, 4, 16, 64, 256, 1024)
+    return tuple(block_sizes)
 
 
 def enumerate_candidates(
@@ -52,14 +106,8 @@ def enumerate_candidates(
     per-dim and per-block thread caps, forced Span(all) levels) so the
     scorer only sees plausible mappings.
     """
-    span_all = cset.span_all_levels()
     dims = list(Dim)[:num_levels]
-    span_options_per_level: List[Tuple[object, ...]] = []
-    for level in range(num_levels):
-        if level in span_all:
-            span_options_per_level.append((SpanAll(),))
-        else:
-            span_options_per_level.append((Span(1), SpanAll()))
+    span_options_per_level = span_options_for_levels(cset, num_levels)
 
     for dim_perm in itertools.permutations(dims, num_levels):
         for sizes in itertools.product(block_sizes, repeat=num_levels):
@@ -81,7 +129,137 @@ def enumerate_candidates(
                 )
 
 
-def search_mapping(
+class _Incumbent:
+    """Best-so-far state with the reservoir tie-break.
+
+    Both search implementations route every feasible candidate through
+    :meth:`decide`, in the same enumeration order, so the sequence of
+    random draws — and therefore the winner — is identical between them.
+
+    The deterministic tie-break chain is score, then DOP, then
+    lexicographically larger per-level block sizes (outermost level
+    first): at equal score and parallelism, threads are better spent on
+    the outer Span(1) levels than on oversizing a Span(all) level whose
+    domain they exceed.  The k-th candidate tying all three replaces the
+    incumbent with probability 1/k, which samples uniformly from the tie
+    pool (the old ``rng.random() < 0.5`` over-weighted later candidates
+    for three-way-or-larger ties).
+    """
+
+    __slots__ = ("rng", "mapping", "score", "dop", "sizes", "ties")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.mapping: Optional[Mapping] = None
+        self.score = -1.0
+        self.dop = -1
+        self.sizes: Tuple[int, ...] = ()
+        self.ties = 0
+
+    def decide(self, score: float, dop: int, bsizes: Tuple[int, ...]) -> bool:
+        """Should this candidate replace the incumbent?  (Stateful.)"""
+        if score > self.score:
+            self.score, self.dop, self.sizes, self.ties = score, dop, bsizes, 1
+            return True
+        if score == self.score and dop >= self.dop:
+            if dop > self.dop or bsizes > self.sizes:
+                self.dop, self.sizes, self.ties = dop, bsizes, 1
+                return True
+            if bsizes == self.sizes:
+                self.ties += 1
+                return self.rng.random() < 1.0 / self.ties
+        return False
+
+
+def _cannot_reach(bound: float, best: float) -> bool:
+    """Float-safe strict comparison for pruning.
+
+    The optimistic bound is assembled with plain additions while true
+    scores use exact ``fsum``; the slack keeps a bound that merely
+    *rounds* below the incumbent from pruning a genuine tie (which would
+    desynchronize the reservoir sampler from the reference).
+    """
+    return bound < best - (abs(best) * 1e-12 + 1e-12)
+
+
+def _validate(num_levels: int, sizes: Sequence[int]) -> Tuple[int, ...]:
+    sizes_t = tuple(sizes)
+    if len(sizes_t) != num_levels:
+        raise SearchError(
+            f"expected {num_levels} level sizes, got {len(sizes_t)}"
+        )
+    return sizes_t
+
+
+def _finish(
+    inc: _Incumbent,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+    window: DopWindow,
+    total: int,
+    feasible: int,
+    all_scored: List[ScoredMapping],
+    scored: int,
+    skipped: int,
+    nodes_pruned: int,
+    strategy: str,
+) -> SearchResult:
+    if inc.mapping is None:
+        raise SearchError("no feasible mapping satisfies the hard constraints")
+    adjusted = control_dop(inc.mapping, sizes_t, window, cset.span_all_levels())
+    return SearchResult(
+        mapping=adjusted,
+        score=inc.score,
+        dop=adjusted.dop(sizes_t),
+        candidates_total=total,
+        candidates_feasible=feasible,
+        all_scored=all_scored,
+        candidates_scored=scored,
+        candidates_skipped=skipped,
+        nodes_pruned=nodes_pruned,
+        strategy=strategy,
+    )
+
+
+def _search_exhaustive(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+    window: DopWindow,
+    block_sizes: Tuple[int, ...],
+    keep_all: bool,
+    seed: int,
+    strategy: str,
+) -> SearchResult:
+    """The original brute-force loop (shared by the reference entry point
+    and the opaque-constraint fallback)."""
+    rng = random.Random(seed)
+    inc = _Incumbent(rng)
+    total = 0
+    feasible = 0
+    all_scored: List[ScoredMapping] = []
+
+    for mapping in enumerate_candidates(num_levels, cset, block_sizes):
+        total += 1
+        score = score_mapping(mapping, cset, sizes_t)
+        if score is None:
+            continue
+        feasible += 1
+        dop = mapping.dop(sizes_t)
+        if keep_all:
+            all_scored.append(ScoredMapping(mapping, score, dop))
+        if inc.decide(
+            score, dop, tuple(lm.block_size for lm in mapping.levels)
+        ):
+            inc.mapping = mapping
+
+    return _finish(
+        inc, cset, sizes_t, window, total, feasible, all_scored,
+        scored=total, skipped=0, nodes_pruned=0, strategy=strategy,
+    )
+
+
+def search_mapping_reference(
     num_levels: int,
     cset: ConstraintSet,
     sizes: Sequence[int],
@@ -90,7 +268,214 @@ def search_mapping(
     keep_all: bool = False,
     seed: int = TIE_BREAK_SEED,
 ) -> SearchResult:
+    """Run Algorithm 1 by exhaustive enumeration (the equivalence oracle)."""
+    if window is None:
+        window = DopWindow()
+    block_sizes = _effective_block_sizes(num_levels, block_sizes)
+    sizes_t = _validate(num_levels, sizes)
+    start = time.perf_counter()
+    result = _search_exhaustive(
+        num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
+        strategy="reference",
+    )
+    result.elapsed_ms = (time.perf_counter() - start) * 1e3
+    return result
+
+
+def _search_pruned(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+    window: DopWindow,
+    block_sizes: Tuple[int, ...],
+    keep_all: bool,
+    seed: int,
+    tables: ConstraintTables,
+) -> SearchResult:
+    """Branch-and-bound over the candidate tree using the tables."""
+    rng = random.Random(seed)
+    inc = _Incumbent(rng)
+    dims = list(Dim)[:num_levels]
+    cells = tables.cells
+    span_counts = [len(opts) for opts in tables.span_options]
+    cross_opt = tables.cross_optimistic
+
+    total = 0
+    feasible = 0
+    scored = 0
+    skipped = 0
+    nodes_pruned = 0
+    all_scored: List[ScoredMapping] = []
+
+    # keep_all must retain every feasible candidate, so only subtrees with
+    # zero feasible candidates may be skipped; exact feasibility counting
+    # for bound-pruned subtrees additionally needs hard feasibility to
+    # factorize per level.
+    allow_bound_prune = tables.hard_level_only and not keep_all
+    allow_leaf_skip = not keep_all
+
+    chosen_cells: List = [None] * num_levels
+    chosen_sizes = [0] * num_levels
+
+    for dim_perm in itertools.permutations(dims, num_levels):
+        # Optimistic soft weight attainable by levels k.. for this
+        # dimension assignment (used in the branch-and-bound test).
+        suffix = [0.0] * (num_levels + 1)
+        for level in range(num_levels - 1, -1, -1):
+            suffix[level] = (
+                suffix[level + 1]
+                + tables.level_dim_max[(level, dim_perm[level])]
+            )
+
+        # Counting DP: candidates in the subtree of a size prefix, as the
+        # reference would have enumerated them.  Memoized per remaining
+        # block budget (a handful of values).
+        memo: dict = {}
+
+        def completions(k: int, budget: int) -> Tuple[int, int]:
+            """(total, hard-feasible) candidate counts over levels k.. ."""
+            if k == num_levels:
+                return (1, 1)
+            key = (k, budget)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            t_count = f_count = 0
+            dim = dim_perm[k]
+            cap = DIM_MAX_THREADS[dim]
+            for size in block_sizes:
+                if size > cap or size > budget:
+                    continue
+                sub_t, sub_f = completions(k + 1, budget // size)
+                t_count += sub_t * span_counts[k]
+                f_count += sub_f * cells[(k, dim, size)].feasible_spans
+            memo[key] = (t_count, f_count)
+            return (t_count, f_count)
+
+        def leaf(span_mult: int, feas_mult: int) -> None:
+            nonlocal total, feasible, scored, skipped, nodes_pruned
+            product = 1
+            for size in chosen_sizes:
+                product *= size
+            block_ok, block_w = tables.block_eval(product)
+            warp_ok, warp_w = tables.warp_eval(dim_perm, chosen_sizes)
+            if not (block_ok and warp_ok):
+                total += span_mult
+                skipped += span_mult
+                nodes_pruned += 1
+                return
+            base_w = block_w + warp_w
+            wmax = math.fsum(base_w)
+            for cell in chosen_cells:
+                wmax += cell.max_weight
+            if allow_leaf_skip and _cannot_reach(wmax, inc.score):
+                total += span_mult
+                feasible += feas_mult
+                skipped += span_mult
+                nodes_pruned += 1
+                return
+            sizes_key = tuple(chosen_sizes)
+            for combo in itertools.product(
+                *(cell.choices for cell in chosen_cells)
+            ):
+                total += 1
+                scored += 1
+                if not all(ch.hard_ok for ch in combo):
+                    continue
+                feasible += 1
+                weights = base_w
+                dop = 1
+                for ch in combo:
+                    weights = weights + ch.weights
+                    dop *= ch.dop
+                score = math.fsum(weights)
+
+                def make_mapping(combo=combo) -> Mapping:
+                    return Mapping(
+                        tuple(
+                            LevelMapping(
+                                dim_perm[level],
+                                chosen_sizes[level],
+                                combo[level].span,
+                            )
+                            for level in range(num_levels)
+                        )
+                    )
+
+                if keep_all:
+                    mapping = make_mapping()
+                    all_scored.append(ScoredMapping(mapping, score, dop))
+                    if inc.decide(score, dop, sizes_key):
+                        inc.mapping = mapping
+                elif inc.decide(score, dop, sizes_key):
+                    inc.mapping = make_mapping()
+
+        def walk(
+            k: int, budget: int, opt_prefix: float,
+            span_mult: int, feas_mult: int,
+        ) -> None:
+            nonlocal total, feasible, skipped, nodes_pruned
+            if k == num_levels:
+                leaf(span_mult, feas_mult)
+                return
+            dim = dim_perm[k]
+            cap = DIM_MAX_THREADS[dim]
+            for size in block_sizes:
+                if size > cap or size > budget:
+                    continue
+                cell = cells[(k, dim, size)]
+                sub_mult = span_mult * span_counts[k]
+                if cell.feasible_spans == 0:
+                    # Level k violates a hard constraint for every span:
+                    # the whole subtree is infeasible.
+                    sub_t, _ = completions(k + 1, budget // size)
+                    count = sub_t * sub_mult
+                    total += count
+                    skipped += count
+                    nodes_pruned += 1
+                    continue
+                opt = opt_prefix + cell.max_weight
+                if allow_bound_prune and _cannot_reach(
+                    opt + suffix[k + 1] + cross_opt, inc.score
+                ):
+                    sub_t, sub_f = completions(k + 1, budget // size)
+                    total += sub_t * sub_mult
+                    feasible += sub_f * feas_mult * cell.feasible_spans
+                    skipped += sub_t * sub_mult
+                    nodes_pruned += 1
+                    continue
+                chosen_cells[k] = cell
+                chosen_sizes[k] = size
+                walk(
+                    k + 1, budget // size, opt,
+                    sub_mult, feas_mult * cell.feasible_spans,
+                )
+
+        walk(0, MAX_BLOCK_SIZE, 0.0, 1, 1)
+
+    return _finish(
+        inc, cset, sizes_t, window, total, feasible, all_scored,
+        scored=scored, skipped=skipped, nodes_pruned=nodes_pruned,
+        strategy="pruned",
+    )
+
+
+def search_mapping(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes: Sequence[int],
+    window: Optional[DopWindow] = None,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+    keep_all: bool = False,
+    seed: int = TIE_BREAK_SEED,
+    use_cache: bool = True,
+) -> SearchResult:
     """Run Algorithm 1 and return the selected mapping.
+
+    This is the staged pipeline: memo lookup, constraint tables, pruned
+    tree walk.  Results are byte-identical to
+    :func:`search_mapping_reference` (asserted by
+    ``tests/analysis/test_search_equivalence.py``).
 
     Args:
         num_levels: nest depth of the kernel.
@@ -100,54 +485,42 @@ def search_mapping(
         keep_all: retain every feasible candidate with its score
             (needed by the score-vs-performance experiment).
         seed: tie-break seed (the paper breaks final ties randomly).
+        use_cache: serve/record the cross-sweep memo.
     """
     if window is None:
         window = DopWindow()
-    rng = random.Random(seed)
-    sizes = list(sizes)
-    if len(sizes) != num_levels:
-        raise SearchError(
-            f"expected {num_levels} level sizes, got {len(sizes)}"
+    block_sizes = _effective_block_sizes(num_levels, block_sizes)
+    sizes_t = _validate(num_levels, sizes)
+    start = time.perf_counter()
+
+    cache = get_search_cache() if use_cache else None
+    key = None
+    if cache is not None:
+        key = search_cache_key(
+            cset, num_levels, sizes_t, block_sizes, window, keep_all, seed
         )
-    if num_levels >= 4 and block_sizes is BLOCK_SIZE_CANDIDATES:
-        # The space is exponential in nest depth (Section IV-D); beyond
-        # three levels a power-of-4 block grid keeps brute force under a
-        # second while still spanning the useful shapes.
-        block_sizes = (1, 4, 16, 64, 256, 1024)
+        hit = cache.get(key)
+        if hit is not None:
+            return replace(hit, cache_hit=True)
 
-    best: Optional[Mapping] = None
-    best_score = -1.0
-    best_dop = -1
-    total = 0
-    feasible = 0
-    all_scored: List[ScoredMapping] = []
-
-    for mapping in enumerate_candidates(num_levels, cset, block_sizes):
-        total += 1
-        score = score_mapping(mapping, cset, sizes)
-        if score is None:
-            continue
-        feasible += 1
-        dop = mapping.dop(sizes)
-        if keep_all:
-            all_scored.append(ScoredMapping(mapping, score, dop))
-        if score > best_score:
-            best, best_score, best_dop = mapping, score, dop
-        elif score == best_score:
-            if dop > best_dop:
-                best, best_dop = mapping, dop
-            elif dop == best_dop and rng.random() < 0.5:
-                best = mapping
-
-    if best is None:
+    tables = ConstraintTables.build(cset, num_levels, sizes_t, block_sizes)
+    if tables.always_infeasible:
+        # A hard constraint no candidate can satisfy (the reference would
+        # enumerate everything and then raise the same error).
         raise SearchError("no feasible mapping satisfies the hard constraints")
-
-    adjusted = control_dop(best, sizes, window, cset.span_all_levels())
-    return SearchResult(
-        mapping=adjusted,
-        score=best_score,
-        dop=adjusted.dop(sizes),
-        candidates_total=total,
-        candidates_feasible=feasible,
-        all_scored=all_scored,
-    )
+    if tables.has_opaque:
+        # Unknown constraint types: fall back to per-candidate evaluation
+        # (correct for any satisfied_by, just not table-accelerated).
+        result = _search_exhaustive(
+            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
+            strategy="reference-fallback",
+        )
+    else:
+        result = _search_pruned(
+            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
+            tables,
+        )
+    result.elapsed_ms = (time.perf_counter() - start) * 1e3
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

@@ -90,7 +90,11 @@ def cmd_map(args: argparse.Namespace) -> int:
         if args.explain:
             from repro.analysis import explain_mapping
 
-            print(explain_mapping(ka, decision.mapping).render())
+            print(
+                explain_mapping(
+                    ka, decision.mapping, search_result=decision.search
+                ).render()
+            )
         else:
             print(ka.constraints.describe())
             print(f"mapping: {decision.mapping}")

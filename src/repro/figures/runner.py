@@ -27,6 +27,22 @@ def run_all(device: Optional[GpuDevice] = None) -> List[ExperimentResult]:
     return [run_experiment(eid, device) for eid in EXPERIMENTS]
 
 
+def search_cache_summary() -> str:
+    """One line on how much the experiment sweeps reused memoized searches.
+
+    Figure sweeps re-analyze the same kernels across many shapes, so the
+    hit rate here is the cross-sweep payoff of the search memo.
+    """
+    from ..analysis.cache import get_search_cache
+
+    stats = get_search_cache().stats()
+    return (
+        f"search cache: {stats.hits} hits / {stats.misses} misses "
+        f"({100.0 * stats.hit_rate:.0f}% hit rate, "
+        f"{stats.size} entries)"
+    )
+
+
 #: Per-experiment commentary for EXPERIMENTS.md: what the paper reports and
 #: how the reproduction compares.
 _DISCUSSION = {
@@ -141,4 +157,5 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         result = run_experiment(eid)
         print(result.render())
         print()
+    print(search_cache_summary())
     return 0

@@ -14,6 +14,7 @@ from typing import Optional, Union
 
 from ..analysis.analyzer import KernelAnalysis, analyze_program
 from ..analysis.mapping import Mapping
+from ..analysis.search import SearchResult
 from ..analysis.shapes import SizeEnv
 from ..ir.patterns import Program
 from .cost import LaunchPlan, estimate_kernel_cost
@@ -31,6 +32,8 @@ class KernelDecision:
     mapping: Mapping
     plan: LaunchPlan
     score: Optional[float] = None
+    #: Search telemetry when the "multidim" strategy ran the search.
+    search: Optional[SearchResult] = None
 
     def cost(self, device: GpuDevice, env: Optional[SizeEnv] = None) -> KernelCost:
         return estimate_kernel_cost(
@@ -51,11 +54,12 @@ def decide_mapping(
     builds the launch plan; otherwise a bare plan with preallocation only.
     """
     score: Optional[float] = None
+    search: Optional[SearchResult] = None
     if isinstance(strategy, Mapping):
         mapping = strategy
     elif strategy == "multidim":
-        result = analysis.select_mapping(window=device.dop_window())
-        mapping, score = result.mapping, result.score
+        search = analysis.select_mapping(window=device.dop_window())
+        mapping, score = search.mapping, search.score
     else:
         mapping = analysis.strategy_mapping(strategy)
     if optimize:
@@ -64,7 +68,7 @@ def decide_mapping(
         plan = build_plan(analysis, mapping, device)
     else:
         plan = LaunchPlan(prealloc=True)
-    return KernelDecision(analysis, mapping, plan, score)
+    return KernelDecision(analysis, mapping, plan, score, search)
 
 
 def simulate_program(

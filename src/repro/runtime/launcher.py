@@ -41,7 +41,9 @@ def adjust_at_launch(
     """
     if window is None:
         window = DopWindow()
-    sizes = list(sizes)
+    # Hoisted once: score_mapping expects a tuple and would otherwise
+    # convert per candidate inside the combination loop below.
+    sizes = tuple(sizes)
 
     parallel_levels = [i for i, lm in enumerate(mapping.levels) if lm.parallel]
     if not parallel_levels:

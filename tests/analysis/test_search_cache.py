@@ -1,0 +1,104 @@
+"""The cross-sweep memo: key sensitivity and cache behavior.
+
+Serving a memoized search result is only safe if the key covers
+*everything* the result depends on — any constraint field, the sizes,
+the grid, the DOP window, the seed, and the keep_all flag.  These tests
+pin that contract: equal inputs collide, every single-input perturbation
+separates.
+"""
+
+import pytest
+
+from repro.analysis.cache import (
+    SearchCache,
+    clear_caches,
+    constraint_set_fingerprint,
+    get_search_cache,
+    search_cache_key,
+)
+from repro.analysis.constraints import (
+    BlockSizeFloor,
+    CoalesceDimX,
+    ConstraintSet,
+    SpanAllRequired,
+)
+from repro.analysis.dop import DopWindow
+
+
+def make_cset(coalesce_weight=2.0, coalesce_level=1):
+    cset = ConstraintSet()
+    cset.add(SpanAllRequired(True, "local", "sync", level=1, reason="sync"))
+    cset.add(CoalesceDimX(
+        False, "local", "coalesce", level=coalesce_level,
+        weight=coalesce_weight,
+    ))
+    cset.add(BlockSizeFloor(False, "global", "floor", weight=1.0))
+    return cset
+
+
+def base_key(**overrides):
+    params = dict(
+        cset=make_cset(),
+        num_levels=2,
+        sizes=(128, 4096),
+        block_sizes=(1, 32, 1024),
+        window=DopWindow(),
+        keep_all=False,
+        seed=0x5EED,
+    )
+    params.update(overrides)
+    return search_cache_key(**params)
+
+
+def test_equal_inputs_equal_keys():
+    assert base_key() == base_key()
+    assert constraint_set_fingerprint(make_cset()) == \
+        constraint_set_fingerprint(make_cset())
+
+
+@pytest.mark.parametrize("override", [
+    dict(cset=make_cset(coalesce_weight=3.0)),
+    dict(cset=make_cset(coalesce_level=0)),
+    dict(sizes=(128, 4097)),
+    dict(block_sizes=(1, 64, 1024)),
+    dict(window=DopWindow(min_dop=1)),
+    dict(keep_all=True),
+    dict(seed=1),
+])
+def test_any_input_change_changes_key(override):
+    assert base_key(**override) != base_key()
+
+
+def test_constraint_order_is_part_of_identity():
+    """Insertion order affects tie-break-visible behavior, so it keys."""
+    a = ConstraintSet()
+    a.add(CoalesceDimX(False, "local", "c0", level=0, weight=1.0))
+    a.add(BlockSizeFloor(False, "global", "floor", weight=2.0))
+    b = ConstraintSet()
+    b.add(BlockSizeFloor(False, "global", "floor", weight=2.0))
+    b.add(CoalesceDimX(False, "local", "c0", level=0, weight=1.0))
+    assert constraint_set_fingerprint(a) != constraint_set_fingerprint(b)
+
+
+def test_lru_eviction_and_stats():
+    cache = SearchCache(maxsize=2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    assert cache.get(("a",)) == 1  # refreshes "a"
+    cache.put(("c",), 3)  # evicts "b", the least recently used
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) == 1
+    assert cache.get(("c",)) == 3
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.size) == (3, 1, 2)
+    assert stats.hit_rate == pytest.approx(0.75)
+
+
+def test_clear_caches_resets_global_memo():
+    clear_caches()
+    cache = get_search_cache()
+    cache.put(("k",), "v")
+    assert len(cache) == 1
+    clear_caches()
+    assert len(cache) == 0
+    assert cache.stats().hits == 0

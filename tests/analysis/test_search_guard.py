@@ -1,0 +1,35 @@
+"""Tier-1 performance guard for the staged search.
+
+A depth-3 search over the full default grid enumerates ~6-25k candidates;
+the reference loop needs ~100 ms and the pruned walk single-digit
+milliseconds.  The budget here is deliberately generous (2 s wall-clock,
+uncached) — it exists to catch an accidental return to per-candidate
+``satisfied_by`` evaluation or broken pruning, not to benchmark.
+"""
+
+import time
+
+from repro.analysis import analyze_program
+from repro.analysis.search import search_mapping
+from repro.apps import ALL_APPS, merge_params
+
+SEARCH_BUDGET_SECONDS = 2.0
+
+
+def test_depth3_search_within_budget():
+    app = ALL_APPS["msmbuilder"]
+    ka = analyze_program(app.build(), **merge_params(app, {})).kernel(0)
+    assert ka.depth == 3
+
+    start = time.perf_counter()
+    result = search_mapping(
+        ka.depth, ka.constraints, ka.level_sizes(), use_cache=False
+    )
+    elapsed = time.perf_counter() - start
+
+    assert result.strategy == "pruned"
+    assert result.candidates_scored < result.candidates_total
+    assert elapsed < SEARCH_BUDGET_SECONDS, (
+        f"depth-3 search took {elapsed:.2f}s (budget "
+        f"{SEARCH_BUDGET_SECONDS}s); did pruning regress?"
+    )
