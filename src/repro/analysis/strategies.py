@@ -21,7 +21,7 @@ from typing import Callable, Dict, Sequence
 
 from ..config import MAX_BLOCK_SIZE, WARP_SIZE
 from ..errors import MappingError
-from .mapping import Dim, LevelMapping, Mapping, Span, SpanAll, seq_level
+from .mapping import Dim, LevelMapping, Mapping, Span, SpanAll, Split, seq_level
 
 
 def one_d(sizes: Sequence[int], block_size: int = 256) -> Mapping:
@@ -68,6 +68,33 @@ def warp_based(sizes: Sequence[int]) -> Mapping:
         LevelMapping(Dim.X, WARP_SIZE, SpanAll()),
     ]
     levels.extend(seq_level() for _ in sizes[2:])
+    return Mapping(tuple(levels))
+
+
+def split_forcing(
+    sizes: Sequence[int], level: int, k: int = 2, block_size: int = 64
+) -> Mapping:
+    """A mapping that forces ``Split(k)`` degree reduction at one level.
+
+    The differential-testing oracle uses this to exercise the combiner-kernel
+    code path deliberately: level ``level`` gets ``[DimX, block_size,
+    Split(k)]`` while level 0 (when distinct) keeps a block-spanning
+    ``[DimY, 1, Span(1)]`` assignment and every other level runs
+    sequentially.  The caller is responsible for picking a level whose
+    hard constraints are splittable (``SpanAllRequired.splittable``).
+    """
+    if not sizes:
+        raise MappingError("need at least one level")
+    if not 0 <= level < len(sizes):
+        raise MappingError(f"split level {level} out of range for {len(sizes)} levels")
+    levels = []
+    for i in range(len(sizes)):
+        if i == level:
+            levels.append(LevelMapping(Dim.X, block_size, Split(k)))
+        elif i == 0:
+            levels.append(LevelMapping(Dim.Y, 1, Span(1)))
+        else:
+            levels.append(seq_level())
     return Mapping(tuple(levels))
 
 

@@ -16,6 +16,9 @@ Commands
     Print experiment tables (all by default).
 ``experiments [-o FILE]``
     Regenerate EXPERIMENTS.md.
+``difftest [--seed N] [--budget N] [--out DIR] [--corpus FILE ...]``
+    Differential-execution fuzzing: generate random pattern programs and
+    check every strategy/optimization combination against the interpreter.
 """
 
 from __future__ import annotations
@@ -174,6 +177,51 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_difftest(args: argparse.Namespace) -> int:
+    from repro.difftest import (
+        load_corpus,
+        run_campaign,
+        save_corpus,
+    )
+    from repro.difftest.runner import load_reproducer
+
+    if args.replay:
+        from repro.difftest import check_spec
+
+        code = 0
+        for path in args.replay:
+            original, shrunk = load_reproducer(path)
+            report = check_spec(shrunk, seed=args.seed)
+            print(f"replay {path}: {shrunk.describe()}")
+            print(f"  {report.describe()}")
+            if not report.ok:
+                code = 1
+        return code
+
+    corpus = []
+    for path in args.corpus or []:
+        corpus.extend(load_corpus(path))
+
+    result = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        corpus=corpus or None,
+        out_dir=args.out,
+        progress=print if args.verbose else None,
+    )
+    if args.save_corpus:
+        from repro.difftest import ProgramGenerator, canonical_specs
+
+        generator = ProgramGenerator(seed=args.seed)
+        specs = canonical_specs() + [
+            generator.random_spec() for _ in range(args.budget)
+        ]
+        save_corpus(specs, args.save_corpus)
+        print(f"wrote corpus of {len(specs)} specs to {args.save_corpus}")
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -230,6 +278,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     p_exp.add_argument("-o", "--output", default="EXPERIMENTS.md")
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_dt = sub.add_parser(
+        "difftest", help="differential-execution fuzzing campaign"
+    )
+    p_dt.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0)")
+    p_dt.add_argument("--budget", type=int, default=50,
+                      help="number of random programs (default 50); "
+                      "coverage templates run in addition")
+    p_dt.add_argument("--out", default=None,
+                      help="directory for failing-reproducer artifacts")
+    p_dt.add_argument("--corpus", action="append", default=None,
+                      metavar="FILE",
+                      help="also replay specs from a corpus file "
+                      "(repeatable)")
+    p_dt.add_argument("--save-corpus", default=None, metavar="FILE",
+                      help="write this campaign's spec stream to a "
+                      "corpus file")
+    p_dt.add_argument("--replay", action="append", default=None,
+                      metavar="FILE",
+                      help="re-check the shrunk spec from a reproducer "
+                      "artifact instead of running a campaign")
+    p_dt.add_argument("-v", "--verbose", action="store_true",
+                      help="print a line per checked program")
+    p_dt.set_defaults(fn=cmd_difftest)
 
     return parser
 

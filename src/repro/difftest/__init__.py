@@ -1,0 +1,43 @@
+"""Differential-execution testing for the mapping/codegen stack.
+
+The reproduction's core contract is *mapping invariance*: every mapping the
+Section-IV search (or any fixed baseline, or an explicit ``Split(k)``
+assignment) selects must compute exactly the same values as the
+interpreter, with or without the Section-V optimizations.  This package
+checks that contract by brute force:
+
+* :mod:`~repro.difftest.specs` — a small, JSON-serializable description
+  language for generated programs (the unit the shrinker operates on);
+* :mod:`~repro.difftest.generator` — seeded random generation of specs
+  spanning the full pattern IR, plus the spec -> IR builder;
+* :mod:`~repro.difftest.oracle` — the cross-strategy differential check
+  for one program;
+* :mod:`~repro.difftest.shrinker` — greedy spec-level reduction of a
+  failing program to a minimal reproducer;
+* :mod:`~repro.difftest.runner` — the campaign driver behind the
+  ``repro difftest`` CLI subcommand (corpus files, reproducer artifacts,
+  coverage accounting).
+"""
+
+from .generator import ProgramGenerator, build_program, canonical_specs
+from .oracle import OracleReport, check_spec, make_inputs
+from .runner import CampaignResult, load_corpus, run_campaign, save_corpus
+from .shrinker import shrink_spec
+from .specs import ForeachSpec, LevelSpec, ProgramSpec
+
+__all__ = [
+    "CampaignResult",
+    "ForeachSpec",
+    "LevelSpec",
+    "OracleReport",
+    "ProgramGenerator",
+    "ProgramSpec",
+    "build_program",
+    "canonical_specs",
+    "check_spec",
+    "load_corpus",
+    "make_inputs",
+    "run_campaign",
+    "save_corpus",
+    "shrink_spec",
+]

@@ -1,0 +1,398 @@
+"""Seeded random-program generation and the spec -> IR builder.
+
+The generator covers the full pattern IR on purpose:
+
+* all six pattern kinds (map, zipWith, foreach, filter, reduce, groupBy);
+* nesting to depth 4 (maps over reduces, consecutive reduces);
+* conditionals, both expression-level (``Select`` leaves) and
+  statement-level (``If`` inside Foreach bodies);
+* neighbor accesses (clamped ``i+1`` reads, the stencil idiom);
+* dynamic inner allocations via ``let_vec`` materialization — the input
+  the preallocation optimization (Section V-A) exists to remove.
+
+``RandomIndex`` is deliberately excluded: the vectorized and loop
+interpreter paths consume the RNG in different orders, so random-access
+programs are not differentially comparable.  The stencil apps cover that
+node's analysis behavior instead.
+
+Every program is built from the same fixed input signature so oracle
+input synthesis stays trivial:
+
+* ``m`` — an ``R x C`` F64 matrix;
+* ``v`` — a length-``R`` F64 vector;
+* ``u`` / ``w`` — length-``C`` F64 vectors (``w`` only when zipping);
+* ``o`` — the output array Foreach programs mutate.
+
+Deeper levels (positions 2 and 3) iterate over small constant domains and
+contribute to the leaf expression through their index values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..ir import builder as B
+from ..ir.expr import Const, Var
+from ..ir.patterns import Filter, GroupBy, Program
+from ..ir.symbols import fresh_name, reset_names
+from ..ir.types import I64
+from .specs import (
+    DEFAULT_SIZES,
+    ForeachSpec,
+    LevelSpec,
+    ProgramSpec,
+)
+
+# -- spec -> IR ------------------------------------------------------------
+
+
+def build_program(spec: ProgramSpec, name: str = "") -> Program:
+    """Materialize a spec as a validated pattern-IR program.
+
+    Name generation is reset per build so that the same spec always yields
+    byte-identical serialized IR (stable reproducer artifacts).
+    """
+    spec.validate()
+    reset_names()
+    if spec.kind == "nest":
+        return _build_nest(spec, name or "difftest_nest")
+    if spec.kind == "filter":
+        return _build_filter(spec, name or "difftest_filter")
+    if spec.kind == "groupby":
+        return _build_groupby(spec, name or "difftest_groupby")
+    return _build_foreach(spec, name or "difftest_foreach")
+
+
+def _leaf(spec: ProgramSpec, m: B.Mat, v: B.Vec, u: B.Vec, ix: Sequence[B.EH],
+          sizes: Sequence[int]) -> B.EH:
+    """The innermost scalar expression, parameterized by in-scope indices.
+
+    ``ix[0]`` ranges over R, ``ix[1]`` over C, deeper indices over small
+    constants.  Index arithmetic stays in bounds by construction (clamped
+    neighbor reads), never by wraparound, so the access analysis sees the
+    true stride structure.
+    """
+    depth = len(ix)
+    # Fold indices beyond the array ranks in as plain scalars so deep
+    # levels still influence the value (a dropped level changes results).
+    deep = B.lift(0.0)
+    for k, idx in enumerate(ix[2:]):
+        deep = B.EH(B.lift(deep)) + idx.cast(B.F64) * float(0.25 * (k + 1))
+    deep_eh = B.EH(B.lift(deep))
+
+    if spec.leaf == "affine":
+        acc = B.EH(Const(1.0))
+        for k, idx in enumerate(ix):
+            acc = acc + idx.cast(B.F64) * float(k + 1)
+        return acc + deep_eh
+    if spec.leaf == "array":
+        if depth == 1:
+            return v[ix[0]] * 2.0 + 1.0
+        return m[ix[0], ix[1]] + v[ix[0]] * u[ix[1]] + deep_eh
+    if spec.leaf == "neighbor":
+        if depth == 1:
+            nxt = B.minimum(ix[0] + 1, sizes[0] - 1)
+            return v[nxt] - v[ix[0]] * 0.5
+        nxt = B.minimum(ix[1] + 1, sizes[1] - 1)
+        return m[ix[0], nxt] - m[ix[0], ix[1]] * 0.5 + deep_eh
+    if spec.leaf == "select":
+        cond = (ix[-1] % 2).eq(0)
+        if depth == 1:
+            return cond.where(v[ix[0]] * 2.0, 1.0 - v[ix[0]])
+        return cond.where(m[ix[0], ix[1]], u[ix[1]] - m[ix[0], ix[1]]) + deep_eh
+    raise AssertionError(f"unhandled leaf {spec.leaf!r}")
+
+
+def _build_nest(spec: ProgramSpec, name: str) -> Program:
+    sizes = spec.domain_sizes()
+    b = B.Builder(name)
+    R = b.size("R", sizes[0])
+    C = b.size("C", sizes[1])
+    m = b.matrix("m", B.F64, "R", "C")
+    v = b.vector("v", B.F64, "R")
+    u = b.vector("u", B.F64, "C")
+    uses_zip = any(lv.kind == "zipwith" for lv in spec.levels)
+    w = b.vector("w", B.F64, "C") if uses_zip else None
+
+    def domain(pos: int) -> B.EH:
+        if pos == 0:
+            return R
+        if pos == 1:
+            return C
+        return B.EH(Const(sizes[pos]))
+
+    def build_level(pos: int, ix: List[B.EH]) -> B.EH:
+        if pos == len(spec.levels):
+            return _leaf(spec, m, v, u, ix, sizes)
+        level = spec.levels[pos]
+        dom = domain(pos)
+        if level.kind == "map":
+            return B.EH(
+                B.range_map(dom, lambda i: build_level(pos + 1, ix + [i])).expr
+            )
+        if level.kind == "zipwith":
+            assert w is not None
+            row = m.row(ix[0])
+            return B.EH(
+                row.zip_with(
+                    w, lambda a, bb: a * bb + _leaf(spec, m, v, u, ix, sizes)
+                ).expr
+            )
+        # reduce
+        if level.materialize:
+            vec = B.range_map(dom, lambda i: build_level(pos + 1, ix + [i]))
+            assert isinstance(vec, B.Vec)
+            return B.let_vec(vec, lambda t: _reduce_vec(t, level.op))
+        vec = B.range_map(dom, lambda i: build_level(pos + 1, ix + [i]))
+        if isinstance(vec, B.Vec):
+            return _reduce_vec(vec, level.op)
+        # Scalar-body reduce (the body is not a Vec because range_map only
+        # wraps rank-1 results): build a Reduce node directly.
+        return B.range_reduce(
+            dom, lambda i: build_level(pos + 1, ix + [i]), op=level.op
+        ) if level.op != "custom" else _custom_range_reduce(
+            dom, lambda i: build_level(pos + 1, ix + [i])
+        )
+
+    return b.build(build_level(0, []))
+
+
+def _reduce_vec(vec: B.Vec, op: str) -> B.EH:
+    if op == "custom":
+        # An associative-but-custom combiner: bounded absolute maximum.
+        return vec.reduce_fn(lambda a, bb: B.maximum(a, bb) + 0.0)
+    return vec.reduce(op)
+
+
+def _custom_range_reduce(dom: B.EH, fn: Callable[[B.EH], B.EH]) -> B.EH:
+    from ..ir.patterns import Reduce
+
+    idx = Var(fresh_name("i"), I64)
+    body = B.lift(fn(B.EH(idx)))
+    lhs = Var(fresh_name("a"), body.ty)
+    rhs = Var(fresh_name("b"), body.ty)
+    combine = B.lift(B.maximum(B.EH(lhs), B.EH(rhs)) + 0.0)
+    return B.EH(Reduce(B.lift(dom), idx, body, "custom", (lhs, rhs, combine)))
+
+
+def _build_filter(spec: ProgramSpec, name: str) -> Program:
+    sizes = spec.domain_sizes()
+    b = B.Builder(name)
+    b.size("R", sizes[0])
+    b.size("C", sizes[1])
+    m = b.matrix("m", B.F64, "R", "C")
+    v = b.vector("v", B.F64, "R")
+    u = b.vector("u", B.F64, "C")
+    idx = Var(fresh_name("i"), I64)
+    i = B.EH(idx)
+    elem = v[i]
+    if spec.pred == "positive":
+        pred = elem > 0.0
+    elif spec.pred == "threshold":
+        pred = B.abs_(elem) < 0.75
+    else:  # index_even
+        pred = (i % 2).eq(0)
+    value = _flat_leaf(spec, m, v, u, i, sizes)
+    return b.build(B.EH(Filter(v.length, idx, pred.expr, value.expr)))
+
+
+def _build_groupby(spec: ProgramSpec, name: str) -> Program:
+    sizes = spec.domain_sizes()
+    b = B.Builder(name)
+    b.size("R", sizes[0])
+    b.size("C", sizes[1])
+    m = b.matrix("m", B.F64, "R", "C")
+    v = b.vector("v", B.F64, "R")
+    u = b.vector("u", B.F64, "C")
+    idx = Var(fresh_name("i"), I64)
+    i = B.EH(idx)
+    elem = v[i]
+    if spec.key == "mod":
+        key = i % 3
+    elif spec.key == "halves":
+        key = (i * 2) // B.EH(b._params[0])  # i*2 // R -> {0, 1}
+    else:  # sign
+        key = (elem > 0.0).where(1, 0)
+    value = _flat_leaf(spec, m, v, u, i, sizes)
+    return b.build(B.EH(GroupBy(v.length, idx, B.lift(key), value.expr)))
+
+
+def _flat_leaf(spec: ProgramSpec, m: B.Mat, v: B.Vec, u: B.Vec, i: B.EH,
+               sizes: Sequence[int]) -> B.EH:
+    """Leaf for flat (level-0) filter/groupby values: pure expressions in
+    one index, the shape the atomic compaction/scatter templates lower."""
+    if spec.leaf == "array":
+        return v[i] * 2.0 + 1.0
+    if spec.leaf == "neighbor":
+        nxt = B.minimum(i + 1, sizes[0] - 1)
+        return v[nxt] - v[i] * 0.5
+    if spec.leaf == "select":
+        return (i % 2).eq(0).where(v[i] * 2.0, 1.0 - v[i])
+    return i.cast(B.F64) + 1.0  # affine
+
+
+def _build_foreach(spec: ProgramSpec, name: str) -> Program:
+    sizes = spec.domain_sizes()
+    fe = spec.foreach
+    b = B.Builder(name)
+    b.size("R", sizes[0])
+    b.size("C", sizes[1])
+    m = b.matrix("m", B.F64, "R", "C")
+    v = b.vector("v", B.F64, "R")
+
+    if fe.depth == 1:
+        o = b.vector("o", B.F64, "R")
+
+        def body(i: B.EH) -> list:
+            if fe.neighbor:
+                nxt = B.minimum(i + 1, sizes[0] - 1)
+                value = v[nxt] + v[i] * 0.5
+            else:
+                value = v[i] * 2.0 + 1.0
+            st = B.store(o, i, value)
+            if fe.conditional:
+                return [B.if_then(v[i] > 0.0, [st], [B.store(o, i, 0.0 - value)])]
+            return [st]
+
+        return b.build(B.EH(B.range_foreach(B.EH(b._params[0]), body)))
+
+    o = b.matrix("o", B.F64, "R", "C")
+
+    def body2(i: B.EH, j: B.EH) -> list:
+        if fe.neighbor:
+            nxt = B.minimum(j + 1, sizes[1] - 1)
+            value = m[i, nxt] + m[i, j] * 0.5
+        else:
+            value = m[i, j] + v[i]
+        st = B.store2(o, i, j, value)
+        if fe.conditional:
+            return [B.if_then(m[i, j] > 0.0, [st], [B.store2(o, i, j, 0.0 - value)])]
+        return [st]
+
+    return b.build(B.EH(o.foreach_elements(body2)))
+
+
+# -- random sampling -------------------------------------------------------
+
+
+class ProgramGenerator:
+    """Seeded sampler over the spec space.
+
+    Two generators built with the same seed produce identical spec
+    streams; a corpus file plus a seed fully determines a campaign.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._count = 0
+
+    def random_spec(self) -> ProgramSpec:
+        self._count += 1
+        roll = self.rng.random()
+        if roll < 0.55:
+            spec = self._random_nest()
+        elif roll < 0.67:
+            spec = ProgramSpec(
+                kind="filter",
+                pred=self._choice(("positive", "threshold", "index_even")),
+                leaf=self._choice(("affine", "array", "neighbor", "select")),
+                sizes=self._random_sizes(),
+            )
+        elif roll < 0.79:
+            spec = ProgramSpec(
+                kind="groupby",
+                key=self._choice(("mod", "halves", "sign")),
+                leaf=self._choice(("affine", "array", "neighbor", "select")),
+                sizes=self._random_sizes(),
+            )
+        else:
+            spec = ProgramSpec(
+                kind="foreach",
+                foreach=ForeachSpec(
+                    depth=int(self._choice((1, 2))),
+                    conditional=bool(self.rng.random() < 0.5),
+                    neighbor=bool(self.rng.random() < 0.5),
+                ),
+                sizes=self._random_sizes(),
+            )
+        spec = spec.with_label(f"seed{self.seed}/{self._count}")
+        spec.validate()
+        return spec
+
+    def _random_nest(self) -> ProgramSpec:
+        depth = int(self._choice((1, 2, 2, 3, 3, 4)))
+        n_maps = int(self.rng.integers(0, depth + 1))
+        levels: List[LevelSpec] = [LevelSpec("map") for _ in range(n_maps)]
+        first_reduce = True
+        for _ in range(depth - n_maps):
+            op = self._choice(("+", "+", "max", "min", "custom"))
+            materialize = (
+                first_reduce
+                and n_maps >= 1
+                and op != "custom"
+                and bool(self.rng.random() < 0.35)
+            )
+            levels.append(LevelSpec("reduce", op=op, materialize=materialize))
+            first_reduce = False
+        if (
+            depth == 2
+            and n_maps == 2
+            and bool(self.rng.random() < 0.3)
+        ):
+            levels[1] = LevelSpec("zipwith")
+        return ProgramSpec(
+            kind="nest",
+            levels=tuple(levels),
+            leaf=self._choice(("affine", "array", "array", "neighbor", "select")),
+            sizes=self._random_sizes(),
+        )
+
+    def _random_sizes(self) -> tuple:
+        return (
+            int(self.rng.integers(4, 10)),
+            int(self.rng.integers(5, 13)),
+            DEFAULT_SIZES[2],
+            DEFAULT_SIZES[3],
+        )
+
+    def _choice(self, options: Sequence) -> object:
+        return options[int(self.rng.integers(0, len(options)))]
+
+
+def canonical_specs() -> List[ProgramSpec]:
+    """Deterministic coverage templates prepended to every campaign.
+
+    Whatever the seed, a campaign exercises all six pattern kinds, a
+    materialized inner allocation (the preallocation trigger), a custom
+    combiner, a depth-4 nest, and a level-0 reduce (the ``Split(k)``
+    forcing case) — the acceptance floor of the harness.
+    """
+    return [
+        ProgramSpec(kind="nest", levels=(LevelSpec("map"),), leaf="array",
+                    label="t:map"),
+        ProgramSpec(kind="nest", levels=(LevelSpec("map"), LevelSpec("zipwith")),
+                    leaf="affine", label="t:zipwith"),
+        ProgramSpec(kind="nest",
+                    levels=(LevelSpec("map"),
+                            LevelSpec("reduce", op="+", materialize=True)),
+                    leaf="array", label="t:prealloc"),
+        ProgramSpec(kind="nest", levels=(LevelSpec("reduce", op="+"),),
+                    leaf="neighbor", label="t:reduce0"),
+        ProgramSpec(kind="nest",
+                    levels=(LevelSpec("map"), LevelSpec("reduce", op="custom")),
+                    leaf="array", label="t:custom"),
+        ProgramSpec(kind="nest",
+                    levels=(LevelSpec("map"), LevelSpec("map"),
+                            LevelSpec("reduce", op="max"),
+                            LevelSpec("reduce", op="+")),
+                    leaf="select", label="t:depth4"),
+        ProgramSpec(kind="filter", pred="positive", leaf="array",
+                    label="t:filter"),
+        ProgramSpec(kind="groupby", key="mod", leaf="array", label="t:groupby"),
+        ProgramSpec(kind="foreach",
+                    foreach=ForeachSpec(depth=2, conditional=True, neighbor=True),
+                    label="t:foreach"),
+    ]

@@ -1,0 +1,117 @@
+"""Greedy spec-level reduction of failing programs.
+
+The shrinker never edits raw IR: it edits the *spec* and rebuilds, so
+every candidate is a well-formed program by construction (ill-formed
+candidates are rejected by ``spec.validate()`` and skipped).  Reduction
+is greedy-to-fixpoint over a fixed candidate order, from coarsest
+(drop a whole nest level) to finest (simplify the leaf expression), and
+a candidate is kept only when the caller's predicate confirms the
+failure still reproduces — the classic delta-debugging loop, specialized
+to our tiny description language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Tuple
+
+from .specs import ForeachSpec, LevelSpec, ProgramSpec, SpecError, spec_key
+
+
+def _candidates(spec: ProgramSpec) -> List[ProgramSpec]:
+    """Simplification candidates, coarsest first."""
+    out: List[ProgramSpec] = []
+    if spec.kind == "nest":
+        # Drop one level (outermost-first: deeper programs shrink fastest).
+        for i in range(len(spec.levels)):
+            out.append(
+                replace(
+                    spec, levels=spec.levels[:i] + spec.levels[i + 1:]
+                )
+            )
+        # Demote a zipwith to a plain map.
+        for i, level in enumerate(spec.levels):
+            if level.kind == "zipwith":
+                out.append(_with_level(spec, i, LevelSpec("map")))
+        # Un-materialize / simplify reduce operators.
+        for i, level in enumerate(spec.levels):
+            if level.kind == "reduce" and level.materialize:
+                out.append(
+                    _with_level(spec, i, replace(level, materialize=False))
+                )
+            if level.kind == "reduce" and level.op != "+":
+                out.append(_with_level(spec, i, replace(level, op="+")))
+        if spec.leaf != "affine":
+            out.append(replace(spec, leaf="affine"))
+    elif spec.kind == "filter":
+        if spec.pred != "positive":
+            out.append(replace(spec, pred="positive"))
+        if spec.leaf != "affine":
+            out.append(replace(spec, leaf="affine"))
+        # A filter failure that persists as a plain map is a map failure.
+        out.append(
+            replace(spec, kind="nest", levels=(LevelSpec("map"),), leaf=spec.leaf)
+        )
+    elif spec.kind == "groupby":
+        if spec.key != "mod":
+            out.append(replace(spec, key="mod"))
+        if spec.leaf != "affine":
+            out.append(replace(spec, leaf="affine"))
+        out.append(
+            replace(spec, kind="nest", levels=(LevelSpec("map"),), leaf=spec.leaf)
+        )
+    elif spec.kind == "foreach":
+        fe = spec.foreach
+        if fe.depth > 1:
+            out.append(replace(spec, foreach=replace(fe, depth=1)))
+        if fe.conditional:
+            out.append(replace(spec, foreach=replace(fe, conditional=False)))
+        if fe.neighbor:
+            out.append(replace(spec, foreach=replace(fe, neighbor=False)))
+    if spec.sizes:
+        out.append(replace(spec, sizes=()))
+    return out
+
+
+def _with_level(
+    spec: ProgramSpec, index: int, level: LevelSpec
+) -> ProgramSpec:
+    levels = list(spec.levels)
+    levels[index] = level
+    return replace(spec, levels=tuple(levels))
+
+
+def shrink_spec(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    max_checks: int = 200,
+) -> Tuple[ProgramSpec, int]:
+    """Reduce ``spec`` while ``still_fails`` holds.
+
+    Returns the smallest failing spec found and the number of predicate
+    evaluations spent.  ``still_fails`` is never called on the input spec
+    itself — the caller has already established that it fails.
+    """
+    current = spec
+    checks = 0
+    tried = {spec_key(spec)}
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _candidates(current):
+            key = spec_key(candidate)
+            if key in tried:
+                continue
+            tried.add(key)
+            try:
+                candidate.validate()
+            except SpecError:
+                continue
+            checks += 1
+            if checks > max_checks:
+                break
+            if still_fails(candidate):
+                current = replace(candidate, label=current.label)
+                progress = True
+                break  # restart from the smaller spec's candidate list
+    return current, checks

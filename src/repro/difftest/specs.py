@@ -1,0 +1,244 @@
+"""Program specs: the generator's serializable description language.
+
+A :class:`ProgramSpec` is a compact, JSON-round-trippable recipe for one
+generated program.  The generator samples specs, the builder turns a spec
+into pattern IR, and the shrinker edits specs (never raw IR) — so every
+reduction step stays inside the space of well-formed programs by
+construction, and a reproducer artifact can replay a failure from its spec
+alone.
+
+Spec shapes
+-----------
+
+``kind="nest"``
+    A perfect (or ``let_vec``-materialized) nest: a run of ``map`` /
+    ``zipwith`` levels followed by a run of ``reduce`` levels, depth 1–4.
+    Validity rules (enforced by :meth:`ProgramSpec.validate`):
+
+    * once a ``reduce`` appears, every deeper level is a ``reduce``
+      (a Reduce body must be scalar);
+    * ``zipwith`` only as the innermost level, only at position 1
+      (it zips a matrix-row view against a second vector);
+    * ``materialize`` only on the first reduce level, and only when a
+      map level encloses it — the materialized temporary is the dynamic
+      inner allocation that triggers the preallocation optimization.
+
+``kind="filter"`` / ``kind="groupby"``
+    A flat level-0 Filter/GroupBy over a vector with pure leaf
+    expressions for the predicate/key/value (matching the shapes the
+    CUDA lowering supports: atomic compaction / atomic scatter).
+
+``kind="foreach"``
+    An effectful Foreach nest (depth 1 or 2) writing an output array,
+    optionally with a statement-level conditional and a neighbor read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Domain size per nest position when a spec does not override them.
+DEFAULT_SIZES: Tuple[int, ...] = (6, 8, 4, 3)
+
+LEVEL_KINDS = ("map", "zipwith", "reduce")
+REDUCE_OPS = ("+", "max", "min", "custom")
+LEAF_KINDS = ("affine", "array", "neighbor", "select")
+PRED_KINDS = ("positive", "threshold", "index_even")
+KEY_KINDS = ("mod", "halves", "sign")
+
+
+class SpecError(ReproError):
+    """An ill-formed program spec."""
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One nest level of a ``kind="nest"`` spec."""
+
+    kind: str = "map"
+    op: str = "+"  # reduce operator; ignored for map/zipwith
+    materialize: bool = False  # let_vec-materialize this reduce's input
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "op": self.op, "materialize": self.materialize}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LevelSpec":
+        return cls(
+            kind=data.get("kind", "map"),
+            op=data.get("op", "+"),
+            materialize=data.get("materialize", False),
+        )
+
+
+@dataclass(frozen=True)
+class ForeachSpec:
+    """Shape of a ``kind="foreach"`` spec's effectful nest."""
+
+    depth: int = 1  # 1 (vector update) or 2 (matrix update)
+    conditional: bool = False  # guard the store with an If statement
+    neighbor: bool = False  # read a clamped-neighbor element
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "depth": self.depth,
+            "conditional": self.conditional,
+            "neighbor": self.neighbor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ForeachSpec":
+        return cls(
+            depth=data.get("depth", 1),
+            conditional=data.get("conditional", False),
+            neighbor=data.get("neighbor", False),
+        )
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A complete recipe for one generated program."""
+
+    kind: str = "nest"
+    levels: Tuple[LevelSpec, ...] = (LevelSpec("map"),)
+    leaf: str = "affine"
+    pred: str = "positive"  # filter predicate kind
+    key: str = "mod"  # groupby key kind
+    foreach: ForeachSpec = field(default_factory=ForeachSpec)
+    sizes: Tuple[int, ...] = ()  # per-position domain overrides
+    label: str = ""  # human-readable provenance (template name / seed)
+
+    # -- shape helpers ----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        if self.kind == "nest":
+            return len(self.levels)
+        if self.kind == "foreach":
+            return self.foreach.depth
+        return 1
+
+    def domain_sizes(self) -> Tuple[int, ...]:
+        """The concrete domain size for each nest position."""
+        sizes = tuple(self.sizes) + DEFAULT_SIZES[len(self.sizes):]
+        return sizes[: max(self.depth, 2)]
+
+    # -- validity ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` unless the spec builds a valid program."""
+        if self.kind in ("filter", "groupby"):
+            if self.kind == "filter" and self.pred not in PRED_KINDS:
+                raise SpecError(f"unknown filter predicate {self.pred!r}")
+            if self.kind == "groupby" and self.key not in KEY_KINDS:
+                raise SpecError(f"unknown groupby key {self.key!r}")
+            if self.leaf not in LEAF_KINDS:
+                raise SpecError(f"unknown leaf {self.leaf!r}")
+            return
+        if self.kind == "foreach":
+            if self.foreach.depth not in (1, 2):
+                raise SpecError("foreach depth must be 1 or 2")
+            return
+        if self.kind != "nest":
+            raise SpecError(f"unknown program kind {self.kind!r}")
+        if not 1 <= len(self.levels) <= 4:
+            raise SpecError("nest depth must be between 1 and 4")
+        if self.leaf not in LEAF_KINDS:
+            raise SpecError(f"unknown leaf {self.leaf!r}")
+        seen_reduce = False
+        for pos, level in enumerate(self.levels):
+            if level.kind not in LEVEL_KINDS:
+                raise SpecError(f"unknown level kind {level.kind!r}")
+            if level.kind == "reduce":
+                if level.op not in REDUCE_OPS:
+                    raise SpecError(f"unknown reduce op {level.op!r}")
+                if level.materialize:
+                    if seen_reduce:
+                        raise SpecError("materialize only on the first reduce")
+                    if pos == 0:
+                        raise SpecError("materialize needs an enclosing map")
+                seen_reduce = True
+            else:
+                if seen_reduce:
+                    raise SpecError(f"{level.kind} below a reduce is invalid")
+                if level.kind == "zipwith" and (
+                    pos != 1 or pos != len(self.levels) - 1
+                ):
+                    raise SpecError("zipwith must be the innermost level at pos 1")
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "label": self.label}
+        if self.kind == "nest":
+            data["levels"] = [lv.to_dict() for lv in self.levels]
+            data["leaf"] = self.leaf
+        elif self.kind == "filter":
+            data["pred"] = self.pred
+            data["leaf"] = self.leaf
+        elif self.kind == "groupby":
+            data["key"] = self.key
+            data["leaf"] = self.leaf
+        elif self.kind == "foreach":
+            data["foreach"] = self.foreach.to_dict()
+        if self.sizes:
+            data["sizes"] = list(self.sizes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProgramSpec":
+        spec = cls(
+            kind=data.get("kind", "nest"),
+            levels=tuple(
+                LevelSpec.from_dict(lv) for lv in data.get("levels", [])
+            )
+            or (LevelSpec("map"),),
+            leaf=data.get("leaf", "affine"),
+            pred=data.get("pred", "positive"),
+            key=data.get("key", "mod"),
+            foreach=ForeachSpec.from_dict(data.get("foreach", {})),
+            sizes=tuple(data.get("sizes", ())),
+            label=data.get("label", ""),
+        )
+        spec.validate()
+        return spec
+
+    def with_label(self, label: str) -> "ProgramSpec":
+        return replace(self, label=label)
+
+    def describe(self) -> str:
+        """One-line human summary (used in logs and artifacts)."""
+        if self.kind == "nest":
+            parts = []
+            for level in self.levels:
+                text = level.kind
+                if level.kind == "reduce":
+                    text += f"({level.op})"
+                    if level.materialize:
+                        text += "*mat"
+                parts.append(text)
+            return f"nest[{' > '.join(parts)}] leaf={self.leaf}"
+        if self.kind == "filter":
+            return f"filter pred={self.pred} leaf={self.leaf}"
+        if self.kind == "groupby":
+            return f"groupby key={self.key} leaf={self.leaf}"
+        fe = self.foreach
+        flags = []
+        if fe.conditional:
+            flags.append("cond")
+        if fe.neighbor:
+            flags.append("nbr")
+        suffix = f" ({','.join(flags)})" if flags else ""
+        return f"foreach depth={fe.depth}{suffix}"
+
+
+def spec_key(spec: ProgramSpec) -> str:
+    """A label-independent identity for dedup across shrink/replay."""
+    import json
+
+    data = spec.to_dict()
+    data.pop("label", None)
+    return json.dumps(data, sort_keys=True)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -63,6 +64,28 @@ class KernelCost:
             + self.combiner_us
         )
 
+    def check_finite(self) -> List[str]:
+        """Return the names of any components that are not finite and
+        non-negative — the cost model must never emit NaN/inf/negative time.
+        """
+        bad = []
+        for name in (
+            "launch_us",
+            "block_sched_us",
+            "malloc_us",
+            "mem_bandwidth_us",
+            "mem_latency_us",
+            "compute_us",
+            "shared_mem_us",
+            "atomic_us",
+            "combiner_us",
+            "traffic_bytes",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                bad.append(f"{name}={value!r}")
+        return bad
+
     def describe(self) -> str:
         occ = self.occupancy
         lines = [
@@ -100,3 +123,12 @@ class ProgramCost:
     @property
     def total_us(self) -> float:
         return self.kernels_us + self.transfer_us
+
+    def check_finite(self) -> List[str]:
+        """Flatten per-kernel :meth:`KernelCost.check_finite` diagnostics."""
+        bad = []
+        for i, kernel in enumerate(self.kernels):
+            bad.extend(f"kernel[{i}].{item}" for item in kernel.check_finite())
+        if not math.isfinite(self.transfer_us) or self.transfer_us < 0:
+            bad.append(f"transfer_us={self.transfer_us!r}")
+        return bad

@@ -122,11 +122,22 @@ def _array_reads_of(node: Node):
 
 
 class Evaluator:
-    """Evaluates a :class:`~repro.ir.patterns.Program` on concrete inputs."""
+    """Evaluates a :class:`~repro.ir.patterns.Program` on concrete inputs.
 
-    def __init__(self, program: Program, seed: int = 0):
+    ``vectorize=False`` forces the per-iteration loop path even for bodies
+    the vectorized fast path could handle.  The two paths are semantically
+    equivalent by contract; the differential-testing harness exercises both
+    and compares (the interpreter is the correctness oracle, so it must be
+    self-consistent before it can arbitrate mapping invariance).
+    """
+
+    def __init__(self, program: Program, seed: int = 0, vectorize: bool = True):
         self.program = program
         self.rng = np.random.default_rng(seed)
+        self.vectorize = vectorize
+
+    def _vectorizable(self, node: Node) -> bool:
+        return self.vectorize and _is_vectorizable(node)
 
     def run(self, **inputs: Any) -> Any:
         """Execute the program; inputs are keyed by parameter name.
@@ -266,7 +277,7 @@ class Evaluator:
         raise ExecutionError(f"unknown pattern {type(pattern).__name__}")
 
     def _eval_map(self, pattern: Map, env: Env, size: int) -> np.ndarray:
-        if _is_vectorizable(pattern.body):
+        if self._vectorizable(pattern.body):
             inner = env.child()
             inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
             result = self.eval_expr(pattern.body, inner)
@@ -289,7 +300,7 @@ class Evaluator:
             return ragged
 
     def _eval_reduce(self, pattern: Reduce, env: Env, size: int) -> Any:
-        if pattern.op != "custom" and _is_vectorizable(pattern.body):
+        if pattern.op != "custom" and self._vectorizable(pattern.body):
             inner = env.child()
             inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
             values = self.eval_expr(pattern.body, inner)
@@ -324,7 +335,7 @@ class Evaluator:
         return acc
 
     def _eval_filter(self, pattern: Filter, env: Env, size: int) -> np.ndarray:
-        if _is_vectorizable(pattern.pred) and _is_vectorizable(pattern.value):
+        if self._vectorizable(pattern.pred) and self._vectorizable(pattern.value):
             inner = env.child()
             inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
             mask = np.asarray(self.eval_expr(pattern.pred, inner))
@@ -344,7 +355,7 @@ class Evaluator:
 
     def _eval_groupby(self, pattern: GroupBy, env: Env, size: int) -> Dict[int, np.ndarray]:
         groups: Dict[int, list] = {}
-        if _is_vectorizable(pattern.key) and _is_vectorizable(pattern.value):
+        if self._vectorizable(pattern.key) and self._vectorizable(pattern.value):
             inner = env.child()
             inner.bind(pattern.index.name, np.arange(size, dtype=np.int64))
             keys = np.asarray(self.eval_expr(pattern.key, inner))
@@ -365,7 +376,7 @@ class Evaluator:
         return {k: np.asarray(v) for k, v in groups.items()}
 
     def _eval_foreach(self, pattern: Foreach, env: Env, size: int) -> None:
-        if self._try_vectorized_foreach(pattern, env, size):
+        if self.vectorize and self._try_vectorized_foreach(pattern, env, size):
             return None
         for i in range(size):
             inner = env.child()
@@ -513,6 +524,8 @@ class Evaluator:
         return True
 
 
-def run_program(program: Program, seed: int = 0, **inputs: Any) -> Any:
+def run_program(
+    program: Program, seed: int = 0, vectorize: bool = True, **inputs: Any
+) -> Any:
     """One-call convenience wrapper around :class:`Evaluator`."""
-    return Evaluator(program, seed=seed).run(**inputs)
+    return Evaluator(program, seed=seed, vectorize=vectorize).run(**inputs)

@@ -32,6 +32,11 @@ class OptimizationFlags:
     layout_opt: bool = True
     shared_memory: bool = True
 
+    @classmethod
+    def none(cls) -> "OptimizationFlags":
+        """Every optimization disabled — the ablation baseline."""
+        return cls(prealloc=False, layout_opt=False, shared_memory=False)
+
 
 def build_plan(
     analysis: KernelAnalysis,

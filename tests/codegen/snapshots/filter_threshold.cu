@@ -1,0 +1,13 @@
+// Mapping decision:
+//   Level 0: [dimx, 1024, split(4)]
+__global__ void filter_snapshot(long long R, long long C, const double* m, const double* v, const double* u, double* out) {
+    long long region_i0 = (R + 4 - 1) / 4;
+    long long start_i0 = blockIdx.x * region_i0;
+    long long end_i0 = min((long long)R, start_i0 + region_i0);
+    for (long long i0 = start_i0 + threadIdx.x; i0 < end_i0; i0 += blockDim.x) {
+        if ((fabs(v[i0]) < 0.75)) {
+            int pos = atomicAdd(out_count, 1);
+            out[pos] = ((v[i0] * 2.0) + 1.0);
+        }
+    }
+}

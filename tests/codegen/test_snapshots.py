@@ -58,6 +58,78 @@ class TestSnapshots:
         expected = (SNAPSHOTS / "sumrows_split.cu").read_text()
         assert kernel.full_source == expected
 
+    def test_minrows_split_combiner_min_op(self):
+        """Split(k) combiner for a non-default reduce op: the partials
+        fold with min() in both the block reduction and the combiner."""
+        reset_names()
+        b = Builder("minRows")
+        m = b.matrix("m", F64, rows="R", cols="C")
+        program = b.build(m.map_rows(lambda row: row.reduce("min")))
+        mapping = Mapping(
+            (LevelMapping(Dim.Y, 1, Span(1)),
+             LevelMapping(Dim.X, 256, Split(4)))
+        )
+        kernel = generate(
+            program, mapping, "minRows_split", R=64, C=1000000
+        )
+        expected = (SNAPSHOTS / "minrows_split.cu").read_text()
+        assert kernel.full_source == expected
+        assert kernel.combiner_source
+
+    def test_custom_reduce_split_combiner(self):
+        """The difftest custom-op template: the user combine expression
+        must appear in both kernels of the Split(k) pair."""
+        from repro.difftest.generator import build_program
+        from repro.difftest.specs import LevelSpec, ProgramSpec
+
+        spec = ProgramSpec(
+            kind="nest",
+            levels=(LevelSpec("map"), LevelSpec("reduce", op="custom")),
+            leaf="array",
+        )
+        program = build_program(spec)
+        mapping = Mapping(
+            (LevelMapping(Dim.Y, 1, Span(1)),
+             LevelMapping(Dim.X, 256, Split(4)))
+        )
+        kernel = generate(
+            program, mapping, "customReduce_split", R=64, C=100000
+        )
+        expected = (SNAPSHOTS / "custom_reduce_split.cu").read_text()
+        assert kernel.full_source == expected
+
+    def test_groupby_template(self):
+        from repro.difftest.generator import build_program
+        from repro.difftest.specs import ProgramSpec
+        from repro.gpusim import TESLA_K20C, decide_mapping
+
+        program = build_program(
+            ProgramSpec(kind="groupby", key="mod", leaf="affine")
+        )
+        pa = analyze_program(program, R=4096, C=8)
+        decision = decide_mapping(pa.kernel(0), "multidim", TESLA_K20C)
+        kernel = KernelGenerator(
+            pa.kernel(0), decision.mapping, program, "groupby_snapshot"
+        ).generate()
+        expected = (SNAPSHOTS / "groupby_mod.cu").read_text()
+        assert kernel.source == expected
+
+    def test_filter_template(self):
+        from repro.difftest.generator import build_program
+        from repro.difftest.specs import ProgramSpec
+        from repro.gpusim import TESLA_K20C, decide_mapping
+
+        program = build_program(
+            ProgramSpec(kind="filter", pred="threshold", leaf="array")
+        )
+        pa = analyze_program(program, R=4096, C=8)
+        decision = decide_mapping(pa.kernel(0), "multidim", TESLA_K20C)
+        kernel = KernelGenerator(
+            pa.kernel(0), decision.mapping, program, "filter_snapshot"
+        ).generate()
+        expected = (SNAPSHOTS / "filter_threshold.cu").read_text()
+        assert kernel.source == expected
+
     def test_pagerank(self):
         from repro.apps.pagerank import build_pagerank
         from repro.gpusim import TESLA_K20C, decide_mapping
@@ -79,3 +151,11 @@ class TestSnapshots:
         assert "partials" in split and "_combine(" in split
         pagerank = (SNAPSHOTS / "pagerank.cu").read_text()
         assert "graph_offsets" in pagerank
+        min_split = (SNAPSHOTS / "minrows_split.cu").read_text()
+        assert "min(" in min_split and "_combine(" in min_split
+        custom = (SNAPSHOTS / "custom_reduce_split.cu").read_text()
+        assert "max(" in custom and "_combine(" in custom
+        groupby = (SNAPSHOTS / "groupby_mod.cu").read_text()
+        assert "atomicAdd" in groupby and "group_counts" in groupby
+        filt = (SNAPSHOTS / "filter_threshold.cu").read_text()
+        assert "atomicAdd" in filt

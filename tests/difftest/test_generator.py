@@ -1,0 +1,120 @@
+"""Generator determinism and spec -> IR construction."""
+
+import pytest
+
+from repro.difftest.generator import (
+    ProgramGenerator,
+    build_program,
+    canonical_specs,
+)
+from repro.difftest.specs import LevelSpec, ProgramSpec, spec_key
+from repro.ir.patterns import (
+    Filter,
+    Foreach,
+    GroupBy,
+    Map,
+    Reduce,
+    ZipWith,
+)
+from repro.ir.serialize import dumps
+from repro.ir.traversal import find_instances, find_patterns
+
+
+def test_same_seed_same_stream():
+    a = ProgramGenerator(seed=42)
+    b = ProgramGenerator(seed=42)
+    stream_a = [spec_key(a.random_spec()) for _ in range(20)]
+    stream_b = [spec_key(b.random_spec()) for _ in range(20)]
+    assert stream_a == stream_b
+
+
+def test_different_seeds_diverge():
+    a = [spec_key(ProgramGenerator(seed=1).random_spec()) for _ in range(8)]
+    b = [spec_key(ProgramGenerator(seed=2).random_spec()) for _ in range(8)]
+    assert a != b
+
+
+def test_random_specs_always_valid_and_build():
+    generator = ProgramGenerator(seed=7)
+    for _ in range(40):
+        spec = generator.random_spec()
+        spec.validate()
+        program = build_program(spec)
+        assert program.params
+
+
+def test_builds_are_deterministic():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce", op="max")),
+        leaf="array",
+    )
+    assert dumps(build_program(spec)) == dumps(build_program(spec))
+
+
+def test_nest_structure_matches_spec():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(
+            LevelSpec("map"),
+            LevelSpec("map"),
+            LevelSpec("reduce", op="+"),
+        ),
+    )
+    program = build_program(spec)
+    assert len(find_instances(program.result, Reduce)) == 1
+    assert len([
+        node for node in find_instances(program.result, Map)
+        if type(node) is Map
+    ]) == 2
+
+
+def test_materialized_reduce_creates_inner_binding():
+    from repro.ir.expr import Bind
+
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce", materialize=True)),
+    )
+    program = build_program(spec)
+    binds = find_instances(program.result, Bind)
+    assert binds, "materialize must produce a let_vec binding"
+    assert isinstance(binds[0].value, Map)
+
+
+@pytest.mark.parametrize(
+    "kind,cls",
+    [("filter", Filter), ("groupby", GroupBy), ("foreach", Foreach)],
+)
+def test_flat_kinds_build_their_pattern(kind, cls):
+    program = build_program(ProgramSpec(kind=kind))
+    assert find_instances(program.result, cls)
+
+
+def test_canonical_templates_cover_all_pattern_classes():
+    seen = set()
+    for spec in canonical_specs():
+        spec.validate()
+        program = build_program(spec)
+        for pattern in find_patterns(program.result):
+            seen.add(type(pattern).__name__)
+    assert {"Map", "ZipWith", "Reduce", "Filter", "GroupBy", "Foreach"} <= seen
+
+
+def test_custom_reduce_has_combine_expr():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce", op="custom")),
+    )
+    program = build_program(spec)
+    reduce_node = find_instances(program.result, Reduce)[0]
+    assert reduce_node.op == "custom"
+    assert reduce_node.combine is not None
+
+
+def test_zipwith_is_innermost():
+    spec = ProgramSpec(
+        kind="nest", levels=(LevelSpec("map"), LevelSpec("zipwith"))
+    )
+    program = build_program(spec)
+    assert find_instances(program.result, ZipWith)

@@ -1,0 +1,105 @@
+"""Oracle behavior: comparisons, input synthesis, pass/fail mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.difftest.generator import build_program
+from repro.difftest.oracle import (
+    check_spec,
+    make_inputs,
+    results_equal,
+)
+from repro.difftest.specs import LevelSpec, ProgramSpec
+
+
+def test_results_equal_scalars_and_arrays():
+    assert results_equal(1.5, 1.5)
+    assert not results_equal(1.5, 1.6)
+    assert results_equal(np.arange(4), np.arange(4))
+    assert not results_equal(np.arange(4), np.arange(5))
+
+
+def test_results_equal_ragged_and_dict():
+    a = {0: [1.0, 2.0], 1: [3.0]}
+    b = {0: [1.0, 2.0], 1: [3.0]}
+    assert results_equal(a, b)
+    assert not results_equal(a, {0: [1.0, 2.0]})
+    assert not results_equal(a, {0: [1.0, 2.0], 1: [3.5]})
+    ragged = [np.array([1.0]), np.array([2.0, 3.0])]
+    assert results_equal(ragged, [np.array([1.0]), np.array([2.0, 3.0])])
+
+
+def test_results_equal_none():
+    assert results_equal(None, None)
+    assert not results_equal(None, 0.0)
+
+
+def test_results_equal_tolerance_mode():
+    a, b = np.array([1.0]), np.array([1.0 + 1e-12])
+    assert not results_equal(a, b, exact=True)
+    assert results_equal(a, b, exact=False)
+
+
+def test_make_inputs_matches_shapes():
+    program = build_program(
+        ProgramSpec(kind="nest", levels=(LevelSpec("map"),), leaf="array")
+    )
+    inputs = make_inputs(program, seed=0)
+    hints = program.size_hints
+    assert inputs["m"].shape == (hints["R"], hints["C"])
+    assert inputs["v"].shape == (hints["R"],)
+    assert inputs["R"] == hints["R"]
+
+
+def test_make_inputs_deterministic():
+    program = build_program(ProgramSpec(kind="filter"))
+    a = make_inputs(program, seed=5)
+    b = make_inputs(program, seed=5)
+    assert all(np.array_equal(a[k], b[k]) for k in a)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ProgramSpec(kind="nest", levels=(LevelSpec("map"),), leaf="select"),
+        ProgramSpec(
+            kind="nest",
+            levels=(LevelSpec("reduce", op="+"),),
+            leaf="neighbor",
+        ),
+        ProgramSpec(kind="groupby", key="sign", leaf="array"),
+    ],
+)
+def test_known_good_specs_pass(spec):
+    report = check_spec(spec, seed=0)
+    assert report.ok, report.describe()
+    assert report.pattern_kinds
+
+
+def test_level0_reduce_exercises_combiner_path():
+    """A flat reduce forces Split(k) on its sync level — the combiner
+    kernel must appear in the generated module."""
+    spec = ProgramSpec(
+        kind="nest", levels=(LevelSpec("reduce", op="+"),), leaf="affine"
+    )
+    report = check_spec(spec, seed=0)
+    assert report.ok, report.describe()
+    assert report.split_exercised
+
+
+def test_prealloc_template_exercises_preallocation():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce", materialize=True)),
+        leaf="array",
+    )
+    report = check_spec(spec, seed=0)
+    assert report.ok, report.describe()
+    assert report.prealloc_exercised
+
+
+def test_unbuildable_spec_reports_build_failure():
+    bad = ProgramSpec(kind="nest", levels=())
+    report = check_spec(bad)
+    assert not report.ok
+    assert report.failures[0].stage == "build"

@@ -1,0 +1,148 @@
+"""Campaign mechanics: corpus IO, reproducer artifacts, CLI plumbing."""
+
+import json
+
+from repro.cli import main
+from repro.difftest import (
+    ProgramGenerator,
+    canonical_specs,
+    load_corpus,
+    run_campaign,
+    save_corpus,
+)
+from repro.difftest.runner import load_reproducer, save_reproducer
+from repro.difftest.specs import LevelSpec, ProgramSpec
+
+
+def test_corpus_round_trip(tmp_path):
+    specs = canonical_specs()[:4]
+    path = tmp_path / "corpus.json"
+    save_corpus(specs, str(path))
+    back = load_corpus(str(path))
+    assert back == specs
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+
+
+def test_campaign_small_budget_green(tmp_path):
+    result = run_campaign(
+        seed=3, budget=2, out_dir=str(tmp_path), include_templates=False
+    )
+    assert result.ok, result.describe()
+    assert result.checked == 2
+    assert "0 failure(s)" in result.describe()
+
+
+def test_campaign_templates_cover_everything():
+    result = run_campaign(seed=0, budget=0)
+    assert result.ok, result.describe()
+    assert result.coverage_gaps() == []
+    assert result.split_programs > 0
+    assert result.prealloc_programs > 0
+
+
+def test_campaign_with_injected_check_failure(tmp_path):
+    """A check predicate that rejects any reduce must produce shrunk,
+    replayable artifacts."""
+    from repro.difftest.oracle import CheckFailure, OracleReport, check_spec
+
+    def check(spec):
+        report = check_spec(spec, seed=1)
+        if any(level.kind == "reduce" for level in spec.levels):
+            return OracleReport(
+                program_name=report.program_name,
+                spec=spec,
+                failures=report.failures
+                + [CheckFailure("oracle", "synthetic reduce bug")],
+                skipped=report.skipped,
+                pattern_kinds=report.pattern_kinds,
+                split_exercised=report.split_exercised,
+                prealloc_exercised=report.prealloc_exercised,
+            )
+        return report
+
+    result = run_campaign(
+        seed=1,
+        budget=0,
+        out_dir=str(tmp_path),
+        check=check,
+        max_shrink_checks=40,
+    )
+    assert not result.ok
+    assert result.failures
+    for record in result.failures:
+        assert record.pattern_nodes <= 3
+        assert record.artifact_path is not None
+        original, shrunk = load_reproducer(record.artifact_path)
+        assert shrunk.levels and shrunk.levels[-1].kind == "reduce"
+
+
+def test_reproducer_artifact_contents(tmp_path):
+    from repro.difftest.oracle import check_spec
+    from repro.difftest.runner import FailureRecord
+
+    spec = ProgramSpec(
+        kind="nest", levels=(LevelSpec("map"), LevelSpec("reduce"))
+    )
+    report = check_spec(spec, seed=0)
+    record = FailureRecord(
+        spec=spec,
+        shrunk=spec,
+        report=report,
+        shrink_checks=0,
+        pattern_nodes=2,
+        artifact_path=None,
+    )
+    path = save_reproducer(record, seed=0, out_dir=str(tmp_path), index=0)
+    payload = json.loads(open(path).read())
+    assert payload["seed"] == 0
+    assert "program_ir" in payload and "pretty" in payload
+    original, shrunk = load_reproducer(path)
+    assert original == spec and shrunk == spec
+
+
+def test_cli_difftest_green(tmp_path, capsys):
+    corpus = tmp_path / "c.json"
+    save_corpus([ProgramSpec(kind="filter")], str(corpus))
+    code = main([
+        "difftest", "--seed", "5", "--budget", "1",
+        "--corpus", str(corpus),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failure(s)" in out
+
+
+def test_cli_difftest_save_corpus(tmp_path, capsys):
+    target = tmp_path / "saved.json"
+    code = main([
+        "difftest", "--seed", "2", "--budget", "1",
+        "--save-corpus", str(target),
+    ])
+    capsys.readouterr()
+    assert code == 0
+    saved = load_corpus(str(target))
+    assert len(saved) == len(canonical_specs()) + 1
+
+
+def test_cli_difftest_replay_green(tmp_path, capsys):
+    from repro.difftest.oracle import check_spec
+    from repro.difftest.runner import FailureRecord
+
+    spec = ProgramSpec(kind="nest", levels=(LevelSpec("map"),))
+    record = FailureRecord(
+        spec=spec, shrunk=spec, report=check_spec(spec, seed=0),
+        shrink_checks=0, pattern_nodes=1, artifact_path=None,
+    )
+    path = save_reproducer(record, seed=0, out_dir=str(tmp_path), index=0)
+    code = main(["difftest", "--replay", path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay" in out
+
+
+def test_generator_stream_matches_cli_save(tmp_path):
+    """--save-corpus regenerates the same stream the campaign checked."""
+    a = [ProgramGenerator(seed=9).random_spec() for _ in range(3)]
+    b = [ProgramGenerator(seed=9).random_spec() for _ in range(3)]
+    assert a == b

@@ -1,0 +1,87 @@
+"""Shrinker behavior with synthetic failure predicates."""
+
+from repro.difftest.generator import build_program
+from repro.difftest.shrinker import shrink_spec
+from repro.difftest.specs import ForeachSpec, LevelSpec, ProgramSpec
+from repro.ir.patterns import Reduce
+from repro.ir.traversal import find_instances, find_patterns
+
+
+def test_shrinks_deep_nest_when_failure_is_reduce():
+    """A 'bug' triggered by any Reduce shrinks to a single-reduce nest."""
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(
+            LevelSpec("map"),
+            LevelSpec("map"),
+            LevelSpec("reduce", op="max", materialize=False),
+            LevelSpec("reduce", op="+"),
+        ),
+        leaf="select",
+        sizes=(9, 11, 4, 3),
+    )
+
+    def still_fails(candidate):
+        program = build_program(candidate)
+        return bool(find_instances(program.result, Reduce))
+
+    shrunk, checks = shrink_spec(spec, still_fails)
+    assert checks > 0
+    program = build_program(shrunk)
+    patterns = find_patterns(program.result)
+    assert len(patterns) == 1
+    assert isinstance(patterns[0], Reduce)
+    assert shrunk.leaf == "affine"
+    assert shrunk.sizes == ()
+
+
+def test_shrinks_foreach_flags():
+    spec = ProgramSpec(
+        kind="foreach",
+        foreach=ForeachSpec(depth=2, conditional=True, neighbor=True),
+        sizes=(8, 9),
+    )
+
+    def still_fails(candidate):
+        return candidate.kind == "foreach"
+
+    shrunk, _ = shrink_spec(spec, still_fails)
+    assert shrunk.foreach == ForeachSpec(depth=1, conditional=False,
+                                         neighbor=False)
+    assert shrunk.sizes == ()
+
+
+def test_fixpoint_when_nothing_smaller_fails():
+    spec = ProgramSpec(kind="nest", levels=(LevelSpec("map"),), leaf="affine")
+    shrunk, _ = shrink_spec(spec, lambda candidate: False)
+    assert shrunk.levels == spec.levels
+    assert shrunk.kind == spec.kind
+
+
+def test_respects_check_budget():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("map"), LevelSpec("map"),
+                LevelSpec("reduce")),
+        leaf="select",
+        sizes=(9, 9),
+    )
+    calls = []
+
+    def still_fails(candidate):
+        calls.append(candidate)
+        return False
+
+    shrink_spec(spec, still_fails, max_checks=3)
+    assert len(calls) <= 3
+
+
+def test_preserves_label():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce")),
+        label="origin",
+    )
+    shrunk, _ = shrink_spec(spec, lambda candidate: True)
+    assert shrunk.label == "origin"
+    assert len(shrunk.levels) == 1

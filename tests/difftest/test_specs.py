@@ -1,0 +1,106 @@
+"""Spec validity rules and serialization."""
+
+import pytest
+
+from repro.difftest.specs import (
+    ForeachSpec,
+    LevelSpec,
+    ProgramSpec,
+    SpecError,
+    spec_key,
+)
+
+
+def test_valid_nest_shapes():
+    ProgramSpec(kind="nest", levels=(LevelSpec("map"),)).validate()
+    ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("zipwith")),
+    ).validate()
+    ProgramSpec(
+        kind="nest",
+        levels=(
+            LevelSpec("map"),
+            LevelSpec("map"),
+            LevelSpec("reduce", op="max"),
+            LevelSpec("reduce", op="+"),
+        ),
+    ).validate()
+    ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("reduce", materialize=True)),
+    ).validate()
+
+
+@pytest.mark.parametrize(
+    "levels",
+    [
+        (),  # empty nest
+        tuple(LevelSpec("map") for _ in range(5)),  # too deep
+        (LevelSpec("reduce"), LevelSpec("map")),  # map below reduce
+        (LevelSpec("zipwith"), LevelSpec("map")),  # zipwith not innermost
+        (LevelSpec("map"), LevelSpec("zipwith"), LevelSpec("map")),
+        (LevelSpec("reduce", materialize=True),),  # materialize at level 0
+        (
+            LevelSpec("map"),
+            LevelSpec("reduce"),
+            LevelSpec("reduce", materialize=True),  # not the first reduce
+        ),
+        (LevelSpec("map"), LevelSpec("reduce", op="xor")),  # unknown op
+    ],
+)
+def test_invalid_nests_rejected(levels):
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="nest", levels=levels).validate()
+
+
+def test_unknown_kinds_rejected():
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="scan").validate()
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="nest", leaf="mystery").validate()
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="filter", pred="mystery").validate()
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="groupby", key="mystery").validate()
+    with pytest.raises(SpecError):
+        ProgramSpec(kind="foreach", foreach=ForeachSpec(depth=3)).validate()
+
+
+def test_dict_round_trip():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(
+            LevelSpec("map"),
+            LevelSpec("reduce", op="custom", materialize=False),
+        ),
+        leaf="neighbor",
+        sizes=(5, 7),
+        label="round-trip",
+    )
+    back = ProgramSpec.from_dict(spec.to_dict())
+    assert back == spec
+
+    fe = ProgramSpec(
+        kind="foreach",
+        foreach=ForeachSpec(depth=2, conditional=True, neighbor=True),
+    )
+    assert ProgramSpec.from_dict(fe.to_dict()) == fe
+
+
+def test_spec_key_ignores_label():
+    a = ProgramSpec(kind="filter", label="x")
+    b = ProgramSpec(kind="filter", label="y")
+    assert spec_key(a) == spec_key(b)
+    assert spec_key(a) != spec_key(ProgramSpec(kind="groupby"))
+
+
+def test_domain_sizes_padded_with_defaults():
+    spec = ProgramSpec(
+        kind="nest",
+        levels=(LevelSpec("map"), LevelSpec("map"), LevelSpec("reduce")),
+        sizes=(9,),
+    )
+    sizes = spec.domain_sizes()
+    assert sizes[0] == 9
+    assert len(sizes) == 3

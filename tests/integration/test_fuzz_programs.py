@@ -1,148 +1,77 @@
-"""End-to-end fuzzing: random small pattern programs must analyze, map,
-generate CUDA, simulate, and execute consistently across strategies.
+"""End-to-end fuzzing through the differential-testing harness.
 
-The generator builds random 1-3 level nests over a matrix and a vector with
-randomized body arithmetic, boundary-clamped neighbor offsets, optional
-conditionals, and a randomized reduction operator.  For every sample:
+This used to carry its own ad-hoc program builder; it now drives the
+first-class generator in :mod:`repro.difftest`, so hypothesis explores the
+same spec space the ``repro difftest`` CLI campaign does: all six pattern
+kinds, nesting to depth 4, conditionals, neighbor accesses, materialized
+inner allocations, and custom reduction combiners.
 
-* analysis + Algorithm-1 search succeed and satisfy hard constraints;
-* CUDA generation produces a kernel;
-* the cost model returns a positive finite time;
-* functional results are identical under "multidim" and "1d" (mapping
-  invariance — the reproduction's core correctness contract).
+Two layers:
+
+* a hypothesis test sampling random generator seeds and pushing each
+  random spec through the full oracle (interpreter self-consistency,
+  every strategy x optimization flags, explicit Split(k) forcing, cost
+  finiteness, serialization round-trip);
+* a fast smoke test replaying the checked-in seed corpus — ~20 shapes
+  curated to cover every pattern kind — which is the tier-1 guard every
+  PR runs.
 """
 
-import numpy as np
-import pytest
+import os
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import GpuSession
-from repro.analysis.scoring import hard_feasible
-from repro.ir import Builder, F64
-from repro.ir.builder import maximum, minimum
+from repro.difftest import (
+    ProgramGenerator,
+    canonical_specs,
+    check_spec,
+    load_corpus,
+)
+from repro.difftest.runner import ALL_PATTERN_KINDS
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus",
+                           "seed_corpus.json")
 
 
-@st.composite
-def program_spec(draw):
-    rows = draw(st.integers(min_value=1, max_value=9))
-    cols = draw(st.integers(min_value=1, max_value=9))
-    scale = draw(st.floats(min_value=-2, max_value=2, allow_nan=False))
-    offset = draw(st.integers(min_value=-2, max_value=2))
-    op = draw(st.sampled_from(["+", "min", "max"]))
-    use_neighbor = draw(st.booleans())
-    use_select = draw(st.booleans())
-    use_vector = draw(st.booleans())
-    orientation = draw(st.sampled_from(["rows", "cols"]))
-    prob = draw(st.floats(min_value=0.1, max_value=0.9))
-    return dict(
-        rows=rows, cols=cols, scale=scale, offset=offset, op=op,
-        use_neighbor=use_neighbor, use_select=use_select,
-        use_vector=use_vector, orientation=orientation, prob=prob,
-    )
-
-
-def build_program(spec):
-    b = Builder("fuzz")
-    m = b.matrix("m", F64, rows="R", cols="C")
-    v = b.vector(
-        "v", F64, length="C" if spec["orientation"] == "rows" else "R"
-    )
-
-    def body(view):
-        from repro.ir.builder import EH
-
-        def element(e, k):
-            value = e * spec["scale"]
-            if spec["use_neighbor"]:
-                limit = EH(
-                    m.cols if spec["orientation"] == "rows" else m.rows
-                )
-                clamped = minimum(
-                    maximum(k + spec["offset"], 0), limit - 1
-                )
-                value = value + view[clamped]
-            if spec["use_vector"]:
-                value = value + v[k]
-            if spec["use_select"]:
-                value = (value > 0).where(
-                    value, -value, prob=spec["prob"]
-                )
-            return value
-
-        idx_holder = {}
-
-        def fn(e):
-            return element(e, idx_holder["k"])
-
-        # use map_reduce with explicit index capture via a wrapper
-        from repro.ir.builder import EH
-        from repro.ir.expr import Var
-        from repro.ir.patterns import Reduce
-        from repro.ir.symbols import fresh_name
-        from repro.ir.types import I64
-
-        k = Var(fresh_name("k"), I64)
-        idx_holder["k"] = EH(k)
-        body_expr = element(view[EH(k)], EH(k)).expr
-        return EH(Reduce(view.length, k, body_expr, spec["op"]))
-
-    if spec["orientation"] == "rows":
-        out = m.map_rows(body)
-    else:
-        out = m.map_cols(body)
-    return b.build(out)
-
-
-def reference(spec, m, v):
-    axis_len = m.shape[1] if spec["orientation"] == "rows" else m.shape[0]
-    data = m if spec["orientation"] == "rows" else m.T
-    value = data * spec["scale"]
-    if spec["use_neighbor"]:
-        idx = np.clip(
-            np.arange(axis_len) + spec["offset"], 0, axis_len - 1
-        )
-        value = value + data[:, idx]
-    if spec["use_vector"]:
-        value = value + v[None, :]
-    if spec["use_select"]:
-        value = np.where(value > 0, value, -value)
-    reducer = {"+": np.sum, "min": np.min, "max": np.max}[spec["op"]]
-    return reducer(value, axis=1)
-
-
-@given(spec=program_spec(), seed=st.integers(0, 2**16))
+@given(seed=st.integers(0, 2**16), index=st.integers(0, 3))
 @settings(max_examples=25, deadline=None)
-def test_fuzz_end_to_end(spec, seed):
-    program = build_program(spec)
-    rng = np.random.default_rng(seed)
-    m = rng.random((spec["rows"], spec["cols"])) - 0.5
-    v = rng.random(
-        spec["cols"] if spec["orientation"] == "rows" else spec["rows"]
-    )
+def test_fuzz_random_specs(seed, index):
+    """Random generator specs pass the full differential oracle."""
+    generator = ProgramGenerator(seed=seed)
+    spec = generator.random_spec()
+    for _ in range(index):  # sample deeper into the stream, not just spec 1
+        spec = generator.random_spec()
+    report = check_spec(spec, seed=seed)
+    assert report.ok, report.describe()
 
-    expected = reference(spec, m, v)
 
-    results = []
-    for strategy in ("multidim", "1d"):
-        session = GpuSession(strategy=strategy)
-        compiled = session.compile(
-            program, R=spec["rows"], C=spec["cols"]
-        )
-        # analysis invariants
-        for decision in compiled.decisions:
-            assert hard_feasible(
-                decision.mapping,
-                decision.analysis.constraints,
-                decision.analysis.level_sizes(),
-            )
-        # codegen + cost model sanity
-        assert "__global__" in compiled.cuda_source
-        time_us = compiled.estimate_time_us()
-        assert np.isfinite(time_us) and time_us > 0
-        results.append(
-            compiled.run(m=m, v=v, R=spec["rows"], C=spec["cols"])
-        )
+def test_seed_corpus_replays_green():
+    """The checked-in corpus passes the oracle (fast tier-1 smoke test)."""
+    specs = load_corpus(CORPUS_PATH)
+    assert len(specs) >= 20
+    kinds = set()
+    split = prealloc = False
+    for spec in specs:
+        report = check_spec(spec, seed=0)
+        assert report.ok, report.describe()
+        kinds |= set(report.pattern_kinds)
+        split = split or report.split_exercised
+        prealloc = prealloc or report.prealloc_exercised
+    assert kinds == set(ALL_PATTERN_KINDS)
+    assert split and prealloc
 
-    assert np.allclose(results[0], results[1])
-    assert np.allclose(results[0], expected, rtol=1e-9, atol=1e-9)
+
+def test_canonical_templates_cover_acceptance_floor():
+    """The deterministic templates alone cover every pattern kind, a
+    Split(k) combiner program, and a preallocated inner allocation."""
+    kinds = set()
+    split = prealloc = False
+    for spec in canonical_specs():
+        report = check_spec(spec, seed=0)
+        assert report.ok, report.describe()
+        kinds |= set(report.pattern_kinds)
+        split = split or report.split_exercised
+        prealloc = prealloc or report.prealloc_exercised
+    assert kinds == set(ALL_PATTERN_KINDS)
+    assert split and prealloc

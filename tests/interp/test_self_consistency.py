@@ -1,0 +1,62 @@
+"""Vectorized vs per-iteration-loop evaluation: every app must agree.
+
+The evaluator's vectorized NumPy fast path is an optimization over the
+reference loop semantics; ``Evaluator(vectorize=False)`` disables it.  The
+two paths may legally sum floats in different orders, so the comparison
+uses a tight tolerance rather than bit equality.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.interp.evaluator import Evaluator
+
+
+def _small_params(app):
+    return {name: max(2, min(value, 8))
+            for name, value in app.default_params.items()}
+
+
+def _agree(a, b):
+    if isinstance(a, dict):
+        assert isinstance(b, dict) and set(a) == set(b)
+        for key in a:
+            _agree(a[key], b[key])
+        return
+    if isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            _agree(x, y)
+        return
+    if a is None:
+        assert b is None
+        return
+    a_arr, b_arr = np.asarray(a), np.asarray(b)
+    if a_arr.dtype == object or b_arr.dtype == object:
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            _agree(x, y)
+        return
+    np.testing.assert_allclose(
+        a_arr.astype(float), b_arr.astype(float), rtol=1e-9, atol=1e-12
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+def test_vectorized_and_loop_paths_agree(name):
+    app = ALL_APPS[name]
+    params = _small_params(app)
+    program = app.build(**params)
+    inputs = app.workload(app.make_rng(7), **params)
+
+    loop_inputs = copy.deepcopy(inputs)
+    vec_inputs = copy.deepcopy(inputs)
+    loop_result = Evaluator(program, seed=7, vectorize=False).run(**loop_inputs)
+    vec_result = Evaluator(program, seed=7, vectorize=True).run(**vec_inputs)
+
+    _agree(loop_result, vec_result)
+    # Foreach apps mutate their inputs; the mutations must match too.
+    _agree(loop_inputs, vec_inputs)
