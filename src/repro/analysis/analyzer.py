@@ -52,12 +52,15 @@ class KernelAnalysis:
         window: Optional[DopWindow] = None,
         keep_all: bool = False,
         use_cache: bool = True,
+        budget=None,
     ) -> SearchResult:
         """Run the Algorithm-1 search for this kernel (MultiDim strategy).
 
         The staged search memoizes whole results, so shape sweeps and
         repeated kernels return instantly (``use_cache=False`` forces a
-        fresh walk; the result is identical either way).
+        fresh walk; the result is identical either way).  ``budget``
+        bounds the walk; on exhaustion the result degrades to the
+        conservative fallback mapping.
         """
         return search_mapping(
             self.depth,
@@ -66,6 +69,7 @@ class KernelAnalysis:
             window=window,
             keep_all=keep_all,
             use_cache=use_cache,
+            budget=budget,
         )
 
     def strategy_mapping(self, name: str) -> Mapping:
@@ -113,6 +117,9 @@ def analyze_program(program: Program, **size_overrides: int) -> ProgramAnalysis:
     Keyword overrides update the program's declared size hints, which is
     how the benchmark harness sweeps input shapes without rebuilding IR.
     """
+    from ..resilience.faults import maybe_inject
+
+    maybe_inject("analysis")
     env = SizeEnv.for_program(program, **size_overrides)
     roots = outermost_patterns(program.result)
     if not roots:

@@ -18,11 +18,14 @@ leaves on the table.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..config import BLOCK_SIZE_CANDIDATES
-from ..errors import SearchError
+from ..errors import ReproError, SearchError
+from ..resilience.budget import Budget
+from ..resilience.faults import maybe_inject
 from .analyzer import KernelAnalysis
 from .cache import constraint_set_fingerprint, get_autotune_cache
 from .dop import DopWindow, control_dop
@@ -43,6 +46,12 @@ class AutotuneResult:
     frontier: List[Tuple[Mapping, float]] = field(default_factory=list)
     #: True when this result was served from the cross-sweep memo.
     cache_hit: bool = False
+    #: Candidates whose modeled cost was NaN/Inf (dropped, never chosen).
+    rejected_nonfinite: int = 0
+    #: True when the tuner stopped early (budget) and returned its
+    #: best-so-far, or degraded to the conservative fallback mapping.
+    degraded: bool = False
+    degraded_reason: str = ""
 
 
 def _autotune_cache_key(
@@ -88,6 +97,7 @@ def autotune_mapping(
     keep_top: int = 10,
     apply_control_dop: bool = True,
     use_cache: bool = True,
+    budget: Optional[Budget] = None,
 ) -> AutotuneResult:
     """Pick the mapping the cost model likes best.
 
@@ -96,6 +106,11 @@ def autotune_mapping(
     per candidate (its Span(n)/Split(k) refinement changes cost too).
     Results are memoized per (kernel IR, sizes, device, grid) so repeated
     tuning of an unchanged kernel is free.
+
+    Robustness: candidates the cost model prices at NaN/Inf are dropped
+    (a poisoned model must never *win* the tuning); when ``budget`` runs
+    out mid-sweep the tuner returns its best-so-far (``degraded=True``),
+    or the conservative fallback mapping if nothing was priced yet.
     """
     from dataclasses import replace
 
@@ -106,6 +121,8 @@ def autotune_mapping(
     if window is None:
         window = device.dop_window()
     block_sizes = tuple(block_sizes)
+    if budget is not None:
+        budget.start()
 
     cache = get_autotune_cache() if use_cache else None
     key = None
@@ -114,17 +131,33 @@ def autotune_mapping(
             analysis, device, env, window, block_sizes, keep_top,
             apply_control_dop,
         )
-        hit = cache.get(key)
+        try:
+            hit = cache.get(key)
+            fault = maybe_inject("memo")
+            if fault is not None and hit is not None:
+                hit = replace(hit, mapping=None)
+        except ReproError:
+            # A failing memo costs this request a re-tune, nothing more.
+            hit = None
         if hit is not None:
-            return replace(hit, cache_hit=True)
+            if isinstance(hit, AutotuneResult) and isinstance(
+                hit.mapping, Mapping
+            ) and math.isfinite(hit.time_us):
+                return replace(hit, cache_hit=True)
+            cache.invalidate(key)
 
     sizes = tuple(analysis.level_sizes())
     splittable = analysis.constraints.span_all_levels()
 
     timed: List[Tuple[Mapping, float]] = []
+    rejected_nonfinite = 0
+    exhausted = False
     for candidate in enumerate_candidates(
         analysis.depth, analysis.constraints, block_sizes
     ):
+        if budget is not None and not budget.spend():
+            exhausted = True
+            break
         if not hard_feasible(candidate, analysis.constraints, sizes):
             continue
         if apply_control_dop:
@@ -132,9 +165,24 @@ def autotune_mapping(
         time_us = estimate_kernel_cost(
             analysis, candidate, device, env
         ).total_us
+        if not math.isfinite(time_us):
+            rejected_nonfinite += 1
+            continue
         timed.append((candidate, time_us))
 
     if not timed:
+        if exhausted or rejected_nonfinite:
+            return _degraded_autotune_result(
+                analysis, device, env, window, sizes,
+                rejected_nonfinite=rejected_nonfinite,
+                reason=(
+                    "autotune budget exhausted before any candidate was "
+                    "priced"
+                    if exhausted
+                    else f"all {rejected_nonfinite} priced candidate(s) had "
+                    "non-finite modeled cost"
+                ),
+            )
         raise SearchError("no feasible mapping to autotune over")
     timed.sort(key=lambda mt: mt[1])
     best_mapping, best_time = timed[0]
@@ -143,7 +191,56 @@ def autotune_mapping(
         time_us=best_time,
         candidates=len(timed),
         frontier=timed[:keep_top],
+        rejected_nonfinite=rejected_nonfinite,
+        degraded=exhausted,
+        degraded_reason=(
+            f"autotune budget exhausted after {len(timed)} priced "
+            "candidate(s); best-so-far returned"
+            if exhausted
+            else ""
+        ),
     )
-    if cache is not None and key is not None:
+    if cache is not None and key is not None and not result.degraded:
+        # Best-so-far under a budget is not the true optimum for this
+        # key; caching it would poison budget-free callers.
         cache.put(key, result)
     return result
+
+
+def _degraded_autotune_result(
+    analysis: KernelAnalysis,
+    device,
+    env: SizeEnv,
+    window: DopWindow,
+    sizes: Tuple[int, ...],
+    rejected_nonfinite: int,
+    reason: str,
+) -> AutotuneResult:
+    """Fall back to the conservative mapping when tuning produced nothing.
+
+    The fallback is priced once on a best-effort basis; a non-finite or
+    failing price is reported as 0.0 rather than raising — the mapping is
+    still hard-feasible and executable, which is the contract that
+    matters.
+    """
+    from ..gpusim.cost import estimate_kernel_cost
+    from ..resilience.fallback import conservative_fallback_mapping
+
+    mapping = conservative_fallback_mapping(
+        analysis.depth, analysis.constraints, sizes, window
+    )
+    try:
+        time_us = estimate_kernel_cost(analysis, mapping, device, env).total_us
+    except ReproError:
+        time_us = 0.0
+    if not math.isfinite(time_us):
+        time_us = 0.0
+    return AutotuneResult(
+        mapping=mapping,
+        time_us=time_us,
+        candidates=0,
+        frontier=[(mapping, time_us)],
+        rejected_nonfinite=rejected_nonfinite,
+        degraded=True,
+        degraded_reason=f"{reason}; conservative fallback mapping returned",
+    )

@@ -99,6 +99,10 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+#: Sentinel distinguishing "absent" from a stored ``None``.
+_MISSING = object()
+
+
 class SearchCache:
     """A small thread-safe LRU keyed by canonical search fingerprints."""
 
@@ -126,6 +130,29 @@ class SearchCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+
+    def invalidate(self, key: Tuple) -> bool:
+        """Drop one entry (a hit that failed validation); True if present."""
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose ``(key, value)`` satisfies ``predicate``.
+
+        The scan runs over a snapshot taken under the lock, so concurrent
+        ``get``/``put`` calls during a sweep neither crash the iteration
+        nor deadlock on re-entry; entries inserted mid-sweep are simply
+        not considered.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            snapshot = list(self._entries.items())
+        doomed = [key for key, value in snapshot if predicate(key, value)]
+        dropped = 0
+        with self._lock:
+            for key in doomed:
+                if self._entries.pop(key, _MISSING) is not _MISSING:
+                    dropped += 1
+        return dropped
 
     def clear(self) -> None:
         with self._lock:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from ..errors import ReproError
 from .analyzer import KernelAnalysis
 from .constraints import Constraint
 from .mapping import Mapping
@@ -39,6 +40,8 @@ class MappingExplanation:
     verdicts: List[ConstraintVerdict] = field(default_factory=list)
     #: (strategy name, score or None) comparisons.
     baselines: List[tuple] = field(default_factory=list)
+    #: (strategy name, error message) for baselines that failed to build.
+    baseline_errors: List[tuple] = field(default_factory=list)
     #: Telemetry from the search that chose this mapping, when available.
     search: Optional[SearchResult] = None
 
@@ -75,12 +78,14 @@ class MappingExplanation:
             kind = "hard" if v.hard else "soft"
             weight = f" (w={v.weight:.3g})" if not v.hard else ""
             lines.append(f"  [{mark:>4}] [{kind}] {v.description}{weight}")
-        if self.baselines:
+        if self.baselines or self.baseline_errors:
             lines.append("")
             lines.append("baseline strategies at these sizes:")
             for name, score in self.baselines:
                 shown = "infeasible" if score is None else f"{score:.4g}"
                 lines.append(f"  {name:<22} score {shown}")
+            for name, error in self.baseline_errors:
+                lines.append(f"  {name:<22} unavailable ({error})")
         if self.search is not None:
             lines.append("")
             lines.append("search telemetry:")
@@ -142,7 +147,14 @@ def explain_mapping(
         for name in FIXED_STRATEGIES:
             try:
                 baseline = analysis.strategy_mapping(name)
-            except Exception:
+            except ReproError as exc:
+                # A fixed strategy can be structurally inapplicable to
+                # this kernel (e.g. not enough nest levels); record the
+                # reason instead of silently dropping the row, and let
+                # anything that is not a pipeline error propagate.
+                explanation.baseline_errors.append(
+                    (name, f"{type(exc).__name__}: {exc}")
+                )
                 continue
             explanation.baselines.append(
                 (name, score_mapping(baseline, cset, sizes_t))

@@ -47,13 +47,19 @@ from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE, TIE_BREAK_SEED
-from ..errors import SearchError
+from ..errors import ReproError, SearchError
+from ..resilience.budget import Budget
+from ..resilience.faults import maybe_inject
 from .cache import get_search_cache, search_cache_key
 from .constraints import ConstraintSet
 from .dop import DopWindow, control_dop
-from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping
-from .scoring import ScoredMapping, score_mapping
+from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping, seq_level
+from .scoring import ScoredMapping, hard_feasible, score_mapping
 from .tables import ConstraintTables, span_options_for_levels
+
+
+class _BudgetStop(Exception):
+    """Internal: unwinds the candidate walk when the budget runs out."""
 
 
 @dataclass
@@ -80,8 +86,14 @@ class SearchResult:
     cache_hit: bool = False
     #: Wall time of the search that produced this result.
     elapsed_ms: float = 0.0
-    #: "pruned", "reference", or "reference-fallback" (opaque constraints).
+    #: "pruned", "reference", "reference-fallback" (opaque constraints),
+    #: or "fallback" (budget exhausted / absorbed fault).
     strategy: str = "pruned"
+    #: True when the search gave up and returned the conservative
+    #: fallback mapping instead of the Algorithm 1 winner.
+    degraded: bool = False
+    #: Why the search degraded (empty for full-fidelity results).
+    degraded_reason: str = ""
 
 
 def _effective_block_sizes(
@@ -230,6 +242,7 @@ def _search_exhaustive(
     keep_all: bool,
     seed: int,
     strategy: str,
+    budget: Optional[Budget] = None,
 ) -> SearchResult:
     """The original brute-force loop (shared by the reference entry point
     and the opaque-constraint fallback)."""
@@ -240,6 +253,8 @@ def _search_exhaustive(
     all_scored: List[ScoredMapping] = []
 
     for mapping in enumerate_candidates(num_levels, cset, block_sizes):
+        if budget is not None and not budget.spend():
+            raise _BudgetStop()
         total += 1
         score = score_mapping(mapping, cset, sizes_t)
         if score is None:
@@ -259,6 +274,80 @@ def _search_exhaustive(
     )
 
 
+def _fallback_result(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+    window: DopWindow,
+    reason: str,
+    budget: Optional[Budget] = None,
+) -> SearchResult:
+    """Degrade to the guaranteed-feasible conservative mapping.
+
+    Raises :class:`~repro.errors.SearchError` only when even the fallback
+    violates a hard constraint (the exhaustive search would have raised
+    the same error).
+    """
+    from ..resilience.fallback import (
+        conservative_fallback_mapping,
+        fallback_score,
+    )
+
+    mapping = conservative_fallback_mapping(num_levels, cset, sizes_t, window)
+    nodes = budget.nodes_spent if budget is not None else 0
+    return SearchResult(
+        mapping=mapping,
+        score=fallback_score(mapping, cset, sizes_t),
+        dop=mapping.dop(sizes_t),
+        candidates_total=nodes,
+        candidates_feasible=0,
+        candidates_skipped=nodes,
+        strategy="fallback",
+        degraded=True,
+        degraded_reason=reason,
+    )
+
+
+def _corrupt_memo_hit(hit: SearchResult, kind: str) -> SearchResult:
+    """Apply an injected memo fault to a cache hit (test-only path).
+
+    ``corrupt`` destroys the mapping outright; ``stale`` models an entry
+    recorded for a different nest depth (one extra sequential level).
+    """
+    if kind == "stale":
+        try:
+            return replace(
+                hit, mapping=Mapping(hit.mapping.levels + (seq_level(),))
+            )
+        except ReproError:  # pragma: no cover - Seq levels always append
+            pass
+    return replace(hit, mapping=None)
+
+
+def _valid_memo_hit(
+    hit: object,
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+) -> bool:
+    """Is this cache hit structurally sound for the current query?
+
+    The memo is trusted but verified: a corrupted or stale entry must
+    cost one request a recomputation, never a wrong or infeasible
+    mapping.
+    """
+    if not isinstance(hit, SearchResult):
+        return False
+    mapping = hit.mapping
+    if not isinstance(mapping, Mapping):
+        return False
+    if len(mapping.levels) != num_levels:
+        return False
+    if not math.isfinite(hit.score):
+        return False
+    return hard_feasible(mapping, cset, sizes_t)
+
+
 def search_mapping_reference(
     num_levels: int,
     cset: ConstraintSet,
@@ -267,6 +356,7 @@ def search_mapping_reference(
     block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
     keep_all: bool = False,
     seed: int = TIE_BREAK_SEED,
+    budget: Optional[Budget] = None,
 ) -> SearchResult:
     """Run Algorithm 1 by exhaustive enumeration (the equivalence oracle)."""
     if window is None:
@@ -274,10 +364,19 @@ def search_mapping_reference(
     block_sizes = _effective_block_sizes(num_levels, block_sizes)
     sizes_t = _validate(num_levels, sizes)
     start = time.perf_counter()
-    result = _search_exhaustive(
-        num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
-        strategy="reference",
-    )
+    if budget is not None:
+        budget.start()
+    try:
+        result = _search_exhaustive(
+            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
+            strategy="reference", budget=budget,
+        )
+    except _BudgetStop:
+        result = _fallback_result(
+            num_levels, cset, sizes_t, window,
+            reason="search budget exhausted (reference enumeration)",
+            budget=budget,
+        )
     result.elapsed_ms = (time.perf_counter() - start) * 1e3
     return result
 
@@ -291,8 +390,12 @@ def _search_pruned(
     keep_all: bool,
     seed: int,
     tables: ConstraintTables,
+    budget: Optional[Budget] = None,
 ) -> SearchResult:
     """Branch-and-bound over the candidate tree using the tables."""
+    # ``budget`` here is the work budget; the walk's positional ``budget``
+    # parameter below is the remaining thread-block-size budget.
+    work_budget = budget
     rng = random.Random(seed)
     inc = _Incumbent(rng)
     dims = list(Dim)[:num_levels]
@@ -378,6 +481,8 @@ def _search_pruned(
             for combo in itertools.product(
                 *(cell.choices for cell in chosen_cells)
             ):
+                if work_budget is not None and not work_budget.spend():
+                    raise _BudgetStop()
                 total += 1
                 scored += 1
                 if not all(ch.hard_ok for ch in combo):
@@ -415,6 +520,8 @@ def _search_pruned(
             span_mult: int, feas_mult: int,
         ) -> None:
             nonlocal total, feasible, skipped, nodes_pruned
+            if work_budget is not None and not work_budget.spend():
+                raise _BudgetStop()
             if k == num_levels:
                 leaf(span_mult, feas_mult)
                 return
@@ -469,6 +576,7 @@ def search_mapping(
     keep_all: bool = False,
     seed: int = TIE_BREAK_SEED,
     use_cache: bool = True,
+    budget: Optional[Budget] = None,
 ) -> SearchResult:
     """Run Algorithm 1 and return the selected mapping.
 
@@ -486,6 +594,9 @@ def search_mapping(
             (needed by the score-vs-performance experiment).
         seed: tie-break seed (the paper breaks final ties randomly).
         use_cache: serve/record the cross-sweep memo.
+        budget: optional node/deadline budget; on exhaustion the search
+            returns the conservative fallback mapping (``degraded=True``)
+            instead of raising.
     """
     if window is None:
         window = DopWindow()
@@ -493,34 +604,76 @@ def search_mapping(
     sizes_t = _validate(num_levels, sizes)
     start = time.perf_counter()
 
+    fault = maybe_inject("search")
+    if fault is not None and fault.kind == "deadline":
+        # A simulated deadline overrun: the budget expires immediately.
+        if budget is None:
+            budget = Budget(deadline_s=0.0)
+        budget.force_expire()
+    if budget is not None:
+        budget.start()
+
     cache = get_search_cache() if use_cache else None
     key = None
     if cache is not None:
         key = search_cache_key(
             cset, num_levels, sizes_t, block_sizes, window, keep_all, seed
         )
-        hit = cache.get(key)
+        try:
+            hit = cache.get(key)
+            fault = maybe_inject("memo")
+            if fault is not None and hit is not None:
+                hit = _corrupt_memo_hit(hit, fault.kind)
+        except ReproError:
+            # A failing memo costs this request a recomputation, nothing
+            # more: treat the lookup as a miss.
+            hit = None
         if hit is not None:
-            return replace(hit, cache_hit=True)
+            if _valid_memo_hit(hit, num_levels, cset, sizes_t):
+                return replace(hit, cache_hit=True)
+            # Corrupt or stale entry: discard it and recompute.
+            cache.invalidate(key)
+
+    if budget is not None and budget.exhausted():
+        result = _fallback_result(
+            num_levels, cset, sizes_t, window,
+            reason="search budget exhausted before enumeration",
+            budget=budget,
+        )
+        result.elapsed_ms = (time.perf_counter() - start) * 1e3
+        return result
 
     tables = ConstraintTables.build(cset, num_levels, sizes_t, block_sizes)
     if tables.always_infeasible:
         # A hard constraint no candidate can satisfy (the reference would
         # enumerate everything and then raise the same error).
         raise SearchError("no feasible mapping satisfies the hard constraints")
-    if tables.has_opaque:
-        # Unknown constraint types: fall back to per-candidate evaluation
-        # (correct for any satisfied_by, just not table-accelerated).
-        result = _search_exhaustive(
-            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
-            strategy="reference-fallback",
-        )
-    else:
-        result = _search_pruned(
-            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
-            tables,
+    try:
+        if tables.has_opaque:
+            # Unknown constraint types: fall back to per-candidate
+            # evaluation (correct for any satisfied_by, just not
+            # table-accelerated).
+            result = _search_exhaustive(
+                num_levels, cset, sizes_t, window, block_sizes, keep_all,
+                seed, strategy="reference-fallback", budget=budget,
+            )
+        else:
+            result = _search_pruned(
+                num_levels, cset, sizes_t, window, block_sizes, keep_all,
+                seed, tables, budget=budget,
+            )
+    except _BudgetStop:
+        result = _fallback_result(
+            num_levels, cset, sizes_t, window,
+            reason=(
+                "search budget exhausted after "
+                f"{budget.nodes_spent if budget is not None else 0} node(s)"
+            ),
+            budget=budget,
         )
     result.elapsed_ms = (time.perf_counter() - start) * 1e3
-    if cache is not None and key is not None:
+    if cache is not None and key is not None and not result.degraded:
+        # Degraded results are a budget artifact, not the true answer for
+        # this key; caching them would poison budget-free callers.
         cache.put(key, result)
     return result

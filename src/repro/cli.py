@@ -19,6 +19,15 @@ Commands
 ``difftest [--seed N] [--budget N] [--out DIR] [--corpus FILE ...]``
     Differential-execution fuzzing: generate random pattern programs and
     check every strategy/optimization combination against the interpreter.
+``chaos [app] [--stage S] [--kind K] [--out DIR]``
+    Run the fault-injection matrix through the pipeline and verify every
+    cell degrades gracefully or fails typed-with-report.
+``replay-failure FILE [FILE ...]``
+    Re-execute the pipeline failures recorded in report artifacts.
+
+Exit codes: 0 success, 1 check failed, 2 configuration error, 3
+analysis/search error, 4 codegen error, 5 execution/simulation error,
+70 internal error.
 """
 
 from __future__ import annotations
@@ -26,14 +35,23 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional
 
+from .errors import ReproError, RuntimeConfigError, exit_code_for
+
 
 def _parse_sizes(pairs: List[str]) -> Dict[str, int]:
     sizes: Dict[str, int] = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"expected k=v size binding, got {pair!r}")
+            raise RuntimeConfigError(
+                f"expected k=v size binding, got {pair!r}"
+            )
         key, _, value = pair.partition("=")
-        sizes[key] = int(value)
+        try:
+            sizes[key] = int(value)
+        except ValueError:
+            raise RuntimeConfigError(
+                f"size binding {pair!r} needs an integer value"
+            )
     return sizes
 
 
@@ -73,7 +91,7 @@ def _resolve_app(name: str):
         return ALL_APPS[name]
     except KeyError:
         known = ", ".join(sorted(ALL_APPS))
-        raise SystemExit(f"unknown app {name!r}; known: {known}")
+        raise RuntimeConfigError(f"unknown app {name!r}; known: {known}")
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -172,7 +190,12 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.figures.runner import write_experiments_md
 
-    write_experiments_md(args.output)
+    write_experiments_md(
+        args.output,
+        checkpoint_path=args.checkpoint,
+        retries=args.retries,
+        progress=print if args.verbose else None,
+    )
     print(f"wrote {args.output}")
     return 0
 
@@ -208,6 +231,8 @@ def cmd_difftest(args: argparse.Namespace) -> int:
         corpus=corpus or None,
         out_dir=args.out,
         progress=print if args.verbose else None,
+        checkpoint_path=args.checkpoint,
+        retries=args.retries,
     )
     if args.save_corpus:
         from repro.difftest import ProgramGenerator, canonical_specs
@@ -220,6 +245,63 @@ def cmd_difftest(args: argparse.Namespace) -> int:
         print(f"wrote corpus of {len(specs)} specs to {args.save_corpus}")
     print(result.describe())
     return 0 if result.ok else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.apps import merge_params
+    from repro.resilience import FAULT_MATRIX, run_chaos_matrix
+
+    app = _resolve_app(args.app)
+    program = app.build()
+    overrides = _parse_sizes(args.sizes)
+    sizes = merge_params(app, overrides)
+    for key, value in sizes.items():
+        if key not in overrides:
+            # Chaos is about fault coverage, not scale: the reference runs
+            # in the scalar loop interpreter, so clamp default sizes down.
+            sizes[key] = min(int(value), 64)
+    pairs = [
+        (stage, kind)
+        for stage, kind in FAULT_MATRIX
+        if (not args.stage or stage in args.stage)
+        and (not args.kind or kind in args.kind)
+    ]
+    if not pairs:
+        raise RuntimeConfigError(
+            "no (stage, kind) pairs match the --stage/--kind filters"
+        )
+    result = run_chaos_matrix(
+        program,
+        pairs=pairs,
+        seed=args.seed,
+        strategy=args.strategy,
+        out_dir=args.out,
+        progress=print if args.verbose else None,
+        sizes=sizes,
+    )
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
+def cmd_replay_failure(args: argparse.Namespace) -> int:
+    from repro.resilience import load_failure_report, replay_failure_report
+
+    code = 0
+    for path in args.reports:
+        try:
+            report = load_failure_report(path)
+        except (OSError, ValueError, KeyError) as exc:
+            raise RuntimeConfigError(
+                f"cannot load failure report {path!r}: {exc}"
+            )
+        print(f"replaying {path}:")
+        print(report.describe())
+        outcome = replay_failure_report(report)
+        print(outcome.describe())
+        if not outcome.reproduced:
+            code = 1
+        print()
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     p_exp.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_exp.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="resume/record sweep progress in this file")
+    p_exp.add_argument("--retries", type=int, default=0,
+                       help="retry a crashed experiment this many times "
+                       "with jittered backoff (default 0)")
+    p_exp.add_argument("-v", "--verbose", action="store_true",
+                       help="print a line per finished experiment")
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_dt = sub.add_parser(
@@ -302,15 +391,62 @@ def build_parser() -> argparse.ArgumentParser:
                       "artifact instead of running a campaign")
     p_dt.add_argument("-v", "--verbose", action="store_true",
                       help="print a line per checked program")
+    p_dt.add_argument("--checkpoint", default=None, metavar="FILE",
+                      help="resume/record campaign progress in this file")
+    p_dt.add_argument("--retries", type=int, default=0,
+                      help="retry a crashed check this many times with "
+                      "jittered backoff (default 0)")
     p_dt.set_defaults(fn=cmd_difftest)
+
+    p_ch = sub.add_parser(
+        "chaos", help="run the fault-injection matrix through the pipeline"
+    )
+    p_ch.add_argument("app", nargs="?", default="sumRows")
+    p_ch.add_argument("sizes", nargs="*", help="size bindings k=v "
+                      "(unspecified sizes are clamped to 64)")
+    p_ch.add_argument("--strategy", default="multidim")
+    p_ch.add_argument("--seed", type=int, default=0)
+    p_ch.add_argument("--stage", action="append", default=None,
+                      help="only these stages (repeatable)")
+    p_ch.add_argument("--kind", action="append", default=None,
+                      help="only these fault kinds (repeatable)")
+    p_ch.add_argument("--out", default=None,
+                      help="directory for failure-report artifacts")
+    p_ch.add_argument("-v", "--verbose", action="store_true",
+                      help="print a line per matrix cell")
+    p_ch.set_defaults(fn=cmd_chaos)
+
+    p_rf = sub.add_parser(
+        "replay-failure",
+        help="re-execute pipeline failures from report artifacts",
+    )
+    p_rf.add_argument("reports", nargs="+", metavar="FILE",
+                      help="failure-report JSON artifacts")
+    p_rf.set_defaults(fn=cmd_replay_failure)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import sys
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except BrokenPipeError:
         # stdout piped into a pager/head that exited early; not an error.
         return 0
+    except ReproError as exc:
+        # Typed pipeline errors map onto distinct exit codes; a failure
+        # report, when attached, tells the user how to replay the error.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        report_path = getattr(exc, "failure_report_path", None)
+        if report_path:
+            print(
+                f"failure report written to {report_path}; re-run with "
+                f"`python -m repro replay-failure {report_path}`",
+                file=sys.stderr,
+            )
+        elif getattr(exc, "failure_report", None) is not None:
+            print(exc.failure_report.describe(), file=sys.stderr)
+        return exit_code_for(exc)

@@ -8,10 +8,11 @@ device-function preamble and, for ``Split(k)`` mappings, combiner kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.analyzer import analyze_program
 from ..analysis.mapping import Mapping
+from ..errors import CodegenError
 from ..ir.patterns import Program
 from .kernels import CompiledKernel, KernelGenerator, device_function_preamble
 
@@ -43,23 +44,38 @@ def compile_program(
     device=None,
     prealloc: bool = True,
     layout_strides: Optional[Dict[str, Tuple[str, ...]]] = None,
+    mappings: Optional[Sequence] = None,
     **sizes: int,
 ) -> CompiledModule:
-    """Analyze, map, and generate CUDA for every kernel of a program."""
+    """Analyze, map, and generate CUDA for every kernel of a program.
+
+    ``mappings`` (one per kernel, in analysis order) bypasses the mapping
+    decision: the session passes its already-decided — possibly degraded —
+    mappings so the generated module always matches the launch decisions.
+    """
     from ..gpusim.device import default_device
     from ..gpusim.simulator import decide_mapping
+    from ..resilience.faults import maybe_inject
 
+    maybe_inject("codegen")
     if device is None:
         device = default_device()
     pa = analyze_program(program, **sizes)
+    if mappings is not None and len(mappings) != len(pa.kernels):
+        raise CodegenError(
+            f"expected {len(pa.kernels)} mappings, got {len(mappings)}"
+        )
     module = CompiledModule(program=program)
     preambles = []
     for index, ka in enumerate(pa.kernels):
-        decision = decide_mapping(ka, strategy, device)
+        if mappings is not None:
+            mapping = mappings[index]
+        else:
+            mapping = decide_mapping(ka, strategy, device).mapping
         name = f"{_sanitize(program.name)}_kernel{index}"
         generator = KernelGenerator(
             ka,
-            decision.mapping,
+            mapping,
             program,
             kernel_name=name,
             prealloc=prealloc,

@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..ir.printer import pretty_program
 from ..ir.serialize import program_to_dict
 from ..ir.traversal import find_patterns
+from ..resilience.retry import Checkpoint, retry_with_backoff
 from .generator import ProgramGenerator, build_program, canonical_specs
 from .oracle import OracleReport, check_spec
 from .shrinker import shrink_spec
@@ -161,6 +164,9 @@ def run_campaign(
     max_shrink_checks: int = 60,
     progress: Optional[Callable[[str], None]] = None,
     check: Optional[Callable[[ProgramSpec], OracleReport]] = None,
+    checkpoint_path: Optional[str] = None,
+    retries: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> CampaignResult:
     """Run one differential-testing campaign.
 
@@ -168,6 +174,16 @@ def run_campaign(
     templates and any corpus specs run in addition to it.  ``check``
     replaces the oracle (the injected-bug demo and the unit tests use
     this to fault-inject); it defaults to :func:`~.oracle.check_spec`.
+
+    ``checkpoint_path`` makes the campaign resumable: progress is saved
+    after every spec, keyed by the campaign parameters, so re-running
+    after a crash picks up at the first unchecked spec instead of
+    repeating the whole stream.  ``retries`` re-runs a spec whose check
+    *crashes* with a :class:`~repro.errors.ReproError` (jittered backoff,
+    see :func:`~repro.resilience.retry.retry_with_backoff`); a spec that
+    still crashes after all retries is recorded as a ``crash``-stage
+    failure rather than killing the campaign.  ``sleep`` is injectable
+    so tests can assert the backoff schedule without waiting for it.
     """
     if check is None:
         def check(spec: ProgramSpec) -> OracleReport:
@@ -184,8 +200,31 @@ def run_campaign(
     specs.extend(generator.random_spec() for _ in range(budget))
 
     result = CampaignResult(seed=seed)
-    for spec in specs:
-        report = check(spec)
+    checkpoint: Optional[Checkpoint] = None
+    start_index = 0
+    if checkpoint_path is not None:
+        checkpoint = Checkpoint(checkpoint_path, key={
+            "campaign": "difftest",
+            "seed": seed,
+            "budget": budget,
+            "templates": include_templates,
+            "split_forcing": run_split_forcing,
+            "corpus": [spec.to_dict() for spec in corpus or []],
+        })
+        state = checkpoint.load()
+        if state is not None:
+            start_index = _restore_campaign(result, state)
+            if start_index and progress:
+                progress(
+                    f"resumed at spec {start_index} "
+                    f"({result.checked} checked, "
+                    f"{len(result.failures)} failure(s))"
+                )
+
+    for index, spec in enumerate(specs):
+        if index < start_index:
+            continue
+        report = _checked(check, spec, index, seed, retries, sleep, progress)
         result.checked += 1
         result.skipped_total += len(report.skipped)
         result.pattern_kinds |= set(report.pattern_kinds)
@@ -196,16 +235,29 @@ def run_campaign(
         if report.ok:
             if progress:
                 progress(f"ok   {spec.describe()}")
+            if checkpoint is not None:
+                checkpoint.save(_campaign_state(result, index + 1))
             continue
         if progress:
             progress(f"FAIL {spec.describe()}")
 
-        def still_fails(candidate: ProgramSpec) -> bool:
-            return not check(candidate).ok
+        crashed = any(f.stage == "crash" for f in report.failures)
 
-        shrunk, checks = shrink_spec(
-            spec, still_fails, max_checks=max_shrink_checks
-        )
+        def still_fails(candidate: ProgramSpec) -> bool:
+            try:
+                return not check(candidate).ok
+            except ReproError:
+                # A check that crashes outright certainly still fails.
+                return True
+
+        if crashed:
+            # Shrinking navigates oracle failures; a crashing check has
+            # no oracle verdict to preserve, so keep the spec as-is.
+            shrunk, checks = spec, 0
+        else:
+            shrunk, checks = shrink_spec(
+                spec, still_fails, max_checks=max_shrink_checks
+            )
         shrunk_report = check(shrunk) if checks else report
         record = FailureRecord(
             spec=spec,
@@ -219,12 +271,133 @@ def run_campaign(
                 record, seed, out_dir, len(result.failures)
             )
         result.failures.append(record)
+        if checkpoint is not None:
+            checkpoint.save(_campaign_state(result, index + 1))
+    if checkpoint is not None:
+        checkpoint.clear()
     return result
+
+
+def _checked(
+    check: Callable[[ProgramSpec], OracleReport],
+    spec: ProgramSpec,
+    index: int,
+    seed: int,
+    retries: int,
+    sleep: Callable[[float], None],
+    progress: Optional[Callable[[str], None]],
+) -> OracleReport:
+    """One oracle check, retried on crashes when ``retries`` allows it."""
+    if retries <= 0:
+        return check(spec)
+
+    def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+        if progress:
+            progress(
+                f"retry {attempt}/{retries} after "
+                f"{type(exc).__name__}: {exc} (backoff {delay:.3f}s)"
+            )
+
+    try:
+        return retry_with_backoff(
+            lambda: check(spec),
+            retries=retries,
+            seed=seed + index,
+            sleep=sleep,
+            on_retry=on_retry,
+        )
+    except ReproError as exc:
+        report = OracleReport(program_name=spec.describe(), spec=spec)
+        report.fail(
+            "crash",
+            f"{type(exc).__name__}: {exc} "
+            f"(persisted through {retries} retr"
+            f"{'y' if retries == 1 else 'ies'})",
+        )
+        return report
+
+
+# -- checkpoint (de)serialization ------------------------------------------
+
+
+def _campaign_state(result: CampaignResult, next_index: int) -> Dict[str, Any]:
+    """The JSON-safe resume state after ``next_index`` specs are done."""
+    return {
+        "next_index": next_index,
+        "checked": result.checked,
+        "skipped_total": result.skipped_total,
+        "pattern_kinds": sorted(result.pattern_kinds),
+        "split_programs": result.split_programs,
+        "prealloc_programs": result.prealloc_programs,
+        "failures": [
+            {
+                "spec": record.spec.to_dict(),
+                "shrunk": record.shrunk.to_dict(),
+                "program_name": record.report.program_name,
+                "failures": [
+                    {"stage": f.stage, "message": f.message}
+                    for f in record.report.failures
+                ],
+                "shrink_checks": record.shrink_checks,
+                "pattern_nodes": record.pattern_nodes,
+                "artifact_path": record.artifact_path,
+            }
+            for record in result.failures
+        ],
+    }
+
+
+def _restore_campaign(result: CampaignResult, state: Dict[str, Any]) -> int:
+    """Rebuild ``result`` from saved state; returns the resume index.
+
+    A checkpoint that cannot be decoded restores nothing and resumes from
+    spec 0 — a corrupt file downgrades to a fresh campaign, never a crash.
+    """
+    from .oracle import CheckFailure
+
+    try:
+        failures = []
+        for data in state.get("failures", []):
+            report = OracleReport(
+                program_name=str(data.get("program_name", "")),
+                spec=ProgramSpec.from_dict(data["shrunk"]),
+            )
+            report.failures = [
+                CheckFailure(str(f["stage"]), str(f["message"]))
+                for f in data.get("failures", [])
+            ]
+            failures.append(FailureRecord(
+                spec=ProgramSpec.from_dict(data["spec"]),
+                shrunk=ProgramSpec.from_dict(data["shrunk"]),
+                report=report,
+                shrink_checks=int(data.get("shrink_checks", 0)),
+                pattern_nodes=int(data.get("pattern_nodes", -1)),
+                artifact_path=data.get("artifact_path"),
+            ))
+        next_index = int(state.get("next_index", 0))
+        checked = int(state.get("checked", 0))
+        skipped_total = int(state.get("skipped_total", 0))
+        pattern_kinds = set(state.get("pattern_kinds", []))
+        split_programs = int(state.get("split_programs", 0))
+        prealloc_programs = int(state.get("prealloc_programs", 0))
+    except (KeyError, TypeError, ValueError, ReproError):
+        return 0
+    result.checked = checked
+    result.skipped_total = skipped_total
+    result.pattern_kinds = pattern_kinds
+    result.split_programs = split_programs
+    result.prealloc_programs = prealloc_programs
+    result.failures = failures
+    return next_index
 
 
 def _pattern_node_count(spec: ProgramSpec) -> int:
     try:
         program = build_program(spec)
-    except Exception:
+    except ReproError:
+        # A spec whose program no longer builds (e.g. shrunk past
+        # validity) has no meaningful node count; -1 records that the
+        # count is unavailable without hiding unrelated crashes, which
+        # now propagate.
         return -1
     return len(find_patterns(program.result))

@@ -50,3 +50,68 @@ class ExecutionError(ReproError):
 
 class RuntimeConfigError(ReproError):
     """Raised for invalid runtime/session configuration."""
+
+
+class LaunchError(RuntimeConfigError):
+    """Raised when launch-parameter adjustment cannot produce a legal
+    launch (degenerate sizes, or no block-size candidate satisfies the
+    hard constraints)."""
+
+
+class BudgetExhaustedError(ReproError):
+    """Raised when a compilation stage runs out of its deadline or node
+    budget *and* no graceful fallback is possible.
+
+    The mapping search normally converts budget exhaustion into the
+    conservative fallback mapping instead of letting this escape; it only
+    surfaces when even the fallback is infeasible.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the deterministic fault-injection framework.
+
+    Deliberately a :class:`ReproError` subclass: an injected fault must
+    travel the exact error paths a real library failure would take, so the
+    chaos tests exercise production handling, not a parallel test-only
+    path.
+    """
+
+    def __init__(self, stage: str, message: str = "") -> None:
+        self.stage = stage
+        super().__init__(
+            message or f"injected fault in stage {stage!r}"
+        )
+
+
+# -- CLI exit codes --------------------------------------------------------
+
+#: Process exit codes per failure class (``python -m repro``).  Config
+#: errors share argparse's 2; 70 is BSD's EX_SOFTWARE ("internal error").
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_CONFIG = 2
+EXIT_ANALYSIS = 3
+EXIT_CODEGEN = 4
+EXIT_EXECUTION = 5
+EXIT_INTERNAL = 70
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI exit code for its failure class.
+
+    Ordering matters: subclasses are checked before their bases
+    (``LaunchError`` is a ``RuntimeConfigError``; ``SearchError`` is an
+    ``AnalysisError``).
+    """
+    if isinstance(exc, RuntimeConfigError):
+        return EXIT_CONFIG
+    if isinstance(exc, (AnalysisError, IRError)):
+        return EXIT_ANALYSIS
+    if isinstance(exc, CodegenError):
+        return EXIT_CODEGEN
+    if isinstance(exc, (ExecutionError, SimulationError)):
+        return EXIT_EXECUTION
+    # Remaining ReproErrors (injected faults, budget exhaustion, future
+    # subsystems) and non-library exceptions are "internal".
+    return EXIT_INTERNAL

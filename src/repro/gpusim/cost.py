@@ -226,6 +226,9 @@ def estimate_kernel_cost(
     plan: Optional[LaunchPlan] = None,
 ) -> KernelCost:
     """Estimate the execution time of one kernel under a mapping."""
+    from ..resilience.faults import maybe_inject
+
+    fault = maybe_inject("simulator")
     if env is None:
         env = analysis.env
     if plan is None:
@@ -413,5 +416,10 @@ def estimate_kernel_cost(
             device.kernel_launch_us
             + partial_bytes / (device.mem_bandwidth_gbs * 1e9) * 1e6
         )
+
+    if fault is not None and fault.kind in ("nan", "inf"):
+        # Injected cost-model poisoning: consumers must reject this via
+        # check_finite()/isfinite filtering, never act on it.
+        cost.compute_us = float(fault.kind)
 
     return cost

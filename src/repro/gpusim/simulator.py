@@ -46,19 +46,24 @@ def decide_mapping(
     strategy: Strategy,
     device: GpuDevice,
     optimize: bool = True,
+    budget=None,
 ) -> KernelDecision:
     """Resolve a strategy to a concrete mapping for one kernel.
 
     With ``optimize=True`` (the default, matching the paper's "all results
     utilized the optimizations where applicable") the Section-V pipeline
     builds the launch plan; otherwise a bare plan with preallocation only.
+    ``budget`` bounds the MultiDim search (ignored by fixed strategies,
+    which decide in constant time).
     """
     score: Optional[float] = None
     search: Optional[SearchResult] = None
     if isinstance(strategy, Mapping):
         mapping = strategy
     elif strategy == "multidim":
-        search = analysis.select_mapping(window=device.dop_window())
+        search = analysis.select_mapping(
+            window=device.dop_window(), budget=budget
+        )
         mapping, score = search.mapping, search.score
     else:
         mapping = analysis.strategy_mapping(strategy)

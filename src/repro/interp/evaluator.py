@@ -145,6 +145,9 @@ class Evaluator:
         Arrays should be NumPy arrays; struct parameters are dictionaries
         of field name to value.
         """
+        from ..resilience.faults import maybe_inject
+
+        maybe_inject("interpreter")
         env = Env()
         for param in self.program.params:
             if param.name not in inputs:

@@ -45,6 +45,9 @@ def build_plan(
     flags: OptimizationFlags = OptimizationFlags(),
 ) -> LaunchPlan:
     """Run the optimization pipeline for one kernel."""
+    from ..resilience.faults import maybe_inject
+
+    maybe_inject("optimizer")
     if device is None:
         device = default_device()
 

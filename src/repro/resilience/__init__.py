@@ -1,0 +1,63 @@
+"""Resilience subsystem: budgets, fallbacks, fault injection, replayable
+failure reports, and retry/checkpoint helpers.
+
+The compilation pipeline (analysis → search → optimization → codegen →
+simulation/execution) is wrapped so that a failed or over-budget stage
+costs one request a slower mapping — the conservative fallback — or a
+typed :class:`~repro.errors.ReproError` carrying a replayable
+:class:`FailureReport`, never a bare traceback or a silently wrong
+result.  ``docs/robustness.md`` is the design document; the chaos matrix
+(``repro chaos``, ``tests/resilience/``) is the enforcement.
+"""
+
+from .budget import Budget, BudgetExhaustedError
+from .chaos import ChaosCell, ChaosMatrixResult, run_chaos_matrix
+from .fallback import FALLBACK_OUTER_BLOCK, conservative_fallback_mapping
+from .faults import (
+    FAULT_MATRIX,
+    KINDS,
+    STAGES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    inject_faults,
+    maybe_inject,
+)
+from .reports import (
+    FailureReport,
+    ReplayOutcome,
+    attach_report,
+    build_report,
+    load_failure_report,
+    replay_failure_report,
+    write_failure_report,
+)
+from .retry import Checkpoint, backoff_delays, retry_with_backoff
+
+__all__ = [
+    "Budget",
+    "BudgetExhaustedError",
+    "ChaosCell",
+    "ChaosMatrixResult",
+    "run_chaos_matrix",
+    "FALLBACK_OUTER_BLOCK",
+    "conservative_fallback_mapping",
+    "FAULT_MATRIX",
+    "KINDS",
+    "STAGES",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "inject_faults",
+    "maybe_inject",
+    "FailureReport",
+    "ReplayOutcome",
+    "attach_report",
+    "build_report",
+    "load_failure_report",
+    "replay_failure_report",
+    "write_failure_report",
+    "Checkpoint",
+    "backoff_delays",
+    "retry_with_backoff",
+]

@@ -1,0 +1,139 @@
+"""Execution budgets for the compilation pipeline.
+
+A :class:`Budget` bounds how much work a stage may do before it must give
+up: a wall-clock deadline, a node/candidate count, or both.  Budgets are
+*stateful* — the search, the auto-tuner, and the session thread one object
+through a whole compilation so the deadline is shared, not per-stage.
+
+The contract consumers follow:
+
+* call :meth:`Budget.start` when work begins (idempotent);
+* call :meth:`Budget.spend` per unit of work; it returns ``False`` once
+  the budget is exhausted (node budgets are checked exactly; the clock is
+  sampled every ``CLOCK_STRIDE`` spends to keep the hot loop cheap);
+* on ``False``, degrade to a conservative result
+  (:mod:`repro.resilience.fallback`) or raise
+  :class:`~repro.errors.BudgetExhaustedError` when no fallback exists.
+
+The clock is injectable so tests can drive deadline exhaustion
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import BudgetExhaustedError
+
+__all__ = ["Budget", "BudgetExhaustedError", "CLOCK_STRIDE"]
+
+#: How many :meth:`Budget.spend` calls between deadline clock samples.
+CLOCK_STRIDE = 128
+
+
+class Budget:
+    """A deadline and/or node-count budget for one compilation.
+
+    ``deadline_s``/``max_nodes`` of ``None`` mean unbounded on that axis.
+    A default-constructed budget never exhausts (so call sites can thread
+    ``budget or Budget()`` without branching).
+    """
+
+    __slots__ = (
+        "deadline_s", "max_nodes", "clock",
+        "_t0", "_nodes", "_spent_since_clock", "_expired",
+    )
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
+        if max_nodes is not None and max_nodes < 0:
+            raise ValueError(f"max_nodes must be >= 0, got {max_nodes}")
+        self.deadline_s = deadline_s
+        self.max_nodes = max_nodes
+        self.clock = clock
+        self._t0: Optional[float] = None
+        self._nodes = 0
+        self._spent_since_clock = 0
+        self._expired = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the deadline clock (idempotent)."""
+        if self._t0 is None and self.deadline_s is not None:
+            self._t0 = self.clock()
+        return self
+
+    def fresh(self) -> "Budget":
+        """A new unstarted budget with the same limits.
+
+        Sessions hold a budget *template*; each compile gets a fresh
+        stateful instance so repeated compiles do not inherit spend.
+        """
+        return Budget(self.deadline_s, self.max_nodes, self.clock)
+
+    def force_expire(self) -> None:
+        """Mark the budget exhausted immediately (deadline-overrun faults)."""
+        self._expired = True
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def bounded(self) -> bool:
+        return self.deadline_s is not None or self.max_nodes is not None
+
+    @property
+    def nodes_spent(self) -> int:
+        return self._nodes
+
+    def spend(self, nodes: int = 1) -> bool:
+        """Consume ``nodes`` units; ``True`` while budget remains."""
+        if self._expired:
+            return False
+        self._nodes += nodes
+        if self.max_nodes is not None and self._nodes > self.max_nodes:
+            self._expired = True
+            return False
+        if self.deadline_s is not None:
+            self._spent_since_clock += nodes
+            if self._spent_since_clock >= CLOCK_STRIDE:
+                self._spent_since_clock = 0
+                return not self.exhausted()
+        return True
+
+    def exhausted(self) -> bool:
+        """Has the deadline passed or the node budget run out?  (Samples
+        the clock, unlike :meth:`spend` which amortizes it.)"""
+        if self._expired:
+            return True
+        if self.max_nodes is not None and self._nodes > self.max_nodes:
+            self._expired = True
+            return True
+        if self.deadline_s is not None:
+            self.start()
+            if self.clock() - self._t0 > self.deadline_s:
+                self._expired = True
+                return True
+        return False
+
+    def check(self, what: str = "compilation") -> None:
+        """Raise :class:`BudgetExhaustedError` if exhausted."""
+        if self.exhausted():
+            raise BudgetExhaustedError(
+                f"{what} exceeded its budget "
+                f"(deadline_s={self.deadline_s}, max_nodes={self.max_nodes}, "
+                f"nodes_spent={self._nodes})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Budget(deadline_s={self.deadline_s}, "
+            f"max_nodes={self.max_nodes}, spent={self._nodes})"
+        )

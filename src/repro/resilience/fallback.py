@@ -1,0 +1,107 @@
+"""The guaranteed-feasible conservative fallback mapping.
+
+When the mapping search exhausts its budget (or dies on an injected
+fault), the pipeline degrades to this mapping instead of raising: the
+outermost level gets ``Span(all)`` on dimension x, every inner level gets
+``Span(1)`` on the next free dimension with block size 1, any level under
+a hard ``Span(all)`` requirement gets ``Span(all)`` regardless, and
+``ControlDOP`` clamps the result into the device window.  That shape is
+feasible for every constraint set the analysis generates (the only hard
+constraints are ``SpanAllRequired``, which ``Span(all)`` satisfies by
+construction), slow but correct — one request pays with a slower mapping,
+not a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..analysis.constraints import ConstraintSet
+from ..analysis.dop import DopWindow, control_dop
+from ..analysis.mapping import (
+    DIM_MAX_THREADS,
+    Dim,
+    LevelMapping,
+    Mapping,
+    Span,
+    SpanAll,
+)
+from ..analysis.scoring import hard_feasible, score_mapping
+from ..config import MAX_BLOCK_SIZE, WARP_SIZE
+from ..errors import SearchError
+
+__all__ = ["conservative_fallback_mapping", "FALLBACK_OUTER_BLOCK"]
+
+#: Outer-level block size of the fallback: a warp multiple (coalescing,
+#: occupancy) that leaves headroom under every per-dimension cap.
+FALLBACK_OUTER_BLOCK = 8 * WARP_SIZE
+
+
+def conservative_fallback_mapping(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes: Sequence[int],
+    window: Optional[DopWindow] = None,
+) -> Mapping:
+    """Build the conservative fallback mapping for one kernel nest.
+
+    Raises :class:`~repro.errors.SearchError` only when even this shape
+    violates a hard constraint (an opaque constraint no conservative
+    choice can satisfy) — the same error an exhausted exhaustive search
+    would have raised.
+    """
+    if num_levels < 1:
+        raise SearchError("fallback mapping needs at least one level")
+    if num_levels > len(Dim):
+        raise SearchError(
+            f"nest depth {num_levels} exceeds the {len(Dim)} logical "
+            "dimensions"
+        )
+    if window is None:
+        window = DopWindow()
+    sizes_t = tuple(sizes)
+    if len(sizes_t) != num_levels:
+        raise SearchError(
+            f"expected {num_levels} level sizes, got {len(sizes_t)}"
+        )
+
+    span_all = cset.span_all_levels()
+    dims = list(Dim)[:num_levels]
+    outer_block = min(
+        FALLBACK_OUTER_BLOCK, DIM_MAX_THREADS[Dim.X], MAX_BLOCK_SIZE
+    )
+
+    levels = []
+    for level, dim in enumerate(dims):
+        block = outer_block if level == 0 else 1
+        if level == 0 or level in span_all:
+            span = SpanAll()
+        else:
+            span = Span(1)
+        levels.append(LevelMapping(dim, block, span))
+    mapping = Mapping(tuple(levels))
+
+    if not hard_feasible(mapping, cset, sizes_t):
+        # Second attempt: all-Span(all), block 1 everywhere but level 0 —
+        # the most conservative shape expressible in the parameter space.
+        mapping = Mapping(
+            tuple(
+                LevelMapping(dim, outer_block if level == 0 else 1, SpanAll())
+                for level, dim in enumerate(dims)
+            )
+        )
+        if not hard_feasible(mapping, cset, sizes_t):
+            raise SearchError(
+                "no feasible mapping satisfies the hard constraints "
+                "(even the conservative fallback is infeasible)"
+            )
+
+    return control_dop(mapping, sizes_t, window, cset.span_all_levels())
+
+
+def fallback_score(
+    mapping: Mapping, cset: ConstraintSet, sizes: Sequence[int]
+) -> float:
+    """Score of a fallback mapping (0.0 if scoring itself fails)."""
+    score = score_mapping(mapping, cset, tuple(sizes))
+    return 0.0 if score is None else score

@@ -1,0 +1,271 @@
+"""Replayable failure reports.
+
+Every :class:`~repro.errors.ReproError` escaping the session pipeline is
+wrapped with enough context to re-execute it: the failing stage, the
+kernel index and mapping candidate (when one existed), the serialized IR
+of the program (:mod:`repro.ir.serialize`), the size bindings, the device,
+and the active fault plan.  The report is attached to the exception as
+``exc.failure_report`` and can be written as a JSON artifact that
+``repro replay-failure`` re-executes deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+
+#: Bumped on any incompatible artifact change; the loader checks it.
+REPORT_VERSION = 1
+
+
+@dataclass
+class FailureReport:
+    """Everything needed to re-execute one pipeline failure."""
+
+    stage: str
+    error_type: str
+    error_message: str
+    kernel_index: Optional[int] = None
+    mapping: Optional[str] = None
+    strategy: Optional[str] = None
+    sizes: Dict[str, int] = field(default_factory=dict)
+    device: Optional[str] = None
+    seed: int = 0
+    program_ir: Optional[Dict[str, Any]] = None
+    fault_plan: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "kernel_index": self.kernel_index,
+            "mapping": self.mapping,
+            "strategy": self.strategy,
+            "sizes": dict(self.sizes),
+            "device": self.device,
+            "seed": self.seed,
+            "program_ir": self.program_ir,
+            "fault_plan": self.fault_plan,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureReport":
+        version = data.get("version")
+        if version != REPORT_VERSION:
+            raise ReproError(
+                f"failure report version {version!r} is not supported "
+                f"(expected {REPORT_VERSION})"
+            )
+        return cls(
+            stage=data["stage"],
+            error_type=data["error_type"],
+            error_message=data["error_message"],
+            kernel_index=data.get("kernel_index"),
+            mapping=data.get("mapping"),
+            strategy=data.get("strategy"),
+            sizes={k: int(v) for k, v in (data.get("sizes") or {}).items()},
+            device=data.get("device"),
+            seed=data.get("seed", 0),
+            program_ir=data.get("program_ir"),
+            fault_plan=data.get("fault_plan"),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"failure in stage {self.stage!r}: "
+            f"{self.error_type}: {self.error_message}",
+        ]
+        if self.kernel_index is not None:
+            lines.append(f"  kernel index: {self.kernel_index}")
+        if self.mapping:
+            lines.append(f"  mapping candidate: {self.mapping}")
+        if self.strategy:
+            lines.append(f"  strategy: {self.strategy}")
+        if self.sizes:
+            bindings = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.sizes.items())
+            )
+            lines.append(f"  sizes: {bindings}")
+        if self.device:
+            lines.append(f"  device: {self.device}")
+        if self.fault_plan and self.fault_plan.get("specs"):
+            from .faults import FaultPlan
+
+            lines.append(
+                "  " + FaultPlan.from_dict(self.fault_plan).describe()
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    exc: ReproError,
+    stage: str,
+    program=None,
+    kernel_index: Optional[int] = None,
+    mapping=None,
+    strategy=None,
+    sizes: Optional[Dict[str, int]] = None,
+    device=None,
+    seed: int = 0,
+) -> FailureReport:
+    """Assemble a report for an escaping error (best-effort on context)."""
+    from .faults import active_plan
+
+    program_ir = None
+    if program is not None:
+        try:
+            from ..ir.serialize import program_to_dict
+
+            program_ir = program_to_dict(program)
+        except ReproError:
+            program_ir = None  # unserializable program: replay from stage only
+    plan = active_plan()
+    return FailureReport(
+        stage=stage,
+        error_type=type(exc).__name__,
+        error_message=str(exc),
+        kernel_index=kernel_index,
+        mapping=None if mapping is None else str(mapping),
+        strategy=None if strategy is None else str(strategy),
+        sizes=dict(sizes or {}),
+        device=None if device is None else getattr(device, "name", str(device)),
+        seed=seed,
+        program_ir=program_ir,
+        fault_plan=None if plan is None else plan.to_dict(),
+    )
+
+
+def attach_report(exc: ReproError, report: FailureReport) -> ReproError:
+    """Hang the report off the exception (``exc.failure_report``)."""
+    exc.failure_report = report
+    return exc
+
+
+def write_failure_report(
+    report: FailureReport, out_dir: str, index: Optional[int] = None
+) -> str:
+    """Write one report as a JSON artifact; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    if index is None:
+        index = len(
+            [n for n in os.listdir(out_dir)
+             if n.startswith("failure-") and n.endswith(".json")]
+        )
+    path = os.path.join(out_dir, f"failure-{index:03d}.json")
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_failure_report(path: str) -> FailureReport:
+    with open(path) as handle:
+        return FailureReport.from_dict(json.load(handle))
+
+
+# -- replay ----------------------------------------------------------------
+
+
+@dataclass
+class ReplayOutcome:
+    """What happened when a failure report was re-executed."""
+
+    reproduced: bool
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return (
+                f"REPRODUCED: {self.error_type}: {self.error_message}"
+            )
+        if self.error_type:
+            return (
+                f"DIFFERENT FAILURE: {self.error_type}: "
+                f"{self.error_message} ({self.detail})"
+            )
+        return f"NOT REPRODUCED: {self.detail}"
+
+
+def replay_failure_report(report: FailureReport) -> ReplayOutcome:
+    """Re-execute the pipeline a report describes, deterministically.
+
+    Rebuilds the program from its serialized IR, reinstalls the recorded
+    fault plan (with fresh counters), and drives the session pipeline
+    through the recorded stage: compile for compilation-stage failures,
+    compile + run for interpreter failures, compile + cost estimation for
+    simulator failures.  The outcome compares the raised error's type
+    against the recorded one.
+    """
+    from contextlib import nullcontext
+
+    from ..ir.serialize import program_from_dict
+    from .faults import FaultPlan, inject_faults
+
+    if report.program_ir is None:
+        return ReplayOutcome(
+            reproduced=False,
+            detail="report carries no serialized program IR",
+        )
+    program = program_from_dict(report.program_ir)
+    if report.sizes:
+        # Bake the recorded bindings into the program: input synthesis
+        # (make_inputs) reads sizes from the program's own hints.
+        import dataclasses
+
+        program = dataclasses.replace(
+            program,
+            size_hints={**(program.size_hints or {}), **report.sizes},
+        )
+    plan_ctx = (
+        inject_faults(FaultPlan.from_dict(report.fault_plan))
+        if report.fault_plan
+        else nullcontext()
+    )
+    strategy = report.strategy or "multidim"
+
+    try:
+        with plan_ctx:
+            from ..runtime.session import GpuSession
+
+            session = GpuSession(strategy=strategy)
+            compiled = session.compile(program, **report.sizes)
+            if report.stage == "interpreter":
+                from ..difftest.oracle import make_inputs
+
+                inputs = make_inputs(program, seed=report.seed)
+                compiled.run(seed=report.seed, **inputs)
+            elif report.stage == "simulator":
+                cost = compiled.estimate_cost()
+                bad = cost.check_finite()
+                if bad:
+                    from ..errors import SimulationError
+
+                    raise SimulationError(
+                        f"non-finite cost components: {', '.join(bad)}"
+                    )
+    except ReproError as exc:
+        same_type = type(exc).__name__ == report.error_type
+        return ReplayOutcome(
+            reproduced=same_type,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            detail="" if same_type else (
+                f"expected {report.error_type}"
+            ),
+        )
+    return ReplayOutcome(
+        reproduced=False,
+        detail=(
+            "pipeline completed without error (the failure may have been "
+            "environmental, or the pipeline now degrades where it used to "
+            "fail)"
+        ),
+    )

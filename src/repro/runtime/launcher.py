@@ -24,6 +24,7 @@ from ..analysis.mapping import (
 )
 from ..analysis.scoring import score_mapping
 from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE
+from ..errors import LaunchError
 
 
 def adjust_at_launch(
@@ -44,12 +45,21 @@ def adjust_at_launch(
     # Hoisted once: score_mapping expects a tuple and would otherwise
     # convert per candidate inside the combination loop below.
     sizes = tuple(sizes)
+    if len(sizes) != mapping.num_levels:
+        raise LaunchError(
+            f"launch got {len(sizes)} runtime sizes for a "
+            f"{mapping.num_levels}-level mapping"
+        )
+    if any(size < 0 for size in sizes):
+        raise LaunchError(f"negative runtime size in {sizes}")
+    # Empty domains still launch one degenerate block.
+    sizes = tuple(max(1, size) for size in sizes)
 
     parallel_levels = [i for i, lm in enumerate(mapping.levels) if lm.parallel]
     if not parallel_levels:
         return mapping
 
-    best = mapping
+    best: Optional[Mapping] = None
     best_score = -1.0
     best_dop = -1
     best_tpb = -1
@@ -84,4 +94,11 @@ def adjust_at_launch(
         if key > (best_score, best_dop, best_tpb):
             best, best_score, best_dop, best_tpb = candidate, score, dop, tpb
 
+    if best is None:
+        # Silently launching with the compile-time geometry would execute
+        # a mapping that violates a hard constraint at these sizes.
+        raise LaunchError(
+            f"no feasible launch geometry for {mapping} at runtime sizes "
+            f"{sizes}"
+        )
     return control_dop(best, sizes, window, cset.span_all_levels())

@@ -11,28 +11,81 @@ Typical use::
 
 A :class:`CompiledProgram` bundles per-kernel mapping decisions, launch
 plans, generated CUDA, the functional executor, and the cost model.
+
+Resilience: each pipeline stage (analysis, search, optimizer, codegen,
+interpreter, simulator) runs under a guard.  With ``resilient=True`` (the
+default) a failed MultiDim search degrades to the conservative fallback
+mapping and a failed optimizer degrades to an unoptimized launch plan —
+recorded in :attr:`CompiledProgram.degradations` — while errors in stages
+with no safe substitute escape as typed
+:class:`~repro.errors.ReproError` exceptions carrying a replayable
+:class:`~repro.resilience.reports.FailureReport` (see
+``docs/robustness.md``).  A :class:`~repro.resilience.budget.Budget`
+bounds compile-time search work; the session holds a budget *template*
+and every :meth:`GpuSession.compile` call spends a fresh copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Union
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NoReturn, Optional, Union
 
 from ..analysis.analyzer import ProgramAnalysis, analyze_program
 from ..analysis.mapping import Mapping
 from ..analysis.shapes import SizeEnv
 from ..codegen.compiler import CompiledModule, compile_program
-from ..gpusim.cost import estimate_kernel_cost
+from ..errors import ReproError, SimulationError
+from ..gpusim.cost import LaunchPlan, estimate_kernel_cost
 from ..gpusim.device import GpuDevice, default_device
 from ..gpusim.simulator import KernelDecision, decide_mapping
 from ..gpusim.stats import ProgramCost
 from ..interp.evaluator import Evaluator
 from ..ir.patterns import Program
 from ..optim.pipeline import OptimizationFlags, build_plan
+from ..resilience.budget import Budget
+from ..resilience.reports import (
+    attach_report,
+    build_report,
+    write_failure_report,
+)
 from .buffers import BufferManager
 from .launcher import adjust_at_launch
 
 Strategy = Union[str, Mapping]
+
+
+def _fail(
+    exc: ReproError,
+    stage: str,
+    program: Program,
+    strategy: Strategy,
+    sizes: Dict[str, int],
+    device: GpuDevice,
+    kernel_index: Optional[int] = None,
+    mapping: Optional[Mapping] = None,
+    seed: int = 0,
+    report_dir: Optional[str] = None,
+) -> NoReturn:
+    """Attach a replayable failure report to ``exc`` and re-raise it."""
+    report = build_report(
+        exc,
+        stage,
+        program=program,
+        kernel_index=kernel_index,
+        mapping=mapping,
+        strategy=strategy,
+        sizes=sizes,
+        device=device,
+        seed=seed,
+    )
+    attach_report(exc, report)
+    if report_dir:
+        try:
+            exc.failure_report_path = write_failure_report(report, report_dir)
+        except OSError:
+            pass  # artifact best-effort; the in-memory report survives
+    raise exc
 
 
 @dataclass
@@ -47,12 +100,40 @@ class CompiledProgram:
     analysis: ProgramAnalysis
     flags: OptimizationFlags
     dynamic_launch: bool = True
+    #: Human-readable notes for every stage that degraded instead of
+    #: failing (empty for a full-fidelity compile).
+    degradations: List[str] = field(default_factory=list)
+    #: The size bindings the program was compiled under (for reports).
+    size_hints: Dict[str, int] = field(default_factory=dict)
+    #: Where escaping errors write their failure-report artifacts.
+    report_dir: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+    def _fail(
+        self,
+        exc: ReproError,
+        stage: str,
+        kernel_index: Optional[int] = None,
+        mapping: Optional[Mapping] = None,
+        seed: int = 0,
+    ) -> NoReturn:
+        _fail(
+            exc, stage, self.program, self.strategy, self.size_hints,
+            self.device, kernel_index=kernel_index, mapping=mapping,
+            seed=seed, report_dir=self.report_dir,
+        )
 
     # -- functional execution -------------------------------------------
 
     def run(self, seed: int = 0, **inputs: Any) -> Any:
         """Execute the program functionally (the correctness oracle)."""
-        return Evaluator(self.program, seed=seed).run(**inputs)
+        try:
+            return Evaluator(self.program, seed=seed).run(**inputs)
+        except ReproError as exc:
+            self._fail(exc, "interpreter", seed=seed)
 
     # -- performance estimation ------------------------------------------
 
@@ -60,6 +141,7 @@ class CompiledProgram:
         self,
         include_transfer: bool = False,
         input_bytes: float = 0.0,
+        check: bool = False,
         **sizes: int,
     ) -> ProgramCost:
         """Simulate execution time, optionally at different runtime sizes.
@@ -67,36 +149,59 @@ class CompiledProgram:
         With ``dynamic_launch`` (the default) block sizes and span/split
         factors are re-tuned per kernel for the actual sizes while keeping
         the static dimension/span-kind decision, as in Section IV-D.
+
+        With ``check=True`` a non-finite modeled cost raises a typed
+        :class:`~repro.errors.SimulationError` (with failure report)
+        instead of returning a silently poisoned estimate.
         """
         if sizes:
             env = SizeEnv.for_program(self.program, **sizes)
         else:
             env = self.analysis.env
         result = ProgramCost()
-        for decision in self.decisions:
+        for index, decision in enumerate(self.decisions):
             mapping = decision.mapping
-            # Dynamic adjustment retunes what the MultiDim analysis left
-            # dynamic; fixed baseline strategies keep their defining block
-            # geometry (that rigidity is exactly what the paper measures).
-            if self.dynamic_launch and self.strategy == "multidim":
-                from ..gpusim.cost import runtime_level_sizes
+            try:
+                # Dynamic adjustment retunes what the MultiDim analysis
+                # left dynamic; fixed baseline strategies keep their
+                # defining block geometry (that rigidity is exactly what
+                # the paper measures).
+                if self.dynamic_launch and self.strategy == "multidim":
+                    from ..gpusim.cost import runtime_level_sizes
 
-                level_sizes = runtime_level_sizes(decision.analysis.nest, env)
-                mapping = adjust_at_launch(
-                    mapping,
-                    decision.analysis.constraints,
-                    level_sizes,
-                    self.device.dop_window(),
+                    level_sizes = runtime_level_sizes(
+                        decision.analysis.nest, env
+                    )
+                    mapping = adjust_at_launch(
+                        mapping,
+                        decision.analysis.constraints,
+                        level_sizes,
+                        self.device.dop_window(),
+                    )
+                plan = build_plan(
+                    decision.analysis, mapping, self.device, self.flags
                 )
-            plan = build_plan(decision.analysis, mapping, self.device, self.flags)
-            result.kernels.append(
-                estimate_kernel_cost(
-                    decision.analysis, mapping, self.device, env, plan
+                result.kernels.append(
+                    estimate_kernel_cost(
+                        decision.analysis, mapping, self.device, env, plan
+                    )
                 )
-            )
+            except ReproError as exc:
+                self._fail(exc, "simulator", kernel_index=index,
+                           mapping=mapping)
         if include_transfer and input_bytes > 0:
             buffers = BufferManager(self.device)
             result.transfer_us = buffers.transfer_time_us(input_bytes)
+        if check:
+            bad = result.check_finite()
+            if bad:
+                self._fail(
+                    SimulationError(
+                        "cost model produced non-finite components: "
+                        + ", ".join(bad)
+                    ),
+                    "simulator",
+                )
         return result
 
     def estimate_time_us(self, **sizes: int) -> float:
@@ -115,6 +220,8 @@ class CompiledProgram:
         lines = [f"program {self.program.name} ({len(self.decisions)} kernels)"]
         for i, d in enumerate(self.decisions):
             lines.append(f"  kernel {i}: {d.mapping}")
+        for note in self.degradations:
+            lines.append(f"  degraded: {note}")
         return "\n".join(lines)
 
     def report(self) -> str:
@@ -130,6 +237,11 @@ class CompiledProgram:
             f"- kernels: {len(self.decisions)}",
             "",
         ]
+        if self.degradations:
+            lines.append("## Degradations")
+            lines.append("")
+            lines.extend(f"- {note}" for note in self.degradations)
+            lines.append("")
         for index, decision in enumerate(self.decisions):
             ka = decision.analysis
             lines.append(f"## Kernel {index}")
@@ -165,7 +277,17 @@ class CompiledProgram:
 
 
 class GpuSession:
-    """Compilation sessions bind a device, strategy, and optimizations."""
+    """Compilation sessions bind a device, strategy, and optimizations.
+
+    ``budget`` is a template: each compile spends a fresh copy, so one
+    slow compile cannot starve the next.  ``report_dir`` makes escaping
+    errors write their replayable failure reports as JSON artifacts; it
+    defaults to the ``REPRO_REPORT_DIR`` environment variable when set
+    (CI exports it so any pipeline failure during the test run leaves an
+    uploadable artifact).  ``resilient=False`` turns stage degradation
+    off (every stage error escapes, still typed and reported) — used by
+    tests that assert the undegraded behavior.
+    """
 
     def __init__(
         self,
@@ -173,27 +295,120 @@ class GpuSession:
         strategy: Strategy = "multidim",
         flags: OptimizationFlags = OptimizationFlags(),
         dynamic_launch: bool = True,
+        budget: Optional[Budget] = None,
+        report_dir: Optional[str] = None,
+        resilient: bool = True,
     ):
         self.device = device or default_device()
         self.strategy = strategy
         self.flags = flags
         self.dynamic_launch = dynamic_launch
-
-    def compile(self, program: Program, **size_hints: int) -> CompiledProgram:
-        """Analyze, map, optimize, and generate code for a program."""
-        analysis = analyze_program(program, **size_hints)
-        decisions = []
-        for ka in analysis.kernels:
-            decision = decide_mapping(ka, self.strategy, self.device)
-            decision.plan = build_plan(ka, decision.mapping, self.device, self.flags)
-            decisions.append(decision)
-        module = compile_program(
-            program,
-            self.strategy,
-            device=self.device,
-            prealloc=self.flags.prealloc,
-            **size_hints,
+        self.budget = budget
+        self.report_dir = (
+            report_dir
+            if report_dir is not None
+            else os.environ.get("REPRO_REPORT_DIR") or None
         )
+        self.resilient = resilient
+
+    def _fallback_decision(self, ka) -> KernelDecision:
+        """The guaranteed-feasible decision substituted for a dead search."""
+        from ..resilience.fallback import conservative_fallback_mapping
+
+        mapping = conservative_fallback_mapping(
+            ka.depth, ka.constraints, ka.level_sizes(),
+            self.device.dop_window(),
+        )
+        return KernelDecision(ka, mapping, LaunchPlan(prealloc=True))
+
+    def compile(
+        self,
+        program: Program,
+        budget: Optional[Budget] = None,
+        **size_hints: int,
+    ) -> CompiledProgram:
+        """Analyze, map, optimize, and generate code for a program."""
+        if budget is None and self.budget is not None:
+            budget = self.budget.fresh()
+        if budget is not None:
+            budget.start()
+
+        def fail(
+            exc: ReproError,
+            stage: str,
+            kernel_index: Optional[int] = None,
+            mapping: Optional[Mapping] = None,
+        ) -> NoReturn:
+            _fail(
+                exc, stage, program, self.strategy, dict(size_hints),
+                self.device, kernel_index=kernel_index, mapping=mapping,
+                report_dir=self.report_dir,
+            )
+
+        try:
+            analysis = analyze_program(program, **size_hints)
+        except ReproError as exc:
+            fail(exc, "analysis")
+
+        degradations: List[str] = []
+        decisions: List[KernelDecision] = []
+        for index, ka in enumerate(analysis.kernels):
+            try:
+                decision = decide_mapping(
+                    ka, self.strategy, self.device, optimize=False,
+                    budget=budget,
+                )
+            except ReproError as exc:
+                # Only the MultiDim search has a safe substitute; fixed
+                # strategies fail for structural reasons (wrong nest
+                # depth) the fallback cannot paper over, and silently
+                # replacing them would corrupt baseline comparisons.
+                if not (self.resilient and self.strategy == "multidim"):
+                    fail(exc, "search", kernel_index=index)
+                try:
+                    decision = self._fallback_decision(ka)
+                except ReproError:
+                    fail(exc, "search", kernel_index=index)
+                degradations.append(
+                    f"kernel {index}: mapping search failed "
+                    f"({type(exc).__name__}: {exc}); conservative fallback "
+                    "mapping substituted"
+                )
+            else:
+                if decision.search is not None and decision.search.degraded:
+                    degradations.append(
+                        f"kernel {index}: {decision.search.degraded_reason}"
+                    )
+            try:
+                decision.plan = build_plan(
+                    ka, decision.mapping, self.device, self.flags
+                )
+            except ReproError as exc:
+                if not self.resilient:
+                    fail(
+                        exc, "optimizer", kernel_index=index,
+                        mapping=decision.mapping,
+                    )
+                decision.plan = LaunchPlan(prealloc=True)
+                degradations.append(
+                    f"kernel {index}: optimizer failed "
+                    f"({type(exc).__name__}: {exc}); unoptimized launch "
+                    "plan substituted"
+                )
+            decisions.append(decision)
+
+        try:
+            module = compile_program(
+                program,
+                self.strategy,
+                device=self.device,
+                prealloc=self.flags.prealloc,
+                mappings=[d.mapping for d in decisions],
+                **size_hints,
+            )
+        except ReproError as exc:
+            fail(exc, "codegen")
+
         return CompiledProgram(
             program=program,
             device=self.device,
@@ -203,4 +418,7 @@ class GpuSession:
             analysis=analysis,
             flags=self.flags,
             dynamic_launch=self.dynamic_launch,
+            degradations=degradations,
+            size_hints=dict(size_hints),
+            report_dir=self.report_dir,
         )

@@ -1,0 +1,106 @@
+"""Concurrency stress for the search memo.
+
+``evict_where`` iterates the entry table while other threads mutate it;
+this pins the snapshot-under-lock design: no ``RuntimeError: dictionary
+changed size during iteration``, no deadlock, no overflow past
+``maxsize``, and sane hit/miss accounting under contention.
+"""
+
+import threading
+
+from repro.analysis.cache import SearchCache
+
+
+class TestCacheBasics:
+    def test_invalidate_present_and_absent(self):
+        cache = SearchCache(maxsize=8)
+        cache.put(("k",), 1)
+        assert cache.invalidate(("k",))
+        assert not cache.invalidate(("k",))
+        assert cache.get(("k",)) is None
+
+    def test_invalidate_distinguishes_stored_none(self):
+        cache = SearchCache(maxsize=8)
+        cache.put(("k",), None)
+        assert cache.invalidate(("k",))
+
+    def test_evict_where_counts_drops(self):
+        cache = SearchCache(maxsize=16)
+        for i in range(10):
+            cache.put(("k", i), i)
+        dropped = cache.evict_where(lambda key, value: value % 2 == 0)
+        assert dropped == 5
+        assert len(cache) == 5
+        assert cache.get(("k", 1)) == 1
+        assert cache.get(("k", 2)) is None
+
+
+class TestCacheStress:
+    THREADS = 8
+    ITERATIONS = 400
+
+    def test_concurrent_mutation_during_eviction_sweeps(self):
+        cache = SearchCache(maxsize=64)
+        stop = threading.Event()
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(self.ITERATIONS):
+                    key = ("stress", worker, i % 40)
+                    cache.put(key, i)
+                    cache.get(key)
+                    cache.get(("stress", (worker + 1) % self.THREADS, i % 40))
+                    if i % 7 == 0:
+                        cache.invalidate(key)
+                    if i % 23 == 0:
+                        cache.evict_where(
+                            lambda k, v: isinstance(v, int) and v % 3 == 0
+                        )
+                    if i % 97 == 0:
+                        cache.stats()
+            except Exception as exc:  # noqa: BLE001 - the test's whole point
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "stress test deadlocked"
+        assert not errors, f"concurrent mutation raised: {errors[:3]}"
+        assert len(cache) <= cache.maxsize
+        stats = cache.stats()
+        assert stats.hits + stats.misses > 0
+
+    def test_concurrent_clear_and_put(self):
+        cache = SearchCache(maxsize=32)
+        errors = []
+
+        def writer() -> None:
+            try:
+                for i in range(self.ITERATIONS):
+                    cache.put(("w", i % 50), i)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def clearer() -> None:
+            try:
+                for _ in range(self.ITERATIONS // 10):
+                    cache.clear()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(cache) <= cache.maxsize

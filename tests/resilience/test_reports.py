@@ -1,0 +1,109 @@
+"""Replayable failure reports: build, persist, load, and re-execute."""
+
+import json
+
+import pytest
+
+from repro.errors import InjectedFaultError, ReproError
+from repro.resilience.faults import FaultPlan, inject_faults
+from repro.resilience.reports import (
+    REPORT_VERSION,
+    FailureReport,
+    load_failure_report,
+    replay_failure_report,
+    write_failure_report,
+)
+from repro.runtime.session import GpuSession
+
+
+def _failing_compile(program, stage="analysis", report_dir=None):
+    """Compile under an injected fault; returns the escaping exception."""
+    with inject_faults(FaultPlan.single(stage, "exception")):
+        session = GpuSession(report_dir=report_dir)
+        with pytest.raises(InjectedFaultError) as info:
+            session.compile(program, R=16, C=8)
+    return info.value
+
+
+class TestFailureReports:
+    def test_escaping_error_carries_report(self, sum_rows_program):
+        exc = _failing_compile(sum_rows_program)
+        report = exc.failure_report
+        assert report.stage == "analysis"
+        assert report.error_type == "InjectedFaultError"
+        assert report.program_ir is not None
+        assert report.fault_plan is not None
+        assert report.sizes == {"R": 16, "C": 8}
+
+    def test_report_dir_writes_artifact(self, tmp_path, sum_rows_program):
+        exc = _failing_compile(
+            sum_rows_program, report_dir=str(tmp_path)
+        )
+        path = exc.failure_report_path
+        assert path is not None
+        payload = json.loads(open(path).read())
+        assert payload["version"] == REPORT_VERSION
+        assert payload["stage"] == "analysis"
+
+    def test_write_load_round_trip(self, tmp_path, sum_rows_program):
+        report = _failing_compile(sum_rows_program).failure_report
+        path = write_failure_report(report, str(tmp_path))
+        loaded = load_failure_report(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ReproError):
+            FailureReport.from_dict({"version": 999, "stage": "analysis"})
+
+    def test_describe_mentions_stage_and_plan(self, sum_rows_program):
+        report = _failing_compile(sum_rows_program).failure_report
+        text = report.describe()
+        assert "analysis" in text
+        assert "fault plan" in text
+
+
+class TestReplay:
+    def test_replay_reproduces_injected_failure(
+        self, tmp_path, sum_rows_program
+    ):
+        """The acceptance bar: a persisted report re-executes the same
+        pipeline and reproduces the same typed error deterministically."""
+        report = _failing_compile(sum_rows_program).failure_report
+        path = write_failure_report(report, str(tmp_path))
+        outcome = replay_failure_report(load_failure_report(path))
+        assert outcome.reproduced
+        assert outcome.error_type == "InjectedFaultError"
+
+    def test_replay_is_deterministic(self, sum_rows_program):
+        report = _failing_compile(sum_rows_program).failure_report
+        first = replay_failure_report(report)
+        second = replay_failure_report(report)
+        assert first.reproduced and second.reproduced
+        assert first.error_message == second.error_message
+
+    def test_replay_interpreter_stage(self, sum_rows_program):
+        import dataclasses
+
+        program = dataclasses.replace(
+            sum_rows_program, size_hints={"R": 8, "C": 8}
+        )
+        with inject_faults(FaultPlan.single("interpreter", "exception")):
+            session = GpuSession()
+            compiled = session.compile(program, R=8, C=8)
+            from repro.difftest.oracle import make_inputs
+
+            inputs = make_inputs(compiled.program, seed=0)
+            with pytest.raises(InjectedFaultError) as info:
+                compiled.run(seed=0, **inputs)
+        outcome = replay_failure_report(info.value.failure_report)
+        assert outcome.reproduced
+
+    def test_replay_without_ir_is_honest(self):
+        report = FailureReport(
+            stage="analysis",
+            error_type="AnalysisError",
+            error_message="synthetic",
+        )
+        outcome = replay_failure_report(report)
+        assert not outcome.reproduced
+        assert "no serialized program" in outcome.detail
