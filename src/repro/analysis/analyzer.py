@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from ..errors import AnalysisError
 from ..ir.patterns import PatternExpr, Program
+from ..observability import get_metrics, get_tracer
 from .access import AccessSummary, collect_accesses, inline_scalar_binds
 from .constraints import ConstraintSet, generate_constraints
 from .dop import DopWindow
@@ -92,6 +93,16 @@ class ProgramAnalysis:
         return len(self.kernels)
 
 
+def _record_constraint_metrics(cset: ConstraintSet) -> None:
+    """Count constraints by the Table-II taxonomy (Hard/Soft x scope)."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    for c in cset.constraints:
+        kind = "hard" if c.hard else "soft"
+        metrics.counter(f"constraints.{kind}.{c.scope}").inc()
+
+
 def analyze_kernel(root: PatternExpr, env: Optional[SizeEnv] = None) -> KernelAnalysis:
     """Analyze one kernel nest end to end (canonicalize, nest, accesses,
     constraints)."""
@@ -100,7 +111,10 @@ def analyze_kernel(root: PatternExpr, env: Optional[SizeEnv] = None) -> KernelAn
     canonical = inline_scalar_binds(root)
     nest = build_nest(canonical, env)
     accesses = collect_accesses(canonical, env, inline=False)
-    cset = generate_constraints(nest, accesses, env)
+    with get_tracer().span("constraints", depth=nest.depth) as span:
+        cset = generate_constraints(nest, accesses, env)
+        span.set(count=len(cset.constraints))
+    _record_constraint_metrics(cset)
     return KernelAnalysis(
         root=canonical,
         original_root=root,
@@ -119,10 +133,14 @@ def analyze_program(program: Program, **size_overrides: int) -> ProgramAnalysis:
     """
     from ..resilience.faults import maybe_inject
 
-    maybe_inject("analysis")
-    env = SizeEnv.for_program(program, **size_overrides)
-    roots = outermost_patterns(program.result)
-    if not roots:
-        raise AnalysisError(f"program {program.name} has no parallel patterns")
-    kernels = [analyze_kernel(root, env) for root in roots]
+    with get_tracer().span("analysis", program=program.name) as span:
+        maybe_inject("analysis")
+        env = SizeEnv.for_program(program, **size_overrides)
+        roots = outermost_patterns(program.result)
+        if not roots:
+            raise AnalysisError(
+                f"program {program.name} has no parallel patterns"
+            )
+        kernels = [analyze_kernel(root, env) for root in roots]
+        span.set(kernels=len(kernels))
     return ProgramAnalysis(program=program, kernels=kernels, env=env)

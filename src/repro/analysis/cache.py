@@ -20,6 +20,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional, Tuple
 
+from ..observability import get_metrics
 from .constraints import Constraint, ConstraintSet
 
 
@@ -92,6 +93,7 @@ class CacheStats:
     misses: int
     size: int
     maxsize: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -104,14 +106,21 @@ _MISSING = object()
 
 
 class SearchCache:
-    """A small thread-safe LRU keyed by canonical search fingerprints."""
+    """A small thread-safe LRU keyed by canonical search fingerprints.
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    ``name`` labels this cache's metrics (``cache.<name>.hits`` /
+    ``.misses`` / ``.evictions`` / ``.invalidations`` in the registry);
+    the internal counters remain authoritative for :meth:`stats`.
+    """
+
+    def __init__(self, maxsize: int = 4096, name: str = "search") -> None:
         self.maxsize = maxsize
+        self.name = name
         self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(self, key: Tuple) -> Optional[Any]:
         with self._lock:
@@ -119,22 +128,34 @@ class SearchCache:
                 value = self._entries[key]
             except KeyError:
                 self._misses += 1
+                get_metrics().counter(f"cache.{self.name}.misses").inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return value
+        get_metrics().counter(f"cache.{self.name}.hits").inc()
+        return value
 
     def put(self, key: Tuple, value: Any) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            get_metrics().counter(
+                f"cache.{self.name}.evictions"
+            ).inc(evicted)
 
     def invalidate(self, key: Tuple) -> bool:
         """Drop one entry (a hit that failed validation); True if present."""
         with self._lock:
-            return self._entries.pop(key, _MISSING) is not _MISSING
+            dropped = self._entries.pop(key, _MISSING) is not _MISSING
+        if dropped:
+            get_metrics().counter(f"cache.{self.name}.invalidations").inc()
+        return dropped
 
     def evict_where(self, predicate) -> int:
         """Drop every entry whose ``(key, value)`` satisfies ``predicate``.
@@ -159,6 +180,7 @@ class SearchCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -167,6 +189,7 @@ class SearchCache:
                 misses=self._misses,
                 size=len(self._entries),
                 maxsize=self.maxsize,
+                evictions=self._evictions,
             )
 
     def __len__(self) -> int:
@@ -174,8 +197,8 @@ class SearchCache:
             return len(self._entries)
 
 
-_SEARCH_CACHE = SearchCache(maxsize=4096)
-_AUTOTUNE_CACHE = SearchCache(maxsize=512)
+_SEARCH_CACHE = SearchCache(maxsize=4096, name="search")
+_AUTOTUNE_CACHE = SearchCache(maxsize=512, name="autotune")
 
 
 def get_search_cache() -> SearchCache:

@@ -50,34 +50,39 @@ def control_dop(
     :meth:`~repro.analysis.constraints.ConstraintSet.span_all_levels`; a
     level mapped Span(all) for a *dynamic-size* reason is never split.
     """
+    from ..observability import get_tracer
+
     sizes = list(sizes)
     current = mapping.dop(sizes)
 
-    if current < window.min_dop:
-        k = math.ceil(window.min_dop / max(1, current))
-        level = _pick_split_level(mapping, sizes, splittable_levels or {})
-        if level is not None and k >= 2:
-            lm = mapping.level(level)
-            # Splitting beyond the per-block iteration count is useless.
-            iterations = mapping.thread_iterations(level, sizes[level])
-            k = min(k, max(2, iterations))
-            mapping = mapping.with_level(
-                level, LevelMapping(lm.dim, lm.block_size, Split(k))
-            )
-        return mapping
+    with get_tracer().span("control_dop", dop=current) as span:
+        if current < window.min_dop:
+            k = math.ceil(window.min_dop / max(1, current))
+            level = _pick_split_level(mapping, sizes, splittable_levels or {})
+            if level is not None and k >= 2:
+                lm = mapping.level(level)
+                # Splitting beyond the per-block iteration count is useless.
+                iterations = mapping.thread_iterations(level, sizes[level])
+                k = min(k, max(2, iterations))
+                mapping = mapping.with_level(
+                    level, LevelMapping(lm.dim, lm.block_size, Split(k))
+                )
+                span.set(adjustment=f"split({k})@{level}")
+            return mapping
 
-    if current > window.max_dop:
-        n = math.ceil(current / window.max_dop)
-        level = _pick_coarsen_level(mapping, sizes)
-        if level is not None and n >= 2:
-            lm = mapping.level(level)
-            n = min(n, max(1, sizes[level]))
-            mapping = mapping.with_level(
-                level, LevelMapping(lm.dim, lm.block_size, Span(n))
-            )
-        return mapping
+        if current > window.max_dop:
+            n = math.ceil(current / window.max_dop)
+            level = _pick_coarsen_level(mapping, sizes)
+            if level is not None and n >= 2:
+                lm = mapping.level(level)
+                n = min(n, max(1, sizes[level]))
+                mapping = mapping.with_level(
+                    level, LevelMapping(lm.dim, lm.block_size, Span(n))
+                )
+                span.set(adjustment=f"span({n})@{level}")
+            return mapping
 
-    return mapping
+        return mapping
 
 
 def _pick_split_level(

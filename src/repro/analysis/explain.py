@@ -94,23 +94,31 @@ class MappingExplanation:
 
 
 def render_telemetry(result: SearchResult) -> List[str]:
-    """Human-readable lines for a :class:`SearchResult`'s diagnostics."""
+    """Human-readable lines for a :class:`SearchResult`'s diagnostics.
+
+    Renders :meth:`SearchResult.telemetry` — the same dict the metrics
+    registry and provenance artifacts consume — so the counters have one
+    definition across every reporting surface.
+    """
+    data = result.telemetry()
     lines = [
-        f"strategy: {result.strategy}"
-        + (" (served from cache)" if result.cache_hit else ""),
+        f"strategy: {data['strategy']}"
+        + (" (served from cache)" if data["cache_hit"] else ""),
         (
-            f"candidates: {result.candidates_total} enumerated, "
-            f"{result.candidates_feasible} feasible"
+            f"candidates: {data['candidates_total']} enumerated, "
+            f"{data['candidates_feasible']} feasible"
         ),
         (
-            f"work: {result.candidates_scored} scored, "
-            f"{result.candidates_skipped} skipped via "
-            f"{result.nodes_pruned} pruned subtrees"
+            f"work: {data['candidates_scored']} scored, "
+            f"{data['candidates_skipped']} skipped via "
+            f"{data['nodes_pruned']} pruned subtrees"
         ),
-        f"wall time: {result.elapsed_ms:.3g} ms"
+        f"wall time: {data['elapsed_ms']:.3g} ms"
         + (" (original search; cache lookup was ~free)"
-           if result.cache_hit else ""),
+           if data["cache_hit"] else ""),
     ]
+    if data["degraded"]:
+        lines.append(f"degraded: {result.degraded_reason}")
     return lines
 
 

@@ -48,6 +48,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE, TIE_BREAK_SEED
 from ..errors import ReproError, SearchError
+from ..observability import get_metrics, get_tracer
 from ..resilience.budget import Budget
 from ..resilience.faults import maybe_inject
 from .cache import get_search_cache, search_cache_key
@@ -94,6 +95,27 @@ class SearchResult:
     degraded: bool = False
     #: Why the search degraded (empty for full-fidelity results).
     degraded_reason: str = ""
+
+    def telemetry(self) -> dict:
+        """The canonical diagnostics view of this result.
+
+        Single source for every reporting surface: the metrics registry
+        (:func:`_record_search_metrics`), the ``--explain`` rendering
+        (:func:`repro.analysis.explain.render_telemetry`), and the
+        provenance artifact — so search counters are defined once, not
+        duplicated per format.
+        """
+        return {
+            "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
+            "candidates_total": self.candidates_total,
+            "candidates_feasible": self.candidates_feasible,
+            "candidates_scored": self.candidates_scored,
+            "candidates_skipped": self.candidates_skipped,
+            "nodes_pruned": self.nodes_pruned,
+            "elapsed_ms": self.elapsed_ms,
+            "degraded": self.degraded,
+        }
 
 
 def _effective_block_sizes(
@@ -348,6 +370,37 @@ def _valid_memo_hit(
     return hard_feasible(mapping, cset, sizes_t)
 
 
+def _record_search_metrics(result: SearchResult) -> None:
+    """Publish one search's telemetry into the metrics registry.
+
+    Consumes :meth:`SearchResult.telemetry` — the same dict the
+    ``--explain`` rendering uses — so the counters exist in exactly one
+    shape.  Cache hits only bump the served counter: their work counters
+    describe the original search, which already reported itself.
+    """
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    data = result.telemetry()
+    metrics.counter("search.runs").inc()
+    if data["cache_hit"]:
+        metrics.counter("search.cache.served").inc()
+        return
+    metrics.counter("search.candidates.total").inc(data["candidates_total"])
+    metrics.counter("search.candidates.feasible").inc(
+        data["candidates_feasible"]
+    )
+    metrics.counter("search.candidates.scored").inc(data["candidates_scored"])
+    metrics.counter("search.candidates.skipped").inc(
+        data["candidates_skipped"]
+    )
+    metrics.counter("search.nodes.pruned").inc(data["nodes_pruned"])
+    metrics.counter(f"search.strategy.{data['strategy']}").inc()
+    metrics.histogram("search.elapsed_ms").observe(data["elapsed_ms"])
+    if data["degraded"]:
+        metrics.counter("resilience.fallback.activations").inc()
+
+
 def search_mapping_reference(
     num_levels: int,
     cset: ConstraintSet,
@@ -366,18 +419,20 @@ def search_mapping_reference(
     start = time.perf_counter()
     if budget is not None:
         budget.start()
-    try:
-        result = _search_exhaustive(
-            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
-            strategy="reference", budget=budget,
-        )
-    except _BudgetStop:
-        result = _fallback_result(
-            num_levels, cset, sizes_t, window,
-            reason="search budget exhausted (reference enumeration)",
-            budget=budget,
-        )
+    with get_tracer().span("search", levels=num_levels, mode="reference"):
+        try:
+            result = _search_exhaustive(
+                num_levels, cset, sizes_t, window, block_sizes, keep_all,
+                seed, strategy="reference", budget=budget,
+            )
+        except _BudgetStop:
+            result = _fallback_result(
+                num_levels, cset, sizes_t, window,
+                reason="search budget exhausted (reference enumeration)",
+                budget=budget,
+            )
     result.elapsed_ms = (time.perf_counter() - start) * 1e3
+    _record_search_metrics(result)
     return result
 
 
@@ -396,6 +451,11 @@ def _search_pruned(
     # ``budget`` here is the work budget; the walk's positional ``budget``
     # parameter below is the remaining thread-block-size budget.
     work_budget = budget
+    # Per-subtree visit/prune instants are high-volume, so they only fire
+    # for a detail-mode tracer (``repro trace --detail``); the flag is
+    # hoisted so the disabled cost inside the walk is one local check.
+    tracer = get_tracer()
+    emit_events = tracer.enabled and tracer.detail
     rng = random.Random(seed)
     inc = _Incumbent(rng)
     dims = list(Dim)[:num_levels]
@@ -466,6 +526,11 @@ def _search_pruned(
                 total += span_mult
                 skipped += span_mult
                 nodes_pruned += 1
+                if emit_events:
+                    tracer.instant(
+                        "search.prune", kind="block-infeasible",
+                        sizes=str(tuple(chosen_sizes)), candidates=span_mult,
+                    )
                 return
             base_w = block_w + warp_w
             wmax = math.fsum(base_w)
@@ -476,8 +541,18 @@ def _search_pruned(
                 feasible += feas_mult
                 skipped += span_mult
                 nodes_pruned += 1
+                if emit_events:
+                    tracer.instant(
+                        "search.prune", kind="score-bound",
+                        sizes=str(tuple(chosen_sizes)), candidates=span_mult,
+                    )
                 return
             sizes_key = tuple(chosen_sizes)
+            if emit_events:
+                tracer.instant(
+                    "search.visit", sizes=str(sizes_key),
+                    candidates=span_mult,
+                )
             for combo in itertools.product(
                 *(cell.choices for cell in chosen_cells)
             ):
@@ -540,6 +615,11 @@ def _search_pruned(
                     total += count
                     skipped += count
                     nodes_pruned += 1
+                    if emit_events:
+                        tracer.instant(
+                            "search.prune", kind="hard-subtree",
+                            level=k, block_size=size, candidates=count,
+                        )
                     continue
                 opt = opt_prefix + cell.max_weight
                 if allow_bound_prune and _cannot_reach(
@@ -550,6 +630,12 @@ def _search_pruned(
                     feasible += sub_f * feas_mult * cell.feasible_spans
                     skipped += sub_t * sub_mult
                     nodes_pruned += 1
+                    if emit_events:
+                        tracer.instant(
+                            "search.prune", kind="bound-subtree",
+                            level=k, block_size=size,
+                            candidates=sub_t * sub_mult,
+                        )
                     continue
                 chosen_cells[k] = cell
                 chosen_sizes[k] = size
@@ -604,44 +690,77 @@ def search_mapping(
     sizes_t = _validate(num_levels, sizes)
     start = time.perf_counter()
 
-    fault = maybe_inject("search")
-    if fault is not None and fault.kind == "deadline":
-        # A simulated deadline overrun: the budget expires immediately.
-        if budget is None:
-            budget = Budget(deadline_s=0.0)
-        budget.force_expire()
-    if budget is not None:
-        budget.start()
+    with get_tracer().span("search", levels=num_levels) as span:
+        fault = maybe_inject("search")
+        if fault is not None and fault.kind == "deadline":
+            # A simulated deadline overrun: the budget expires immediately.
+            if budget is None:
+                budget = Budget(deadline_s=0.0)
+            budget.force_expire()
+        if budget is not None:
+            budget.start()
 
-    cache = get_search_cache() if use_cache else None
-    key = None
-    if cache is not None:
-        key = search_cache_key(
-            cset, num_levels, sizes_t, block_sizes, window, keep_all, seed
+        cache = get_search_cache() if use_cache else None
+        key = None
+        if cache is not None:
+            key = search_cache_key(
+                cset, num_levels, sizes_t, block_sizes, window, keep_all, seed
+            )
+            try:
+                hit = cache.get(key)
+                fault = maybe_inject("memo")
+                if fault is not None and hit is not None:
+                    hit = _corrupt_memo_hit(hit, fault.kind)
+            except ReproError:
+                # A failing memo costs this request a recomputation, nothing
+                # more: treat the lookup as a miss.
+                hit = None
+            if hit is not None:
+                if _valid_memo_hit(hit, num_levels, cset, sizes_t):
+                    result = replace(hit, cache_hit=True)
+                    span.set(**result.telemetry())
+                    _record_search_metrics(result)
+                    return result
+                # Corrupt or stale entry: discard it and recompute.
+                cache.invalidate(key)
+
+        result = _search_fresh(
+            num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
+            budget,
         )
-        try:
-            hit = cache.get(key)
-            fault = maybe_inject("memo")
-            if fault is not None and hit is not None:
-                hit = _corrupt_memo_hit(hit, fault.kind)
-        except ReproError:
-            # A failing memo costs this request a recomputation, nothing
-            # more: treat the lookup as a miss.
-            hit = None
-        if hit is not None:
-            if _valid_memo_hit(hit, num_levels, cset, sizes_t):
-                return replace(hit, cache_hit=True)
-            # Corrupt or stale entry: discard it and recompute.
-            cache.invalidate(key)
+        # The one and only elapsed_ms assignment for a fresh result:
+        # pruned, reference-fallback, and budget-degraded paths all flow
+        # through here, so a budget-exhausted search reports the true wall
+        # time of this call exactly once (previously the early-exhausted
+        # return and the main exit each carried their own assignment).
+        result.elapsed_ms = (time.perf_counter() - start) * 1e3
+        if cache is not None and key is not None and not result.degraded:
+            # Degraded results are a budget artifact, not the true answer
+            # for this key; caching them would poison budget-free callers.
+            cache.put(key, result)
+        span.set(**result.telemetry())
+    _record_search_metrics(result)
+    return result
 
+
+def _search_fresh(
+    num_levels: int,
+    cset: ConstraintSet,
+    sizes_t: Tuple[int, ...],
+    window: DopWindow,
+    block_sizes: Tuple[int, ...],
+    keep_all: bool,
+    seed: int,
+    budget: Optional[Budget],
+) -> SearchResult:
+    """The uncached search body.  Leaves ``elapsed_ms`` unset — the
+    caller stamps it once, whichever path produced the result."""
     if budget is not None and budget.exhausted():
-        result = _fallback_result(
+        return _fallback_result(
             num_levels, cset, sizes_t, window,
             reason="search budget exhausted before enumeration",
             budget=budget,
         )
-        result.elapsed_ms = (time.perf_counter() - start) * 1e3
-        return result
 
     tables = ConstraintTables.build(cset, num_levels, sizes_t, block_sizes)
     if tables.always_infeasible:
@@ -653,17 +772,16 @@ def search_mapping(
             # Unknown constraint types: fall back to per-candidate
             # evaluation (correct for any satisfied_by, just not
             # table-accelerated).
-            result = _search_exhaustive(
+            return _search_exhaustive(
                 num_levels, cset, sizes_t, window, block_sizes, keep_all,
                 seed, strategy="reference-fallback", budget=budget,
             )
-        else:
-            result = _search_pruned(
-                num_levels, cset, sizes_t, window, block_sizes, keep_all,
-                seed, tables, budget=budget,
-            )
+        return _search_pruned(
+            num_levels, cset, sizes_t, window, block_sizes, keep_all,
+            seed, tables, budget=budget,
+        )
     except _BudgetStop:
-        result = _fallback_result(
+        return _fallback_result(
             num_levels, cset, sizes_t, window,
             reason=(
                 "search budget exhausted after "
@@ -671,9 +789,3 @@ def search_mapping(
             ),
             budget=budget,
         )
-    result.elapsed_ms = (time.perf_counter() - start) * 1e3
-    if cache is not None and key is not None and not result.degraded:
-        # Degraded results are a budget artifact, not the true answer for
-        # this key; caching them would poison budget-free callers.
-        cache.put(key, result)
-    return result

@@ -24,6 +24,16 @@ Commands
     cell degrades gracefully or fails typed-with-report.
 ``replay-failure FILE [FILE ...]``
     Re-execute the pipeline failures recorded in report artifacts.
+``trace <app> [k=v ...] [--detail] [-o FILE] [--provenance FILE]``
+    Compile, cost-estimate, and run an app with tracing on; write a
+    Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+    and optionally the mapping-provenance artifact.
+``stats <app> [k=v ...] [--json]``
+    Compile an app with metrics on and print the registry snapshot:
+    cache hit rates, search counters, per-stage wall time, cost sums.
+``explain FILE``
+    Render a saved mapping-provenance artifact: ranked candidates with
+    per-constraint verdicts — why each kernel's mapping won.
 
 Exit codes: 0 success, 1 check failed, 2 configuration error, 3
 analysis/search error, 4 codegen error, 5 execution/simulation error,
@@ -89,6 +99,12 @@ def _resolve_app(name: str):
 
     try:
         return ALL_APPS[name]
+    except KeyError:
+        pass
+    # Registry keys are camelCase ("sumCols"); accept any casing.
+    folded = {key.lower(): app for key, app in ALL_APPS.items()}
+    try:
+        return folded[name.lower()]
     except KeyError:
         known = ", ".join(sorted(ALL_APPS))
         raise RuntimeConfigError(f"unknown app {name!r}; known: {known}")
@@ -225,15 +241,25 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     for path in args.corpus or []:
         corpus.extend(load_corpus(path))
 
-    result = run_campaign(
-        seed=args.seed,
-        budget=args.budget,
-        corpus=corpus or None,
-        out_dir=args.out,
-        progress=print if args.verbose else None,
-        checkpoint_path=args.checkpoint,
-        retries=args.retries,
-    )
+    def run():
+        return run_campaign(
+            seed=args.seed,
+            budget=args.budget,
+            corpus=corpus or None,
+            out_dir=args.out,
+            progress=print if args.verbose else None,
+            checkpoint_path=args.checkpoint,
+            retries=args.retries,
+        )
+
+    if args.trace:
+        from repro.observability import capture
+
+        with capture() as obs:
+            result = run()
+        _write_trace(obs.tracer, args.trace)
+    else:
+        result = run()
     if args.save_corpus:
         from repro.difftest import ProgramGenerator, canonical_specs
 
@@ -247,19 +273,109 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def cmd_chaos(args: argparse.Namespace) -> int:
+def _clamped_sizes(app, overrides: Dict[str, int]) -> Dict[str, int]:
+    """App sizes with unspecified defaults clamped to 64.
+
+    The chaos and trace commands run the scalar-loop interpreter, which
+    is about coverage, not scale — explicit ``k=v`` bindings still win.
+    """
     from repro.apps import merge_params
+
+    sizes = merge_params(app, overrides)
+    for key, value in sizes.items():
+        if key not in overrides:
+            sizes[key] = min(int(value), 64)
+    return sizes
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Write and structurally validate a Chrome trace artifact."""
+    from repro.observability import validate_chrome_trace
+
+    tracer.write(path)
+    problems = validate_chrome_trace(tracer.to_chrome())
+    if problems:
+        raise ReproError(
+            f"trace artifact {path} failed validation: "
+            + "; ".join(problems)
+        )
+    print(f"wrote {path} ({len(tracer.events())} events; load it in "
+          "Perfetto or chrome://tracing)")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.difftest.oracle import make_inputs
+    from repro.observability import capture
+    from repro.runtime import GpuSession
+
+    app = _resolve_app(args.app)
+    sizes = _clamped_sizes(app, _parse_sizes(args.sizes))
+    with capture(detail=args.detail) as obs:
+        program = app.build()
+        program = dataclasses.replace(
+            program, size_hints={**(program.size_hints or {}), **sizes}
+        )
+        compiled = GpuSession(strategy=args.strategy).compile(
+            program, **sizes
+        )
+        compiled.estimate_cost()
+        if not args.no_run:
+            inputs = make_inputs(program, seed=args.seed)
+            compiled.run(seed=args.seed, **inputs)
+    stages = sorted(obs.tracer.span_names())
+    print(f"traced {len(stages)} pipeline stage(s): {', '.join(stages)}")
+    _write_trace(obs.tracer, args.output)
+    if args.provenance:
+        compiled.provenance().write(args.provenance)
+        print(f"wrote {args.provenance} (render it with "
+              f"`python -m repro explain {args.provenance}`)")
+    if args.stats:
+        print()
+        print(obs.metrics.render())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.observability import capture
+    from repro.runtime import GpuSession
+
+    app = _resolve_app(args.app)
+    sizes = _clamped_sizes(app, _parse_sizes(args.sizes))
+    with capture() as obs:
+        compiled = GpuSession(strategy=args.strategy).compile(
+            app.build(), **sizes
+        )
+        compiled.estimate_cost()
+    if args.json:
+        import json
+
+        print(json.dumps(obs.metrics.to_dict(), indent=2))
+    else:
+        print(obs.metrics.render())
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.observability.provenance import load_provenance
+
+    try:
+        provenance = load_provenance(args.artifact)
+    except (OSError, ValueError, KeyError) as exc:
+        raise RuntimeConfigError(
+            f"cannot load provenance artifact {args.artifact!r}: {exc}"
+        )
+    print(provenance.render())
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import FAULT_MATRIX, run_chaos_matrix
 
     app = _resolve_app(args.app)
     program = app.build()
-    overrides = _parse_sizes(args.sizes)
-    sizes = merge_params(app, overrides)
-    for key, value in sizes.items():
-        if key not in overrides:
-            # Chaos is about fault coverage, not scale: the reference runs
-            # in the scalar loop interpreter, so clamp default sizes down.
-            sizes[key] = min(int(value), 64)
+    sizes = _clamped_sizes(app, _parse_sizes(args.sizes))
     pairs = [
         (stage, kind)
         for stage, kind in FAULT_MATRIX
@@ -270,17 +386,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         raise RuntimeConfigError(
             "no (stage, kind) pairs match the --stage/--kind filters"
         )
-    result = run_chaos_matrix(
-        program,
-        pairs=pairs,
-        seed=args.seed,
-        strategy=args.strategy,
-        out_dir=args.out,
-        progress=print if args.verbose else None,
-        sizes=sizes,
-    )
-    print(result.describe())
-    return 0 if result.ok else 1
+
+    def run() -> int:
+        result = run_chaos_matrix(
+            program,
+            pairs=pairs,
+            seed=args.seed,
+            strategy=args.strategy,
+            out_dir=args.out,
+            progress=print if args.verbose else None,
+            sizes=sizes,
+        )
+        print(result.describe())
+        return 0 if result.ok else 1
+
+    if args.trace:
+        from repro.observability import capture
+
+        with capture() as obs:
+            code = run()
+        _write_trace(obs.tracer, args.trace)
+        return code
+    return run()
 
 
 def cmd_replay_failure(args: argparse.Namespace) -> int:
@@ -396,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dt.add_argument("--retries", type=int, default=0,
                       help="retry a crashed check this many times with "
                       "jittered backoff (default 0)")
+    p_dt.add_argument("--trace", default=None, metavar="FILE",
+                      help="record the campaign as a Chrome trace "
+                      "artifact")
     p_dt.set_defaults(fn=cmd_difftest)
 
     p_ch = sub.add_parser(
@@ -412,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="only these fault kinds (repeatable)")
     p_ch.add_argument("--out", default=None,
                       help="directory for failure-report artifacts")
+    p_ch.add_argument("--trace", default=None, metavar="FILE",
+                      help="record the whole matrix run as a Chrome "
+                      "trace artifact")
     p_ch.add_argument("-v", "--verbose", action="store_true",
                       help="print a line per matrix cell")
     p_ch.set_defaults(fn=cmd_chaos)
@@ -423,6 +556,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_rf.add_argument("reports", nargs="+", metavar="FILE",
                       help="failure-report JSON artifacts")
     p_rf.set_defaults(fn=cmd_replay_failure)
+
+    p_tr = sub.add_parser(
+        "trace", help="trace an app's compile/estimate/run pipeline"
+    )
+    p_tr.add_argument("app")
+    p_tr.add_argument("sizes", nargs="*", help="size bindings k=v "
+                      "(unspecified sizes are clamped to 64)")
+    p_tr.add_argument("--strategy", default="multidim")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--detail", action="store_true",
+                      help="also record per-subtree search prune/visit "
+                      "events (high volume)")
+    p_tr.add_argument("--no-run", action="store_true",
+                      help="skip the functional interpreter run")
+    p_tr.add_argument("-o", "--output", default="trace.json",
+                      help="trace artifact path (default trace.json)")
+    p_tr.add_argument("--provenance", default=None, metavar="FILE",
+                      help="also write the mapping-provenance JSON")
+    p_tr.add_argument("--stats", action="store_true",
+                      help="also print the metrics-registry snapshot")
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_st = sub.add_parser(
+        "stats", help="metrics-registry snapshot for one compile"
+    )
+    p_st.add_argument("app")
+    p_st.add_argument("sizes", nargs="*", help="size bindings k=v "
+                      "(unspecified sizes are clamped to 64)")
+    p_st.add_argument("--strategy", default="multidim")
+    p_st.add_argument("--json", action="store_true",
+                      help="machine-readable snapshot")
+    p_st.set_defaults(fn=cmd_stats)
+
+    p_ex = sub.add_parser(
+        "explain", help="render a saved mapping-provenance artifact"
+    )
+    p_ex.add_argument("artifact", metavar="FILE",
+                      help="provenance JSON written by `repro trace "
+                      "--provenance`")
+    p_ex.set_defaults(fn=cmd_explain)
 
     return parser
 

@@ -55,38 +55,43 @@ def compile_program(
     """
     from ..gpusim.device import default_device
     from ..gpusim.simulator import decide_mapping
+    from ..observability import get_tracer
     from ..resilience.faults import maybe_inject
 
-    maybe_inject("codegen")
-    if device is None:
-        device = default_device()
-    pa = analyze_program(program, **sizes)
-    if mappings is not None and len(mappings) != len(pa.kernels):
-        raise CodegenError(
-            f"expected {len(pa.kernels)} mappings, got {len(mappings)}"
-        )
-    module = CompiledModule(program=program)
-    preambles = []
-    for index, ka in enumerate(pa.kernels):
-        if mappings is not None:
-            mapping = mappings[index]
-        else:
-            mapping = decide_mapping(ka, strategy, device).mapping
-        name = f"{_sanitize(program.name)}_kernel{index}"
-        generator = KernelGenerator(
-            ka,
-            mapping,
-            program,
-            kernel_name=name,
-            prealloc=prealloc,
-            layout_strides=layout_strides,
-        )
-        module.kernels.append(generator.generate())
-        preamble = device_function_preamble(ka.root)
-        if preamble and preamble not in preambles:
-            preambles.append(preamble)
-    module.preamble = "\n".join(preambles)
-    return module
+    tracer = get_tracer()
+    with tracer.span("codegen", program=program.name) as span:
+        maybe_inject("codegen")
+        if device is None:
+            device = default_device()
+        pa = analyze_program(program, **sizes)
+        if mappings is not None and len(mappings) != len(pa.kernels):
+            raise CodegenError(
+                f"expected {len(pa.kernels)} mappings, got {len(mappings)}"
+            )
+        module = CompiledModule(program=program)
+        preambles = []
+        for index, ka in enumerate(pa.kernels):
+            if mappings is not None:
+                mapping = mappings[index]
+            else:
+                mapping = decide_mapping(ka, strategy, device).mapping
+            name = f"{_sanitize(program.name)}_kernel{index}"
+            with tracer.span("codegen.kernel", kernel=name):
+                generator = KernelGenerator(
+                    ka,
+                    mapping,
+                    program,
+                    kernel_name=name,
+                    prealloc=prealloc,
+                    layout_strides=layout_strides,
+                )
+                module.kernels.append(generator.generate())
+            preamble = device_function_preamble(ka.root)
+            if preamble and preamble not in preambles:
+                preambles.append(preamble)
+        module.preamble = "\n".join(preambles)
+        span.set(kernels=len(module.kernels))
+        return module
 
 
 def _sanitize(name: str) -> str:

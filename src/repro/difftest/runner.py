@@ -185,6 +185,8 @@ def run_campaign(
     failure rather than killing the campaign.  ``sleep`` is injectable
     so tests can assert the backoff schedule without waiting for it.
     """
+    from ..observability import get_metrics, get_tracer
+
     if check is None:
         def check(spec: ProgramSpec) -> OracleReport:
             return check_spec(
@@ -221,10 +223,57 @@ def run_campaign(
                     f"{len(result.failures)} failure(s))"
                 )
 
+    tracer = get_tracer()
+    metrics = get_metrics()
+    # The campaign span is opened manually so the per-spec loop below
+    # keeps its indentation; the finally guarantees it closes (and is
+    # recorded) even when a spec check escapes.
+    campaign_span = tracer.span(
+        "difftest.campaign", seed=seed, specs=len(specs)
+    )
+    campaign_span.__enter__()
+    try:
+        _run_specs(
+            specs, start_index, check, result, checkpoint, seed, retries,
+            sleep, progress, out_dir, max_shrink_checks, tracer, metrics,
+        )
+    finally:
+        campaign_span.set(
+            checked=result.checked, failures=len(result.failures)
+        )
+        campaign_span.__exit__(None, None, None)
+    if checkpoint is not None:
+        checkpoint.clear()
+    return result
+
+
+def _run_specs(
+    specs: List[ProgramSpec],
+    start_index: int,
+    check: Callable[[ProgramSpec], OracleReport],
+    result: CampaignResult,
+    checkpoint: Optional[Checkpoint],
+    seed: int,
+    retries: int,
+    sleep: Callable[[float], None],
+    progress: Optional[Callable[[str], None]],
+    out_dir: Optional[str],
+    max_shrink_checks: int,
+    tracer,
+    metrics,
+) -> None:
+    """The per-spec check/shrink/record loop of :func:`run_campaign`."""
     for index, spec in enumerate(specs):
         if index < start_index:
             continue
-        report = _checked(check, spec, index, seed, retries, sleep, progress)
+        with tracer.span("difftest.check", spec=spec.describe()):
+            report = _checked(
+                check, spec, index, seed, retries, sleep, progress
+            )
+        if metrics.enabled:
+            metrics.counter("difftest.checked").inc()
+            if not report.ok:
+                metrics.counter("difftest.failures").inc()
         result.checked += 1
         result.skipped_total += len(report.skipped)
         result.pattern_kinds |= set(report.pattern_kinds)
@@ -273,9 +322,6 @@ def run_campaign(
         result.failures.append(record)
         if checkpoint is not None:
             checkpoint.save(_campaign_state(result, index + 1))
-    if checkpoint is not None:
-        checkpoint.clear()
-    return result
 
 
 def _checked(

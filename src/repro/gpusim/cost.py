@@ -226,6 +226,30 @@ def estimate_kernel_cost(
     plan: Optional[LaunchPlan] = None,
 ) -> KernelCost:
     """Estimate the execution time of one kernel under a mapping."""
+    from ..observability import get_metrics, get_tracer
+
+    with get_tracer().span("simulate", mapping=str(mapping)) as span:
+        cost = _estimate_kernel_cost(analysis, mapping, device, env, plan)
+        total = cost.total_us
+        # A poisoned estimate (fault injection) must not leak NaN into the
+        # trace JSON or the monotone counters.
+        span.set(total_us=round(total, 3) if math.isfinite(total) else str(total))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("simulate.kernels").inc()
+        for name, us in cost.components().items():
+            if math.isfinite(us):
+                metrics.counter(f"cost.{name}").inc(us)
+    return cost
+
+
+def _estimate_kernel_cost(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    device: GpuDevice,
+    env: Optional[SizeEnv] = None,
+    plan: Optional[LaunchPlan] = None,
+) -> KernelCost:
     from ..resilience.faults import maybe_inject
 
     fault = maybe_inject("simulator")

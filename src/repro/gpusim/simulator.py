@@ -91,18 +91,24 @@ def simulate_program(
     sweeps shapes this way).  ``input_bytes``/``include_transfer`` model
     the host-to-device copy the paper includes only in Section VI-E.
     """
-    if device is None:
-        device = default_device()
-    pa = analyze_program(program, **sizes)
-    result = ProgramCost()
-    for ka in pa.kernels:
-        decision = decide_mapping(ka, strategy, device)
-        if plan is not None:
-            decision.plan = plan
-        result.kernels.append(decision.cost(device, pa.env))
-    if include_transfer and input_bytes > 0:
-        result.transfer_us = (
-            device.pcie_latency_us
-            + input_bytes / (device.pcie_bandwidth_gbs * 1e9) * 1e6
-        )
-    return result
+    from ..observability import get_tracer
+
+    with get_tracer().span(
+        "simulate_program", program=program.name, strategy=str(strategy)
+    ) as span:
+        if device is None:
+            device = default_device()
+        pa = analyze_program(program, **sizes)
+        result = ProgramCost()
+        for ka in pa.kernels:
+            decision = decide_mapping(ka, strategy, device)
+            if plan is not None:
+                decision.plan = plan
+            result.kernels.append(decision.cost(device, pa.env))
+        if include_transfer and input_bytes > 0:
+            result.transfer_us = (
+                device.pcie_latency_us
+                + input_bytes / (device.pcie_bandwidth_gbs * 1e9) * 1e6
+            )
+        span.set(kernels=len(result.kernels), total_us=round(result.total_us, 3))
+        return result

@@ -64,23 +64,31 @@ class KernelCost:
             + self.combiner_us
         )
 
+    #: The per-component fields, in :meth:`describe` order.  ``total_us``
+    #: is NOT their plain sum: bandwidth/latency overlap (``memory_us``
+    #: takes their max) and memory overlaps compute the same way.
+    COMPONENT_FIELDS = (
+        "launch_us",
+        "block_sched_us",
+        "malloc_us",
+        "mem_bandwidth_us",
+        "mem_latency_us",
+        "compute_us",
+        "shared_mem_us",
+        "atomic_us",
+        "combiner_us",
+    )
+
+    def components(self) -> dict:
+        """Component name -> microseconds, for metrics and provenance."""
+        return {name: getattr(self, name) for name in self.COMPONENT_FIELDS}
+
     def check_finite(self) -> List[str]:
         """Return the names of any components that are not finite and
         non-negative — the cost model must never emit NaN/inf/negative time.
         """
         bad = []
-        for name in (
-            "launch_us",
-            "block_sched_us",
-            "malloc_us",
-            "mem_bandwidth_us",
-            "mem_latency_us",
-            "compute_us",
-            "shared_mem_us",
-            "atomic_us",
-            "combiner_us",
-            "traffic_bytes",
-        ):
+        for name in self.COMPONENT_FIELDS + ("traffic_bytes",):
             value = getattr(self, name)
             if not math.isfinite(value) or value < 0:
                 bad.append(f"{name}={value!r}")

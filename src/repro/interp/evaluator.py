@@ -145,17 +145,19 @@ class Evaluator:
         Arrays should be NumPy arrays; struct parameters are dictionaries
         of field name to value.
         """
+        from ..observability import get_tracer
         from ..resilience.faults import maybe_inject
 
-        maybe_inject("interpreter")
-        env = Env()
-        for param in self.program.params:
-            if param.name not in inputs:
-                raise ExecutionError(
-                    f"missing input {param.name!r} for {self.program.name}"
-                )
-            env.bind(param.name, inputs[param.name])
-        return self.eval_expr(self.program.result, env)
+        with get_tracer().span("interpret", program=self.program.name):
+            maybe_inject("interpreter")
+            env = Env()
+            for param in self.program.params:
+                if param.name not in inputs:
+                    raise ExecutionError(
+                        f"missing input {param.name!r} for {self.program.name}"
+                    )
+                env.bind(param.name, inputs[param.name])
+            return self.eval_expr(self.program.result, env)
 
     # -- expressions ------------------------------------------------------
 

@@ -592,17 +592,21 @@ class Builder:
 
     def build(self, result: Liftable, validate: bool = True) -> Program:
         """Finalize the program (optionally validating well-formedness)."""
-        program = Program(
-            self.name,
-            tuple(self._params),
-            lift(result),
-            dict(self._size_hints),
-            dict(self._array_shapes),
-        )
-        if validate:
-            from .validate import validate_program
+        from ..observability import get_tracer
 
-            validate_program(program)
+        with get_tracer().span("ir.build", program=self.name):
+            program = Program(
+                self.name,
+                tuple(self._params),
+                lift(result),
+                dict(self._size_hints),
+                dict(self._array_shapes),
+            )
+            if validate:
+                from .validate import validate_program
+
+                with get_tracer().span("ir.validate", program=self.name):
+                    validate_program(program)
         return program
 
 

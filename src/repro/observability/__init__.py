@@ -1,0 +1,66 @@
+"""Pipeline-wide observability: tracing, metrics, and mapping provenance.
+
+Three instruments, one enablement story (:mod:`.state`):
+
+* **tracer** (:mod:`.tracer`) — spans around every pipeline stage,
+  exported as Chrome trace-event JSON (``repro trace <app>``, loadable in
+  Perfetto);
+* **metrics** (:mod:`.metrics`) — counters/gauges/histograms for cache
+  behavior, search work, constraint classes, resilience activations,
+  per-stage wall time, and cost-model component sums
+  (``repro stats <app>``);
+* **provenance** (:mod:`.provenance`) — per-compile "why this mapping
+  won" records with ranked candidates and per-constraint verdicts
+  (``repro explain <artifact>``), imported lazily to keep this package
+  free of analysis-layer dependencies.
+
+Disabled (the default), every instrumentation point hits a shared no-op
+backend; see ``docs/observability.md`` for the design and the measured
+overhead.
+"""
+
+from .metrics import (  # noqa: F401
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .state import (  # noqa: F401
+    Observation,
+    capture,
+    configure,
+    get_metrics,
+    get_tracer,
+    metrics_enabled,
+    provenance_enabled,
+    tracing_enabled,
+)
+from .tracer import (  # noqa: F401
+    STAGE_MS_BUCKETS,
+    NullTracer,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Tracer",
+    "Observation",
+    "DEFAULT_MS_BUCKETS",
+    "STAGE_MS_BUCKETS",
+    "capture",
+    "configure",
+    "get_metrics",
+    "get_tracer",
+    "metrics_enabled",
+    "provenance_enabled",
+    "tracing_enabled",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,122 @@
+"""Backend selection: which tracer/metrics implementation is active.
+
+Observability is **off by default** and the disabled path is a no-op
+backend (see :mod:`.tracer` / :mod:`.metrics`), so production compiles
+pay nothing measurable (asserted by
+``benchmarks/bench_observability_overhead.py``).
+
+Enablement, in precedence order:
+
+1. :func:`configure` / the :func:`capture` context manager (explicit API,
+   used by the ``repro trace`` / ``repro stats`` commands and tests);
+2. environment variables read once at import:
+   ``REPRO_TRACE`` (tracing), ``REPRO_METRICS`` (metrics),
+   ``REPRO_PROVENANCE`` (eager provenance on every compile).  Any value
+   other than ``""``/``0``/``false``/``no``/``off`` counts as on.
+
+Call sites fetch the active backend per invocation
+(``get_tracer().span(...)``), so flipping the backends mid-process takes
+effect immediately — no caching of stale handles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+TracerLike = Union[Tracer, NullTracer]
+RegistryLike = Union[MetricsRegistry, NullRegistry]
+
+
+def _env_truthy(name: str) -> bool:
+    value = os.environ.get(name, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+_LOCK = threading.Lock()
+_TRACER: TracerLike = (
+    Tracer() if _env_truthy("REPRO_TRACE") else NULL_TRACER
+)
+_METRICS: RegistryLike = (
+    MetricsRegistry() if _env_truthy("REPRO_METRICS") else NULL_REGISTRY
+)
+_PROVENANCE: bool = _env_truthy("REPRO_PROVENANCE")
+
+
+def get_tracer() -> TracerLike:
+    """The active tracer backend (hot path: a module-global read)."""
+    return _TRACER
+
+
+def get_metrics() -> RegistryLike:
+    """The active metrics backend (hot path: a module-global read)."""
+    return _METRICS
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def metrics_enabled() -> bool:
+    return _METRICS.enabled
+
+
+def provenance_enabled() -> bool:
+    """Should every compile eagerly attach its provenance record?"""
+    return _PROVENANCE
+
+
+def configure(
+    tracing: Optional[bool] = None,
+    metrics: Optional[bool] = None,
+    provenance: Optional[bool] = None,
+    detail: bool = False,
+) -> None:
+    """Install or remove backends.  ``None`` leaves a setting unchanged.
+
+    Enabling tracing installs a *fresh* tracer (empty event list); use
+    :func:`capture` when the previous backend must be restored.
+    """
+    global _TRACER, _METRICS, _PROVENANCE
+    with _LOCK:
+        if tracing is not None:
+            _TRACER = Tracer(detail=detail) if tracing else NULL_TRACER
+        if metrics is not None:
+            _METRICS = MetricsRegistry() if metrics else NULL_REGISTRY
+        if provenance is not None:
+            _PROVENANCE = provenance
+
+
+@dataclass
+class Observation:
+    """The live backends handed to a :func:`capture` block."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
+@contextmanager
+def capture(
+    detail: bool = False, provenance: bool = True
+) -> Iterator[Observation]:
+    """Run a block with fresh tracing + metrics, restoring the previous
+    backends afterwards (exception-safe).  The CLI commands and the
+    integration tests are built on this."""
+    global _TRACER, _METRICS, _PROVENANCE
+    with _LOCK:
+        prev = (_TRACER, _METRICS, _PROVENANCE)
+        _TRACER = Tracer(detail=detail)
+        _METRICS = MetricsRegistry()
+        _PROVENANCE = provenance
+        observation = Observation(tracer=_TRACER, metrics=_METRICS)
+    try:
+        yield observation
+    finally:
+        with _LOCK:
+            _TRACER, _METRICS, _PROVENANCE = prev

@@ -1,0 +1,262 @@
+"""Span-based tracer with Chrome trace-event (Perfetto) export.
+
+Every pipeline stage opens a span through a context manager::
+
+    with get_tracer().span("search", levels=3) as sp:
+        ...
+        sp.set(candidates=result.candidates_total)
+
+Completed spans become ``ph: "X"`` (complete) events in the Chrome
+trace-event format; :meth:`Tracer.instant` emits ``ph: "i"`` markers
+(used for per-subtree prune events in detail mode).  The resulting JSON
+(:meth:`Tracer.to_chrome`) loads directly in Perfetto / ``chrome://tracing``.
+
+Two backends share the interface:
+
+* :class:`Tracer` — records events (timestamps from a monotonic clock,
+  microseconds relative to the tracer's epoch, one timeline per thread);
+* :class:`NullTracer` — the zero-overhead disabled backend.  Its
+  :meth:`~NullTracer.span` returns a shared singleton whose
+  ``__enter__``/``__exit__`` do nothing: the cost of a disabled span is
+  two trivial method calls and no allocation (asserted by
+  ``benchmarks/bench_observability_overhead.py``).
+
+On span exit the tracer also feeds the active metrics registry a
+``stage_ms.<name>`` histogram observation, so per-stage wall time shows
+up in ``repro stats`` without separate timing code at every call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set
+
+#: Histogram buckets (milliseconds) for per-stage wall-time metrics.
+#: Fixed and deterministic so snapshots are comparable across runs.
+STAGE_MS_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class _NullSpan:
+    """The span handle of the disabled backend: every method is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def event(self, name: str, **args: Any) -> None:
+        pass
+
+
+#: Shared singleton: a disabled span never allocates.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled backend: accepts the full tracer API, records nothing."""
+
+    enabled = False
+    detail = False
+
+    def span(self, name: str, cat: str = "pipeline", **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, cat: str = "pipeline", **args: Any) -> None:
+        pass
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+    def tail(self, limit: int = 100) -> List[Dict[str, Any]]:
+        return []
+
+    def span_names(self) -> Set[str]:
+        return set()
+
+
+#: Shared singleton installed whenever tracing is off.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span: open on ``__enter__``, recorded on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._now_us()
+        return self
+
+    def set(self, **args: Any) -> None:
+        """Attach result attributes to the span (shown in Perfetto)."""
+        self.args.update(args)
+
+    def event(self, name: str, **args: Any) -> None:
+        """Emit an instant event nested under this span's timeline."""
+        self._tracer.instant(name, cat=self.cat, **args)
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        end = self._tracer._now_us()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._record(self, end)
+        return False
+
+
+class Tracer:
+    """The recording backend.
+
+    ``detail=True`` additionally emits the high-volume per-subtree
+    search events (prune/visit instants); default traces stay compact.
+    """
+
+    enabled = True
+
+    def __init__(self, detail: bool = False) -> None:
+        self.detail = detail
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def span(self, name: str, cat: str = "pipeline", **args: Any) -> _Span:
+        return _Span(self, name, cat, args)
+
+    def _record(self, span: _Span, end_us: float) -> None:
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span._start,
+            "dur": end_us - span._start,
+            "pid": 1,
+            "tid": threading.get_ident() & 0xFFFF,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        with self._lock:
+            self._events.append(event)
+        # Per-stage wall time flows into the metrics registry so one
+        # instrumentation point serves both backends.
+        from .state import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.histogram(
+                f"stage_ms.{span.name}", STAGE_MS_BUCKETS
+            ).observe((end_us - span._start) / 1e3)
+
+    def instant(self, name: str, cat: str = "pipeline", **args: Any) -> None:
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us(),
+            "pid": 1,
+            "tid": threading.get_ident() & 0xFFFF,
+        }
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            self._events.append(event)
+
+    # -- export ------------------------------------------------------------
+
+    def events(self) -> List[Dict[str, Any]]:
+        """A snapshot of every recorded event, in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, limit: int = 100) -> List[Dict[str, Any]]:
+        """The most recent events (embedded in failure reports)."""
+        with self._lock:
+            return list(self._events[-limit:])
+
+    def span_names(self) -> Set[str]:
+        """Distinct names of completed spans (pipeline-stage coverage)."""
+        with self._lock:
+            return {e["name"] for e in self._events if e["ph"] == "X"}
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The complete Chrome trace-event document."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": "repro pipeline"},
+            }
+        ]
+        return {
+            "traceEvents": metadata + self.events(),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str) -> str:
+        """Write the Chrome trace JSON artifact; returns the path."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, indent=2)
+            handle.write("\n")
+        return path
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> List[str]:
+    """Structural checks a Perfetto-loadable trace must pass.
+
+    Returns a list of problems (empty when valid).  Used by the tests and
+    the CLI so a malformed artifact is caught at write time, not when a
+    user drags it into the viewer.
+    """
+    problems: List[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"event {i} has unsupported phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i} has no name")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} has bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} has bad dur {dur!r}")
+    return problems

@@ -45,35 +45,50 @@ def build_plan(
     flags: OptimizationFlags = OptimizationFlags(),
 ) -> LaunchPlan:
     """Run the optimization pipeline for one kernel."""
+    from ..observability import get_tracer
     from ..resilience.faults import maybe_inject
 
-    maybe_inject("optimizer")
-    if device is None:
-        device = default_device()
-
-    layout_strides: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
-    if flags.prealloc:
-        decisions = plan_preallocations(
-            analysis, mapping, optimize_layout=flags.layout_opt
-        )
-        layout_strides = tuple(
-            (d.array_key, d.layout.strides) for d in decisions
-        )
-
-    smem_keys = frozenset()
-    extra_shared = 0
-    if flags.shared_memory:
-        prefetch = plan_shared_memory(
-            analysis,
-            mapping,
-            shared_budget_bytes=device.shared_mem_per_sm_bytes,
-        )
-        smem_keys = prefetch.array_keys
-        extra_shared = prefetch.shared_bytes_per_block
-
-    return LaunchPlan(
+    tracer = get_tracer()
+    with tracer.span(
+        "optimize",
         prealloc=flags.prealloc,
-        layout_strides=layout_strides,
-        smem_prefetch=smem_keys,
-        extra_shared_bytes=extra_shared,
-    )
+        layout_opt=flags.layout_opt,
+        shared_memory=flags.shared_memory,
+    ) as span:
+        maybe_inject("optimizer")
+        if device is None:
+            device = default_device()
+
+        layout_strides: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+        if flags.prealloc:
+            with tracer.span("prealloc"):
+                decisions = plan_preallocations(
+                    analysis, mapping, optimize_layout=flags.layout_opt
+                )
+            layout_strides = tuple(
+                (d.array_key, d.layout.strides) for d in decisions
+            )
+
+        smem_keys = frozenset()
+        extra_shared = 0
+        if flags.shared_memory:
+            with tracer.span("shared_memory"):
+                prefetch = plan_shared_memory(
+                    analysis,
+                    mapping,
+                    shared_budget_bytes=device.shared_mem_per_sm_bytes,
+                )
+            smem_keys = prefetch.array_keys
+            extra_shared = prefetch.shared_bytes_per_block
+
+        span.set(
+            prealloc_arrays=len(layout_strides),
+            smem_arrays=len(smem_keys),
+            smem_bytes=extra_shared,
+        )
+        return LaunchPlan(
+            prealloc=flags.prealloc,
+            layout_strides=layout_strides,
+            smem_prefetch=smem_keys,
+            extra_shared_bytes=extra_shared,
+        )

@@ -37,9 +37,13 @@ class FailureReport:
     seed: int = 0
     program_ir: Optional[Dict[str, Any]] = None
     fault_plan: Optional[Dict[str, Any]] = None
+    #: The tail of the active trace when the failure escaped (Chrome
+    #: trace events), when tracing was on.  Optional and ignored by
+    #: replay, so version 1 artifacts stay compatible both ways.
+    trace: Optional[list] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "version": REPORT_VERSION,
             "stage": self.stage,
             "error_type": self.error_type,
@@ -53,6 +57,9 @@ class FailureReport:
             "program_ir": self.program_ir,
             "fault_plan": self.fault_plan,
         }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FailureReport":
@@ -74,6 +81,7 @@ class FailureReport:
             seed=data.get("seed", 0),
             program_ir=data.get("program_ir"),
             fault_plan=data.get("fault_plan"),
+            trace=data.get("trace"),
         )
 
     def describe(self) -> str:
@@ -115,6 +123,7 @@ def build_report(
     seed: int = 0,
 ) -> FailureReport:
     """Assemble a report for an escaping error (best-effort on context)."""
+    from ..observability import get_tracer
     from .faults import active_plan
 
     program_ir = None
@@ -126,6 +135,8 @@ def build_report(
         except ReproError:
             program_ir = None  # unserializable program: replay from stage only
     plan = active_plan()
+    tracer = get_tracer()
+    trace = tracer.tail(100) if tracer.enabled else None
     return FailureReport(
         stage=stage,
         error_type=type(exc).__name__,
@@ -138,6 +149,7 @@ def build_report(
         seed=seed,
         program_ir=program_ir,
         fault_plan=None if plan is None else plan.to_dict(),
+        trace=trace,
     )
 
 

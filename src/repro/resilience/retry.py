@@ -58,6 +58,8 @@ def retry_with_backoff(
     with any attached failure report intact).  ``sleep`` is injectable so
     tests assert the schedule without waiting for it.
     """
+    from ..observability import get_metrics
+
     delays = backoff_delays(retries, base_delay, max_delay, seed)
     for attempt in range(retries + 1):
         try:
@@ -66,6 +68,7 @@ def retry_with_backoff(
             if attempt >= retries:
                 raise
             delay = delays[attempt]
+            get_metrics().counter("resilience.retry.attempts").inc()
             if on_retry is not None:
                 on_retry(attempt + 1, exc, delay)
             sleep(delay)

@@ -42,6 +42,7 @@ from ..gpusim.simulator import KernelDecision, decide_mapping
 from ..gpusim.stats import ProgramCost
 from ..interp.evaluator import Evaluator
 from ..ir.patterns import Program
+from ..observability import get_metrics, get_tracer, provenance_enabled
 from ..optim.pipeline import OptimizationFlags, build_plan
 from ..resilience.budget import Budget
 from ..resilience.reports import (
@@ -107,10 +108,27 @@ class CompiledProgram:
     size_hints: Dict[str, int] = field(default_factory=dict)
     #: Where escaping errors write their failure-report artifacts.
     report_dir: Optional[str] = None
+    #: Cached mapping-provenance record (built on first request, or
+    #: eagerly at compile time when provenance capture is enabled).
+    _provenance: Optional[Any] = field(default=None, repr=False)
 
     @property
     def degraded(self) -> bool:
         return bool(self.degradations)
+
+    def provenance(self, top_k: int = 5):
+        """The "why this mapping won" record for this compile.
+
+        Re-ranks every kernel's candidates (top ``top_k``) with
+        per-constraint verdicts and score deltas; the result serializes to
+        JSON (``repro explain`` renders saved artifacts).  Built lazily and
+        cached — the first call fixes ``top_k``.
+        """
+        if self._provenance is None:
+            from ..observability.provenance import build_provenance
+
+            self._provenance = build_provenance(self, top_k=top_k)
+        return self._provenance
 
     def _fail(
         self,
@@ -328,6 +346,34 @@ class GpuSession:
         **size_hints: int,
     ) -> CompiledProgram:
         """Analyze, map, optimize, and generate code for a program."""
+        with get_tracer().span(
+            "compile", program=program.name, strategy=str(self.strategy)
+        ) as span:
+            compiled = self._compile(program, budget, **size_hints)
+            span.set(
+                kernels=len(compiled.decisions),
+                degradations=len(compiled.degradations),
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("compile.runs").inc()
+            if compiled.degradations:
+                metrics.counter("resilience.degradation.activations").inc(
+                    len(compiled.degradations)
+                )
+        if provenance_enabled():
+            try:
+                compiled.provenance()
+            except ReproError:
+                pass  # provenance is best-effort diagnostics
+        return compiled
+
+    def _compile(
+        self,
+        program: Program,
+        budget: Optional[Budget],
+        **size_hints: int,
+    ) -> CompiledProgram:
         if budget is None and self.budget is not None:
             budget = self.budget.fresh()
         if budget is not None:

@@ -1,10 +1,15 @@
 """Tests for the cost-result records and their reporting."""
 
+import math
+
 import pytest
 
+from repro.errors import SimulationError
 from repro.gpusim.occupancy import compute_occupancy
 from repro.gpusim.device import TESLA_K20C
 from repro.gpusim.stats import AccessCost, KernelCost, ProgramCost
+from repro.resilience.faults import FaultPlan, inject_faults
+from repro.runtime.session import GpuSession
 
 
 def make_cost(**overrides):
@@ -61,6 +66,103 @@ class TestKernelCost:
             )
         )
         assert cost.accesses[0].array_key == "m"
+
+
+class TestComponentInvariants:
+    """``components()`` must account for ``total_us`` under the overlap
+    rule: bandwidth/latency fold to their max, memory overlaps compute,
+    everything else is additive."""
+
+    @staticmethod
+    def overlapped_sum(components):
+        return (
+            components["launch_us"]
+            + components["block_sched_us"]
+            + components["malloc_us"]
+            + max(
+                max(
+                    components["mem_bandwidth_us"],
+                    components["mem_latency_us"],
+                ),
+                components["compute_us"],
+            )
+            + components["shared_mem_us"]
+            + components["atomic_us"]
+            + components["combiner_us"]
+        )
+
+    def test_components_cover_every_time_field(self):
+        comps = make_cost().components()
+        assert set(comps) == set(KernelCost.COMPONENT_FIELDS)
+        # Every *_us field of the dataclass is a component except the
+        # non-time diagnostics; a new time field must join COMPONENT_FIELDS.
+        time_fields = {
+            f for f in vars(make_cost()) if f.endswith("_us")
+        }
+        assert time_fields == set(KernelCost.COMPONENT_FIELDS)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            dict(mem_bandwidth_us=3.0, mem_latency_us=9.0, compute_us=1.0),
+            dict(mem_bandwidth_us=3.0, mem_latency_us=2.0, compute_us=50.0),
+            dict(malloc_us=7.0, atomic_us=1.5, combiner_us=4.0),
+            dict(launch_us=0.0, block_sched_us=0.0, mem_bandwidth_us=0.0,
+                 mem_latency_us=0.0, compute_us=0.0, shared_mem_us=0.0),
+        ],
+    )
+    def test_total_equals_overlapped_component_sum(self, overrides):
+        cost = make_cost(**overrides)
+        assert cost.total_us == pytest.approx(
+            self.overlapped_sum(cost.components())
+        )
+
+    def test_check_finite_flags_each_component(self):
+        for name in KernelCost.COMPONENT_FIELDS:
+            bad = make_cost(**{name: float("nan")}).check_finite()
+            assert any(name in item for item in bad), name
+        assert make_cost().check_finite() == []
+
+    def test_check_finite_rejects_negative_time(self):
+        assert make_cost(compute_us=-1.0).check_finite()
+
+
+class TestCheckFiniteUnderInjection:
+    """A nan/inf fault injected into the simulator stage must be caught
+    by ``check_finite`` — never silently acted on."""
+
+    @pytest.fixture
+    def compiled(self, sum_cols_program):
+        return GpuSession().compile(sum_cols_program, R=64, C=64)
+
+    @pytest.mark.parametrize("kind", ["nan", "inf"])
+    def test_program_cost_reports_poisoned_component(self, compiled, kind):
+        with inject_faults(FaultPlan.single("simulator", kind=kind)):
+            cost = compiled.estimate_cost()
+        bad = cost.check_finite()
+        assert bad and any("compute_us" in item for item in bad)
+
+    def test_nan_hides_in_total_but_not_in_check_finite(self, compiled):
+        # NaN compares False against everything, so the overlap max() in
+        # total_us can silently swallow a poisoned compute_us.  This is
+        # exactly why callers must go through check_finite.
+        with inject_faults(FaultPlan.single("simulator", kind="nan")):
+            cost = compiled.estimate_cost()
+        assert math.isfinite(cost.total_us)
+        assert cost.check_finite()
+
+    def test_inf_propagates_to_total(self, compiled):
+        with inject_faults(FaultPlan.single("simulator", kind="inf")):
+            cost = compiled.estimate_cost()
+        assert math.isinf(cost.total_us)
+
+    @pytest.mark.parametrize("kind", ["nan", "inf"])
+    def test_check_true_raises_typed_error(self, compiled, kind):
+        with inject_faults(FaultPlan.single("simulator", kind=kind)):
+            with pytest.raises(SimulationError) as info:
+                compiled.estimate_cost(check=True)
+        assert "non-finite" in str(info.value)
 
 
 class TestProgramCost:

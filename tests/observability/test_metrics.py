@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry and the no-op backend."""
+
+import pytest
+
+from repro.observability.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+
+    def test_counter_accepts_float_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("cost.launch_us").inc(6.5)
+        registry.counter("cost.launch_us").inc(0.5)
+        assert registry.counter("cost.launch_us").value == pytest.approx(7.0)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.gauge("g").set(1)
+        assert registry.gauge("g").value == 1
+
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogram:
+    def test_buckets_are_sorted_and_fixed(self):
+        hist = Histogram(buckets=(5.0, 1.0, 10.0))
+        assert hist.buckets == (1.0, 5.0, 10.0)
+
+    def test_observations_land_in_cumulative_buckets(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        for value in (0.5, 0.9, 3.0, 100.0):
+            hist.observe(value)
+        # counts: <=1.0, <=5.0, overflow
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(104.4)
+        assert hist.mean == pytest.approx(104.4 / 4)
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_to_dict_is_json_shaped(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        data = hist.to_dict()
+        assert data == {
+            "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1,
+        }
+
+
+class TestRegistryExport:
+    def test_to_dict_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.to_dict()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("search.runs").inc()
+        registry.histogram("stage_ms.search", buckets=(1.0,)).observe(0.2)
+        text = registry.render()
+        assert "search.runs" in text
+        assert "stage_ms.search" in text and "mean=" in text
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+class TestNullRegistry:
+    def test_hands_out_shared_singletons(self):
+        assert NULL_REGISTRY.counter("any") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("any") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("any") is NULL_HISTOGRAM
+
+    def test_operations_record_nothing(self):
+        NULL_REGISTRY.counter("c").inc(100)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.counter("c").value == 0
+        assert NULL_REGISTRY.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_enabled_flags(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True

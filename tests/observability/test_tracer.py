@@ -1,0 +1,144 @@
+"""Unit tests for the span tracer and its Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("search", levels=2) as span:
+            span.set(candidates=7)
+        events = tracer.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event["ph"] == "X"
+        assert event["name"] == "search"
+        assert event["dur"] >= 0
+        assert event["args"] == {"levels": 2, "candidates": 7}
+
+    def test_nested_spans_both_recorded(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("search"):
+                pass
+        # Inner spans close (and record) first.
+        assert [e["name"] for e in tracer.events()] == ["search", "compile"]
+        assert tracer.span_names() == {"compile", "search"}
+
+    def test_span_records_error_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("search"):
+                raise ValueError("boom")
+        event = tracer.events()[0]
+        assert event["args"]["error"] == "ValueError"
+
+    def test_span_exit_does_not_swallow_exception(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("s"):
+                raise KeyError("x")
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("search.prune", kind="score-bound")
+        event = tracer.events()[0]
+        assert event["ph"] == "i"
+        assert event["args"] == {"kind": "score-bound"}
+        # Instants are not spans, so they don't count as stage coverage.
+        assert tracer.span_names() == set()
+
+    def test_timestamps_are_monotone(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.events()
+        assert b["ts"] >= a["ts"]
+
+    def test_tail_returns_most_recent(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        tail = tracer.tail(3)
+        assert [e["name"] for e in tail] == ["e7", "e8", "e9"]
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            tracer.instant("mark")
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases == ["M", "i", "X"]
+
+    def test_validates_clean(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("compile", program="p"):
+            pass
+        path = tracer.write(str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "compile" in names
+
+    @pytest.mark.parametrize(
+        "document,expected",
+        [
+            ({}, "traceEvents is not a list"),
+            ({"traceEvents": [{"ph": "B"}]}, "unsupported phase"),
+            ({"traceEvents": [{"ph": "X", "name": "s", "ts": -1, "dur": 1}]},
+             "bad ts"),
+            ({"traceEvents": [{"ph": "X", "name": "s", "ts": 0}]}, "bad dur"),
+            ({"traceEvents": [{"ph": "i", "ts": 0}]}, "no name"),
+        ],
+    )
+    def test_validation_catches_malformed(self, document, expected):
+        problems = validate_chrome_trace(document)
+        assert problems and any(expected in p for p in problems)
+
+
+class TestNullBackend:
+    def test_span_is_shared_singleton(self):
+        # The zero-overhead guarantee: a disabled span never allocates.
+        assert NULL_TRACER.span("anything", key="value") is NULL_SPAN
+        assert NullTracer().span("other") is NULL_SPAN
+
+    def test_null_span_accepts_full_api(self):
+        with NULL_TRACER.span("s") as span:
+            span.set(a=1)
+            span.event("mark", b=2)
+        NULL_TRACER.instant("i")
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.tail() == []
+        assert NULL_TRACER.span_names() == set()
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("s"):
+                raise RuntimeError("must propagate")
+
+    def test_disabled_flags(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.detail is False
+        assert Tracer().enabled is True

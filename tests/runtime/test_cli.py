@@ -78,3 +78,123 @@ class TestCli:
             ["report", "sumRows", "R=256", "C=256", "-o", str(target)]
         ) == 0
         assert "Simulated cost" in target.read_text()
+
+
+class TestObservabilityCli:
+    def test_trace_writes_perfetto_loadable_file(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        target = tmp_path / "trace.json"
+        assert main(["trace", "sumCols", "R=64", "C=64", "-o", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Perfetto" in out
+        with open(target) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+        stages = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        # The issue's acceptance bar: at least six distinct pipeline stages.
+        assert len(stages) >= 6
+        assert {"compile", "search", "codegen", "interpret"} <= stages
+
+    def test_trace_app_name_is_case_insensitive(self, tmp_path):
+        target = tmp_path / "trace.json"
+        assert main(["trace", "sumcols", "-o", str(target)]) == 0
+        assert target.exists()
+
+    def test_trace_detail_adds_search_events(self, tmp_path):
+        import json
+
+        from repro.analysis.cache import clear_caches
+
+        compact = tmp_path / "compact.json"
+        detail = tmp_path / "detail.json"
+        # A warm memo would skip the tree walk (no per-subtree events to
+        # emit), so both runs start from a cold cache.
+        clear_caches()
+        assert main(["trace", "sumCols", "R=64", "C=64",
+                     "-o", str(compact)]) == 0
+        clear_caches()
+        assert main(["trace", "sumCols", "R=64", "C=64", "--detail",
+                     "-o", str(detail)]) == 0
+        with open(compact) as handle:
+            compact_names = {
+                e["name"] for e in json.load(handle)["traceEvents"]
+            }
+        with open(detail) as handle:
+            detail_names = {
+                e["name"] for e in json.load(handle)["traceEvents"]
+            }
+        assert "search.visit" in detail_names
+        assert "search.visit" not in compact_names
+
+    def test_trace_writes_provenance_artifact(self, tmp_path, capsys):
+        from repro.observability.provenance import load_provenance
+
+        trace = tmp_path / "trace.json"
+        prov_path = tmp_path / "prov.json"
+        assert main(["trace", "sumCols", "R=64", "C=64", "-o", str(trace),
+                     "--provenance", str(prov_path)]) == 0
+        prov = load_provenance(str(prov_path))
+        assert prov.program == "sumCols"
+        assert prov.kernels
+
+    def test_stats_renders_counters(self, tmp_path, capsys):
+        assert main(["stats", "sumCols", "R=64", "C=64"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "compile.runs" in out
+        assert "stage_ms." in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "sumCols", "R=64", "C=64", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["compile.runs"] == 1
+        assert "histograms" in data
+
+    def test_explain_renders_saved_artifact(self, tmp_path, capsys):
+        prov_path = tmp_path / "prov.json"
+        assert main(["trace", "sumCols", "R=64", "C=64",
+                     "-o", str(tmp_path / "t.json"),
+                     "--provenance", str(prov_path)]) == 0
+        capsys.readouterr()
+        assert main(["explain", str(prov_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Mapping provenance: sumCols" in out
+        assert "winner:" in out
+
+    def test_explain_bad_artifact_is_config_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["explain", str(bad)]) == 2
+        assert main(["explain", str(tmp_path / "missing.json")]) == 2
+
+    def test_chaos_trace_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        target = tmp_path / "chaos-trace.json"
+        assert main(["chaos", "sumCols", "--stage", "codegen",
+                     "--trace", str(target)]) == 0
+        with open(target) as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+
+    def test_difftest_trace_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        target = tmp_path / "difftest-trace.json"
+        assert main(["difftest", "--budget", "2", "--seed", "7",
+                     "--trace", str(target)]) == 0
+        with open(target) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "difftest.campaign" in names
