@@ -41,8 +41,10 @@ from .errors import (  # noqa: F401
     ExecutionError,
     IRError,
     MappingError,
+    QueueFullError,
     ReproError,
     SearchError,
+    ServiceError,
     SimulationError,
     ValidationError,
 )

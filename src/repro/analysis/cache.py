@@ -175,6 +175,43 @@ class SearchCache:
                     dropped += 1
         return dropped
 
+    def snapshot(self) -> list:
+        """A point-in-time copy of every ``(key, value)`` entry, in LRU
+        order (least recent first).
+
+        This is the persistence surface: the compile service pickles the
+        snapshot to disk and :meth:`load`\\ s it back on restart, so the
+        on-disk memo and the in-memory cache share one invalidation path
+        — whatever :meth:`invalidate`/:meth:`evict_where` dropped before
+        the snapshot simply is not in it.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def load(self, entries) -> int:
+        """Install ``(key, value)`` pairs (a prior :meth:`snapshot`).
+
+        Existing entries win LRU-recency over loaded ones only when
+        re-inserted later; loaded entries overwrite equal keys.  The
+        cache is trimmed to ``maxsize`` afterwards (oldest first), so
+        loading a snapshot from a larger cache cannot overflow this one.
+        Returns the number of entries installed.
+        """
+        installed = 0
+        evicted = 0
+        with self._lock:
+            for key, value in entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                installed += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted:
+            get_metrics().counter(f"cache.{self.name}.evictions").inc(evicted)
+        return installed
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -53,6 +53,27 @@ ALL_APPS = {
     )
 }
 
+def resolve_app(name: str) -> App:
+    """Look up an app by name, accepting any casing.
+
+    Registry keys are camelCase (``sumCols``); the CLI and the compile
+    service both accept ``sumcols``/``SUMCOLS`` etc.  Unknown names raise
+    :class:`~repro.errors.RuntimeConfigError` listing the registry.
+    """
+    from ..errors import RuntimeConfigError
+
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        pass
+    folded = {key.lower(): app for key, app in ALL_APPS.items()}
+    try:
+        return folded[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ALL_APPS))
+        raise RuntimeConfigError(f"unknown app {name!r}; known: {known}")
+
+
 #: The Figure 12 application order.
 RODINIA_APPS = (
     NEAREST_NEIGHBOR,

@@ -28,16 +28,28 @@ Commands
     Compile, cost-estimate, and run an app with tracing on; write a
     Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
     and optionally the mapping-provenance artifact.
-``stats <app> [k=v ...] [--json]``
+``stats [app] [k=v ...] [--json] [--url URL]``
     Compile an app with metrics on and print the registry snapshot:
     cache hit rates, search counters, per-stage wall time, cost sums.
+    With ``--url``, query a running compile server's ``/v1/stats``
+    instead (queue depth, hit/miss counters, latency percentiles).
 ``explain FILE``
     Render a saved mapping-provenance artifact: ranked candidates with
     per-constraint verdicts — why each kernel's mapping won.
+``serve [--port P] [--workers N] [--cache-dir DIR] [--trace FILE]``
+    Run the compile service: JSON-over-HTTP, worker pool with bounded
+    admission, single-flight dedup, persistent artifact cache.
+``submit <app|--program FILE> [k=v ...] [--url URL] [--json]``
+    Send one compile request to a running server.  Server-side pipeline
+    failures download the replayable failure report and print the local
+    ``repro replay-failure`` invocation.
+``cache <stats|list|clear> [--cache-dir DIR] [--json]``
+    Inspect or clear a compile server's on-disk artifact store.
 
 Exit codes: 0 success, 1 check failed, 2 configuration error, 3
 analysis/search error, 4 codegen error, 5 execution/simulation error,
-70 internal error.
+70 internal error, 75 service unavailable (admission queue full /
+server unreachable).
 """
 
 from __future__ import annotations
@@ -95,19 +107,9 @@ def cmd_apps(_args: argparse.Namespace) -> int:
 
 
 def _resolve_app(name: str):
-    from repro.apps import ALL_APPS
+    from repro.apps import resolve_app
 
-    try:
-        return ALL_APPS[name]
-    except KeyError:
-        pass
-    # Registry keys are camelCase ("sumCols"); accept any casing.
-    folded = {key.lower(): app for key, app in ALL_APPS.items()}
-    try:
-        return folded[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(ALL_APPS))
-        raise RuntimeConfigError(f"unknown app {name!r}; known: {known}")
+    return resolve_app(name)
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -341,6 +343,25 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.observability import capture
     from repro.runtime import GpuSession
 
+    if args.url:
+        import json
+
+        from repro.service import ServiceClient
+
+        payload = ServiceClient(args.url).stats()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            service = payload.get("service", {})
+            print(f"compile service at {args.url}:")
+            for key in sorted(service):
+                print(f"  {key}: {service[key]}")
+        return 0
+    if not args.app:
+        raise RuntimeConfigError(
+            "stats needs an app to compile locally, or --url to query a "
+            "running compile server"
+        )
     app = _resolve_app(args.app)
     sizes = _clamped_sizes(app, _parse_sizes(args.sizes))
     with capture() as obs:
@@ -429,6 +450,152 @@ def cmd_replay_failure(args: argparse.Namespace) -> int:
             code = 1
         print()
     return code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.observability import capture
+    from repro.service import CompileService, ServiceConfig
+    from repro.service.http import make_server, serve_forever
+
+    cache_dir = (
+        None if args.cache_dir.lower() in ("", "none") else args.cache_dir
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=cache_dir,
+        deadline_s=args.deadline_s if args.deadline_s > 0 else None,
+        max_nodes=args.max_nodes,
+        provenance=not args.no_provenance,
+    )
+    with capture() as obs:
+        service = CompileService(config)
+        server = make_server(service, args.host, args.port)
+        # SIGTERM must unwind the same path as Ctrl-C so the memo
+        # snapshot and the trace artifact survive `kill` (CI does this).
+        # Raising is mandatory here: server.shutdown() blocks on the
+        # serve loop, which the handler itself is preempting — deadlock.
+        def _terminate(*_args: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
+        print(
+            f"repro compile service listening on {server.url} "
+            f"(workers={config.workers}, queue_limit={config.queue_limit}, "
+            f"cache={config.cache_dir or 'disabled'})",
+            flush=True,
+        )
+        try:
+            serve_forever(server)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.close()
+    if args.trace:
+        _write_trace(obs.tracer, args.trace)
+    stats = service.stats()
+    print(
+        f"served {stats['requests']} request(s): "
+        f"{stats['cache_hits']} hit(s), {stats['cache_misses']} miss(es), "
+        f"{stats['coalesced']} coalesced, {stats['errors']} error(s)"
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from repro.service import CompileRequest, ServiceClient
+
+    app = args.app
+    sizes_args = list(args.sizes)
+    # With --program the app positional is unused, so argparse puts the
+    # first k=v binding there; reclaim it as a size.
+    if args.program is not None and app is not None and "=" in app:
+        sizes_args.insert(0, app)
+        app = None
+    if (app is None) == (args.program is None):
+        raise RuntimeConfigError(
+            "submit needs an app name or --program FILE (not both)"
+        )
+    program_ir = None
+    if args.program:
+        try:
+            with open(args.program) as fh:
+                program_ir = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise RuntimeConfigError(
+                f"cannot load serialized program {args.program!r}: {exc}"
+            )
+    request = CompileRequest(
+        app=app,
+        program_ir=program_ir,
+        sizes=_parse_sizes(sizes_args),
+        strategy=args.strategy,
+        device=args.device,
+    )
+    outcome = ServiceClient(args.url, timeout=args.timeout).compile(request)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2))
+    if outcome.ok:
+        if not args.json:
+            artifact = outcome.artifact or {}
+            cost = (artifact.get("cost") or {}).get("total_us")
+            print(f"{outcome.status}  digest={outcome.digest[:16]}…  "
+                  f"latency={outcome.latency_ms:.2f}ms"
+                  + (f"  cost={cost:.1f}us" if cost is not None else ""))
+            for line in artifact.get("mappings", []):
+                print(f"  {line}")
+        return 0
+    error = outcome.error
+    print(
+        f"error: {error.error_type}: {error.message}", file=sys.stderr
+    )
+    if error.failure_report is not None:
+        from repro.resilience import FailureReport
+        from repro.resilience.reports import write_failure_report
+
+        path = write_failure_report(
+            FailureReport.from_dict(error.failure_report), args.report_dir
+        )
+        print(
+            f"failure report written to {path}; replay locally with "
+            f"`python -m repro replay-failure {path}`",
+            file=sys.stderr,
+        )
+    return error.exit_code
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "clear":
+        cleared = store.clear()
+        print(f"cleared {cleared} artifact(s) from {args.cache_dir}")
+        return 0
+    if args.action == "list":
+        digests = sorted(store.digests())
+        if args.json:
+            print(json.dumps(digests, indent=2))
+        else:
+            for digest in digests:
+                print(digest)
+            print(f"{len(digests)} artifact(s) in {args.cache_dir}")
+        return 0
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(f"artifact store at {args.cache_dir}:")
+        for key in sorted(stats):
+            print(f"  {key}: {stats[key]}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -581,12 +748,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_st = sub.add_parser(
         "stats", help="metrics-registry snapshot for one compile"
     )
-    p_st.add_argument("app")
+    p_st.add_argument("app", nargs="?", default=None)
     p_st.add_argument("sizes", nargs="*", help="size bindings k=v "
                       "(unspecified sizes are clamped to 64)")
     p_st.add_argument("--strategy", default="multidim")
     p_st.add_argument("--json", action="store_true",
                       help="machine-readable snapshot")
+    p_st.add_argument("--url", default=None, metavar="URL",
+                      help="query a running compile server's /v1/stats "
+                      "instead of compiling locally")
     p_st.set_defaults(fn=cmd_stats)
 
     p_ex = sub.add_parser(
@@ -596,6 +766,75 @@ def build_parser() -> argparse.ArgumentParser:
                       help="provenance JSON written by `repro trace "
                       "--provenance`")
     p_ex.set_defaults(fn=cmd_explain)
+
+    from repro import config as _config
+
+    p_sv = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP compile service"
+    )
+    p_sv.add_argument("--host", default=_config.DEFAULT_SERVICE_HOST)
+    p_sv.add_argument("--port", type=int,
+                      default=_config.DEFAULT_SERVICE_PORT,
+                      help=f"TCP port; 0 picks an ephemeral one "
+                      f"(default {_config.DEFAULT_SERVICE_PORT})")
+    p_sv.add_argument("--workers", type=int,
+                      default=_config.DEFAULT_SERVICE_WORKERS,
+                      help="compile worker threads "
+                      f"(default {_config.DEFAULT_SERVICE_WORKERS})")
+    p_sv.add_argument("--queue-limit", type=int,
+                      default=_config.DEFAULT_SERVICE_QUEUE_LIMIT,
+                      help="bounded admission: in-flight + queued cap "
+                      f"(default {_config.DEFAULT_SERVICE_QUEUE_LIMIT})")
+    p_sv.add_argument("--cache-dir",
+                      default=_config.DEFAULT_SERVICE_CACHE_DIR,
+                      help="persistent artifact store root; 'none' "
+                      "disables persistence "
+                      f"(default {_config.DEFAULT_SERVICE_CACHE_DIR})")
+    p_sv.add_argument("--deadline-s", type=float,
+                      default=_config.DEFAULT_REQUEST_DEADLINE_S,
+                      help="per-request search deadline with conservative "
+                      "fallback; <=0 disables "
+                      f"(default {_config.DEFAULT_REQUEST_DEADLINE_S})")
+    p_sv.add_argument("--max-nodes", type=int, default=None,
+                      help="per-request search node budget")
+    p_sv.add_argument("--no-provenance", action="store_true",
+                      help="skip storing mapping provenance in artifacts")
+    p_sv.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a Chrome trace of every request on "
+                      "shutdown")
+    p_sv.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="send one compile request to a running server"
+    )
+    p_sub.add_argument("app", nargs="?", default=None)
+    p_sub.add_argument("sizes", nargs="*", help="size bindings k=v")
+    p_sub.add_argument("--program", default=None, metavar="FILE",
+                       help="serialized program JSON instead of an app "
+                       "name")
+    p_sub.add_argument("--strategy", default="multidim")
+    p_sub.add_argument("--device", default=None,
+                       help="modeled device name (default: server's "
+                       "default device)")
+    p_sub.add_argument("--url", metavar="URL",
+                       default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                       f"{_config.DEFAULT_SERVICE_PORT}")
+    p_sub.add_argument("--timeout", type=float, default=120.0)
+    p_sub.add_argument("--json", action="store_true",
+                       help="print the full outcome JSON")
+    p_sub.add_argument("--report-dir", default="failure-reports",
+                       help="where server-side failure reports are saved "
+                       "for replay (default failure-reports/)")
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_ca = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact store"
+    )
+    p_ca.add_argument("action", choices=("stats", "list", "clear"))
+    p_ca.add_argument("--cache-dir",
+                      default=_config.DEFAULT_SERVICE_CACHE_DIR)
+    p_ca.add_argument("--json", action="store_true")
+    p_ca.set_defaults(fn=cmd_cache)
 
     return parser
 

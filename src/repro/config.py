@@ -40,6 +40,19 @@ TIE_BREAK_SEED = 0x5EED
 DEFAULT_HINT_KEY = "__default__"
 SKEW_HINT_KEY = "__skew__"
 
+# Compile-service defaults (``repro serve`` / ``repro submit``).  The
+# admission queue is bounded so an overloaded server sheds load with a
+# typed error (HTTP 503 / exit 75) instead of queueing unboundedly; the
+# per-request budget bounds mapping-search work so one pathological
+# program degrades itself to the conservative fallback instead of
+# stalling every worker behind it.
+DEFAULT_SERVICE_HOST = "127.0.0.1"
+DEFAULT_SERVICE_PORT = 8077
+DEFAULT_SERVICE_WORKERS = 4
+DEFAULT_SERVICE_QUEUE_LIMIT = 64
+DEFAULT_SERVICE_CACHE_DIR = ".repro-cache"
+DEFAULT_REQUEST_DEADLINE_S = 30.0
+
 # L2-size proxy used to discount coalescing constraints for arrays small
 # enough to live in cache after first touch (K20c: 1.25 MB).  The analysis
 # layer must not depend on a concrete device, so this is a standalone

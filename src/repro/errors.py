@@ -68,6 +68,20 @@ class BudgetExhaustedError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised for compile-service failures: a request the server could
+    not accept, a transport error talking to it, or a malformed
+    response.  Maps onto the EX_TEMPFAIL exit code — the caller is
+    invited to retry against a healthy server."""
+
+
+class QueueFullError(ServiceError):
+    """Raised when the compile service's bounded admission queue rejects
+    a request.  Deliberately raised at submission time rather than
+    letting requests pile up: backpressure must be visible to callers
+    (HTTP 503 + ``Retry-After``), never an unbounded wait."""
+
+
 class InjectedFaultError(ReproError):
     """Raised by the deterministic fault-injection framework.
 
@@ -95,6 +109,9 @@ EXIT_ANALYSIS = 3
 EXIT_CODEGEN = 4
 EXIT_EXECUTION = 5
 EXIT_INTERNAL = 70
+#: BSD's EX_TEMPFAIL: the compile service is unreachable or shedding
+#: load (queue full); the request is retryable as-is.
+EXIT_UNAVAILABLE = 75
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -104,6 +121,8 @@ def exit_code_for(exc: BaseException) -> int:
     (``LaunchError`` is a ``RuntimeConfigError``; ``SearchError`` is an
     ``AnalysisError``).
     """
+    if isinstance(exc, ServiceError):
+        return EXIT_UNAVAILABLE
     if isinstance(exc, RuntimeConfigError):
         return EXIT_CONFIG
     if isinstance(exc, (AnalysisError, IRError)):

@@ -16,8 +16,10 @@ per-occurrence (the analyses re-run on the rebuilt tree).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Mapping, Optional
 
 from ..errors import IRError
 from .expr import (
@@ -50,6 +52,15 @@ from .types import ArrayType, ScalarType, StructType, Type
 
 #: Bumped on any incompatible format change; loaders check it.
 FORMAT_VERSION = 1
+
+#: Version of the *pipeline behavior* (analysis + search + optimizer +
+#: codegen), as opposed to the serialization schema above.  The compile
+#: service's content-addressed artifact store keys every artifact on
+#: :func:`compile_digest`, which covers both versions — bump this when a
+#: change makes previously generated artifacts (mappings, CUDA, costs)
+#: stale even though the IR format is unchanged, and every cached
+#: artifact is transparently invalidated.
+PIPELINE_VERSION = 1
 
 _SCALARS = {"f32", "f64", "i32", "i64", "bool"}
 
@@ -410,3 +421,135 @@ def dumps(program: Program, indent: int = 2) -> str:
 def loads(text: str) -> Program:
     """Load a program from a JSON string."""
     return program_from_dict(json.loads(text))
+
+
+# -- canonical digests ------------------------------------------------------
+
+
+def canonical_json(data: Any) -> str:
+    """The order-stable JSON encoding digests are computed over.
+
+    Keys are sorted at every nesting level and separators carry no
+    whitespace, so two dicts built in different insertion orders encode
+    identically.  ``allow_nan=False`` keeps the encoding deterministic
+    across platforms (NaN payloads would also make equal-looking inputs
+    unequal).
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+#: Node tags that introduce a bound index variable (``index`` field).
+_PATTERN_TAGS = ("map", "zipwith", "reduce", "filter", "groupby", "foreach")
+
+
+def _collect_binders(node: Any, order: list) -> None:
+    """Record every binder name in deterministic traversal order."""
+    if isinstance(node, list):
+        for item in node:
+            _collect_binders(item, order)
+        return
+    if not isinstance(node, dict):
+        return
+    tag = node.get("n")
+    if tag in _PATTERN_TAGS:
+        order.append(node["index"]["name"])
+    elif tag == "bind":
+        order.append(node["var"]["name"])
+    if tag == "reduce" and "combine" in node:
+        order.append(node["combine"][0]["name"])
+        order.append(node["combine"][1]["name"])
+    for key in sorted(node):
+        _collect_binders(node[key], order)
+
+
+def _rename_vars(node: Any, mapping: Dict[str, str]) -> Any:
+    """Rewrite every ``var`` occurrence through ``mapping`` (params and
+    free names pass through untouched)."""
+    if isinstance(node, list):
+        return [_rename_vars(item, mapping) for item in node]
+    if not isinstance(node, dict):
+        return node
+    out = {key: _rename_vars(value, mapping) for key, value in node.items()}
+    if out.get("n") == "var":
+        out["name"] = mapping.get(out["name"], out["name"])
+    return out
+
+
+def canonical_program_dict(program: Program) -> Dict[str, Any]:
+    """:func:`program_to_dict` with bound variables alpha-renamed.
+
+    The builder gensyms binder names from a process-wide counter, so two
+    builds of the *same* program serialize with different index/temp
+    names (``i0`` vs ``i1``).  Digests must not see that: every bound
+    variable (pattern indices, ``bind`` targets, ``reduce`` combiner
+    operands) is renamed to ``%b<k>`` in deterministic traversal order.
+    Free names — parameters, symbolic sizes — are untouched, so their
+    correspondence with ``size_hints``/``array_shapes`` keys survives.
+
+    Binder names are globally unique within a built program (that is the
+    symbol table's contract), which is what makes a flat rename map
+    sound — there is no shadowing to respect.
+    """
+    data = program_to_dict(program)
+    order: list = []
+    _collect_binders(data["params"], order)
+    _collect_binders(data["result"], order)
+    for name in sorted(data.get("array_shapes", {})):
+        _collect_binders(data["array_shapes"][name], order)
+    mapping: Dict[str, str] = {}
+    for name in order:
+        if name not in mapping:
+            mapping[name] = f"%b{len(mapping)}"
+    return _rename_vars(data, mapping)
+
+
+def compile_digest(
+    program: Program,
+    device: Any = None,
+    flags: Any = None,
+    strategy: Optional[str] = None,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Canonical content digest of one compilation's inputs.
+
+    Covers everything the pipeline's output depends on: the serialized
+    program (binder names canonicalized — see
+    :func:`canonical_program_dict`), the device description (every field
+    of the :class:`~repro.gpusim.device.GpuDevice` dataclass, so two
+    devices that differ only in, say, shared-memory size hash apart),
+    the :class:`~repro.optim.pipeline.OptimizationFlags`, the strategy,
+    the size bindings, and both schema stamps (:data:`FORMAT_VERSION`,
+    :data:`PIPELINE_VERSION`) — bumping either changes every digest,
+    which is exactly the invalidation rule the artifact store relies on.
+
+    Semantically equal inputs digest equal: the encoding is
+    :func:`canonical_json`, so dict insertion order (size hints, array
+    shapes, sizes) never leaks into the hash, and binder gensym counters
+    never leak in via the program.
+    """
+
+    def _fields(value: Any) -> Any:
+        if value is None:
+            return None
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                "__class__": type(value).__qualname__,
+                **{
+                    f.name: _fields(getattr(value, f.name))
+                    for f in dataclasses.fields(value)
+                },
+            }
+        return value
+
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "pipeline_version": PIPELINE_VERSION,
+        "program": canonical_program_dict(program),
+        "device": _fields(device),
+        "flags": _fields(flags),
+        "strategy": strategy,
+        "sizes": None if sizes is None else {k: int(v) for k, v in sizes.items()},
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,60 @@
+"""Compile-as-a-service: a long-lived compilation layer.
+
+Every other entry point (CLI, benchmarks, tests) pays the full
+build → analyze → search → optimize → codegen pipeline per process; this
+package amortizes it across requests *and* restarts:
+
+* :mod:`.api` — wire types (:class:`CompileRequest`,
+  :class:`CompileOutcome`);
+* :mod:`.store` — persistent content-addressed artifact store keyed by
+  :func:`repro.ir.serialize.compile_digest`;
+* :mod:`.memo` — snapshot/load persistence for the in-memory sweep memo;
+* :mod:`.service` — the worker pool with bounded admission and
+  single-flight dedup;
+* :mod:`.http` / :mod:`.client` — stdlib JSON-over-HTTP server and
+  client (``repro serve`` / ``repro submit``).
+
+See ``docs/service.md`` for the design: cache layering, digest
+versioning/invalidation, backpressure, and failure semantics.
+"""
+
+from .api import (  # noqa: F401
+    STATUS_COALESCED,
+    STATUS_ERROR,
+    STATUS_HIT,
+    STATUS_MISS,
+    CompileError,
+    CompileOutcome,
+    CompileRequest,
+    request_for_program,
+)
+from .client import ServiceClient  # noqa: F401
+from .memo import load_memo, save_memo  # noqa: F401
+from .service import CompileService, ServiceConfig, Ticket  # noqa: F401
+from .store import (  # noqa: F401
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    CompileArtifact,
+    build_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactStore",
+    "CompileArtifact",
+    "CompileError",
+    "CompileOutcome",
+    "CompileRequest",
+    "CompileService",
+    "ServiceClient",
+    "ServiceConfig",
+    "STATUS_COALESCED",
+    "STATUS_ERROR",
+    "STATUS_HIT",
+    "STATUS_MISS",
+    "Ticket",
+    "build_artifact",
+    "load_memo",
+    "request_for_program",
+    "save_memo",
+]

@@ -1,0 +1,240 @@
+"""Wire types for the compile service: requests and outcomes.
+
+A :class:`CompileRequest` names *what* to compile — a registered app or a
+serialized IR program, plus size bindings, a device, a strategy, and
+optimization flags.  Requests serialize to plain JSON (the HTTP body) and
+resolve server-side into the concrete pipeline inputs; the resolved form
+is hashed with :func:`repro.ir.serialize.compile_digest` into the
+content address every cache layer keys on.
+
+A :class:`CompileOutcome` is what a requester gets back: the digest, how
+the request was served (``hit`` / ``miss`` / ``coalesced`` / ``error``),
+the artifact on success, and a typed error — carrying the replayable
+failure report when one was attached — on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import RuntimeConfigError
+from ..gpusim.device import DEVICES, GpuDevice, default_device
+from ..ir.patterns import Program
+from ..ir.serialize import compile_digest, program_from_dict, program_to_dict
+from ..optim.pipeline import OptimizationFlags
+
+#: How one request was served.
+STATUS_HIT = "hit"                # served from the artifact store
+STATUS_MISS = "miss"              # this request ran the pipeline
+STATUS_COALESCED = "coalesced"    # single-flighted onto an in-flight miss
+STATUS_ERROR = "error"            # the pipeline raised a typed error
+
+
+@dataclass
+class CompileRequest:
+    """One compilation request.  Exactly one of ``app``/``program_ir``."""
+
+    app: Optional[str] = None
+    program_ir: Optional[Dict[str, Any]] = None
+    sizes: Dict[str, int] = field(default_factory=dict)
+    strategy: str = "multidim"
+    device: Optional[str] = None
+    flags: OptimizationFlags = field(default_factory=OptimizationFlags)
+
+    def __post_init__(self) -> None:
+        if (self.app is None) == (self.program_ir is None):
+            raise RuntimeConfigError(
+                "compile request needs exactly one of 'app' (a registered "
+                "application name) or 'program_ir' (a serialized program)"
+            )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "sizes": {k: int(v) for k, v in self.sizes.items()},
+            "strategy": self.strategy,
+            "flags": {
+                "prealloc": self.flags.prealloc,
+                "layout_opt": self.flags.layout_opt,
+                "shared_memory": self.flags.shared_memory,
+            },
+        }
+        if self.app is not None:
+            data["app"] = self.app
+        if self.program_ir is not None:
+            data["program_ir"] = self.program_ir
+        if self.device is not None:
+            data["device"] = self.device
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileRequest":
+        if not isinstance(data, dict):
+            raise RuntimeConfigError(
+                f"compile request must be a JSON object, got {type(data).__name__}"
+            )
+        flags_data = data.get("flags") or {}
+        if not isinstance(flags_data, dict):
+            raise RuntimeConfigError("'flags' must be an object of booleans")
+        flags = OptimizationFlags(
+            prealloc=bool(flags_data.get("prealloc", True)),
+            layout_opt=bool(flags_data.get("layout_opt", True)),
+            shared_memory=bool(flags_data.get("shared_memory", True)),
+        )
+        sizes_data = data.get("sizes") or {}
+        try:
+            sizes = {str(k): int(v) for k, v in sizes_data.items()}
+        except (AttributeError, TypeError, ValueError):
+            raise RuntimeConfigError(
+                "'sizes' must be an object of integer bindings"
+            )
+        return cls(
+            app=data.get("app"),
+            program_ir=data.get("program_ir"),
+            sizes=sizes,
+            strategy=str(data.get("strategy", "multidim")),
+            device=data.get("device"),
+            flags=flags,
+        )
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_device(self) -> GpuDevice:
+        if self.device is None:
+            return default_device()
+        try:
+            return DEVICES[self.device]
+        except KeyError:
+            # Device names contain spaces ("Tesla K20c"); fold case so
+            # the wire format can use any casing.
+            folded = {name.lower(): dev for name, dev in DEVICES.items()}
+            try:
+                return folded[self.device.lower()]
+            except KeyError:
+                known = ", ".join(sorted(DEVICES))
+                raise RuntimeConfigError(
+                    f"unknown device {self.device!r}; known: {known}"
+                )
+
+    def resolve(self) -> Tuple[Program, GpuDevice, Dict[str, int]]:
+        """Build the concrete pipeline inputs.
+
+        App requests merge the request's sizes over the app's defaults;
+        IR requests use the request's sizes as the full binding set.
+        Raises :class:`~repro.errors.RuntimeConfigError` (or a typed
+        :class:`~repro.errors.IRError` for malformed IR) on bad input.
+        """
+        device = self.resolve_device()
+        if self.app is not None:
+            from ..apps import merge_params, resolve_app
+
+            app = resolve_app(self.app)
+            program = app.build()
+            sizes = merge_params(app, self.sizes)
+        else:
+            program = program_from_dict(self.program_ir)
+            sizes = dict(self.sizes)
+        return program, device, sizes
+
+    def digest(self) -> str:
+        """The content address of this request (see
+        :func:`~repro.ir.serialize.compile_digest`)."""
+        program, device, sizes = self.resolve()
+        return compile_digest(
+            program,
+            device=device,
+            flags=self.flags,
+            strategy=self.strategy,
+            sizes=sizes,
+        )
+
+
+def request_for_program(
+    program: Program,
+    sizes: Optional[Dict[str, int]] = None,
+    strategy: str = "multidim",
+    device: Optional[str] = None,
+    flags: Optional[OptimizationFlags] = None,
+) -> CompileRequest:
+    """Convenience: wrap an in-memory program as a serialized request."""
+    return CompileRequest(
+        program_ir=program_to_dict(program),
+        sizes=dict(sizes or {}),
+        strategy=strategy,
+        device=device,
+        flags=flags or OptimizationFlags(),
+    )
+
+
+@dataclass
+class CompileError:
+    """A typed pipeline failure, serializable across the wire."""
+
+    error_type: str
+    message: str
+    exit_code: int
+    failure_report: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "error_type": self.error_type,
+            "message": self.message,
+            "exit_code": self.exit_code,
+        }
+        if self.failure_report is not None:
+            data["failure_report"] = self.failure_report
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileError":
+        return cls(
+            error_type=data.get("error_type", "ReproError"),
+            message=data.get("message", ""),
+            exit_code=int(data.get("exit_code", 70)),
+            failure_report=data.get("failure_report"),
+        )
+
+
+@dataclass
+class CompileOutcome:
+    """What the service hands back for one request."""
+
+    digest: str
+    status: str
+    artifact: Optional[Dict[str, Any]] = None
+    error: Optional[CompileError] = None
+    #: Wall time from admission to completion, as observed server-side.
+    latency_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != STATUS_ERROR
+
+    @property
+    def cached(self) -> bool:
+        return self.status == STATUS_HIT
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "digest": self.digest,
+            "status": self.status,
+            "latency_ms": self.latency_ms,
+        }
+        if self.artifact is not None:
+            data["artifact"] = self.artifact
+        if self.error is not None:
+            data["error"] = self.error.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileOutcome":
+        error = data.get("error")
+        return cls(
+            digest=data.get("digest", ""),
+            status=data.get("status", STATUS_ERROR),
+            artifact=data.get("artifact"),
+            error=None if error is None else CompileError.from_dict(error),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+        )

@@ -1,0 +1,137 @@
+"""Thin stdlib client for the compile service.
+
+Transport failures (server down, timeout, non-JSON response) raise
+:class:`~repro.errors.ServiceError`; a 503 from the server's bounded
+admission queue raises :class:`~repro.errors.QueueFullError`; a 400
+(unknown app, malformed IR) re-raises as
+:class:`~repro.errors.RuntimeConfigError` so ``repro submit`` exits with
+the same code a local ``repro map`` would.  A *typed pipeline failure*
+(422) is NOT an exception: it returns a
+:class:`~repro.service.api.CompileOutcome` whose ``error`` carries the
+replayable failure report, which the CLI writes to disk and turns into a
+``repro replay-failure`` invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import QueueFullError, RuntimeConfigError, ServiceError
+from .api import CompileOutcome, CompileRequest
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to one compile server."""
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, self._decode(response.read())
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx still carry a JSON payload we want to interpret.
+            return exc.code, self._decode(exc.read())
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach compile service at {self.url}: {exc.reason}"
+            )
+        except TimeoutError:
+            raise ServiceError(
+                f"compile service at {self.url} timed out "
+                f"after {self.timeout}s"
+            )
+
+    def _decode(self, raw: bytes) -> Dict[str, Any]:
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"compile service at {self.url} returned a non-JSON "
+                f"response: {exc}"
+            )
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"compile service at {self.url} returned "
+                f"{type(data).__name__}, expected an object"
+            )
+        return data
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        status, data = self._request("GET", "/v1/healthz")
+        if status != 200 or not data.get("ok"):
+            raise ServiceError(
+                f"compile service at {self.url} is unhealthy "
+                f"(status {status}): {data}"
+            )
+        return data
+
+    def stats(self) -> Dict[str, Any]:
+        status, data = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceError(
+                f"stats request failed with status {status}: {data}"
+            )
+        return data
+
+    def artifact(self, digest: str) -> Optional[Dict[str, Any]]:
+        status, data = self._request("GET", f"/v1/artifacts/{digest}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                f"artifact request failed with status {status}: {data}"
+            )
+        return data
+
+    def clear_cache(self) -> int:
+        status, data = self._request("POST", "/v1/cache/clear", payload={})
+        if status != 200:
+            raise ServiceError(
+                f"cache clear failed with status {status}: {data}"
+            )
+        return int(data.get("cleared", 0))
+
+    def compile(
+        self, request: Union[CompileRequest, Dict[str, Any]]
+    ) -> CompileOutcome:
+        payload = (
+            request.to_dict()
+            if isinstance(request, CompileRequest)
+            else request
+        )
+        status, data = self._request("POST", "/v1/compile", payload=payload)
+        if status in (200, 422):
+            return CompileOutcome.from_dict(data)
+        message = data.get("message", str(data))
+        if status == 503:
+            raise QueueFullError(message)
+        if status == 400:
+            raise RuntimeConfigError(message)
+        raise ServiceError(
+            f"compile request failed with status {status}: {message}"
+        )

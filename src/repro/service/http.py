@@ -1,0 +1,216 @@
+"""JSON-over-HTTP front end for the compile service (stdlib only).
+
+Endpoints (all under ``/v1``):
+
+=======================  ======  ==========================================
+``/v1/healthz``          GET     liveness + version stamps
+``/v1/stats``            GET     service counters, latency percentiles,
+                                 store stats, and the metrics-registry
+                                 snapshot when metrics are enabled
+``/v1/compile``          POST    body: :class:`~repro.service.api.CompileRequest`
+                                 JSON; blocks until the outcome is ready
+``/v1/artifacts/<d>``    GET     one stored artifact by digest
+``/v1/cache/clear``      POST    drop every stored artifact
+=======================  ======  ==========================================
+
+Status mapping: 200 success (hit or miss), 400 malformed request
+(``RuntimeConfigError``/``IRError``), 422 typed pipeline failure (the
+body carries the error and its replayable failure report), 503 +
+``Retry-After`` when the admission queue sheds load, 404 unknown
+path/digest.  Every error body includes ``error_type`` and the CLI
+``exit_code`` for that failure class, so a thin client can exit the way
+a local run would.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..errors import (
+    EXIT_CONFIG,
+    QueueFullError,
+    ReproError,
+    exit_code_for,
+)
+from ..ir.serialize import FORMAT_VERSION, PIPELINE_VERSION
+from ..observability import get_metrics
+from .api import STATUS_ERROR, CompileRequest
+from .service import CompileService
+
+#: Maximum accepted request-body size (serialized IR programs are small;
+#: anything bigger is a client bug or abuse).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One handler thread per connection; workers bound the real work."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: CompileService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def make_server(
+    service: CompileService, host: str, port: int
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) but do not serve yet."""
+    return ServiceHTTPServer((host, port), service)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    #: Keep the default noisy per-request stderr logging off; the
+    #: service's own metrics/tracing are the observability surface.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _error(
+        self,
+        status: int,
+        exc: BaseException,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send(
+            status,
+            {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": exit_code_for(exc),
+            },
+            extra_headers,
+        )
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body must be 1..{MAX_BODY_BYTES} bytes, "
+                f"got {length}"
+            )
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/healthz":
+            import repro
+
+            self._send(200, {
+                "ok": True,
+                "version": repro.__version__,
+                "format_version": FORMAT_VERSION,
+                "pipeline_version": PIPELINE_VERSION,
+            })
+            return
+        if path == "/v1/stats":
+            payload: Dict[str, Any] = {
+                "service": self.server.service.stats(),
+            }
+            metrics = get_metrics()
+            if metrics.enabled:
+                payload["metrics"] = metrics.to_dict()
+            self._send(200, payload)
+            return
+        if path.startswith("/v1/artifacts/"):
+            digest = path[len("/v1/artifacts/"):]
+            store = self.server.service.store
+            artifact = store.get(digest) if store is not None else None
+            if artifact is None:
+                self._send(404, {
+                    "error_type": "NotFound",
+                    "message": f"no artifact for digest {digest!r}",
+                })
+                return
+            self._send(200, artifact.to_dict())
+            return
+        self._send(404, {
+            "error_type": "NotFound",
+            "message": f"unknown path {path!r}",
+        })
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/cache/clear":
+            store = self.server.service.store
+            cleared = store.clear() if store is not None else 0
+            self._send(200, {"cleared": cleared})
+            return
+        if path != "/v1/compile":
+            self._send(404, {
+                "error_type": "NotFound",
+                "message": f"unknown path {path!r}",
+            })
+            return
+        try:
+            data = self._read_json()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send(400, {
+                "error_type": "BadRequest",
+                "message": f"malformed JSON body: {exc}",
+                "exit_code": EXIT_CONFIG,
+            })
+            return
+        try:
+            request = CompileRequest.from_dict(data)
+            outcome = self.server.service.compile(request)
+        except QueueFullError as exc:
+            self._error(503, exc, {"Retry-After": "1"})
+            return
+        except ReproError as exc:
+            # Resolution errors (unknown app/device, malformed IR) are
+            # the client's fault: 400, same typed payload as the CLI.
+            self._error(400, exc)
+            return
+        status = 422 if outcome.status == STATUS_ERROR else 200
+        self._send(status, outcome.to_dict())
+
+
+def serve_forever(server: ServiceHTTPServer) -> None:
+    """Block serving requests until ``server.shutdown()`` or interrupt."""
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,420 @@
+"""The compile service: worker pool, admission queue, single-flight.
+
+Request lifecycle::
+
+    submit(request)
+      resolve + digest                 (typed config errors surface here)
+      artifact store lookup  ── hit ──► outcome served synchronously
+      single-flight table    ── dup ──► join the in-flight job
+      admission check        ── full ─► QueueFullError (HTTP 503 / exit 75)
+      enqueue                          worker pool drains FIFO
+    worker:
+      store re-check (another process may have filled it) ── hit
+      run the pipeline under a per-request Budget (conservative fallback
+        on exhaustion — one pathological program degrades itself, it
+        does not stall the queue)
+      persist the artifact; resolve every joined waiter
+
+Three cache layers cooperate: the in-memory sweep memo
+(:mod:`repro.analysis.cache`, restored from disk via
+:mod:`repro.service.memo`) accelerates *similar* requests, the artifact
+store (:mod:`repro.service.store`) serves *identical* requests across
+restarts, and the single-flight table collapses *concurrent identical*
+requests into one pipeline run.
+
+Internal counters are authoritative for :meth:`CompileService.stats`;
+the same events are mirrored into the PR-4 metrics registry (and every
+stage runs under tracer spans) whenever observability is enabled.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import config as _config
+from ..errors import QueueFullError, ReproError, ServiceError, exit_code_for
+from ..ir.serialize import compile_digest
+from ..observability import get_metrics, get_tracer
+from ..resilience.budget import Budget
+from .api import (
+    STATUS_COALESCED,
+    STATUS_ERROR,
+    STATUS_HIT,
+    STATUS_MISS,
+    CompileError,
+    CompileOutcome,
+    CompileRequest,
+)
+from .memo import load_memo, save_memo
+from .store import ArtifactStore, CompileArtifact, build_artifact
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`CompileService` instance."""
+
+    workers: int = _config.DEFAULT_SERVICE_WORKERS
+    queue_limit: int = _config.DEFAULT_SERVICE_QUEUE_LIMIT
+    #: Root of the persistent artifact store; ``None`` disables
+    #: persistence (in-flight dedup and the sweep memo still apply).
+    cache_dir: Optional[str] = None
+    #: Per-request search budget (conservative fallback on exhaustion).
+    deadline_s: Optional[float] = _config.DEFAULT_REQUEST_DEADLINE_S
+    max_nodes: Optional[int] = None
+    #: Store the mapping-provenance record inside each artifact.
+    provenance: bool = True
+    #: Persist the in-memory sweep memo across restarts (needs cache_dir).
+    memo_persistence: bool = True
+
+
+@dataclass
+class Ticket:
+    """One requester's handle on a (possibly shared) outcome.
+
+    ``role`` records how *this* submission was classified at admission:
+    ``hit`` (served from the store), ``miss`` (this submission enqueued
+    the pipeline run), or ``coalesced`` (joined an in-flight run).
+    """
+
+    digest: str
+    role: str
+    _future: Future = field(repr=False, default_factory=Future)
+
+    def result(self, timeout: Optional[float] = None) -> CompileOutcome:
+        return self._future.result(timeout=timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class _Job:
+    __slots__ = ("digest", "request", "future", "submitted_at", "waiters")
+
+    def __init__(self, digest: str, request: CompileRequest) -> None:
+        self.digest = digest
+        self.request = request
+        self.future: Future = Future()
+        self.submitted_at = time.perf_counter()
+        self.waiters = 1
+
+
+_STOP = object()
+
+
+class CompileService:
+    """A long-lived, thread-safe compilation service.
+
+    ``compile_fn(request, digest) -> CompileArtifact`` is injectable so
+    tests can gate execution deterministically; the default runs the real
+    session pipeline.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        compile_fn: Optional[
+            Callable[[CompileRequest, str], CompileArtifact]
+        ] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ServiceError("service needs at least one worker")
+        if self.config.queue_limit < 1:
+            raise ServiceError("service needs a queue limit of at least 1")
+        self._compile_fn = compile_fn or self._default_compile
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+        self.memo_restored: Dict[str, int] = {"search": 0, "autotune": 0}
+        if self.store is not None and self.config.memo_persistence:
+            self.memo_restored = load_memo(self.config.cache_dir)
+
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Job] = {}
+        self._admitted = 0  # jobs enqueued or running, not yet finished
+        self._queue: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        self._closed = False
+        self._started_at = time.time()
+        self._latencies_ms: "deque[float]" = deque(maxlen=4096)
+        self._counts = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "coalesced": 0,
+            "executions": 0,
+            "errors": 0,
+            "queue_rejections": 0,
+        }
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"compile-worker-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> Ticket:
+        """Admit one request; returns immediately with a :class:`Ticket`.
+
+        Raises :class:`~repro.errors.RuntimeConfigError` (bad request),
+        :class:`~repro.errors.QueueFullError` (admission queue at its
+        bound), or :class:`~repro.errors.ServiceError` (closed service).
+        """
+        if self._closed:
+            raise ServiceError("compile service is shut down")
+        t0 = time.perf_counter()
+        metrics = get_metrics()
+        with get_tracer().span("service.request", app=request.app or "<ir>"):
+            program, device, sizes = request.resolve()
+            digest = compile_digest(
+                program,
+                device=device,
+                flags=request.flags,
+                strategy=request.strategy,
+                sizes=sizes,
+            )
+        self._count("requests", metrics, "service.requests")
+
+        if self.store is not None:
+            artifact = self.store.get(digest)
+            if artifact is not None:
+                self._count("cache_hits", metrics, "service.cache.hits")
+                latency_ms = (time.perf_counter() - t0) * 1e3
+                self._observe_latency(latency_ms, metrics)
+                ticket = Ticket(digest=digest, role=STATUS_HIT)
+                ticket._future.set_result(
+                    CompileOutcome(
+                        digest=digest,
+                        status=STATUS_HIT,
+                        artifact=artifact.to_dict(),
+                        latency_ms=latency_ms,
+                    )
+                )
+                return ticket
+
+        with self._lock:
+            job = self._inflight.get(digest)
+            if job is not None:
+                job.waiters += 1
+                self._count_locked("coalesced")
+                ticket = Ticket(
+                    digest=digest, role=STATUS_COALESCED, _future=job.future
+                )
+                metrics.counter("service.singleflight.coalesced").inc()
+                return ticket
+            if self._admitted >= self.config.queue_limit:
+                self._count_locked("queue_rejections")
+                metrics.counter("service.queue.rejections").inc()
+                raise QueueFullError(
+                    f"compile queue is full "
+                    f"({self._admitted}/{self.config.queue_limit} requests "
+                    "admitted); retry shortly"
+                )
+            job = _Job(digest, request)
+            self._inflight[digest] = job
+            self._admitted += 1
+            metrics.gauge("service.queue.depth").set(self._admitted)
+        self._count("cache_misses", metrics, "service.cache.misses")
+        self._queue.put(job)
+        return Ticket(digest=digest, role=STATUS_MISS, _future=job.future)
+
+    def compile(
+        self, request: CompileRequest, timeout: Optional[float] = None
+    ) -> CompileOutcome:
+        """Submit and wait: the synchronous convenience the HTTP layer uses."""
+        return self.submit(request).result(timeout=timeout)
+
+    @property
+    def executions(self) -> int:
+        """How many times the pipeline actually ran (misses that weren't
+        filled by another process before a worker picked them up)."""
+        with self._lock:
+            return self._counts["executions"]
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of service health."""
+        with self._lock:
+            counts = dict(self._counts)
+            admitted = self._admitted
+            latencies = sorted(self._latencies_ms)
+        snapshot: Dict[str, Any] = {
+            "workers": self.config.workers,
+            "queue_limit": self.config.queue_limit,
+            "queue_depth": admitted,
+            "uptime_s": time.time() - self._started_at,
+            "memo_restored": dict(self.memo_restored),
+            **counts,
+        }
+        snapshot["latency_ms"] = {
+            "count": len(latencies),
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "max": latencies[-1] if latencies else 0.0,
+        }
+        if self.store is not None:
+            snapshot["store"] = self.store.stats()
+        return snapshot
+
+    def close(self, save: bool = True) -> None:
+        """Drain workers and (by default) persist the sweep memo."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for thread in self._workers:
+            thread.join(timeout=60)
+        if (
+            save
+            and self.store is not None
+            and self.config.memo_persistence
+        ):
+            try:
+                save_memo(self.config.cache_dir)
+            except OSError:
+                pass  # persistence is best-effort; the store is intact
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._run_job(item)
+
+    def _run_job(self, job: _Job) -> None:
+        metrics = get_metrics()
+        outcome: Optional[CompileOutcome] = None
+        status = STATUS_MISS
+        try:
+            # Another process sharing the cache dir may have persisted
+            # this artifact while the job sat in the queue.
+            if self.store is not None:
+                artifact = self.store.get(job.digest)
+                if artifact is not None:
+                    status = STATUS_HIT
+                    outcome = CompileOutcome(
+                        digest=job.digest,
+                        status=STATUS_HIT,
+                        artifact=artifact.to_dict(),
+                    )
+            if outcome is None:
+                with get_tracer().span(
+                    "service.execute",
+                    app=job.request.app or "<ir>",
+                    strategy=job.request.strategy,
+                ):
+                    self._count("executions", metrics, "service.executions")
+                    artifact = self._compile_fn(job.request, job.digest)
+                if self.store is not None:
+                    self.store.put(artifact)
+                outcome = CompileOutcome(
+                    digest=job.digest,
+                    status=STATUS_MISS,
+                    artifact=artifact.to_dict(),
+                )
+        except ReproError as exc:
+            status = STATUS_ERROR
+            outcome = self._error_outcome(job.digest, exc)
+        except Exception as exc:  # noqa: BLE001 - a worker must survive
+            status = STATUS_ERROR
+            outcome = self._error_outcome(job.digest, exc)
+        latency_ms = (time.perf_counter() - job.submitted_at) * 1e3
+        outcome.latency_ms = latency_ms
+        if status == STATUS_ERROR:
+            self._count("errors", metrics, "service.errors")
+        self._observe_latency(latency_ms, metrics)
+        with self._lock:
+            self._inflight.pop(job.digest, None)
+            self._admitted -= 1
+            metrics.gauge("service.queue.depth").set(self._admitted)
+        job.future.set_result(outcome)
+
+    def _default_compile(
+        self, request: CompileRequest, digest: str
+    ) -> CompileArtifact:
+        from ..runtime.session import GpuSession
+
+        program, device, sizes = request.resolve()
+        budget = None
+        if (
+            self.config.deadline_s is not None
+            or self.config.max_nodes is not None
+        ):
+            budget = Budget(
+                deadline_s=self.config.deadline_s,
+                max_nodes=self.config.max_nodes,
+            )
+        session = GpuSession(
+            device=device,
+            strategy=request.strategy,
+            flags=request.flags,
+            budget=budget,
+        )
+        start = time.perf_counter()
+        compiled = session.compile(program, **sizes)
+        compile_ms = (time.perf_counter() - start) * 1e3
+        return build_artifact(
+            digest,
+            compiled,
+            compile_ms,
+            with_provenance=self.config.provenance,
+        )
+
+    def _error_outcome(
+        self, digest: str, exc: BaseException
+    ) -> CompileOutcome:
+        report = getattr(exc, "failure_report", None)
+        return CompileOutcome(
+            digest=digest,
+            status=STATUS_ERROR,
+            error=CompileError(
+                error_type=type(exc).__name__,
+                message=str(exc),
+                exit_code=exit_code_for(exc),
+                failure_report=None if report is None else report.to_dict(),
+            ),
+        )
+
+    # -- accounting ------------------------------------------------------
+
+    def _count(self, key: str, metrics, metric_name: str) -> None:
+        with self._lock:
+            self._counts[key] += 1
+        metrics.counter(metric_name).inc()
+
+    def _count_locked(self, key: str) -> None:
+        self._counts[key] += 1
+
+    def _observe_latency(self, latency_ms: float, metrics) -> None:
+        with self._lock:
+            self._latencies_ms.append(latency_ms)
+        metrics.histogram("service.request_ms").observe(latency_ms)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[int(index)]

@@ -1,0 +1,244 @@
+"""Persistent content-addressed artifact store.
+
+Artifacts live under ``<root>/objects/<digest[:2]>/<digest>.json``, one
+self-contained JSON file per compilation, keyed by the canonical digest
+of (IR, device, flags, strategy, sizes, pipeline version) from
+:func:`repro.ir.serialize.compile_digest`.  Because the key covers the
+pipeline version, a behavior-changing release invalidates every stale
+artifact by construction — no sweep needed — and because each object is
+written atomically (``os.replace`` of a same-directory temp file), a
+crashed writer can never leave a half-written artifact that a reader
+would trust.
+
+Reads are defensive: a corrupt, truncated, version-skewed, or
+digest-mismatched object is treated as a miss and quarantined (deleted),
+so one bad file costs a recompile, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..ir.serialize import PIPELINE_VERSION
+
+#: Bumped on any incompatible artifact-layout change; loaders check it.
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class CompileArtifact:
+    """Everything worth keeping from one pipeline run."""
+
+    digest: str
+    program: str
+    strategy: str
+    device: str
+    sizes: Dict[str, int] = field(default_factory=dict)
+    flags: Dict[str, bool] = field(default_factory=dict)
+    pipeline_version: int = PIPELINE_VERSION
+    #: ``str(mapping)`` per kernel — the chosen mapping decisions.
+    mappings: List[str] = field(default_factory=list)
+    cuda_source: str = ""
+    #: ``{"total_us": ..., "kernels": [{"total_us": ..., <components>}]}``
+    cost: Dict[str, Any] = field(default_factory=dict)
+    degradations: List[str] = field(default_factory=list)
+    #: The mapping-provenance record (``repro explain`` renders it).
+    provenance: Optional[Dict[str, Any]] = None
+    compile_ms: float = 0.0
+    created_at: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": ARTIFACT_VERSION,
+            "digest": self.digest,
+            "program": self.program,
+            "strategy": self.strategy,
+            "device": self.device,
+            "sizes": {k: int(v) for k, v in self.sizes.items()},
+            "flags": dict(self.flags),
+            "pipeline_version": self.pipeline_version,
+            "mappings": list(self.mappings),
+            "cuda_source": self.cuda_source,
+            "cost": self.cost,
+            "degradations": list(self.degradations),
+            "provenance": self.provenance,
+            "compile_ms": self.compile_ms,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileArtifact":
+        version = data.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ValueError(
+                f"artifact version {version!r} is not supported "
+                f"(expected {ARTIFACT_VERSION})"
+            )
+        return cls(
+            digest=data["digest"],
+            program=data.get("program", ""),
+            strategy=data.get("strategy", ""),
+            device=data.get("device", ""),
+            sizes={k: int(v) for k, v in (data.get("sizes") or {}).items()},
+            flags=dict(data.get("flags") or {}),
+            pipeline_version=int(data.get("pipeline_version", 0)),
+            mappings=list(data.get("mappings") or []),
+            cuda_source=data.get("cuda_source", ""),
+            cost=dict(data.get("cost") or {}),
+            degradations=list(data.get("degradations") or []),
+            provenance=data.get("provenance"),
+            compile_ms=float(data.get("compile_ms", 0.0)),
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+
+def build_artifact(
+    digest: str,
+    compiled,
+    compile_ms: float,
+    with_provenance: bool = True,
+) -> CompileArtifact:
+    """Extract the storable artifact from a
+    :class:`~repro.runtime.session.CompiledProgram`."""
+    cost = compiled.estimate_cost()
+    cost_dict = {
+        "total_us": cost.total_us,
+        "kernels": [
+            {"total_us": k.total_us, **k.components()} for k in cost.kernels
+        ],
+    }
+    provenance = None
+    if with_provenance:
+        from ..errors import ReproError
+
+        try:
+            provenance = compiled.provenance().to_dict()
+        except ReproError:
+            provenance = None  # best-effort diagnostics, as in the session
+    return CompileArtifact(
+        digest=digest,
+        program=compiled.program.name,
+        strategy=str(compiled.strategy),
+        device=compiled.device.name,
+        sizes=dict(compiled.size_hints),
+        flags={
+            "prealloc": compiled.flags.prealloc,
+            "layout_opt": compiled.flags.layout_opt,
+            "shared_memory": compiled.flags.shared_memory,
+        },
+        mappings=[str(d.mapping) for d in compiled.decisions],
+        cuda_source=compiled.cuda_source,
+        cost=cost_dict,
+        degradations=list(compiled.degradations),
+        provenance=provenance,
+        compile_ms=compile_ms,
+        created_at=time.time(),
+    )
+
+
+class ArtifactStore:
+    """On-disk content-addressed store; safe for concurrent processes."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        return self.objects / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[CompileArtifact]:
+        """The stored artifact, or ``None`` (missing / corrupt / stale)."""
+        path = self._path(digest)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            artifact = CompileArtifact.from_dict(data)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+        if artifact.digest != digest:
+            self._quarantine(path)
+            return None
+        return artifact
+
+    def put(self, artifact: CompileArtifact) -> Path:
+        """Atomically persist one artifact; returns its path."""
+        path = self._path(artifact.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(artifact.to_dict(), handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def delete(self, digest: str) -> bool:
+        try:
+            os.unlink(self._path(digest))
+            return True
+        except OSError:
+            return False
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def digests(self) -> Iterator[str]:
+        """Every stored digest (no artifact parse)."""
+        for shard in sorted(self.objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                if not entry.name.startswith(".tmp-"):
+                    yield entry.stem
+
+    def clear(self) -> int:
+        """Drop every artifact; returns the number removed."""
+        removed = 0
+        for digest in list(self.digests()):
+            if self.delete(digest):
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def stats(self) -> Dict[str, Any]:
+        artifacts = 0
+        total_bytes = 0
+        for shard in self.objects.iterdir() if self.objects.is_dir() else ():
+            if not shard.is_dir():
+                continue
+            for entry in shard.glob("*.json"):
+                if entry.name.startswith(".tmp-"):
+                    continue
+                artifacts += 1
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "artifacts": artifacts,
+            "bytes": total_bytes,
+        }

@@ -104,3 +104,78 @@ class TestCacheStress:
             t.join(timeout=60)
         assert not errors
         assert len(cache) <= cache.maxsize
+
+
+class TestSnapshotLoad:
+    """snapshot()/load() back the service's cross-restart memo: whatever
+    ``invalidate``/``evict_where`` dropped must be absent from the next
+    snapshot, so both persistence layers share one invalidation path."""
+
+    def test_round_trip(self):
+        source = SearchCache(maxsize=16)
+        for i in range(10):
+            source.put(("k", i), i * i)
+        target = SearchCache(maxsize=16)
+        assert target.load(source.snapshot()) == 10
+        for i in range(10):
+            assert target.get(("k", i)) == i * i
+
+    def test_snapshot_reflects_eviction(self):
+        cache = SearchCache(maxsize=16)
+        for i in range(10):
+            cache.put(("k", i), i)
+        cache.evict_where(lambda key, value: value % 2 == 0)
+        cache.invalidate(("k", 1))
+        snapshot = dict(cache.snapshot())
+        assert set(snapshot.values()) == {3, 5, 7, 9}
+
+    def test_load_respects_maxsize(self):
+        source = SearchCache(maxsize=64)
+        for i in range(40):
+            source.put(("k", i), i)
+        target = SearchCache(maxsize=8)
+        target.load(source.snapshot())
+        assert len(target) <= 8
+        # LRU semantics: the most recently snapshotted entries survive.
+        assert target.get(("k", 39)) == 39
+
+    def test_load_preserves_stored_none(self):
+        source = SearchCache(maxsize=8)
+        source.put(("k",), None)
+        target = SearchCache(maxsize=8)
+        target.load(source.snapshot())
+        assert target.invalidate(("k",)), "stored None must round-trip"
+
+    def test_concurrent_snapshot_load_during_eviction_sweeps(self):
+        cache = SearchCache(maxsize=64)
+        mirror = SearchCache(maxsize=64)
+        errors = []
+
+        def writer() -> None:
+            try:
+                for i in range(400):
+                    cache.put(("w", i % 80), i)
+                    if i % 13 == 0:
+                        cache.evict_where(
+                            lambda k, v: isinstance(v, int) and v % 2 == 0
+                        )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def persister() -> None:
+            try:
+                for _ in range(100):
+                    mirror.load(cache.snapshot())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=persister))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "deadlocked"
+        assert not errors, f"concurrent snapshot/load raised: {errors[:3]}"
+        assert len(cache) <= cache.maxsize
+        assert len(mirror) <= mirror.maxsize

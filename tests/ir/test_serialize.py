@@ -78,3 +78,97 @@ def test_unknown_node_tag_rejected():
         from repro.ir.serialize import node_from_dict
 
         node_from_dict({"n": "mystery"})
+
+
+class TestCompileDigest:
+    """The content address every service cache layer keys on."""
+
+    @staticmethod
+    def _digest(program, **kwargs):
+        from repro.gpusim.device import DEVICES
+        from repro.ir.serialize import compile_digest
+
+        defaults = dict(
+            device=DEVICES["Tesla K20c"],
+            strategy="multidim",
+            sizes={"R": 64, "C": 32},
+        )
+        defaults.update(kwargs)
+        return compile_digest(program, **defaults)
+
+    def test_semantically_equal_builds_hash_equal(self):
+        # Two builds of the same app gensym different binder names
+        # ("i0" vs "i7"); the digest must not see them.
+        app = ALL_APPS["sumRows"]
+        assert self._digest(app.build()) == self._digest(app.build())
+
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_every_app_digests_stably(self, name):
+        app = ALL_APPS[name]
+        assert self._digest(app.build()) == self._digest(app.build())
+
+    def test_distinct_apps_hash_apart(self):
+        digests = {
+            self._digest(ALL_APPS[name].build()) for name in sorted(ALL_APPS)
+        }
+        assert len(digests) == len(ALL_APPS)
+
+    def test_size_order_is_canonical(self):
+        program = ALL_APPS["sumRows"].build()
+        assert self._digest(program, sizes={"R": 64, "C": 32}) == \
+            self._digest(program, sizes={"C": 32, "R": 64})
+
+    def test_inputs_that_matter_change_the_digest(self):
+        from repro.gpusim.device import DEVICES
+        from repro.optim.pipeline import OptimizationFlags
+
+        program = ALL_APPS["sumRows"].build()
+        base = self._digest(program)
+        assert base != self._digest(program, sizes={"R": 128, "C": 32})
+        assert base != self._digest(program, strategy="1d")
+        assert base != self._digest(program, device=DEVICES["Tesla C2050"])
+        assert base != self._digest(
+            program, flags=OptimizationFlags(shared_memory=False)
+        )
+
+    def test_schema_bump_changes_every_digest(self, monkeypatch):
+        import repro.ir.serialize as serialize
+
+        program = ALL_APPS["sumRows"].build()
+        base = self._digest(program)
+        monkeypatch.setattr(serialize, "PIPELINE_VERSION", 999)
+        assert self._digest(program) != base
+
+    def test_format_bump_changes_every_digest(self, monkeypatch):
+        import repro.ir.serialize as serialize
+
+        program = ALL_APPS["sumRows"].build()
+        base = self._digest(program)
+        monkeypatch.setattr(serialize, "FORMAT_VERSION", 999)
+        assert self._digest(program) != base
+
+    def test_canonical_rename_preserves_free_names(self):
+        # Parameters and symbolic sizes are free names the size_hints /
+        # array_shapes keys refer to; alpha-renaming must not touch them.
+        from repro.ir.serialize import canonical_program_dict
+
+        data = canonical_program_dict(ALL_APPS["sumRows"].build())
+        assert [p["name"] for p in data["params"]] == ["R", "C", "m"]
+        shape_names = [s["name"] for s in data["array_shapes"]["m"]]
+        assert shape_names == ["R", "C"]
+
+    def test_canonical_rename_round_trips(self):
+        # The canonical form is still a loadable program with identical
+        # semantics (binder names are meaningless by construction).
+        program = ALL_APPS["sumRows"].build()
+        from repro.ir.serialize import canonical_program_dict
+
+        rebuilt = program_from_dict(canonical_program_dict(program))
+        inputs = ALL_APPS["sumRows"].workload(
+            ALL_APPS["sumRows"].make_rng(3), R=8, C=4
+        )
+        original = Evaluator(program, seed=3).run(
+            **copy.deepcopy(inputs)
+        )
+        replayed = Evaluator(rebuilt, seed=3).run(**copy.deepcopy(inputs))
+        _same(original, replayed)

@@ -1,0 +1,196 @@
+"""CLI integration: submit/stats/cache against a live server, and the
+serve command itself as a subprocess (the deployment shape CI uses)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import EXIT_UNAVAILABLE
+from repro.service import CompileService, ServiceConfig
+from repro.service.http import make_server, serve_forever
+from repro.service.store import CompileArtifact
+
+
+def fake_artifact(digest: str) -> CompileArtifact:
+    return CompileArtifact(
+        digest=digest,
+        program="fake",
+        strategy="multidim",
+        device="Tesla K20c",
+        mappings=["L0[dimy, 32, span(1)]"],
+        cost={"total_us": 12.5, "kernels": []},
+    )
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = CompileService(
+        ServiceConfig(workers=2, cache_dir=str(tmp_path / "cache")),
+        compile_fn=lambda req, digest: fake_artifact(digest),
+    )
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=serve_forever, args=(server,))
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        service.close()
+
+
+class TestSubmit:
+    def test_miss_then_hit(self, served, capsys):
+        argv = ["submit", "sumRows", "R=64", "C=32", "--url", served.url]
+        assert main(argv) == 0
+        assert "miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hit" in out
+        assert "L0[dimy" in out
+
+    def test_json_output(self, served, capsys):
+        assert main([
+            "submit", "sumRows", "R=64", "C=32",
+            "--url", served.url, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "miss"
+        assert payload["artifact"]["program"] == "fake"
+
+    def test_serialized_program_submission(self, served, tmp_path, capsys):
+        from repro.ir.serialize import program_to_dict
+        from tests.conftest import make_sum_rows
+
+        path = tmp_path / "prog.json"
+        path.write_text(json.dumps(program_to_dict(make_sum_rows())))
+        assert main([
+            "submit", "--program", str(path), "R=64", "C=32",
+            "--url", served.url,
+        ]) == 0
+        assert "miss" in capsys.readouterr().out
+
+    def test_app_and_program_are_exclusive(self, served, tmp_path):
+        from repro.errors import EXIT_CONFIG
+
+        assert main(["submit", "--url", served.url]) == EXIT_CONFIG
+
+    def test_unreachable_server_exits_75(self, capsys):
+        code = main([
+            "submit", "sumRows", "--url", "http://127.0.0.1:9",
+            "--timeout", "2",
+        ])
+        assert code == EXIT_UNAVAILABLE
+
+    def test_server_failure_writes_replayable_report(self, tmp_path, capsys):
+        # A real pipeline so the failure report is genuine.
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=serve_forever, args=(server,))
+        thread.start()
+        try:
+            report_dir = tmp_path / "reports"
+            code = main([
+                "submit", "sumRows", "R=64", "C=32",
+                "--strategy", "nope",
+                "--url", server.url,
+                "--report-dir", str(report_dir),
+            ])
+            assert code == 3  # MappingError's exit code, passed through
+            err = capsys.readouterr().err
+            assert "replay-failure" in err
+            reports = list(report_dir.glob("failure-*.json"))
+            assert len(reports) == 1
+            # The printed invocation actually replays.
+            assert main(["replay-failure", str(reports[0])]) == 0
+        finally:
+            server.shutdown()
+            thread.join(timeout=30)
+            service.close()
+
+
+class TestStatsUrl:
+    def test_remote_stats(self, served, capsys):
+        main(["submit", "sumRows", "R=64", "C=32", "--url", served.url])
+        capsys.readouterr()
+        assert main(["stats", "--url", served.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["requests"] == 1
+
+    def test_local_stats_still_needs_app(self):
+        from repro.errors import EXIT_CONFIG
+
+        assert main(["stats"]) == EXIT_CONFIG
+
+
+class TestCacheCommand:
+    def test_stats_list_clear(self, served, tmp_path, capsys):
+        main(["submit", "sumRows", "R=64", "C=32", "--url", served.url])
+        capsys.readouterr()
+        cache_dir = str(served.service.store.root)
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["artifacts"] == 1
+
+        assert main(["cache", "list", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifact(s)" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert len(served.service.store) == 0
+
+
+class TestServeSubprocess:
+    def test_serve_sigterm_lifecycle(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        log = tmp_path / "serve.log"
+        trace = tmp_path / "trace.json"
+        with open(log, "w") as log_fh:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--port", "0", "--workers", "1",
+                    "--cache-dir", str(tmp_path / "cache"),
+                    "--trace", str(trace),
+                ],
+                stdout=log_fh,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        try:
+            url = None
+            deadline = time.time() + 30
+            while time.time() < deadline and url is None:
+                text = log.read_text()
+                if "listening on" in text:
+                    url = text.split("listening on ")[1].split()[0]
+                    break
+                time.sleep(0.2)
+            assert url, f"server never came up: {log.read_text()}"
+
+            from repro.service import ServiceClient
+
+            assert ServiceClient(url).health()["ok"] is True
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        # Clean shutdown wrote the trace artifact and the memo snapshot.
+        assert trace.exists()
+        text = log.read_text()
+        assert "served 0 request(s)" in text

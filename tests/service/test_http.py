@@ -1,0 +1,179 @@
+"""HTTP front end + client: round trips, status mapping, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    MappingError,
+    QueueFullError,
+    RuntimeConfigError,
+    ServiceError,
+)
+from repro.service import (
+    STATUS_HIT,
+    STATUS_MISS,
+    CompileRequest,
+    CompileService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.http import make_server, serve_forever
+from repro.service.store import CompileArtifact
+
+
+def fake_artifact(digest: str) -> CompileArtifact:
+    return CompileArtifact(
+        digest=digest,
+        program="fake",
+        strategy="multidim",
+        device="Tesla K20c",
+        cost={"total_us": 1.0, "kernels": []},
+    )
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live server on an ephemeral port, with a fast fake compiler."""
+    service = CompileService(
+        ServiceConfig(workers=2, cache_dir=str(tmp_path / "cache")),
+        compile_fn=lambda req, digest: fake_artifact(digest),
+    )
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=serve_forever, args=(server,))
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        service.close()
+
+
+def request(**sizes) -> CompileRequest:
+    return CompileRequest(app="sumRows", sizes=sizes or {"R": 64, "C": 32})
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        health = ServiceClient(served.url).health()
+        assert health["ok"] is True
+        assert health["pipeline_version"] >= 1
+
+    def test_compile_miss_then_hit(self, served):
+        client = ServiceClient(served.url)
+        first = client.compile(request())
+        second = client.compile(request())
+        assert first.status == STATUS_MISS
+        assert second.status == STATUS_HIT
+        assert first.digest == second.digest
+        assert second.artifact["program"] == "fake"
+
+    def test_artifact_fetch(self, served):
+        client = ServiceClient(served.url)
+        outcome = client.compile(request())
+        fetched = client.artifact(outcome.digest)
+        assert fetched["digest"] == outcome.digest
+        assert client.artifact("00" * 32) is None
+
+    def test_stats_counters(self, served):
+        client = ServiceClient(served.url)
+        client.compile(request())
+        client.compile(request())
+        stats = client.stats()["service"]
+        assert stats["requests"] == 2
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+
+    def test_clear_cache(self, served):
+        client = ServiceClient(served.url)
+        client.compile(request())
+        assert client.clear_cache() == 1
+        assert client.compile(request()).status == STATUS_MISS
+
+    def test_unknown_path_404(self, served):
+        client = ServiceClient(served.url)
+        status, data = client._request("GET", "/v1/nonsense")
+        assert status == 404
+        assert data["error_type"] == "NotFound"
+
+
+class TestErrorMapping:
+    def test_unknown_app_is_400(self, served):
+        client = ServiceClient(served.url)
+        with pytest.raises(RuntimeConfigError, match="unknown app"):
+            client.compile({"app": "noSuchApp"})
+
+    def test_malformed_body_is_400(self, served):
+        client = ServiceClient(served.url)
+        status, data = client._request(
+            "POST", "/v1/compile", payload={"sizes": "not-an-object"}
+        )
+        assert status == 400
+        assert data["exit_code"] == 2
+
+    def test_pipeline_failure_is_422_with_report(self, tmp_path):
+        def failing(req, digest):
+            exc = MappingError("unknown strategy")
+            raise exc
+
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache")),
+            compile_fn=failing,
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=serve_forever, args=(server,))
+        thread.start()
+        try:
+            outcome = ServiceClient(server.url).compile(request())
+            assert not outcome.ok
+            assert outcome.error.error_type == "MappingError"
+            assert outcome.error.exit_code == 3
+        finally:
+            server.shutdown()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_queue_full_is_503(self, tmp_path):
+        gate = threading.Event()
+
+        def gated(req, digest):
+            if not gate.wait(timeout=30):
+                raise TimeoutError("gate never opened")
+            return fake_artifact(digest)
+
+        service = CompileService(
+            ServiceConfig(
+                workers=1, queue_limit=1, cache_dir=str(tmp_path / "cache")
+            ),
+            compile_fn=gated,
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=serve_forever, args=(server,))
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+            blocker = threading.Thread(
+                target=lambda: client.compile(request(R=64, C=32))
+            )
+            blocker.start()
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if service.stats()["queue_depth"] >= 1:
+                    break
+                time.sleep(0.02)
+            with pytest.raises(QueueFullError):
+                client.compile(request(R=128, C=32))
+            gate.set()
+            blocker.join(timeout=30)
+        finally:
+            gate.set()
+            server.shutdown()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_server_down_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()

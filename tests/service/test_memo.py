@@ -1,0 +1,64 @@
+"""Sweep-memo persistence: defensive loads, one shared invalidation path."""
+
+import pickle
+
+from repro.analysis.cache import get_autotune_cache, get_search_cache
+from repro.service.memo import MEMO_VERSION, load_memo, memo_path, save_memo
+
+
+class TestMemoPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path)
+        search = get_search_cache()
+        search.clear()
+        search.put(("memo-test", 1), "value")
+        try:
+            path = save_memo(cache_dir)
+            assert path.exists()
+            search.clear()
+            restored = load_memo(cache_dir)
+            assert restored["search"] >= 1
+            assert search.get(("memo-test", 1)) == "value"
+        finally:
+            search.clear()
+            get_autotune_cache().clear()
+
+    def test_missing_file_is_empty_restore(self, tmp_path):
+        assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
+
+    def test_corrupt_file_discarded(self, tmp_path):
+        path = memo_path(str(tmp_path))
+        path.write_bytes(b"not a pickle")
+        assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
+        assert not path.exists(), "corrupt memo should be deleted"
+
+    def test_version_skew_discarded(self, tmp_path):
+        path = memo_path(str(tmp_path))
+        payload = {
+            "version": MEMO_VERSION + 1,
+            "pipeline_version": 1,
+            "search": [],
+            "autotune": [],
+        }
+        path.write_bytes(pickle.dumps(payload))
+        assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
+        assert not path.exists()
+
+    def test_evicted_entries_absent_from_next_snapshot(self, tmp_path):
+        # The service persists via snapshot(), so whatever evict_where
+        # dropped in-memory is dropped on disk too: one invalidation path.
+        cache_dir = str(tmp_path)
+        search = get_search_cache()
+        search.clear()
+        try:
+            search.put(("stale",), 1)
+            search.put(("fresh",), 2)
+            search.evict_where(lambda key, value: key == ("stale",))
+            save_memo(cache_dir)
+            search.clear()
+            load_memo(cache_dir)
+            assert search.get(("stale",)) is None
+            assert search.get(("fresh",)) == 2
+        finally:
+            search.clear()
+            get_autotune_cache().clear()

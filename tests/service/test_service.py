@@ -1,0 +1,347 @@
+"""CompileService: single-flight dedup, backpressure, cache layers."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    EXIT_UNAVAILABLE,
+    MappingError,
+    QueueFullError,
+    RuntimeConfigError,
+    ServiceError,
+    exit_code_for,
+)
+from repro.service import (
+    STATUS_COALESCED,
+    STATUS_ERROR,
+    STATUS_HIT,
+    STATUS_MISS,
+    CompileRequest,
+    CompileService,
+    ServiceConfig,
+)
+from repro.service.store import CompileArtifact
+
+
+def fake_artifact(digest: str) -> CompileArtifact:
+    return CompileArtifact(
+        digest=digest,
+        program="fake",
+        strategy="multidim",
+        device="Tesla K20c",
+        cost={"total_us": 1.0, "kernels": []},
+    )
+
+
+def request(app: str = "sumRows", **sizes) -> CompileRequest:
+    return CompileRequest(app=app, sizes=sizes or {"R": 64, "C": 32})
+
+
+class GatedCompiler:
+    """A compile_fn the test opens deliberately; counts executions."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, req, digest):
+        self.started.set()
+        with self._lock:
+            self.calls += 1
+        if not self.gate.wait(timeout=30):
+            raise TimeoutError("test gate never opened")
+        return fake_artifact(digest)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_run_once(self, tmp_path):
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(workers=4, cache_dir=str(tmp_path / "cache")),
+            compile_fn=compiler,
+        )
+        try:
+            tickets = [service.submit(request()) for _ in range(8)]
+            roles = [t.role for t in tickets]
+            assert roles.count(STATUS_MISS) == 1
+            assert roles.count(STATUS_COALESCED) == 7
+            assert not any(t.done() for t in tickets)
+            compiler.gate.set()
+            outcomes = [t.result(timeout=30) for t in tickets]
+            assert compiler.calls == 1
+            assert service.executions == 1
+            digests = {o.digest for o in outcomes}
+            assert len(digests) == 1
+            assert all(o.ok for o in outcomes)
+        finally:
+            compiler.gate.set()
+            service.close()
+
+    def test_distinct_requests_do_not_coalesce(self, tmp_path):
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(workers=4, cache_dir=str(tmp_path / "cache")),
+            compile_fn=compiler,
+        )
+        try:
+            t1 = service.submit(request(R=64, C=32))
+            t2 = service.submit(request(R=128, C=32))
+            assert {t1.role, t2.role} == {STATUS_MISS}
+            assert t1.digest != t2.digest
+            compiler.gate.set()
+            t1.result(timeout=30)
+            t2.result(timeout=30)
+            assert compiler.calls == 2
+        finally:
+            compiler.gate.set()
+            service.close()
+
+    def test_second_submit_after_completion_hits_store(self, tmp_path):
+        service = CompileService(
+            ServiceConfig(workers=2, cache_dir=str(tmp_path / "cache")),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            first = service.compile(request())
+            second = service.compile(request())
+            assert first.status == STATUS_MISS
+            assert second.status == STATUS_HIT
+            assert second.cached
+            assert service.executions == 1
+        finally:
+            service.close()
+
+
+class TestBackpressure:
+    def test_queue_full_raises_typed_error(self, tmp_path):
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(
+                workers=1,
+                queue_limit=1,
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            compile_fn=compiler,
+        )
+        try:
+            service.submit(request(R=64, C=32))
+            # Identical requests coalesce, so overflow needs a distinct
+            # one; rejection happens at admission, never as a hang.
+            with pytest.raises(QueueFullError) as excinfo:
+                service.submit(request(R=128, C=32))
+            assert exit_code_for(excinfo.value) == EXIT_UNAVAILABLE
+            assert service.stats()["queue_rejections"] == 1
+        finally:
+            compiler.gate.set()
+            service.close()
+
+    def test_rejection_does_not_leak_admission_slots(self, tmp_path):
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(
+                workers=1,
+                queue_limit=1,
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            compile_fn=compiler,
+        )
+        try:
+            ticket = service.submit(request(R=64, C=32))
+            with pytest.raises(QueueFullError):
+                service.submit(request(R=128, C=32))
+            compiler.gate.set()
+            ticket.result(timeout=30)
+            # The slot freed by completion admits the next request.
+            outcome = service.compile(request(R=256, C=32))
+            assert outcome.ok
+            assert service.stats()["queue_depth"] == 0
+        finally:
+            compiler.gate.set()
+            service.close()
+
+    def test_coalescing_is_exempt_from_admission(self, tmp_path):
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(
+                workers=1,
+                queue_limit=1,
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            compile_fn=compiler,
+        )
+        try:
+            miss = service.submit(request())
+            joined = service.submit(request())  # full queue, same digest
+            assert joined.role == STATUS_COALESCED
+            compiler.gate.set()
+            assert miss.result(timeout=30).ok
+            assert joined.result(timeout=30).ok
+        finally:
+            compiler.gate.set()
+            service.close()
+
+
+class TestErrors:
+    def test_unknown_app_raises_at_submit(self):
+        service = CompileService(ServiceConfig(workers=1))
+        try:
+            with pytest.raises(RuntimeConfigError):
+                service.submit(request(app="noSuchApp"))
+        finally:
+            service.close()
+
+    def test_pipeline_error_becomes_typed_outcome(self, tmp_path):
+        def failing(req, digest):
+            raise MappingError("unknown strategy 'nope'")
+
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache")),
+            compile_fn=failing,
+        )
+        try:
+            outcome = service.compile(request())
+            assert outcome.status == STATUS_ERROR
+            assert not outcome.ok
+            assert outcome.error.error_type == "MappingError"
+            assert outcome.error.exit_code == 3
+            # Errors are never persisted: the next request retries.
+            assert len(service.store) == 0
+            assert service.stats()["errors"] == 1
+        finally:
+            service.close()
+
+    def test_real_pipeline_failure_carries_replayable_report(self, tmp_path):
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        )
+        try:
+            outcome = service.compile(
+                CompileRequest(
+                    app="sumRows",
+                    sizes={"R": 64, "C": 32},
+                    strategy="nope",
+                )
+            )
+            assert outcome.status == STATUS_ERROR
+            assert outcome.error.failure_report is not None
+            from repro.resilience import FailureReport
+
+            report = FailureReport.from_dict(outcome.error.failure_report)
+            assert report.stage
+        finally:
+            service.close()
+
+    def test_submit_after_close_raises(self):
+        service = CompileService(ServiceConfig(workers=1))
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(request())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServiceError):
+            CompileService(ServiceConfig(workers=0))
+        with pytest.raises(ServiceError):
+            CompileService(ServiceConfig(queue_limit=0))
+
+
+class TestPersistence:
+    def test_cache_survives_service_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = CompileService(
+            ServiceConfig(workers=1, cache_dir=cache_dir),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            assert first.compile(request()).status == STATUS_MISS
+        finally:
+            first.close()
+
+        second = CompileService(
+            ServiceConfig(workers=1, cache_dir=cache_dir),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            outcome = second.compile(request())
+            assert outcome.status == STATUS_HIT
+            assert second.executions == 0
+        finally:
+            second.close()
+
+    def test_memo_restored_across_restart(self, tmp_path):
+        from repro.analysis.cache import get_search_cache
+
+        cache_dir = str(tmp_path / "cache")
+        first = CompileService(ServiceConfig(workers=1, cache_dir=cache_dir))
+        try:
+            assert first.compile(request()).ok
+        finally:
+            first.close()  # persists the sweep memo
+
+        get_search_cache().clear()
+        second = CompileService(ServiceConfig(workers=1, cache_dir=cache_dir))
+        try:
+            assert second.memo_restored["search"] > 0
+        finally:
+            second.close()
+
+    def test_no_cache_dir_disables_persistence(self):
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=None),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            assert service.store is None
+            first = service.compile(request())
+            second = service.compile(request())
+            # Without a store every sequential request is a miss; only
+            # concurrent identical requests dedup (single-flight).
+            assert first.status == STATUS_MISS
+            assert second.status == STATUS_MISS
+        finally:
+            service.close()
+
+
+class TestStats:
+    def test_counters_and_latency(self, tmp_path):
+        service = CompileService(
+            ServiceConfig(workers=2, cache_dir=str(tmp_path / "cache")),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            service.compile(request())
+            service.compile(request())
+            stats = service.stats()
+            assert stats["requests"] == 2
+            assert stats["cache_misses"] == 1
+            assert stats["cache_hits"] == 1
+            assert stats["executions"] == 1
+            assert stats["queue_depth"] == 0
+            latency = stats["latency_ms"]
+            assert latency["count"] == 2
+            assert latency["p95"] >= latency["p50"] >= 0
+            assert stats["store"]["artifacts"] == 1
+        finally:
+            service.close()
+
+    def test_metrics_mirrored_when_enabled(self, tmp_path):
+        from repro.observability import capture
+
+        with capture() as obs:
+            service = CompileService(
+                ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache")),
+                compile_fn=lambda req, digest: fake_artifact(digest),
+            )
+            try:
+                service.compile(request())
+                service.compile(request())
+            finally:
+                service.close()
+            snapshot = obs.metrics.to_dict()
+        counters = snapshot.get("counters", snapshot)
+        flat = str(counters)
+        assert "service.requests" in flat
+        assert "service.cache.hits" in flat
+        assert "service.cache.misses" in flat

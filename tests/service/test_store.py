@@ -1,0 +1,155 @@
+"""Persistent content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro.service.store import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    CompileArtifact,
+    build_artifact,
+)
+
+
+def make_artifact(digest: str = "ab" * 32, **overrides) -> CompileArtifact:
+    fields = dict(
+        digest=digest,
+        program="sumRows",
+        strategy="multidim",
+        device="Tesla K20c",
+        sizes={"R": 64, "C": 32},
+        flags={"prealloc": True, "layout_opt": True, "shared_memory": True},
+        mappings=["L0[dimy, 32, span(1)]"],
+        cuda_source="__global__ void k() {}",
+        cost={"total_us": 12.5, "kernels": [{"total_us": 12.5}]},
+        compile_ms=3.0,
+    )
+    fields.update(overrides)
+    return CompileArtifact(**fields)
+
+
+class TestArtifactRoundTrip:
+    def test_to_from_dict(self):
+        artifact = make_artifact()
+        clone = CompileArtifact.from_dict(artifact.to_dict())
+        assert clone == artifact
+
+    def test_version_is_stamped(self):
+        assert make_artifact().to_dict()["version"] == ARTIFACT_VERSION
+
+    def test_unsupported_version_rejected(self):
+        data = make_artifact().to_dict()
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            CompileArtifact.from_dict(data)
+
+
+class TestStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        artifact = make_artifact()
+        path = store.put(artifact)
+        assert path.exists()
+        assert store.get(artifact.digest) == artifact
+
+    def test_sharded_layout(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        digest = "cd" * 32
+        path = store.put(make_artifact(digest))
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.json"
+
+    def test_missing_digest_is_none(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        assert store.get("00" * 32) is None
+
+    def test_corrupt_object_quarantined(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        artifact = make_artifact()
+        path = store.put(artifact)
+        path.write_text("{ not json")
+        assert store.get(artifact.digest) is None
+        assert not path.exists(), "corrupt object should be removed"
+
+    def test_version_skew_quarantined(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        artifact = make_artifact()
+        path = store.put(artifact)
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        assert store.get(artifact.digest) is None
+        assert not path.exists()
+
+    def test_digest_mismatch_quarantined(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        artifact = make_artifact()
+        path = store.put(artifact)
+        # An object whose content claims a different digest than its
+        # filename is either tampering or a copy error; drop it.
+        wrong = store._path("ef" * 32)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(path.read_text())
+        assert store.get("ef" * 32) is None
+        assert not wrong.exists()
+
+    def test_delete_and_len(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        store.put(make_artifact("ab" * 32))
+        store.put(make_artifact("cd" * 32))
+        assert len(store) == 2
+        assert store.delete("ab" * 32)
+        assert not store.delete("ab" * 32)
+        assert len(store) == 1
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        for i in range(4):
+            store.put(make_artifact(f"{i:02d}" * 32))
+        assert store.clear() == 4
+        assert len(store) == 0
+        assert store.clear() == 0
+
+    def test_digests_skip_temp_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        artifact = make_artifact()
+        path = store.put(artifact)
+        (path.parent / ".tmp-leftover.json").write_text("partial")
+        assert list(store.digests()) == [artifact.digest]
+
+    def test_stats(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        assert store.stats()["artifacts"] == 0
+        store.put(make_artifact())
+        stats = store.stats()
+        assert stats["artifacts"] == 1
+        assert stats["bytes"] > 0
+
+
+class TestBuildArtifact:
+    def test_extracts_compiled_program(self):
+        from repro.apps import resolve_app
+        from repro.runtime import GpuSession
+
+        app = resolve_app("sumRows")
+        compiled = GpuSession().compile(app.build(), R=64, C=32)
+        artifact = build_artifact("ab" * 32, compiled, compile_ms=5.0)
+        assert artifact.program == "sumRows"
+        assert artifact.mappings
+        assert "__global__" in artifact.cuda_source
+        assert artifact.cost["total_us"] > 0
+        assert artifact.cost["kernels"]
+        assert artifact.provenance is not None
+        assert artifact.created_at > 0
+
+    def test_provenance_optional(self):
+        from repro.apps import resolve_app
+        from repro.runtime import GpuSession
+
+        app = resolve_app("sumRows")
+        compiled = GpuSession().compile(app.build(), R=64, C=32)
+        artifact = build_artifact(
+            "ab" * 32, compiled, compile_ms=5.0, with_provenance=False
+        )
+        assert artifact.provenance is None
