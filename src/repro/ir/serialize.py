@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 from typing import Any, Dict, Mapping, Optional
 
 from ..errors import IRError
@@ -477,6 +478,50 @@ def _rename_vars(node: Any, mapping: Dict[str, str]) -> Any:
     return out
 
 
+#: Shape of the canonical binder names the alpha-rename introduces.
+_CANON_NAME_RE = re.compile(r"%b\d+")
+
+
+def _collect_names(node: Any, names: set) -> None:
+    """Record every ``var``/``param`` occurrence name (free or bound)."""
+    if isinstance(node, list):
+        for item in node:
+            _collect_names(item, names)
+        return
+    if not isinstance(node, dict):
+        return
+    if node.get("n") in ("var", "param"):
+        names.add(node["name"])
+    for key in sorted(node):
+        _collect_names(node[key], names)
+
+
+def _flat_rename_is_sound(data: Dict[str, Any], order: list) -> bool:
+    """Whether the flat binder-rename map is an alpha-renaming of ``data``.
+
+    The flat map renames *every* ``var`` occurrence of a binder name, so
+    it preserves semantics only when (a) binder names are pairwise
+    distinct — no shadowing for the flat map to mis-merge — and (b) no
+    binder name doubles as a free name (a parameter, a ``size_hints`` /
+    ``array_shapes`` key, or a variable inside a shape expression),
+    which the rename would otherwise capture.  Canonical ``%b<k>`` names
+    must also not already occur anywhere, or renamed binders could
+    collide with genuinely distinct names.
+    """
+    binders = set(order)
+    if len(binders) != len(order):
+        return False
+    reserved: set = {p["name"] for p in data["params"]}
+    reserved.update(data.get("size_hints") or {})
+    reserved.update(data.get("array_shapes") or {})
+    _collect_names(data.get("array_shapes") or {}, reserved)
+    if binders & reserved:
+        return False
+    all_names = binders | reserved
+    _collect_names(data["result"], all_names)
+    return not any(_CANON_NAME_RE.fullmatch(name) for name in all_names)
+
+
 def canonical_program_dict(program: Program) -> Dict[str, Any]:
     """:func:`program_to_dict` with bound variables alpha-renamed.
 
@@ -488,9 +533,17 @@ def canonical_program_dict(program: Program) -> Dict[str, Any]:
     Free names — parameters, symbolic sizes — are untouched, so their
     correspondence with ``size_hints``/``array_shapes`` keys survives.
 
-    Binder names are globally unique within a built program (that is the
-    symbol table's contract), which is what makes a flat rename map
-    sound — there is no shadowing to respect.
+    Binder names are globally unique within a *built* program (that is
+    the symbol table's contract), which is what makes a flat rename map
+    sound — there is no shadowing to respect.  Client-supplied IR
+    (``program_ir`` over the wire) is under no such contract, so the
+    contract is checked rather than assumed: when binder names are
+    shadowed, collide with free names, or already look canonical, the
+    program is digested with its names as-is.  The fallback never
+    renames, so it can never canonicalize two semantically different
+    programs onto one digest; the only cost is that alpha-equivalent
+    spellings of such programs hash apart (a cache split, not a wrong
+    artifact).
     """
     data = program_to_dict(program)
     order: list = []
@@ -498,6 +551,8 @@ def canonical_program_dict(program: Program) -> Dict[str, Any]:
     _collect_binders(data["result"], order)
     for name in sorted(data.get("array_shapes", {})):
         _collect_binders(data["array_shapes"][name], order)
+    if not _flat_rename_is_sound(data, order):
+        return data
     mapping: Dict[str, str] = {}
     for name in order:
         if name not in mapping:

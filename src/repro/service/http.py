@@ -38,6 +38,7 @@ from ..ir.serialize import FORMAT_VERSION, PIPELINE_VERSION
 from ..observability import get_metrics
 from .api import STATUS_ERROR, CompileRequest
 from .service import CompileService
+from .store import is_valid_digest
 
 #: Maximum accepted request-body size (serialized IR programs are small;
 #: anything bigger is a client bug or abuse).
@@ -148,6 +149,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path.startswith("/v1/artifacts/"):
             digest = path[len("/v1/artifacts/"):]
+            # The digest is attacker-controlled URL text; only a
+            # well-formed content address may reach the filesystem.
+            if not is_valid_digest(digest):
+                self._send(404, {
+                    "error_type": "NotFound",
+                    "message": f"malformed artifact digest {digest!r}",
+                })
+                return
             store = self.server.service.store
             artifact = store.get(digest) if store is not None else None
             if artifact is None:

@@ -148,6 +148,9 @@ class CompileService:
             "requests": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            #: Misses reclassified as hits at execution time because a
+            #: concurrent process persisted the artifact first.
+            "late_hits": 0,
             "coalesced": 0,
             "executions": 0,
             "errors": 0,
@@ -204,6 +207,13 @@ class CompileService:
                 return ticket
 
         with self._lock:
+            # Re-checked under the lock: close() flips the flag inside
+            # this same critical section, so a submit that wins the race
+            # enqueues *before* the _STOP sentinels (a worker still
+            # drains it) and one that loses is rejected — a job can
+            # never be admitted into a queue no worker will read.
+            if self._closed:
+                raise ServiceError("compile service is shut down")
             job = self._inflight.get(digest)
             if job is not None:
                 job.waiters += 1
@@ -224,9 +234,10 @@ class CompileService:
             job = _Job(digest, request)
             self._inflight[digest] = job
             self._admitted += 1
+            self._count_locked("cache_misses")
             metrics.gauge("service.queue.depth").set(self._admitted)
-        self._count("cache_misses", metrics, "service.cache.misses")
-        self._queue.put(job)
+            self._queue.put(job)
+        metrics.counter("service.cache.misses").inc()
         return Ticket(digest=digest, role=STATUS_MISS, _future=job.future)
 
     def compile(
@@ -267,15 +278,23 @@ class CompileService:
         return snapshot
 
     def close(self, save: bool = True) -> None:
-        """Drain workers and (by default) persist the sweep memo."""
+        """Drain workers and (by default) persist the sweep memo.
+
+        Every admitted job is resolved before this returns: workers
+        finish what was queued ahead of the stop sentinels, and anything
+        still queued afterwards (a worker died or overran the join
+        timeout) is rejected with a :class:`~repro.errors.ServiceError`
+        outcome so no waiter blocks forever on an abandoned future.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._workers:
-            self._queue.put(_STOP)
+            for _ in self._workers:
+                self._queue.put(_STOP)
         for thread in self._workers:
             thread.join(timeout=60)
+        self._reject_queued_jobs()
         if (
             save
             and self.store is not None
@@ -291,6 +310,25 @@ class CompileService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _reject_queued_jobs(self) -> None:
+        """Resolve any job the workers left behind with a typed error."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            outcome = self._error_outcome(
+                item.digest,
+                ServiceError("compile service shut down before the job ran"),
+            )
+            with self._lock:
+                self._inflight.pop(item.digest, None)
+                self._admitted -= 1
+                self._counts["errors"] += 1
+            item.future.set_result(outcome)
 
     # -- worker side -----------------------------------------------------
 
@@ -312,6 +350,15 @@ class CompileService:
                 artifact = self.store.get(job.digest)
                 if artifact is not None:
                     status = STATUS_HIT
+                    # Admission counted this digest as a miss; now that
+                    # it is served from the store, reclassify so the
+                    # hit/miss counters agree with the outcome statuses.
+                    with self._lock:
+                        self._counts["cache_hits"] += 1
+                        self._counts["cache_misses"] -= 1
+                        self._counts["late_hits"] += 1
+                    metrics.counter("service.cache.hits").inc()
+                    metrics.counter("service.cache.late_hits").inc()
                     outcome = CompileOutcome(
                         digest=job.digest,
                         status=STATUS_HIT,

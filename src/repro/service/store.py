@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -29,6 +30,17 @@ from ..ir.serialize import PIPELINE_VERSION
 
 #: Bumped on any incompatible artifact-layout change; loaders check it.
 ARTIFACT_VERSION = 1
+
+#: The only shape a content address can take: a lowercase hex SHA-256.
+#: Everything the store touches on disk derives from a digest, so this
+#: is also the path-safety boundary — a digest that matches cannot name
+#: anything outside ``<root>/objects``.
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}")
+
+
+def is_valid_digest(digest: Any) -> bool:
+    """Whether ``digest`` is a well-formed content address."""
+    return isinstance(digest, str) and _DIGEST_RE.fullmatch(digest) is not None
 
 
 @dataclass
@@ -151,10 +163,18 @@ class ArtifactStore:
         self.objects.mkdir(parents=True, exist_ok=True)
 
     def _path(self, digest: str) -> Path:
+        if not is_valid_digest(digest):
+            raise ValueError(f"malformed artifact digest {digest!r}")
         return self.objects / digest[:2] / f"{digest}.json"
 
     def get(self, digest: str) -> Optional[CompileArtifact]:
-        """The stored artifact, or ``None`` (missing / corrupt / stale)."""
+        """The stored artifact, or ``None`` (missing / corrupt / stale).
+
+        A malformed digest (wire input is untrusted) is a miss, never a
+        filesystem access.
+        """
+        if not is_valid_digest(digest):
+            return None
         path = self._path(digest)
         try:
             with open(path) as handle:
@@ -171,7 +191,11 @@ class ArtifactStore:
         return artifact
 
     def put(self, artifact: CompileArtifact) -> Path:
-        """Atomically persist one artifact; returns its path."""
+        """Atomically persist one artifact; returns its path.
+
+        Raises :class:`ValueError` on a malformed digest rather than
+        writing outside the objects tree.
+        """
         path = self._path(artifact.digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -191,6 +215,8 @@ class ArtifactStore:
         return path
 
     def delete(self, digest: str) -> bool:
+        if not is_valid_digest(digest):
+            return False
         try:
             os.unlink(self._path(digest))
             return True
@@ -198,8 +224,15 @@ class ArtifactStore:
             return False
 
     def _quarantine(self, path: Path) -> None:
+        # Only ever unlink inside the objects tree, no matter what path
+        # was computed upstream: quarantine deletes cache entries, never
+        # arbitrary files the process happens to be able to write.
         try:
-            os.unlink(path)
+            resolved = path.resolve()
+            objects_root = self.objects.resolve()
+            if objects_root not in resolved.parents:
+                return
+            os.unlink(resolved)
         except OSError:
             pass
 

@@ -172,3 +172,78 @@ class TestCompileDigest:
         )
         replayed = Evaluator(rebuilt, seed=3).run(**copy.deepcopy(inputs))
         _same(original, replayed)
+
+
+class TestWireIRDigestSoundness:
+    """Hand-crafted (wire) IR is under no unique-binder contract; the
+    digest must never canonicalize two different programs together."""
+
+    @staticmethod
+    def _program(index_name, body_name):
+        from repro.ir.expr import Const, Param, Var
+        from repro.ir.patterns import Map, Program
+        from repro.ir.types import I32
+        from repro.ir.validate import validate_program
+
+        program = Program(
+            "wire",
+            (Param("%b0", I32),),
+            Map(
+                Const(4, I32),
+                Var(index_name, I32),
+                Var(body_name, I32),
+            ),
+        )
+        validate_program(program)  # both spellings are legal wire IR
+        return program
+
+    def test_param_spelled_like_canonical_binder_does_not_merge(self):
+        from repro.ir.serialize import compile_digest
+
+        # Same shape, different meaning: one body reads the *parameter*
+        # "%b0", the other reads the map *index*.  The flat rename used
+        # to send both to map(%b0 -> %b0), serving one's cached artifact
+        # for the other; with the contract check they hash apart.
+        uses_param = self._program("i", "%b0")
+        uses_binder = self._program("j", "j")
+        assert compile_digest(uses_param) != compile_digest(uses_binder)
+
+    def test_shadowed_binders_fall_back_to_raw_names(self):
+        from repro.ir.expr import Const, Param, Var
+        from repro.ir.patterns import Map, Program
+        from repro.ir.serialize import (
+            canonical_program_dict,
+            compile_digest,
+        )
+        from repro.ir.types import I32
+        from repro.ir.validate import validate_program
+
+        def nest(outer, inner, body):
+            program = Program(
+                "wire",
+                (Param("n", I32),),
+                Map(
+                    Var("n", I32),
+                    Var(outer, I32),
+                    Map(Const(4, I32), Var(inner, I32), Var(body, I32)),
+                ),
+            )
+            validate_program(program)
+            return program
+
+        shadowed = nest("i", "i", "i")        # body reads the inner index
+        distinct = nest("i", "j", "i")        # body reads the outer index
+        assert compile_digest(shadowed) != compile_digest(distinct)
+        # The shadowed program is digested with its names as-is (no
+        # rename map is sound for it), deterministically.
+        data = canonical_program_dict(shadowed)
+        assert data == program_to_dict(shadowed)
+        assert compile_digest(shadowed) == compile_digest(nest("i", "i", "i"))
+
+    def test_contract_satisfying_programs_still_renamed(self):
+        import json
+
+        from repro.ir.serialize import canonical_program_dict
+
+        data = canonical_program_dict(ALL_APPS["sumRows"].build())
+        assert "%b0" in json.dumps(data)

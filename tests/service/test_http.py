@@ -98,6 +98,34 @@ class TestEndpoints:
         assert status == 404
         assert data["error_type"] == "NotFound"
 
+    def test_artifact_traversal_is_404_and_touches_nothing(
+        self, served, tmp_path
+    ):
+        # urllib normalizes dot segments, so speak raw HTTP: the server
+        # must treat a traversal digest as not-found without opening
+        # (or quarantining) anything outside the store.
+        import http.client
+
+        victim = tmp_path / "victim.json"
+        victim.write_text("{ not json")  # would be unlinked if opened
+        for raw in (
+            "/v1/artifacts/../../../victim",
+            "/v1/artifacts/..%2f..%2fvictim",
+            "/v1/artifacts/ZZ" + "f" * 62,
+        ):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", served.port, timeout=10
+            )
+            try:
+                conn.request("GET", raw)
+                response = conn.getresponse()
+                assert response.status == 404
+                response.read()
+            finally:
+                conn.close()
+        assert victim.exists()
+        assert victim.read_text() == "{ not json"
+
 
 class TestErrorMapping:
     def test_unknown_app_is_400(self, served):

@@ -1,8 +1,10 @@
 """Sweep-memo persistence: defensive loads, one shared invalidation path."""
 
+import os
 import pickle
 
 from repro.analysis.cache import get_autotune_cache, get_search_cache
+from repro.ir.serialize import PIPELINE_VERSION
 from repro.service.memo import MEMO_VERSION, load_memo, memo_path, save_memo
 
 
@@ -40,6 +42,36 @@ class TestMemoPersistence:
             "search": [],
             "autotune": [],
         }
+        path.write_bytes(pickle.dumps(payload))
+        assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
+        assert not path.exists()
+
+    def test_malicious_pickle_is_discarded_not_executed(self, tmp_path):
+        # pickle.load resolves and calls arbitrary globals; the memo
+        # loader must treat a planted memo.pkl (shared/checked-out cache
+        # dir) as corrupt, not as code to run.
+        marker = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.system, (f"touch {marker}",))
+
+        path = memo_path(str(tmp_path))
+        path.write_bytes(pickle.dumps(Evil()))
+        assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
+        assert not marker.exists(), "unpickling must not execute globals"
+        assert not path.exists(), "hostile memo should be deleted"
+
+    def test_malformed_payload_shape_discarded(self, tmp_path):
+        # A version-correct pickle whose entries have the wrong shape
+        # raises TypeError/ValueError during install; still just a miss.
+        payload = {
+            "version": MEMO_VERSION,
+            "pipeline_version": PIPELINE_VERSION,
+            "search": 42,  # not an iterable of (key, value) pairs
+            "autotune": [],
+        }
+        path = memo_path(str(tmp_path))
         path.write_bytes(pickle.dumps(payload))
         assert load_memo(str(tmp_path)) == {"search": 0, "autotune": 0}
         assert not path.exists()

@@ -240,6 +240,70 @@ class TestErrors:
         with pytest.raises(ServiceError):
             service.submit(request())
 
+    def test_close_completes_admitted_jobs(self, tmp_path):
+        # Jobs admitted before close() are queued ahead of the stop
+        # sentinels, so workers drain them; no waiter blocks forever.
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(
+                workers=1, queue_limit=4, cache_dir=str(tmp_path / "cache")
+            ),
+            compile_fn=compiler,
+        )
+        t1 = service.submit(request(R=64, C=32))
+        t2 = service.submit(request(R=128, C=32))
+        closer = threading.Thread(target=lambda: service.close(save=False))
+        closer.start()
+        compiler.gate.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert t1.result(timeout=30).ok
+        assert t2.result(timeout=30).ok
+
+    def test_submit_racing_close_resolves_or_rejects(self, tmp_path):
+        # Whatever side of close() a submit lands on, its ticket must
+        # either resolve or the submit must raise a typed error — a
+        # future that never completes is the one forbidden outcome.
+        service = CompileService(
+            ServiceConfig(workers=2, queue_limit=16),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        results = []
+
+        def submitter(rows):
+            try:
+                ticket = service.submit(request(R=rows, C=32))
+                results.append(ticket.result(timeout=30))
+            except ServiceError as exc:  # includes QueueFullError
+                results.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(64 * (i + 1),))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        service.close(save=False)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(results) == 6
+
+    def test_stranded_queue_jobs_rejected_not_abandoned(self):
+        # If a job somehow remains queued after the workers exit (e.g.
+        # a worker overran the join timeout), close() resolves it with
+        # a typed error instead of leaving its future pending.
+        from repro.service.service import _Job
+
+        service = CompileService(ServiceConfig(workers=1))
+        service.close(save=False)
+        job = _Job("ab" * 32, request())
+        service._queue.put(job)
+        service._reject_queued_jobs()
+        outcome = job.future.result(timeout=5)
+        assert outcome.status == STATUS_ERROR
+        assert outcome.error.error_type == "ServiceError"
+
     def test_bad_config_rejected(self):
         with pytest.raises(ServiceError):
             CompileService(ServiceConfig(workers=0))
@@ -324,6 +388,38 @@ class TestStats:
             assert latency["p95"] >= latency["p50"] >= 0
             assert stats["store"]["artifacts"] == 1
         finally:
+            service.close()
+
+    def test_late_hit_reclassified_as_hit(self, tmp_path):
+        # An artifact persisted (e.g. by another process sharing the
+        # cache dir) while the job sat in the queue is served as a hit
+        # at execution time; the admission-time miss count is corrected
+        # so hit/miss counters agree with the outcome statuses.
+        compiler = GatedCompiler()
+        service = CompileService(
+            ServiceConfig(
+                workers=1, queue_limit=4, cache_dir=str(tmp_path / "cache")
+            ),
+            compile_fn=compiler,
+        )
+        try:
+            blocker = service.submit(request(R=64, C=32))
+            assert compiler.started.wait(timeout=30)
+            queued = service.submit(request(R=128, C=32))
+            assert queued.role == STATUS_MISS
+            # Simulate the concurrent writer before the worker gets there.
+            service.store.put(fake_artifact(queued.digest))
+            compiler.gate.set()
+            assert blocker.result(timeout=30).ok
+            outcome = queued.result(timeout=30)
+            assert outcome.status == STATUS_HIT
+            stats = service.stats()
+            assert stats["late_hits"] == 1
+            assert stats["cache_hits"] == 1
+            assert stats["cache_misses"] == 1  # only the executed job
+            assert stats["executions"] == 1
+        finally:
+            compiler.gate.set()
             service.close()
 
     def test_metrics_mirrored_when_enabled(self, tmp_path):

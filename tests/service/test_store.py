@@ -9,6 +9,7 @@ from repro.service.store import (
     ArtifactStore,
     CompileArtifact,
     build_artifact,
+    is_valid_digest,
 )
 
 
@@ -125,6 +126,52 @@ class TestStore:
         stats = store.stats()
         assert stats["artifacts"] == 1
         assert stats["bytes"] > 0
+
+
+class TestDigestSafety:
+    """Digests come off the wire; only well-formed ones may touch disk."""
+
+    def test_digest_validation(self):
+        assert is_valid_digest("ab" * 32)
+        assert not is_valid_digest("AB" * 32)          # case matters
+        assert not is_valid_digest("ab" * 31)          # too short
+        assert not is_valid_digest("zz" * 32)          # not hex
+        assert not is_valid_digest("../../etc/passwd")
+        assert not is_valid_digest("")
+        assert not is_valid_digest(None)
+
+    def test_traversal_digest_is_miss_and_touches_nothing(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        # A *.json file outside the store that would be quarantined
+        # (unlinked) if the traversal ever reached open().
+        victim = tmp_path / "victim.json"
+        victim.write_text("{ not json")
+        assert store.get("../../victim") is None
+        assert victim.exists()
+        assert victim.read_text() == "{ not json"
+
+    def test_delete_rejects_malformed_digest(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        victim = tmp_path / "victim.json"
+        victim.write_text("data")
+        assert not store.delete("../../victim")
+        assert victim.exists()
+
+    def test_put_rejects_malformed_digest(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        with pytest.raises(ValueError):
+            store.put(make_artifact("../../escape"))
+        assert not (tmp_path / "escape.json").exists()
+
+    def test_quarantine_confined_to_objects_tree(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        outside = tmp_path / "outside.json"
+        outside.write_text("data")
+        store._quarantine(outside)
+        assert outside.exists(), "quarantine must never leave the store"
+        inside = store.put(make_artifact())
+        store._quarantine(inside)
+        assert not inside.exists()
 
 
 class TestBuildArtifact:
