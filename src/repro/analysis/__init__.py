@@ -6,6 +6,8 @@ Public surface:
 * :mod:`repro.analysis.analyzer` — one-call program analysis facade.
 * :mod:`repro.analysis.search` — the staged Algorithm-1 search (pruned
   branch-and-bound plus an exhaustive reference oracle).
+* :mod:`repro.analysis.vectorized` — the NumPy batch search engine
+  (byte-identical to the reference, candidate matrix at once).
 * :mod:`repro.analysis.cache` — cross-sweep memoization of search results.
 * :mod:`repro.analysis.strategies` — fixed baselines from prior work.
 """
@@ -63,9 +65,19 @@ from .nesting import Nest, build_nest, extract_kernels, outermost_patterns  # no
 from .scoring import ScoredMapping, score_mapping, satisfied_constraints  # noqa: F401
 from .search import (  # noqa: F401
     SearchResult,
+    count_candidates,
     enumerate_candidates,
+    resolve_engine,
     search_mapping,
     search_mapping_reference,
+)
+from .vectorized import (  # noqa: F401
+    BatchUnsupported,
+    CandidateBatch,
+    clear_batch_memo,
+    iter_feasible_mappings,
+    materialize_candidates,
+    search_mapping_vectorized,
 )
 from .shapes import SizeEnv, eval_size  # noqa: F401
 from .tables import ConstraintTables, span_options_for_levels  # noqa: F401

@@ -33,6 +33,7 @@ from .mapping import Mapping
 from .scoring import hard_feasible
 from .search import enumerate_candidates
 from .shapes import SizeEnv
+from .vectorized import BatchUnsupported, iter_feasible_mappings
 
 
 @dataclass
@@ -149,16 +150,34 @@ def autotune_mapping(
     sizes = tuple(analysis.level_sizes())
     splittable = analysis.constraints.span_all_levels()
 
+    # Hard feasibility is the cheap part of the sweep, and the batch
+    # engine evaluates it for the whole candidate matrix at once; fall
+    # back to the scalar per-candidate filter only when a hard
+    # constraint has no batch predicate.  Either path yields the same
+    # mappings in the same order.
+    prefiltered = True
+    try:
+        candidates = list(
+            iter_feasible_mappings(
+                analysis.depth, analysis.constraints, sizes, block_sizes
+            )
+        )
+    except BatchUnsupported:
+        prefiltered = False
+        candidates = enumerate_candidates(
+            analysis.depth, analysis.constraints, block_sizes
+        )
+
     timed: List[Tuple[Mapping, float]] = []
     rejected_nonfinite = 0
     exhausted = False
-    for candidate in enumerate_candidates(
-        analysis.depth, analysis.constraints, block_sizes
-    ):
+    for candidate in candidates:
         if budget is not None and not budget.spend():
             exhausted = True
             break
-        if not hard_feasible(candidate, analysis.constraints, sizes):
+        if not prefiltered and not hard_feasible(
+            candidate, analysis.constraints, sizes
+        ):
             continue
         if apply_control_dop:
             candidate = control_dop(candidate, sizes, window, splittable)

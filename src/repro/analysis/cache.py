@@ -71,8 +71,15 @@ def search_cache_key(
     window,
     keep_all: bool,
     seed: int,
+    engine: str = "auto",
 ) -> Tuple:
-    """Key for one ``search_mapping`` invocation."""
+    """Key for one ``search_mapping`` invocation.
+
+    ``engine`` is part of the key: every engine returns byte-identical
+    mappings and scores, but the telemetry (strategy label, nodes
+    visited, batch shape) legitimately differs, so a result computed by
+    one engine must not be served for a request that forced another.
+    """
     return (
         "search",
         constraint_set_fingerprint(cset),
@@ -82,6 +89,7 @@ def search_cache_key(
         (window.min_dop, window.max_dop),
         keep_all,
         seed,
+        engine,
     )
 
 
@@ -249,6 +257,13 @@ def get_autotune_cache() -> SearchCache:
 
 
 def clear_caches() -> None:
-    """Reset both caches and their statistics (tests, benchmarks)."""
+    """Reset both caches and their statistics (tests, benchmarks).
+
+    Also drops the vectorized engine's candidate-structure memo so a
+    full reset leaves no process-wide search state behind.
+    """
     _SEARCH_CACHE.clear()
     _AUTOTUNE_CACHE.clear()
+    from .vectorized import clear_batch_memo
+
+    clear_batch_memo()

@@ -29,7 +29,7 @@ from ..config import (
     WARP_SIZE,
 )
 from .access import AccessSummary
-from .mapping import Dim, Mapping, Seq, Span, SpanAll, Split
+from .mapping import SPAN_CODE_SPANALL, Dim, Mapping, Seq, Span, SpanAll, Split
 from .nesting import Nest
 from .shapes import SizeEnv
 
@@ -67,6 +67,43 @@ class Constraint:
         """
         return None
 
+    def batch_satisfied(self, batch) -> Optional["object"]:
+        """Vectorized satisfaction over a whole candidate matrix.
+
+        ``batch`` is a :class:`repro.analysis.vectorized.CandidateBatch`
+        — integer-coded ``(candidate, level)`` arrays of dims, block
+        sizes, and spans for every candidate the search enumerates (all
+        levels parallel, spans limited to Span(1)/Span(all)).  The
+        return value is a boolean NumPy array of shape ``(len(batch),)``
+        that must equal ``[self.satisfied_by(m, batch.sizes) for m in
+        candidates]`` element for element — the vectorized engine's
+        byte-identical contract rests on that equality, and the
+        three-engine equivalence tests enforce it.
+
+        ``None`` (the base default) means *no batch path*: the engine
+        falls back to the branch-and-bound walk (or per-candidate
+        evaluation for opaque constraints).  Subclasses overriding this
+        make the same promise as :meth:`footprint`: the predicate must
+        agree with ``satisfied_by`` for search-space candidates.
+        """
+        return None
+
+    #: Declares that :meth:`batch_satisfied` never reads ``batch.spans``.
+    #: Candidate spans expand innermost, so the vectorized engine
+    #: evaluates span-free predicates on the (permutation, block-size)
+    #: base rows — ``span_tile`` times fewer — and broadcasts the column.
+    #: Like :meth:`footprint`, the declaration is trusted: a predicate
+    #: claiming span freedom while reading spans would silently break
+    #: the byte-identical contract (the equivalence suite would catch
+    #: it).
+    batch_span_free = False
+
+    #: The dual declaration: :meth:`batch_satisfied` reads *only*
+    #: ``batch.spans`` (plus ``num_levels``/``len``).  The engine then
+    #: evaluates the predicate once per span combination — a handful of
+    #: rows — and tiles the column across the base pairs.
+    batch_base_free = False
+
 
 @dataclass(frozen=True)
 class SpanAllRequired(Constraint):
@@ -97,6 +134,17 @@ class SpanAllRequired(Constraint):
     def footprint(self) -> Optional[Tuple]:
         return ("level", self.level)
 
+    batch_base_free = True
+
+    def batch_satisfied(self, batch):
+        import numpy as np
+
+        if self.level >= batch.num_levels:
+            return np.zeros(len(batch), dtype=bool)
+        # Search candidates only carry Span(1)/Span(all): the Seq and
+        # Split branches of satisfied_by are unreachable here.
+        return batch.spans[:, self.level] == SPAN_CODE_SPANALL
+
 
 @dataclass(frozen=True)
 class CoalesceDimX(Constraint):
@@ -122,6 +170,17 @@ class CoalesceDimX(Constraint):
     def footprint(self) -> Optional[Tuple]:
         return ("level", self.level)
 
+    batch_span_free = True
+
+    def batch_satisfied(self, batch):
+        import numpy as np
+
+        if self.level >= batch.num_levels:
+            return np.zeros(len(batch), dtype=bool)
+        return (batch.dims[:, self.level] == int(Dim.X)) & (
+            batch.block_sizes[:, self.level] % WARP_SIZE == 0
+        )
+
 
 @dataclass(frozen=True)
 class AvoidDivergence(Constraint):
@@ -146,6 +205,17 @@ class AvoidDivergence(Constraint):
     def footprint(self) -> Optional[Tuple]:
         return ("warp", self.levels)
 
+    batch_span_free = True
+
+    def batch_satisfied(self, batch):
+        import numpy as np
+
+        out = np.ones(len(batch), dtype=bool)
+        for level in self.levels:
+            if level < batch.num_levels:
+                out &= ~batch.warp_varies(level)
+        return out
+
 
 @dataclass(frozen=True)
 class BlockSizeFloor(Constraint):
@@ -158,6 +228,11 @@ class BlockSizeFloor(Constraint):
 
     def footprint(self) -> Optional[Tuple]:
         return ("block",)
+
+    batch_span_free = True
+
+    def batch_satisfied(self, batch):
+        return batch.threads_per_block >= MIN_BLOCK_SIZE
 
 
 @dataclass(frozen=True)
@@ -182,6 +257,28 @@ class NoWastedThreads(Constraint):
 
     def footprint(self) -> Optional[Tuple]:
         return ("level", self.level)
+
+    batch_span_free = True
+
+    def batch_satisfied(self, batch):
+        import numpy as np
+
+        if self.level >= batch.num_levels:
+            return np.zeros(len(batch), dtype=bool)
+        sizes = batch.sizes
+        size = sizes[self.level] if self.level < len(sizes) else 1
+        return batch.block_sizes[:, self.level] <= max(1, size)
+
+
+def has_batch_predicate(constraint: Constraint) -> bool:
+    """Does this constraint carry a vectorized batch path?
+
+    Resolution is by method identity, mirroring how ``footprint`` is
+    trusted: a subclass that overrides ``satisfied_by`` without also
+    overriding ``batch_satisfied`` (or ``footprint``) is declaring that
+    the inherited classification still holds.
+    """
+    return type(constraint).batch_satisfied is not Constraint.batch_satisfied
 
 
 @dataclass

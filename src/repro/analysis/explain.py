@@ -117,6 +117,10 @@ def render_telemetry(result: SearchResult) -> List[str]:
         + (" (original search; cache lookup was ~free)"
            if data["cache_hit"] else ""),
     ]
+    if data.get("batch_shape"):
+        rows, axes = data["batch_shape"]
+        lines.insert(2, f"batch: {rows} x {axes} candidate matrix "
+                        "(vectorized engine)")
     if data["degraded"]:
         lines.append(f"degraded: {result.degraded_reason}")
     return lines

@@ -97,6 +97,21 @@ class Seq:
 
 SpanType = Union[Span, SpanAll, Split, Seq]
 
+#: Integer span codes for the vectorized search's candidate matrices
+#: (:mod:`repro.analysis.vectorized`).  Only the two span types the
+#: search enumerates get codes; Split/Seq never appear in its space.
+SPAN_CODE_SPAN1 = 0
+SPAN_CODE_SPANALL = 1
+
+
+def span_code(span: SpanType) -> int:
+    """The integer code of a search-space span (Span(1) or Span(all))."""
+    if isinstance(span, Span) and span.n == 1:
+        return SPAN_CODE_SPAN1
+    if isinstance(span, SpanAll):
+        return SPAN_CODE_SPANALL
+    raise MappingError(f"span {span} is outside the search candidate space")
+
 
 @dataclass(frozen=True)
 class LevelMapping:

@@ -14,39 +14,59 @@ seeded reservoir sample over the tied candidates (the paper picks
 randomly; seeding keeps runs reproducible, and reservoir sampling keeps
 the pick uniform however many candidates tie).
 
-Two implementations share that contract:
+Three engines share that contract:
 
 * :func:`search_mapping_reference` — the original exhaustive loop.  It
   enumerates every structurally valid candidate and calls every
   constraint's ``satisfied_by`` per candidate.  Retained as the oracle
-  for equivalence tests.
-* :func:`search_mapping` — a staged, pruned, memoized pipeline that
-  returns byte-identical results.  Constraint satisfaction is
+  for equivalence tests, and dispatched directly for tiny candidate
+  spaces where any staging overhead exceeds the walk.
+* the pruned walk (:func:`_search_pruned`) — constraint satisfaction is
   precomputed into per-``(level, dim, block_size, span)`` tables
   (:mod:`repro.analysis.tables`); enumeration is a level-by-level
   branch-and-bound walk that discards subtrees which violate a hard
   constraint or whose optimistic score cannot reach the incumbent
   (candidate counts for skipped subtrees are reconstructed exactly by a
-  small counting DP, so the telemetry matches the reference); and whole
-  results are memoized across shape sweeps (:mod:`repro.analysis.cache`).
+  small counting DP, so the telemetry matches the reference).
+* the vectorized batch engine (:mod:`repro.analysis.vectorized`) — the
+  whole candidate space as integer-coded NumPy matrices, every
+  constraint one vectorized predicate, the tie-break replayed from a
+  packed prefix-maximum.  Fastest for exhaustive (cold) searches over
+  deep nests; declines constraint sets without batch predicates.
 
-Equivalence rests on two invariants: the walk visits candidates in the
-reference's enumeration order, and pruning is *strict* — only subtrees
-whose best possible score is strictly below the incumbent are skipped, so
-every potential tie still reaches the reservoir sampler and consumes the
-same random draws.
+:func:`search_mapping` is the staged, memoized pipeline over all three:
+memo lookup, then engine selection (``engine="auto"`` picks by
+enumerated candidate count — tiny spaces take the plain loop, large
+batch-supported spaces the vectorized engine, everything else the
+pruned walk; ``REPRO_SEARCH_ENGINE`` or the ``engine=`` argument force
+one), with graceful fallback when a forced engine cannot run.  All
+engines return byte-identical results.
+
+Equivalence rests on two invariants: every engine visits (or accounts
+for) candidates in the reference's enumeration order, and pruning is
+*strict* — only subtrees whose best possible score is strictly below the
+incumbent are skipped, so every potential tie still reaches the
+reservoir sampler and consumes the same random draws.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..config import BLOCK_SIZE_CANDIDATES, MAX_BLOCK_SIZE, TIE_BREAK_SEED
+from ..config import (
+    BLOCK_SIZE_CANDIDATES,
+    MAX_BLOCK_SIZE,
+    SEARCH_ENGINE_ENV,
+    SEARCH_ENGINES,
+    SEARCH_SMALL_SPACE_CANDIDATES,
+    TIE_BREAK_SEED,
+)
 from ..errors import ReproError, SearchError
 from ..observability import get_metrics, get_tracer
 from ..resilience.budget import Budget
@@ -56,7 +76,7 @@ from .constraints import ConstraintSet
 from .dop import DopWindow, control_dop
 from .mapping import DIM_MAX_THREADS, Dim, LevelMapping, Mapping, seq_level
 from .scoring import ScoredMapping, hard_feasible, score_mapping
-from .tables import ConstraintTables, span_options_for_levels
+from .tables import ConstraintTables, batch_supported, span_options_for_levels
 
 
 class _BudgetStop(Exception):
@@ -95,6 +115,9 @@ class SearchResult:
     degraded: bool = False
     #: Why the search degraded (empty for full-fidelity results).
     degraded_reason: str = ""
+    #: ``(rows, levels)`` of the candidate matrix when the vectorized
+    #: engine ran; None for the walking engines.
+    batch_shape: Optional[Tuple[int, int]] = None
 
     def telemetry(self) -> dict:
         """The canonical diagnostics view of this result.
@@ -115,6 +138,15 @@ class SearchResult:
             "nodes_pruned": self.nodes_pruned,
             "elapsed_ms": self.elapsed_ms,
             "degraded": self.degraded,
+            # getattr: results unpickled from artifacts written before the
+            # field existed must still render.  Rendered as a list so the
+            # dict is JSON-round-trip stable (provenance artifacts compare
+            # loaded against built).
+            "batch_shape": (
+                list(self.batch_shape)
+                if getattr(self, "batch_shape", None) is not None
+                else None
+            ),
         }
 
 
@@ -127,6 +159,66 @@ def _effective_block_sizes(
         # second while still spanning the useful shapes.
         return (1, 4, 16, 64, 256, 1024)
     return tuple(block_sizes)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine request (argument > environment > ``auto``).
+
+    ``engine=None`` defers to the ``REPRO_SEARCH_ENGINE`` environment
+    variable, which defers to ``auto``.  Unknown names raise
+    :class:`~repro.errors.SearchError` — a typo'd override failing loudly
+    beats a sweep silently run on the wrong engine.
+    """
+    if engine is None:
+        engine = os.environ.get(SEARCH_ENGINE_ENV) or "auto"
+    engine = engine.strip().lower()
+    if engine not in SEARCH_ENGINES:
+        raise SearchError(
+            f"unknown search engine {engine!r}; expected one of "
+            f"{', '.join(SEARCH_ENGINES)}"
+        )
+    return engine
+
+
+def count_candidates(
+    num_levels: int,
+    cset: ConstraintSet,
+    block_sizes: Sequence[int] = BLOCK_SIZE_CANDIDATES,
+) -> int:
+    """Exact size of the enumerated candidate space, without enumerating.
+
+    The same counting DP the pruned walk uses for skipped subtrees,
+    summed over every dimension permutation: structurally valid block
+    size tuples (per-dim caps, per-block product cap) times the span
+    combinations.  Auto engine selection reads this to route tiny spaces
+    to the plain exhaustive loop, whose fixed costs are the lowest.
+    """
+    block_sizes = tuple(block_sizes)
+    span_mult = 1
+    for options in span_options_for_levels(cset, num_levels):
+        span_mult *= len(options)
+    dims = list(Dim)[:num_levels]
+    total = 0
+    for dim_perm in itertools.permutations(dims, num_levels):
+        memo: dict = {}
+
+        def tuples(k: int, budget: int) -> int:
+            if k == num_levels:
+                return 1
+            key = (k, budget)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            cap = DIM_MAX_THREADS[dim_perm[k]]
+            count = 0
+            for size in block_sizes:
+                if size <= cap and size <= budget:
+                    count += tuples(k + 1, budget // size)
+            memo[key] = count
+            return count
+
+        total += tuples(0, MAX_BLOCK_SIZE)
+    return total * span_mult
 
 
 def enumerate_candidates(
@@ -397,6 +489,10 @@ def _record_search_metrics(result: SearchResult) -> None:
     metrics.counter("search.nodes.pruned").inc(data["nodes_pruned"])
     metrics.counter(f"search.strategy.{data['strategy']}").inc()
     metrics.histogram("search.elapsed_ms").observe(data["elapsed_ms"])
+    if data["batch_shape"] is not None:
+        metrics.histogram("search.batch.candidates").observe(
+            data["batch_shape"][0]
+        )
     if data["degraded"]:
         metrics.counter("resilience.fallback.activations").inc()
 
@@ -663,13 +759,16 @@ def search_mapping(
     seed: int = TIE_BREAK_SEED,
     use_cache: bool = True,
     budget: Optional[Budget] = None,
+    engine: Optional[str] = None,
 ) -> SearchResult:
     """Run Algorithm 1 and return the selected mapping.
 
-    This is the staged pipeline: memo lookup, constraint tables, pruned
-    tree walk.  Results are byte-identical to
-    :func:`search_mapping_reference` (asserted by
-    ``tests/analysis/test_search_equivalence.py``).
+    This is the staged pipeline: memo lookup, engine selection, then the
+    chosen engine (plain exhaustive loop, pruned tree walk, or the
+    vectorized batch engine).  Results are byte-identical to
+    :func:`search_mapping_reference` whichever engine runs (asserted by
+    ``tests/analysis/test_search_equivalence.py`` and
+    ``tests/analysis/test_search_engines.py``).
 
     Args:
         num_levels: nest depth of the kernel.
@@ -683,9 +782,18 @@ def search_mapping(
         budget: optional node/deadline budget; on exhaustion the search
             returns the conservative fallback mapping (``degraded=True``)
             instead of raising.
+        engine: ``"auto"`` (default; also via ``REPRO_SEARCH_ENGINE``)
+            picks the cheapest engine for the space — the plain
+            exhaustive loop below ``SEARCH_SMALL_SPACE_CANDIDATES``
+            candidates, the vectorized batch engine when every
+            constraint has a batch predicate, the pruned walk otherwise.
+            ``"exhaustive"`` / ``"pruned"`` / ``"vectorized"`` force one;
+            a forced engine that cannot run the set falls back to the
+            next correct one rather than failing.
     """
     if window is None:
         window = DopWindow()
+    engine = resolve_engine(engine)
     block_sizes = _effective_block_sizes(num_levels, block_sizes)
     sizes_t = _validate(num_levels, sizes)
     start = time.perf_counter()
@@ -703,8 +811,14 @@ def search_mapping(
         cache = get_search_cache() if use_cache else None
         key = None
         if cache is not None:
+            # The engine is part of the key: all engines return
+            # byte-identical mappings, but the telemetry (strategy,
+            # batch shape, work counters) describes the engine that ran,
+            # and a forced-engine caller must not be served another
+            # engine's diagnostics.
             key = search_cache_key(
-                cset, num_levels, sizes_t, block_sizes, window, keep_all, seed
+                cset, num_levels, sizes_t, block_sizes, window, keep_all,
+                seed, engine=engine,
             )
             try:
                 hit = cache.get(key)
@@ -726,7 +840,7 @@ def search_mapping(
 
         result = _search_fresh(
             num_levels, cset, sizes_t, window, block_sizes, keep_all, seed,
-            budget,
+            budget, engine=engine,
         )
         # The one and only elapsed_ms assignment for a fresh result:
         # pruned, reference-fallback, and budget-degraded paths all flow
@@ -752,9 +866,12 @@ def _search_fresh(
     keep_all: bool,
     seed: int,
     budget: Optional[Budget],
+    engine: str = "auto",
 ) -> SearchResult:
     """The uncached search body.  Leaves ``elapsed_ms`` unset — the
     caller stamps it once, whichever path produced the result."""
+    from .vectorized import BatchUnsupported, _search_vectorized
+
     if budget is not None and budget.exhausted():
         return _fallback_result(
             num_levels, cset, sizes_t, window,
@@ -762,16 +879,57 @@ def _search_fresh(
             budget=budget,
         )
 
-    tables = ConstraintTables.build(cset, num_levels, sizes_t, block_sizes)
-    if tables.always_infeasible:
-        # A hard constraint no candidate can satisfy (the reference would
-        # enumerate everything and then raise the same error).
-        raise SearchError("no feasible mapping satisfies the hard constraints")
+    if engine == "auto":
+        # Cheapest engine for the space: tiny spaces lose more to staging
+        # (tables, arrays) than the plain loop costs; large batch-capable
+        # spaces belong to the vectorized engine; the pruned walk covers
+        # the rest.  A detail-mode tracer wants the per-subtree
+        # visit/prune instants only the walk can emit, so it pins the
+        # walk rather than silently tracing nothing.
+        tracer = get_tracer()
+        if tracer.enabled and tracer.detail:
+            engine = "pruned"
+        elif (count_candidates(num_levels, cset, block_sizes)
+                <= SEARCH_SMALL_SPACE_CANDIDATES):
+            engine = "exhaustive"
+        elif batch_supported(cset):
+            engine = "vectorized"
+        else:
+            engine = "pruned"
+
     try:
+        # The exhaustive loop and the batch engine detect infeasibility
+        # and opacity themselves, so neither pays for constraint tables.
+        if engine == "exhaustive":
+            return _search_exhaustive(
+                num_levels, cset, sizes_t, window, block_sizes, keep_all,
+                seed, strategy="exhaustive", budget=budget,
+            )
+        if engine == "vectorized":
+            try:
+                return _search_vectorized(
+                    num_levels, cset, sizes_t, window, block_sizes,
+                    keep_all, seed, budget=budget,
+                )
+            except BatchUnsupported:
+                # Opaque constraint or int64 overflow: degrade to the
+                # walking engines below, which handle both.
+                pass
+
+        tables = ConstraintTables.build(
+            cset, num_levels, sizes_t, block_sizes
+        )
+        if tables.always_infeasible:
+            # A hard constraint no candidate can satisfy (the reference
+            # would enumerate everything and raise the same error).
+            raise SearchError(
+                "no feasible mapping satisfies the hard constraints"
+            )
         if tables.has_opaque:
             # Unknown constraint types: fall back to per-candidate
             # evaluation (correct for any satisfied_by, just not
-            # table-accelerated).
+            # table-accelerated).  This also guards a forced "pruned":
+            # the walk cannot evaluate opaque constraints at all.
             return _search_exhaustive(
                 num_levels, cset, sizes_t, window, block_sizes, keep_all,
                 seed, strategy="reference-fallback", budget=budget,

@@ -23,7 +23,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import WARP_SIZE
-from .constraints import AvoidDivergence, Constraint, ConstraintSet
+from .constraints import (
+    AvoidDivergence,
+    Constraint,
+    ConstraintSet,
+    has_batch_predicate,
+)
 from .mapping import (
     DIM_MAX_THREADS,
     Dim,
@@ -34,6 +39,20 @@ from .mapping import (
     SpanType,
     seq_level,
 )
+
+
+def batch_supported(cset: ConstraintSet) -> bool:
+    """Can every constraint be evaluated as a vectorized batch predicate?
+
+    The third axis of the footprint classification: alongside *where* a
+    constraint reads (level/block/warp/opaque), each built-in constraint
+    declares *how* it can be evaluated over a whole candidate matrix
+    (:meth:`Constraint.batch_satisfied`).  The vectorized engine is only
+    eligible when every constraint — hard and soft — has a batch path;
+    one opaque constraint sends the search back to the walk, the same
+    containment rule the tables apply per family.
+    """
+    return all(has_batch_predicate(c) for c in cset.constraints)
 
 
 def span_options_for_levels(
@@ -151,6 +170,10 @@ class ConstraintTables:
             and not self.warp_hard
             and not any(c.hard for c in self.opaque)
         )
+
+        #: Whether the vectorized batch engine can evaluate this set
+        #: (every constraint carries a ``batch_satisfied`` path).
+        self.batch_supported = batch_supported(cset)
 
         # Per-(level, dim, size) cells.
         self.cells: Dict[Tuple[int, Dim, int], LevelCell] = {}

@@ -125,7 +125,9 @@ def cmd_map(args: argparse.Namespace) -> int:
     for index, ka in enumerate(pa.kernels):
         print(f"=== kernel {index} (depth {ka.depth}, "
               f"sizes {ka.level_sizes()}) ===")
-        decision = decide_mapping(ka, args.strategy, device)
+        decision = decide_mapping(
+            ka, args.strategy, device, engine=getattr(args, "engine", None)
+        )
         if args.explain:
             from repro.analysis import explain_mapping
 
@@ -599,12 +601,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.config import SEARCH_ENGINES
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine", default=None, choices=SEARCH_ENGINES,
+            help="mapping-search engine (default: REPRO_SEARCH_ENGINE "
+                 "env or auto-select by candidate-space size)",
+        )
 
     sub.add_parser("info", help="package overview").set_defaults(fn=cmd_info)
     sub.add_parser("apps", help="list benchmark apps").set_defaults(
@@ -619,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="per-constraint accounting of the mapping's score",
     )
+    add_engine_flag(p_map)
     p_map.set_defaults(fn=cmd_map)
 
     p_cuda = sub.add_parser("cuda", help="dump generated CUDA for an app")
@@ -743,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the mapping-provenance JSON")
     p_tr.add_argument("--stats", action="store_true",
                       help="also print the metrics-registry snapshot")
+    add_engine_flag(p_tr)
     p_tr.set_defaults(fn=cmd_trace)
 
     p_st = sub.add_parser(
@@ -757,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--url", default=None, metavar="URL",
                       help="query a running compile server's /v1/stats "
                       "instead of compiling locally")
+    add_engine_flag(p_st)
     p_st.set_defaults(fn=cmd_stats)
 
     p_ex = sub.add_parser(
@@ -802,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--trace", default=None, metavar="FILE",
                       help="write a Chrome trace of every request on "
                       "shutdown")
+    add_engine_flag(p_sv)
     p_sv.set_defaults(fn=cmd_serve)
 
     p_sub = sub.add_parser(
@@ -843,6 +858,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     import sys
 
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None):
+        # One switch for every compile path a command may reach (local
+        # searches, GpuSession pipelines, the compile service): the
+        # search resolves this environment override per invocation.
+        import os
+
+        from repro.config import SEARCH_ENGINE_ENV
+
+        os.environ[SEARCH_ENGINE_ENV] = args.engine
     try:
         return args.fn(args)
     except BrokenPipeError:

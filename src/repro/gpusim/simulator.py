@@ -47,6 +47,7 @@ def decide_mapping(
     device: GpuDevice,
     optimize: bool = True,
     budget=None,
+    engine: Optional[str] = None,
 ) -> KernelDecision:
     """Resolve a strategy to a concrete mapping for one kernel.
 
@@ -54,7 +55,8 @@ def decide_mapping(
     utilized the optimizations where applicable") the Section-V pipeline
     builds the launch plan; otherwise a bare plan with preallocation only.
     ``budget`` bounds the MultiDim search (ignored by fixed strategies,
-    which decide in constant time).
+    which decide in constant time); ``engine`` forces a search engine for
+    the MultiDim strategy.
     """
     score: Optional[float] = None
     search: Optional[SearchResult] = None
@@ -62,7 +64,7 @@ def decide_mapping(
         mapping = strategy
     elif strategy == "multidim":
         search = analysis.select_mapping(
-            window=device.dop_window(), budget=budget
+            window=device.dop_window(), budget=budget, engine=engine
         )
         mapping, score = search.mapping, search.score
     else:

@@ -1,25 +1,42 @@
-"""Tier-1 performance guard for the staged search.
+"""Tier-1 performance guards for the staged search.
 
 A depth-3 search over the full default grid enumerates ~6-25k candidates;
-the reference loop needs ~100 ms and the pruned walk single-digit
-milliseconds.  The budget here is deliberately generous (2 s wall-clock,
-uncached) — it exists to catch an accidental return to per-candidate
-``satisfied_by`` evaluation or broken pruning, not to benchmark.
+the reference loop needs ~100 ms, the pruned walk single-digit
+milliseconds, and the vectorized batch engine sub-millisecond.  The
+wall-clock budgets here are deliberately generous — they exist to catch
+an accidental return to per-candidate ``satisfied_by`` evaluation or
+broken pruning, not to benchmark.
+
+``test_vectorized_beats_pruned`` is the CI perf-smoke gate: the batch
+engine must hold a real multiple over the pruned walk on the depth-4
+exhaustive config, or the PR that regressed it fails.
 """
 
 import time
 
 from repro.analysis import analyze_program
-from repro.analysis.search import search_mapping
+from repro.analysis.search import _effective_block_sizes, search_mapping
 from repro.apps import ALL_APPS, merge_params
+from repro.config import BLOCK_SIZE_CANDIDATES
 
 SEARCH_BUDGET_SECONDS = 2.0
 
+#: CI perf-smoke floor: vectorized over pruned on the depth-4 exhaustive
+#: cold search.  The engine holds >10x on the benchmark machines; 3x
+#: leaves headroom for noisy shared runners while still catching a
+#: collapse back to per-candidate work.
+MIN_VECTORIZED_SPEEDUP = 3.0
 
-def test_depth3_search_within_budget():
+
+def _depth3_kernel():
     app = ALL_APPS["msmbuilder"]
     ka = analyze_program(app.build(), **merge_params(app, {})).kernel(0)
     assert ka.depth == 3
+    return ka
+
+
+def test_depth3_search_within_budget():
+    ka = _depth3_kernel()
 
     start = time.perf_counter()
     result = search_mapping(
@@ -27,9 +44,93 @@ def test_depth3_search_within_budget():
     )
     elapsed = time.perf_counter() - start
 
+    # Auto-selection hands a large batch-capable space to the
+    # vectorized engine.
+    assert result.strategy == "vectorized"
+    assert result.batch_shape == (result.candidates_total, ka.depth)
+    assert elapsed < SEARCH_BUDGET_SECONDS, (
+        f"depth-3 search took {elapsed:.2f}s (budget "
+        f"{SEARCH_BUDGET_SECONDS}s); did the batch engine regress?"
+    )
+
+
+def test_depth3_pruned_engine_within_budget():
+    ka = _depth3_kernel()
+
+    start = time.perf_counter()
+    result = search_mapping(
+        ka.depth, ka.constraints, ka.level_sizes(), use_cache=False,
+        engine="pruned",
+    )
+    elapsed = time.perf_counter() - start
+
     assert result.strategy == "pruned"
     assert result.candidates_scored < result.candidates_total
     assert elapsed < SEARCH_BUDGET_SECONDS, (
-        f"depth-3 search took {elapsed:.2f}s (budget "
+        f"depth-3 pruned search took {elapsed:.2f}s (budget "
         f"{SEARCH_BUDGET_SECONDS}s); did pruning regress?"
+    )
+
+
+def _depth4_kernel():
+    """Four parallel levels (mirrors the scaling benchmark's depth-4 case)."""
+    from repro.ir import Builder, F64
+    from repro.ir.builder import range_map
+
+    b = Builder("batchedClustering")
+    batches = b.size("B")
+    frames = b.size("P")
+    clusters = b.size("K")
+    x = b.matrix("X", F64, rows="P", cols="D")
+    cent = b.matrix("Cent", F64, rows="K", cols="D")
+    scale = b.vector("scale", F64, length="B")
+    out = range_map(
+        batches,
+        lambda bi: range_map(
+            frames,
+            lambda pi: range_map(
+                clusters,
+                lambda ki: x.row(pi).zip_with(
+                    cent.row(ki), lambda a, c: (a - c) * (a - c)
+                ).reduce("+") * scale[bi],
+                index_name="ki",
+            ),
+            index_name="pi",
+        ),
+        index_name="bi",
+    )
+    program = b.build(out)
+    return analyze_program(program, B=8, P=64, K=64, D=64).kernel(0)
+
+
+def test_vectorized_beats_pruned():
+    """CI perf smoke: batch engine >= 3x the pruned walk at depth 4."""
+    ka = _depth4_kernel()
+    assert ka.depth == 4
+    # Depth >= 4 coarsens the grid by default; make both engines search
+    # the identical space.
+    grid = _effective_block_sizes(ka.depth, BLOCK_SIZE_CANDIDATES)
+    args = (ka.depth, ka.constraints, ka.level_sizes())
+
+    def best_of(engine, repeats=3):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = search_mapping(
+                *args, block_sizes=grid, use_cache=False, engine=engine
+            )
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    # Warm the structure memo / tables so both measure steady state.
+    vec_time, vec = best_of("vectorized")
+    pruned_time, pruned = best_of("pruned")
+
+    assert str(vec.mapping) == str(pruned.mapping)
+    assert vec.score == pruned.score
+    speedup = pruned_time / vec_time
+    assert speedup >= MIN_VECTORIZED_SPEEDUP, (
+        f"vectorized engine only {speedup:.1f}x over pruned "
+        f"({vec_time * 1e3:.2f}ms vs {pruned_time * 1e3:.2f}ms); "
+        f"floor is {MIN_VECTORIZED_SPEEDUP}x"
     )

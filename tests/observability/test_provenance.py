@@ -33,7 +33,9 @@ class TestBuildProvenance:
         kernel = build_provenance(compiled).kernels[0]
         assert kernel.mapping == str(compiled.decisions[0].mapping)
         assert kernel.search is not None
-        assert kernel.search["strategy"] in ("pruned", "reference-fallback")
+        assert kernel.search["strategy"] in (
+            "vectorized", "pruned", "exhaustive", "reference-fallback"
+        )
         assert kernel.verdicts
         # The chosen mapping satisfies every hard constraint.
         assert all(v.satisfied for v in kernel.verdicts if v.hard)
