@@ -267,3 +267,6 @@ def clear_caches() -> None:
     from .vectorized import clear_batch_memo
 
     clear_batch_memo()
+    from ..service.api import clear_digest_memo
+
+    clear_digest_memo()

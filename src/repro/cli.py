@@ -350,7 +350,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
         from repro.service import ServiceClient
 
-        payload = ServiceClient(args.url).stats()
+        payload = ServiceClient(args.url, timeout=args.timeout).stats()
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -510,35 +510,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     import json
     import sys
 
-    from repro.service import CompileRequest, ServiceClient
+    from repro.service import ServiceClient
 
-    app = args.app
-    sizes_args = list(args.sizes)
-    # With --program the app positional is unused, so argparse puts the
-    # first k=v binding there; reclaim it as a size.
-    if args.program is not None and app is not None and "=" in app:
-        sizes_args.insert(0, app)
-        app = None
-    if (app is None) == (args.program is None):
-        raise RuntimeConfigError(
-            "submit needs an app name or --program FILE (not both)"
-        )
-    program_ir = None
-    if args.program:
-        try:
-            with open(args.program) as fh:
-                program_ir = json.load(fh)
-        except (OSError, ValueError) as exc:
-            raise RuntimeConfigError(
-                f"cannot load serialized program {args.program!r}: {exc}"
-            )
-    request = CompileRequest(
-        app=app,
-        program_ir=program_ir,
-        sizes=_parse_sizes(sizes_args),
-        strategy=args.strategy,
-        device=args.device,
-    )
+    request = _submit_request(args)
     outcome = ServiceClient(args.url, timeout=args.timeout).compile(request)
     if args.json:
         print(json.dumps(outcome.to_dict(), indent=2))
@@ -569,6 +543,194 @@ def cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return error.exit_code
+
+
+def _submit_request(args: argparse.Namespace):
+    """Build the CompileRequest shared by ``submit`` and ``fleet submit``."""
+    import json
+
+    from repro.service import CompileRequest
+
+    app = args.app
+    sizes_args = list(args.sizes)
+    # With --program the app positional is unused, so argparse puts the
+    # first k=v binding there; reclaim it as a size.
+    if args.program is not None and app is not None and "=" in app:
+        sizes_args.insert(0, app)
+        app = None
+    if (app is None) == (args.program is None):
+        raise RuntimeConfigError(
+            "submit needs an app name or --program FILE (not both)"
+        )
+    program_ir = None
+    if args.program:
+        try:
+            with open(args.program) as fh:
+                program_ir = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise RuntimeConfigError(
+                f"cannot load serialized program {args.program!r}: {exc}"
+            )
+    return CompileRequest(
+        app=app,
+        program_ir=program_ir,
+        sizes=_parse_sizes(sizes_args),
+        strategy=args.strategy,
+        device=args.device,
+    )
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.observability import capture
+    from repro.service import FleetConfig, local_fleet
+    from repro.service.http import make_server, serve_forever
+
+    cache_dir = (
+        None if args.cache_dir.lower() in ("", "none") else args.cache_dir
+    )
+    fleet_config = FleetConfig(
+        lru_capacity=args.lru_capacity,
+        retries=args.retries,
+        dispatchers=args.dispatchers,
+        cache_dir=cache_dir,
+    )
+    with capture() as obs:
+        router = local_fleet(
+            args.backends,
+            cache_dir,
+            fleet_config=fleet_config,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            deadline_s=args.deadline_s if args.deadline_s > 0 else None,
+            provenance=not args.no_provenance,
+        )
+        server = make_server(router, args.host, args.port)
+
+        def _terminate(*_args: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
+        print(
+            f"repro compile fleet listening on {server.url} "
+            f"(backends={args.backends}, workers/backend={args.workers}, "
+            f"lru={fleet_config.lru_capacity}, "
+            f"cache={cache_dir or 'disabled'})",
+            flush=True,
+        )
+        try:
+            serve_forever(server)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            router.close()
+    if args.trace:
+        _write_trace(obs.tracer, args.trace)
+    stats = router.stats()
+    print(
+        f"routed {stats['requests']} request(s): "
+        f"{stats['lru_hits']} LRU hit(s), {stats['store_hits']} store "
+        f"hit(s), {stats['misses']} dispatched, "
+        f"{stats['coalesced']} coalesced, {stats['reroutes']} "
+        f"rerouted, {stats['errors']} error(s)"
+    )
+    return 0
+
+
+def cmd_fleet_submit(args: argparse.Namespace) -> int:
+    import json
+    import threading
+
+    from repro.service import ServiceClient
+    from repro.service.service import latency_summary
+
+    request = _submit_request(args)
+    payload = request.to_dict()
+    count = max(1, args.count)
+    outcomes = [None] * count
+    failures = [None] * count
+
+    def one(index: int) -> None:
+        client = ServiceClient(
+            args.url, timeout=args.timeout, retries=args.retries
+        )
+        try:
+            outcomes[index] = client.compile(payload)
+        except ReproError as exc:
+            failures[index] = exc
+
+    threads = [
+        threading.Thread(target=one, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if count == 1:
+        if failures[0] is not None:
+            raise failures[0]
+        outcome = outcomes[0]
+        if args.json:
+            print(json.dumps(outcome.to_dict(), indent=2))
+        else:
+            print(
+                f"{outcome.status}  digest={outcome.digest[:16]}…  "
+                f"latency={outcome.latency_ms:.2f}ms"
+                + (
+                    f"  served_by={outcome.served_by}"
+                    if outcome.served_by
+                    else ""
+                )
+            )
+        return 0 if outcome.ok else outcome.error.exit_code
+    done = [o for o in outcomes if o is not None]
+    statuses: dict = {}
+    served: dict = {}
+    for outcome in done:
+        statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+        if outcome.served_by:
+            served[outcome.served_by] = served.get(outcome.served_by, 0) + 1
+    latencies = sorted(o.latency_ms for o in done)
+    summary = {
+        "submitted": count,
+        "completed": len(done),
+        "transport_failures": sum(1 for f in failures if f is not None),
+        "statuses": statuses,
+        "served_by": served,
+        "digests": len({o.digest for o in done}),
+        "latency_ms": latency_summary(latencies),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"{summary['completed']}/{count} completed "
+            f"({summary['transport_failures']} transport failure(s)); "
+            f"statuses={statuses}; served_by={served}; "
+            f"p50={summary['latency_ms']['p50']:.2f}ms "
+            f"p99={summary['latency_ms']['p99']:.2f}ms"
+        )
+    failed = [o for o in done if not o.ok]
+    if failures != [None] * count or failed:
+        return 1
+    return 0
+
+
+def cmd_fleet_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    payload = ServiceClient(args.url, timeout=args.timeout).stats()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        service = payload.get("service", {})
+        print(f"compile fleet at {args.url}:")
+        for key in sorted(service):
+            print(f"  {key}: {service[key]}")
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -770,6 +932,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--url", default=None, metavar="URL",
                       help="query a running compile server's /v1/stats "
                       "instead of compiling locally")
+    p_st.add_argument("--timeout", type=float, default=30.0,
+                      help="HTTP timeout for --url queries (seconds)")
     add_engine_flag(p_st)
     p_st.set_defaults(fn=cmd_stats)
 
@@ -850,6 +1014,86 @@ def build_parser() -> argparse.ArgumentParser:
                       default=_config.DEFAULT_SERVICE_CACHE_DIR)
     p_ca.add_argument("--json", action="store_true")
     p_ca.set_defaults(fn=cmd_cache)
+
+    p_fl = sub.add_parser(
+        "fleet",
+        help="digest-sharded compile fleet: router over N backends",
+    )
+    fl_sub = p_fl.add_subparsers(dest="fleet_command", required=True)
+
+    fl_sv = fl_sub.add_parser(
+        "serve", help="run a fleet of compile backends behind one router"
+    )
+    fl_sv.add_argument("--backends", type=int,
+                       default=_config.DEFAULT_FLEET_BACKENDS,
+                       help="in-process backend services "
+                       f"(default {_config.DEFAULT_FLEET_BACKENDS})")
+    fl_sv.add_argument("--host", default=_config.DEFAULT_SERVICE_HOST)
+    fl_sv.add_argument("--port", type=int,
+                       default=_config.DEFAULT_SERVICE_PORT,
+                       help="router TCP port; 0 picks an ephemeral one")
+    fl_sv.add_argument("--workers", type=int, default=2,
+                       help="compile worker threads per backend "
+                       "(default 2)")
+    fl_sv.add_argument("--queue-limit", type=int,
+                       default=_config.DEFAULT_SERVICE_QUEUE_LIMIT,
+                       help="per-backend admission bound")
+    fl_sv.add_argument("--lru-capacity", type=int,
+                       default=_config.DEFAULT_FLEET_LRU_CAPACITY,
+                       help="hot in-memory artifact entries; 0 disables "
+                       f"(default {_config.DEFAULT_FLEET_LRU_CAPACITY})")
+    fl_sv.add_argument("--retries", type=int,
+                       default=_config.DEFAULT_FLEET_RETRIES,
+                       help="reroute attempts on backend death/503 "
+                       f"(default {_config.DEFAULT_FLEET_RETRIES})")
+    fl_sv.add_argument("--dispatchers", type=int,
+                       default=_config.DEFAULT_FLEET_DISPATCHERS,
+                       help="router dispatch threads "
+                       f"(default {_config.DEFAULT_FLEET_DISPATCHERS})")
+    fl_sv.add_argument("--cache-dir",
+                       default=_config.DEFAULT_SERVICE_CACHE_DIR,
+                       help="shared artifact store root; 'none' disables")
+    fl_sv.add_argument("--deadline-s", type=float,
+                       default=_config.DEFAULT_REQUEST_DEADLINE_S,
+                       help="per-request search deadline; <=0 disables")
+    fl_sv.add_argument("--no-provenance", action="store_true")
+    fl_sv.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace on shutdown")
+    add_engine_flag(fl_sv)
+    fl_sv.set_defaults(fn=cmd_fleet_serve)
+
+    fl_sub_p = fl_sub.add_parser(
+        "submit",
+        help="send one request (or --count N concurrent copies) to a "
+        "running fleet",
+    )
+    fl_sub_p.add_argument("app", nargs="?", default=None)
+    fl_sub_p.add_argument("sizes", nargs="*", help="size bindings k=v")
+    fl_sub_p.add_argument("--program", default=None, metavar="FILE")
+    fl_sub_p.add_argument("--strategy", default="multidim")
+    fl_sub_p.add_argument("--device", default=None)
+    fl_sub_p.add_argument("--url", metavar="URL",
+                          default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                          f"{_config.DEFAULT_SERVICE_PORT}")
+    fl_sub_p.add_argument("--count", type=int, default=1,
+                          help="concurrent identical submissions "
+                          "(default 1)")
+    fl_sub_p.add_argument("--retries", type=int, default=0,
+                          help="client transport retries with jittered "
+                          "backoff (default 0)")
+    fl_sub_p.add_argument("--timeout", type=float, default=120.0)
+    fl_sub_p.add_argument("--json", action="store_true")
+    fl_sub_p.set_defaults(fn=cmd_fleet_submit)
+
+    fl_st = fl_sub.add_parser(
+        "stats", help="query a running fleet router's /v1/stats"
+    )
+    fl_st.add_argument("--url", metavar="URL",
+                       default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                       f"{_config.DEFAULT_SERVICE_PORT}")
+    fl_st.add_argument("--timeout", type=float, default=30.0)
+    fl_st.add_argument("--json", action="store_true")
+    fl_st.set_defaults(fn=cmd_fleet_stats)
 
     return parser
 

@@ -65,6 +65,17 @@ DEFAULT_SERVICE_QUEUE_LIMIT = 64
 DEFAULT_SERVICE_CACHE_DIR = ".repro-cache"
 DEFAULT_REQUEST_DEADLINE_S = 30.0
 
+# Compile-fleet defaults (``repro fleet``).  The router shards requests
+# across backends by consistent hashing over the compile digest, keeps a
+# hot in-memory LRU of artifact payloads over the shared disk store, and
+# retries a request on the next ring node (jittered backoff) when a
+# backend is dead or shedding load.
+DEFAULT_FLEET_BACKENDS = 3
+DEFAULT_FLEET_LRU_CAPACITY = 256
+DEFAULT_FLEET_RETRIES = 3
+DEFAULT_FLEET_DISPATCHERS = 8
+DEFAULT_FLEET_QUEUE_LIMIT = 4096
+
 # L2-size proxy used to discount coalescing constraints for arrays small
 # enough to live in cache after first touch (K20c: 1.25 MB).  The analysis
 # layer must not depend on a concrete device, so this is a standalone

@@ -560,6 +560,46 @@ def canonical_program_dict(program: Program) -> Dict[str, Any]:
     return _rename_vars(data, mapping)
 
 
+def canonicalize_program(program: Program) -> Program:
+    """Rebuild ``program`` with deterministic binder names.
+
+    :func:`canonical_program_dict` keeps gensym noise out of *digests*,
+    but the pipeline compiles the raw program, so generated CUDA would
+    still spell loop indices ``i1`` in one process and ``i3`` in another
+    — two backends serving one digest would disagree byte-for-byte.
+    This renames every binder to ``_b<k>`` (a valid C identifier, unlike
+    the digest form's ``%b<k>``) in the same traversal order, making
+    codegen a pure function of the digest.
+
+    Guarded by the same soundness contract as the digest rename, plus a
+    check that no ``_b<k>`` target already occurs as any name; when
+    either fails the program is returned unchanged — correctness first,
+    determinism where it is provable.
+    """
+    data = program_to_dict(program)
+    order: list = []
+    _collect_binders(data["params"], order)
+    _collect_binders(data["result"], order)
+    for name in sorted(data.get("array_shapes", {})):
+        _collect_binders(data["array_shapes"][name], order)
+    if not _flat_rename_is_sound(data, order):
+        return program
+    mapping: Dict[str, str] = {}
+    for name in order:
+        if name not in mapping:
+            mapping[name] = f"_b{len(mapping)}"
+    if set(mapping.values()) & set(mapping):
+        return program
+    all_names: set = {p["name"] for p in data["params"]}
+    all_names.update(data.get("size_hints") or {})
+    all_names.update(data.get("array_shapes") or {})
+    _collect_names(data.get("array_shapes") or {}, all_names)
+    _collect_names(data["result"], all_names)
+    if set(mapping.values()) & all_names:
+        return program
+    return program_from_dict(_rename_vars(data, mapping))
+
+
 def compile_digest(
     program: Program,
     device: Any = None,

@@ -12,10 +12,14 @@ package amortizes it across requests *and* restarts:
 * :mod:`.service` — the worker pool with bounded admission and
   single-flight dedup;
 * :mod:`.http` / :mod:`.client` — stdlib JSON-over-HTTP server and
-  client (``repro serve`` / ``repro submit``).
+  client (``repro serve`` / ``repro submit``);
+* :mod:`.router` — consistent-hash ring + hot in-memory LRU artifact
+  tier;
+* :mod:`.fleet` — the digest-sharded front-end router over N backends
+  with fleet-wide single-flight and failover (``repro fleet``).
 
 See ``docs/service.md`` for the design: cache layering, digest
-versioning/invalidation, backpressure, and failure semantics.
+versioning/invalidation, backpressure, sharding, and failure semantics.
 """
 
 from .api import (  # noqa: F401
@@ -26,15 +30,27 @@ from .api import (  # noqa: F401
     CompileError,
     CompileOutcome,
     CompileRequest,
+    clear_digest_memo,
     request_for_program,
 )
 from .client import ServiceClient  # noqa: F401
+from .fleet import (  # noqa: F401
+    FleetConfig,
+    FleetRouter,
+    FleetTicket,
+    HttpBackend,
+    LocalBackend,
+    local_fleet,
+    spawn_http_fleet,
+)
 from .memo import load_memo, save_memo  # noqa: F401
+from .router import HashRing, LRUCache  # noqa: F401
 from .service import CompileService, ServiceConfig, Ticket  # noqa: F401
 from .store import (  # noqa: F401
     ARTIFACT_VERSION,
     ArtifactStore,
     CompileArtifact,
+    artifact_fingerprint,
     build_artifact,
 )
 
@@ -46,6 +62,13 @@ __all__ = [
     "CompileOutcome",
     "CompileRequest",
     "CompileService",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetTicket",
+    "HashRing",
+    "HttpBackend",
+    "LRUCache",
+    "LocalBackend",
     "ServiceClient",
     "ServiceConfig",
     "STATUS_COALESCED",
@@ -53,8 +76,12 @@ __all__ = [
     "STATUS_HIT",
     "STATUS_MISS",
     "Ticket",
+    "artifact_fingerprint",
     "build_artifact",
+    "clear_digest_memo",
     "load_memo",
+    "local_fleet",
     "request_for_program",
     "save_memo",
+    "spawn_http_fleet",
 ]

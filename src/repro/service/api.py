@@ -15,6 +15,9 @@ failure report when one was attached — on failure.
 
 from __future__ import annotations
 
+import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -29,6 +32,22 @@ STATUS_HIT = "hit"                # served from the artifact store
 STATUS_MISS = "miss"              # this request ran the pipeline
 STATUS_COALESCED = "coalesced"    # single-flighted onto an in-flight miss
 STATUS_ERROR = "error"            # the pipeline raised a typed error
+
+#: Request-JSON -> compile digest.  Hashing a request means rebuilding
+#: the IR program and alpha-renaming it — ~0.5 ms of CPU the router
+#: front-end would otherwise pay on *every* submit of the warm path.
+#: The digest is a pure function of the request content, so a small
+#: process-wide LRU makes repeat submissions (the warm case by
+#: definition) cost one JSON dump instead.
+_DIGEST_MEMO_CAPACITY = 1024
+_DIGEST_MEMO: "OrderedDict[str, str]" = OrderedDict()
+_DIGEST_MEMO_LOCK = threading.Lock()
+
+
+def clear_digest_memo() -> None:
+    """Drop the request-digest memo (tests, benchmarks)."""
+    with _DIGEST_MEMO_LOCK:
+        _DIGEST_MEMO.clear()
 
 
 @dataclass
@@ -140,15 +159,28 @@ class CompileRequest:
 
     def digest(self) -> str:
         """The content address of this request (see
-        :func:`~repro.ir.serialize.compile_digest`)."""
+        :func:`~repro.ir.serialize.compile_digest`), memoized on the
+        request content.  Resolution errors are never cached."""
+        key = json.dumps(self.to_dict(), sort_keys=True)
+        with _DIGEST_MEMO_LOCK:
+            cached = _DIGEST_MEMO.get(key)
+            if cached is not None:
+                _DIGEST_MEMO.move_to_end(key)
+                return cached
         program, device, sizes = self.resolve()
-        return compile_digest(
+        digest = compile_digest(
             program,
             device=device,
             flags=self.flags,
             strategy=self.strategy,
             sizes=sizes,
         )
+        with _DIGEST_MEMO_LOCK:
+            _DIGEST_MEMO[key] = digest
+            _DIGEST_MEMO.move_to_end(key)
+            while len(_DIGEST_MEMO) > _DIGEST_MEMO_CAPACITY:
+                _DIGEST_MEMO.popitem(last=False)
+        return digest
 
 
 def request_for_program(
@@ -207,6 +239,9 @@ class CompileOutcome:
     error: Optional[CompileError] = None
     #: Wall time from admission to completion, as observed server-side.
     latency_ms: float = 0.0
+    #: Which fleet backend produced this outcome (``None`` when it was
+    #: served by a single-process service or a router cache tier).
+    served_by: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -226,6 +261,8 @@ class CompileOutcome:
             data["artifact"] = self.artifact
         if self.error is not None:
             data["error"] = self.error.to_dict()
+        if self.served_by is not None:
+            data["served_by"] = self.served_by
         return data
 
     @classmethod
@@ -237,4 +274,5 @@ class CompileOutcome:
             artifact=data.get("artifact"),
             error=None if error is None else CompileError.from_dict(error),
             latency_ms=float(data.get("latency_ms", 0.0)),
+            served_by=data.get("served_by"),
         )

@@ -1,0 +1,830 @@
+"""The compile fleet: a digest-sharded front-end router over N backends.
+
+PR 5 made one process amortize compilation across requests; this layer
+amortizes it across a *fleet*.  The paper's premise makes compile
+requests ideal shard keys: the locality-aware mapping search is
+deterministic given the canonical IR digest, so any backend produces a
+byte-identical artifact for a digest and requests can be placed purely
+by content address.
+
+Request lifecycle::
+
+    submit(request) / submit_many(requests)
+      resolve + digest                  (typed config errors surface here)
+      hot LRU tier          ── hit ──►  outcome served synchronously
+      shared disk store     ── hit ──►  outcome served + LRU fill
+      fleet single-flight   ── dup ──►  join the in-flight dispatch
+      enqueue                           dispatcher pool drains FIFO
+    dispatcher:
+      walk the ring's preference order for the digest
+        backend dead / unreachable  →  mark dead, reroute to next node
+        backend saturated (503)     →  jittered backoff, next node
+        typed pipeline failure      →  final (retrying cannot fix it)
+      success: stamp served_by, fill LRU (+ write-through to the
+      router's store), resolve every joined waiter
+
+Single-flight is *fleet-wide* by construction: the router's in-flight
+table coalesces identical concurrent submissions before any backend
+sees them, and consistent hashing sends the survivors of distinct
+router processes for one digest to the same backend, whose own
+single-flight table collapses them again.  Either layer alone bounds
+the pipeline runs per digest to one per process; together they bound it
+to one per fleet.
+
+Backends come in two shapes: :class:`LocalBackend` wraps an in-process
+:class:`~repro.service.service.CompileService` (tests, ``repro fleet
+serve``), :class:`HttpBackend` wraps a :class:`ServiceClient` against a
+separately running server (the deployment shape; ``spawn_http_fleet``
+boots those as subprocesses).  The router only sees the one-method
+contract ``compile(request) -> CompileOutcome``.
+
+Failure semantics: transport errors mark a backend dead and reroute;
+503 saturation backs off (PR-3 deterministic full jitter, seeded by the
+digest so concurrent routers don't herd) and tries the next ring node
+without declaring death; typed pipeline errors are answers, not
+failures — they resolve the waiters unchanged.  A request is only
+answered with a :class:`~repro.errors.ServiceError` outcome after every
+preference-order attempt is exhausted, and every reroute is counted
+(internal stats + the PR-4 ``fleet.reroutes`` metric).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import config as _config
+from ..errors import QueueFullError, ReproError, ServiceError
+from ..observability import get_metrics, get_tracer
+from ..resilience.retry import backoff_delays
+from .api import (
+    STATUS_COALESCED,
+    STATUS_ERROR,
+    STATUS_HIT,
+    STATUS_MISS,
+    CompileOutcome,
+    CompileRequest,
+)
+from .client import ServiceClient
+from .router import HashRing, LRUCache
+from .service import (
+    CompileService,
+    ServiceConfig,
+    error_outcome,
+    latency_summary,
+)
+from .store import ArtifactStore, CompileArtifact
+
+#: ``served_by`` stamps for outcomes the router answered itself.
+SERVED_BY_LRU = "router:lru"
+SERVED_BY_STORE = "router:store"
+
+
+# -- backends ------------------------------------------------------------
+
+
+class Backend:
+    """One fleet member, as the router sees it."""
+
+    name: str
+
+    def compile(self, request: CompileRequest) -> CompileOutcome:
+        raise NotImplementedError
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def mark_dead(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class LocalBackend(Backend):
+    """An in-process :class:`CompileService` as a fleet member."""
+
+    def __init__(self, name: str, service: CompileService) -> None:
+        self.name = name
+        self.service = service
+
+    def compile(self, request: CompileRequest) -> CompileOutcome:
+        return self.service.compile(request)
+
+    def alive(self) -> bool:
+        return not self.service.closed
+
+    def mark_dead(self) -> None:
+        # Liveness already tracks the service's closed flag; nothing to
+        # record separately.
+        pass
+
+    def close(self) -> None:
+        self.service.close()
+
+    def kill(self) -> None:
+        """Abrupt death for failover tests: no memo snapshot."""
+        self.service.close(save=False)
+
+
+class HttpBackend(Backend):
+    """A remote compile server as a fleet member.
+
+    The client runs with zero transport retries: the *router* owns the
+    retry policy, and it retries on a different node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        url: str,
+        timeout: float = 120.0,
+        process: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self.name = name
+        self.url = url
+        # Dispatcher threads hammer one backend with many small
+        # requests; per-request TCP handshakes would make the router the
+        # bottleneck, so reuse connections (one per dispatcher thread).
+        self.client = ServiceClient(
+            url, timeout=timeout, retries=0, keep_alive=True
+        )
+        self.process = process
+        self._dead = False
+
+    def compile(self, request: CompileRequest) -> CompileOutcome:
+        return self.client.compile(request)
+
+    def alive(self) -> bool:
+        return not self._dead
+
+    def mark_dead(self) -> None:
+        self._dead = True
+
+    def revive(self) -> None:
+        self._dead = False
+
+    def close(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+    def kill(self) -> None:
+        """SIGKILL the server process (failover tests)."""
+        self._dead = True
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+# -- router --------------------------------------------------------------
+
+
+@dataclass
+class FleetConfig:
+    """Tunables for one :class:`FleetRouter`."""
+
+    #: Hot in-memory artifact entries; 0 disables the tier.
+    lru_capacity: int = _config.DEFAULT_FLEET_LRU_CAPACITY
+    #: Reroute attempts beyond the first (a request touches at most
+    #: ``retries + 1`` backends before it is answered with an error).
+    retries: int = _config.DEFAULT_FLEET_RETRIES
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 1.0
+    #: Router-side threads walking the dispatch queue.
+    dispatchers: int = _config.DEFAULT_FLEET_DISPATCHERS
+    #: Bounded router admission, mirroring the per-backend queues.
+    queue_limit: int = _config.DEFAULT_FLEET_QUEUE_LIMIT
+    #: Root of the shared content-addressed store the router reads
+    #: before dispatching (and writes through after a backend miss);
+    #: ``None`` skips the disk tier router-side.
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class FleetTicket:
+    """One requester's non-blocking handle on a fleet outcome."""
+
+    digest: str
+    role: str
+    _future: Future = field(repr=False, default_factory=Future)
+
+    def poll(self) -> Optional[CompileOutcome]:
+        """The outcome if ready, else ``None`` (never blocks)."""
+        if not self._future.done():
+            return None
+        return self._future.result(timeout=0)
+
+    def wait(self, timeout: Optional[float] = None) -> CompileOutcome:
+        return self._future.result(timeout=timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class _FleetJob:
+    __slots__ = ("digest", "request", "future", "submitted_at", "waiters")
+
+    def __init__(self, digest: str, request: CompileRequest) -> None:
+        self.digest = digest
+        self.request = request
+        self.future: Future = Future()
+        self.submitted_at = time.perf_counter()
+        self.waiters = 1
+
+
+_STOP = object()
+
+
+class FleetRouter:
+    """Front-end router: shard by digest, coalesce fleet-wide, fail over.
+
+    ``owns_backends=True`` makes :meth:`close` also close every backend
+    (the helpers that build whole fleets set it).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        config: Optional[FleetConfig] = None,
+        owns_backends: bool = False,
+    ) -> None:
+        if not backends:
+            raise ServiceError("a fleet needs at least one backend")
+        names = [backend.name for backend in backends]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"backend names must be unique: {names}")
+        self.config = config or FleetConfig()
+        if self.config.dispatchers < 1:
+            raise ServiceError("fleet needs at least one dispatcher")
+        if self.config.queue_limit < 1:
+            raise ServiceError("fleet needs a queue limit of at least 1")
+        self.backends: Dict[str, Backend] = {b.name: b for b in backends}
+        self.ring = HashRing(names)
+        self.lru = LRUCache(self.config.lru_capacity)
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+        self._owns_backends = owns_backends
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _FleetJob] = {}
+        self._pending = 0
+        self._closed = False
+        self._started_at = time.time()
+        self._queue: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        self._latencies_ms: "deque[float]" = deque(maxlen=8192)
+        self._counts = {
+            "requests": 0,
+            "lru_hits": 0,
+            "store_hits": 0,
+            "misses": 0,
+            "coalesced": 0,
+            "reroutes": 0,
+            "errors": 0,
+            "completed": 0,
+        }
+        self._per_backend: Dict[str, Dict[str, int]] = {
+            name: {"served": 0, "failures": 0, "reroutes_from": 0}
+            for name in names
+        }
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"fleet-dispatch-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.dispatchers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, request: CompileRequest) -> FleetTicket:
+        """Admit one request; returns immediately with a handle.
+
+        Raises the same typed errors as
+        :meth:`~repro.service.service.CompileService.submit`:
+        ``RuntimeConfigError``/``IRError`` for bad requests,
+        :class:`~repro.errors.QueueFullError` when the router's own
+        admission bound is hit, :class:`~repro.errors.ServiceError`
+        after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceError("fleet router is shut down")
+        t0 = time.perf_counter()
+        metrics = get_metrics()
+        with get_tracer().span("fleet.request", app=request.app or "<ir>"):
+            digest = request.digest()
+        self._count("requests", metrics, "fleet.requests")
+
+        artifact = self.lru.get(digest)
+        if artifact is not None:
+            self._count("lru_hits", metrics, "fleet.lru.hits")
+            return self._resolved_ticket(
+                digest, artifact, SERVED_BY_LRU, t0, metrics
+            )
+        metrics.counter("fleet.lru.misses").inc()
+
+        if self.store is not None:
+            stored = self.store.get(digest)
+            if stored is not None:
+                payload = stored.to_dict()
+                self.lru.put(digest, payload)
+                self._count("store_hits", metrics, "fleet.store.hits")
+                return self._resolved_ticket(
+                    digest, payload, SERVED_BY_STORE, t0, metrics
+                )
+
+        with self._lock:
+            if self._closed:
+                raise ServiceError("fleet router is shut down")
+            job = self._inflight.get(digest)
+            if job is not None:
+                job.waiters += 1
+                self._counts["coalesced"] += 1
+                metrics.counter("fleet.coalesced").inc()
+                return FleetTicket(
+                    digest=digest,
+                    role=STATUS_COALESCED,
+                    _future=job.future,
+                )
+            if self._pending >= self.config.queue_limit:
+                metrics.counter("fleet.queue.rejections").inc()
+                raise QueueFullError(
+                    f"fleet dispatch queue is full "
+                    f"({self._pending}/{self.config.queue_limit}); "
+                    "retry shortly"
+                )
+            job = _FleetJob(digest, request)
+            self._inflight[digest] = job
+            self._pending += 1
+            self._counts["misses"] += 1
+            metrics.gauge("fleet.queue.depth").set(self._pending)
+            self._queue.put(job)
+        metrics.counter("fleet.misses").inc()
+        return FleetTicket(digest=digest, role=STATUS_MISS, _future=job.future)
+
+    def submit_many(
+        self, requests: Sequence[CompileRequest]
+    ) -> List[FleetTicket]:
+        """Batch admission: one ticket per request, in order.
+
+        Never raises per-request errors mid-batch — a request the
+        router cannot admit (bad app, malformed IR, admission bound)
+        gets a ticket already resolved with the typed error outcome, so
+        a campaign always gets exactly ``len(requests)`` answers.
+        """
+        tickets: List[FleetTicket] = []
+        for request in requests:
+            try:
+                tickets.append(self.submit(request))
+            except ReproError as exc:
+                ticket = FleetTicket(digest="", role=STATUS_ERROR)
+                ticket._future.set_result(error_outcome("", exc))
+                self._count(
+                    "errors", get_metrics(), "fleet.errors"
+                )
+                tickets.append(ticket)
+        return tickets
+
+    def compile(
+        self, request: CompileRequest, timeout: Optional[float] = None
+    ) -> CompileOutcome:
+        """Submit and wait (the fleet HTTP front end calls this)."""
+        return self.submit(request).wait(timeout=timeout)
+
+    def clear_cache(self) -> int:
+        """Drop the LRU tier and every stored artifact (router + any
+        backend store sharing the directory); returns disk artifacts
+        removed."""
+        self.lru.clear()
+        return self.store.clear() if self.store is not None else 0
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of fleet health."""
+        with self._lock:
+            counts = dict(self._counts)
+            pending = self._pending
+            per_backend = {
+                name: dict(stats)
+                for name, stats in self._per_backend.items()
+            }
+            latencies = sorted(self._latencies_ms)
+        backends = {
+            name: {
+                **per_backend[name],
+                "alive": backend.alive(),
+            }
+            for name, backend in self.backends.items()
+        }
+        snapshot: Dict[str, Any] = {
+            "backends": backends,
+            "ring": self.ring.nodes(),
+            "queue_depth": pending,
+            "queue_limit": self.config.queue_limit,
+            "dispatchers": self.config.dispatchers,
+            "uptime_s": time.time() - self._started_at,
+            "lru": self.lru.stats(),
+            **counts,
+        }
+        snapshot["latency_ms"] = latency_summary(latencies)
+        if self.store is not None:
+            snapshot["store"] = self.store.stats()
+        return snapshot
+
+    def close(self, close_backends: Optional[bool] = None) -> None:
+        """Drain dispatchers; resolve every admitted job.
+
+        Jobs queued ahead of the stop sentinels are dispatched; anything
+        stranded afterwards is rejected with a typed ServiceError
+        outcome so no waiter blocks forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._dispatchers:
+                self._queue.put(_STOP)
+        for thread in self._dispatchers:
+            thread.join(timeout=120)
+        self._reject_queued_jobs()
+        should_close = (
+            self._owns_backends if close_backends is None else close_backends
+        )
+        if should_close:
+            for backend in self.backends.values():
+                try:
+                    backend.close()
+                except ReproError:
+                    pass
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch --------------------------------------------------------
+
+    def _resolved_ticket(
+        self,
+        digest: str,
+        artifact: Dict[str, Any],
+        served_by: str,
+        t0: float,
+        metrics,
+    ) -> FleetTicket:
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        self._observe_latency(latency_ms, metrics)
+        ticket = FleetTicket(digest=digest, role=STATUS_HIT)
+        ticket._future.set_result(
+            CompileOutcome(
+                digest=digest,
+                status=STATUS_HIT,
+                artifact=artifact,
+                latency_ms=latency_ms,
+                served_by=served_by,
+            )
+        )
+        return ticket
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._dispatch(item)
+
+    def _alive_first(self, order: List[str]) -> List[str]:
+        """Preference order with dead nodes demoted to last resort."""
+        alive = [n for n in order if self.backends[n].alive()]
+        dead = [n for n in order if not self.backends[n].alive()]
+        return alive + dead
+
+    def _dispatch(self, job: _FleetJob) -> None:
+        metrics = get_metrics()
+        order = self.ring.preference(job.digest)
+        primary = order[0]
+        # Per-digest jitter seed: concurrent routers backing off for the
+        # same saturated node spread out instead of herding in lockstep.
+        delays = backoff_delays(
+            self.config.retries,
+            base_delay=self.config.backoff_base_s,
+            max_delay=self.config.backoff_max_s,
+            seed=int(job.digest[:8], 16),
+        )
+        outcome: Optional[CompileOutcome] = None
+        last_exc: Optional[BaseException] = None
+        attempted: List[str] = []
+        for attempt in range(self.config.retries + 1):
+            candidates = self._alive_first(order)
+            # Most-preferred alive node not yet tried; once every node
+            # has been, cycle (a saturated node may have drained).
+            name = next(
+                (n for n in candidates if n not in attempted),
+                candidates[attempt % len(candidates)],
+            )
+            backend = self.backends[name]
+            attempted.append(backend.name)
+            try:
+                with get_tracer().span(
+                    "fleet.dispatch", backend=backend.name
+                ):
+                    result = backend.compile(job.request)
+            except QueueFullError as exc:
+                # Saturation is transient: jittered backoff, next node,
+                # backend stays in the ring.
+                last_exc = exc
+                self._record_failure(backend.name, metrics)
+                if attempt < self.config.retries:
+                    time.sleep(delays[attempt])
+                continue
+            except ServiceError as exc:
+                # Unreachable / shut down: dead until revived.
+                last_exc = exc
+                backend.mark_dead()
+                self._record_failure(backend.name, metrics)
+                metrics.counter("fleet.backend.deaths").inc()
+                if attempt < self.config.retries:
+                    time.sleep(delays[attempt])
+                continue
+            except ReproError as exc:
+                # Typed request/pipeline error: an answer, not a routing
+                # failure — retrying elsewhere cannot change it.
+                outcome = error_outcome(job.digest, exc)
+                outcome.served_by = backend.name
+                break
+            if (
+                result.status == STATUS_ERROR
+                and result.error is not None
+                and result.error.error_type
+                in ("ServiceError", "QueueFullError")
+            ):
+                # The backend answered, but with its own availability
+                # failure (e.g. it shut down before the job ran) — that
+                # is retryable on another node, not a pipeline verdict.
+                last_exc = ServiceError(result.error.message)
+                self._record_failure(backend.name, metrics)
+                if attempt < self.config.retries:
+                    time.sleep(delays[attempt])
+                continue
+            outcome = result
+            outcome.served_by = backend.name
+            break
+        if outcome is None:
+            outcome = error_outcome(
+                job.digest,
+                ServiceError(
+                    f"all fleet attempts failed for digest "
+                    f"{job.digest[:16]}… (tried {', '.join(attempted)}): "
+                    f"{last_exc}"
+                ),
+            )
+        self._finish(job, outcome, primary, metrics)
+
+    def _finish(
+        self,
+        job: _FleetJob,
+        outcome: CompileOutcome,
+        primary: str,
+        metrics,
+    ) -> None:
+        served = outcome.served_by
+        with self._lock:
+            if outcome.status == STATUS_ERROR:
+                self._counts["errors"] += 1
+            else:
+                self._counts["completed"] += 1
+            if served in self._per_backend:
+                self._per_backend[served]["served"] += 1
+                if served != primary:
+                    self._counts["reroutes"] += 1
+                    self._per_backend[primary]["reroutes_from"] += 1
+        if outcome.status == STATUS_ERROR:
+            metrics.counter("fleet.errors").inc()
+        elif served in self._per_backend:
+            metrics.counter(f"fleet.shard.{served}.served").inc()
+            if served != primary:
+                metrics.counter("fleet.reroutes").inc()
+        if outcome.ok and outcome.artifact is not None:
+            self.lru.put(job.digest, outcome.artifact)
+            if self.store is not None and outcome.status == STATUS_MISS:
+                # Write-through: a freshly compiled artifact from a
+                # backend with its own store root still lands in the
+                # router's disk tier (idempotent for a shared root).
+                try:
+                    self.store.put(
+                        CompileArtifact.from_dict(outcome.artifact)
+                    )
+                except (ValueError, KeyError, TypeError, OSError):
+                    pass  # the disk tier is an optimization, never a gate
+        latency_ms = (time.perf_counter() - job.submitted_at) * 1e3
+        outcome.latency_ms = latency_ms
+        self._observe_latency(latency_ms, metrics)
+        with self._lock:
+            self._inflight.pop(job.digest, None)
+            self._pending -= 1
+            metrics.gauge("fleet.queue.depth").set(self._pending)
+        job.future.set_result(outcome)
+
+    def _reject_queued_jobs(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            outcome = error_outcome(
+                item.digest,
+                ServiceError("fleet router shut down before dispatch"),
+            )
+            with self._lock:
+                self._inflight.pop(item.digest, None)
+                self._pending -= 1
+                self._counts["errors"] += 1
+            item.future.set_result(outcome)
+
+    def _record_failure(self, name: str, metrics) -> None:
+        with self._lock:
+            self._per_backend[name]["failures"] += 1
+        metrics.counter("fleet.backend.failures").inc()
+
+    def _count(self, key: str, metrics, metric_name: str) -> None:
+        with self._lock:
+            self._counts[key] += 1
+        metrics.counter(metric_name).inc()
+
+    def _observe_latency(self, latency_ms: float, metrics) -> None:
+        with self._lock:
+            self._latencies_ms.append(latency_ms)
+        metrics.histogram("fleet.request_ms").observe(latency_ms)
+
+
+# -- fleet builders ------------------------------------------------------
+
+
+def local_fleet(
+    backends: int,
+    cache_dir: Optional[str],
+    fleet_config: Optional[FleetConfig] = None,
+    compile_fn: Optional[
+        Callable[[CompileRequest, str], CompileArtifact]
+    ] = None,
+    **service_kwargs: Any,
+) -> FleetRouter:
+    """A router over ``backends`` in-process services sharing one store.
+
+    Only the first backend persists/restores the sweep memo — the memo
+    caches are process-global, so one restore covers every backend and
+    concurrent snapshot writes on shutdown would be redundant.
+    """
+    if backends < 1:
+        raise ServiceError("a fleet needs at least one backend")
+    members: List[Backend] = []
+    for index in range(backends):
+        config = ServiceConfig(
+            cache_dir=cache_dir,
+            memo_persistence=(index == 0),
+            **service_kwargs,
+        )
+        members.append(
+            LocalBackend(
+                f"backend-{index}",
+                CompileService(config, compile_fn=compile_fn),
+            )
+        )
+    fleet_config = fleet_config or FleetConfig()
+    if fleet_config.cache_dir is None and cache_dir is not None:
+        fleet_config.cache_dir = cache_dir
+    return FleetRouter(members, fleet_config, owns_backends=True)
+
+
+def spawn_server_process(
+    cache_dir: str,
+    log_path: str,
+    workers: int = 1,
+    port: int = 0,
+    extra_args: Sequence[str] = (),
+    startup_timeout_s: float = 60.0,
+) -> Tuple[subprocess.Popen, str]:
+    """Boot one ``python -m repro serve`` subprocess; returns (proc, url).
+
+    The server prints ``listening on <url>`` once bound (``--port 0``
+    picks an ephemeral port); this helper tails the log until it does.
+    """
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    log_file = open(log_path, "w")
+    try:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port),
+                "--workers", str(workers),
+                "--cache-dir", cache_dir,
+                *extra_args,
+            ],
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+    finally:
+        log_file.close()
+    deadline = time.time() + startup_timeout_s
+    while time.time() < deadline:
+        try:
+            text = Path(log_path).read_text()
+        except OSError:
+            text = ""
+        if "listening on " in text:
+            url = text.split("listening on ", 1)[1].split()[0]
+            return proc, url
+        if proc.poll() is not None:
+            raise ServiceError(
+                f"compile server exited during startup "
+                f"(code {proc.returncode}): {text[-500:]}"
+            )
+        time.sleep(0.1)
+    proc.kill()
+    raise ServiceError(
+        f"compile server did not come up within {startup_timeout_s}s"
+    )
+
+
+def spawn_http_fleet(
+    backends: int,
+    cache_dir: str,
+    log_dir: str,
+    fleet_config: Optional[FleetConfig] = None,
+    workers: int = 1,
+    timeout: float = 120.0,
+    extra_args: Sequence[str] = (),
+) -> FleetRouter:
+    """A router over ``backends`` subprocess servers sharing one store.
+
+    This is the real deployment shape (independent processes, real
+    sockets, real process parallelism); ``close()`` terminates the
+    server processes.
+    """
+    members: List[Backend] = []
+    os.makedirs(log_dir, exist_ok=True)
+    try:
+        for index in range(backends):
+            proc, url = spawn_server_process(
+                cache_dir,
+                os.path.join(log_dir, f"backend-{index}.log"),
+                workers=workers,
+                extra_args=extra_args,
+            )
+            members.append(
+                HttpBackend(
+                    f"backend-{index}", url, timeout=timeout, process=proc
+                )
+            )
+    except BaseException:
+        for member in members:
+            member.close()
+        raise
+    fleet_config = fleet_config or FleetConfig()
+    if fleet_config.cache_dir is None:
+        fleet_config.cache_dir = cache_dir
+    return FleetRouter(members, fleet_config, owns_backends=True)
+
+
+__all__ = [
+    "Backend",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetTicket",
+    "HttpBackend",
+    "LocalBackend",
+    "SERVED_BY_LRU",
+    "SERVED_BY_STORE",
+    "local_fleet",
+    "spawn_http_fleet",
+    "spawn_server_process",
+]

@@ -1,5 +1,13 @@
 """JSON-over-HTTP front end for the compile service (stdlib only).
 
+The handler speaks to anything satisfying the *service contract* —
+``compile(request) -> CompileOutcome``, ``stats() -> dict``,
+``clear_cache() -> int``, and a ``store`` attribute (an
+:class:`~repro.service.store.ArtifactStore` or ``None``) — so one server
+implementation fronts both a single-process
+:class:`~repro.service.service.CompileService` (``repro serve``) and a
+:class:`~repro.service.fleet.FleetRouter` (``repro fleet serve``).
+
 Endpoints (all under ``/v1``):
 
 =======================  ======  ==========================================
@@ -37,7 +45,6 @@ from ..errors import (
 from ..ir.serialize import FORMAT_VERSION, PIPELINE_VERSION
 from ..observability import get_metrics
 from .api import STATUS_ERROR, CompileRequest
-from .service import CompileService
 from .store import is_valid_digest
 
 #: Maximum accepted request-body size (serialized IR programs are small;
@@ -51,7 +58,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: CompileService) -> None:
+    def __init__(self, address, service: Any) -> None:
+        # ``service`` is anything satisfying the module-docstring
+        # contract: a CompileService or a FleetRouter.
         super().__init__(address, _Handler)
         self.service = service
 
@@ -66,7 +75,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    service: CompileService, host: str, port: int
+    service: Any, host: str, port: int
 ) -> ServiceHTTPServer:
     """Bind (``port=0`` picks an ephemeral port) but do not serve yet."""
     return ServiceHTTPServer((host, port), service)
@@ -74,6 +83,15 @@ def make_server(
 
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
+    #: HTTP/1.1 keeps connections alive between requests (every response
+    #: sets Content-Length, which 1.1 keep-alive requires) — the fleet
+    #: router's dispatcher threads reuse one connection per backend
+    #: instead of paying a TCP handshake per request.
+    protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY: headers and body go out as separate writes; with a
+    #: kept-alive connection Nagle would hold the body ~40ms waiting on
+    #: the client's delayed ACK of the header packet.
+    disable_nagle_algorithm = True
     #: Keep the default noisy per-request stderr logging off; the
     #: service's own metrics/tracing are the observability surface.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -175,9 +193,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/v1/cache/clear":
-            store = self.server.service.store
-            cleared = store.clear() if store is not None else 0
-            self._send(200, {"cleared": cleared})
+            # clear_cache also drops any in-memory tier (the fleet
+            # router's LRU), which a bare store.clear() would leave
+            # serving stale hits.
+            self._send(200, {"cleared": self.server.service.clear_cache()})
             return
         if path != "/v1/compile":
             self._send(404, {
@@ -188,6 +207,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             data = self._read_json()
         except (ValueError, UnicodeDecodeError) as exc:
+            # The body may be partly (or not at all) consumed; a
+            # keep-alive connection would misparse the leftover bytes
+            # as the next request, so drop the connection instead.
+            self.close_connection = True
             self._send(400, {
                 "error_type": "BadRequest",
                 "message": f"malformed JSON body: {exc}",

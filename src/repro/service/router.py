@@ -1,0 +1,216 @@
+"""Routing primitives for the compile fleet: hash ring + hot LRU tier.
+
+Two deliberately small, independently testable pieces:
+
+* :class:`HashRing` — consistent hashing over backend names.  Requests
+  are placed by their :func:`~repro.ir.serialize.compile_digest`, so one
+  digest always lands on the same backend while that backend is in the
+  ring; adding or removing a node only moves the ``1/N`` of the keyspace
+  adjacent to its points (virtual replicas keep the shares balanced).
+  :meth:`HashRing.preference` yields the full failover order — the
+  primary first, then each distinct successor clockwise — which is the
+  retry schedule the fleet router walks on backend death or saturation.
+
+* :class:`LRUCache` — the hot in-memory artifact tier layered over the
+  shared content-addressed disk store.  Digest-keyed, capacity-bounded,
+  thread-safe; serves repeat requests without touching the disk objects
+  or any backend.  ``capacity=0`` disables the tier (every lookup is a
+  miss), which load benchmarks use to measure the layers separately.
+
+Both structures are deterministic: the ring hashes with SHA-256 (no
+process-seeded ``hash()``), so placement is stable across processes and
+restarts — a prerequisite for sharding one disk store between fleet
+members without them shuffling ownership every boot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from bisect import bisect_right, insort
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Virtual points per node.  64 keeps the largest/smallest keyspace
+#: share within a few percent for small fleets while the ring stays
+#: tiny (a 16-backend ring is 1024 sorted tuples).
+DEFAULT_RING_REPLICAS = 64
+
+
+def _ring_point(key: str) -> int:
+    """A stable 64-bit position on the ring for ``key``."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes.
+
+    Thread-safe; mutation (``add``/``remove``) is rare — membership
+    changes, not per-request work — so a plain lock suffices.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        replicas: int = DEFAULT_RING_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("hash ring needs at least one replica")
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        #: Sorted ``(point, node)`` tuples; ties broken by node name so
+        #: two processes building the same ring agree exactly.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[Tuple[int, str]]] = {}
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: str) -> None:
+        with self._lock:
+            if node in self._nodes:
+                return
+            points = [
+                (_ring_point(f"{node}#{i}"), node)
+                for i in range(self.replicas)
+            ]
+            self._nodes[node] = points
+            for point in points:
+                insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        with self._lock:
+            points = self._nodes.pop(node, None)
+            if points is None:
+                return
+            dropped = set(points)
+            self._points = [p for p in self._points if p not in dropped]
+
+    def nodes(self) -> List[str]:
+        with self._lock:
+            return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        with self._lock:
+            return node in self._nodes
+
+    def node_for(self, key: str) -> str:
+        """The primary owner of ``key`` (first node clockwise)."""
+        preference = self.preference(key, limit=1)
+        if not preference:
+            raise ValueError("hash ring is empty")
+        return preference[0]
+
+    def preference(
+        self, key: str, limit: Optional[int] = None
+    ) -> List[str]:
+        """Every distinct node in failover order for ``key``.
+
+        The primary first, then each new node met walking clockwise —
+        the order the fleet router retries in when a backend is dead or
+        shedding load.  ``limit`` truncates the walk.
+        """
+        with self._lock:
+            if not self._points:
+                return []
+            want = len(self._nodes) if limit is None else min(
+                limit, len(self._nodes)
+            )
+            start = bisect_right(self._points, (_ring_point(key), "\uffff"))
+            order: List[str] = []
+            seen = set()
+            for offset in range(len(self._points)):
+                _, node = self._points[(start + offset) % len(self._points)]
+                if node not in seen:
+                    seen.add(node)
+                    order.append(node)
+                    if len(order) >= want:
+                        break
+            return order
+
+    def shares(self, samples: int = 4096) -> Dict[str, float]:
+        """Approximate keyspace share per node (diagnostics/tests)."""
+        counts: Dict[str, int] = {node: 0 for node in self.nodes()}
+        if not counts:
+            return {}
+        for i in range(samples):
+            counts[self.node_for(f"sample-{i}")] += 1
+        return {node: count / samples for node, count in counts.items()}
+
+
+class LRUCache:
+    """Thread-safe digest-keyed LRU with hit/miss/eviction accounting.
+
+    Values are artifact payload dicts (already JSON-shaped); the cache
+    never mutates them and callers must not either — entries are shared
+    across requests.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("LRU capacity cannot be negative")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: str) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+__all__ = ["DEFAULT_RING_REPLICAS", "HashRing", "LRUCache"]

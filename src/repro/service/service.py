@@ -247,6 +247,16 @@ class CompileService:
         return self.submit(request).result(timeout=timeout)
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed service rejects
+        submissions with :class:`~repro.errors.ServiceError`."""
+        return self._closed
+
+    def clear_cache(self) -> int:
+        """Drop every stored artifact; returns how many were removed."""
+        return self.store.clear() if self.store is not None else 0
+
+    @property
     def executions(self) -> int:
         """How many times the pipeline actually ran (misses that weren't
         filled by another process before a worker picked them up)."""
@@ -267,12 +277,7 @@ class CompileService:
             "memo_restored": dict(self.memo_restored),
             **counts,
         }
-        snapshot["latency_ms"] = {
-            "count": len(latencies),
-            "p50": _percentile(latencies, 0.50),
-            "p95": _percentile(latencies, 0.95),
-            "max": latencies[-1] if latencies else 0.0,
-        }
+        snapshot["latency_ms"] = latency_summary(latencies)
         if self.store is not None:
             snapshot["store"] = self.store.stats()
         return snapshot
@@ -399,9 +404,14 @@ class CompileService:
     def _default_compile(
         self, request: CompileRequest, digest: str
     ) -> CompileArtifact:
+        from ..ir.serialize import canonicalize_program
         from ..runtime.session import GpuSession
 
         program, device, sizes = request.resolve()
+        # Deterministic binder names: codegen output (and so the stored
+        # artifact) must be a pure function of the digest, no matter
+        # which process or fleet backend runs the pipeline.
+        program = canonicalize_program(program)
         budget = None
         if (
             self.config.deadline_s is not None
@@ -430,17 +440,7 @@ class CompileService:
     def _error_outcome(
         self, digest: str, exc: BaseException
     ) -> CompileOutcome:
-        report = getattr(exc, "failure_report", None)
-        return CompileOutcome(
-            digest=digest,
-            status=STATUS_ERROR,
-            error=CompileError(
-                error_type=type(exc).__name__,
-                message=str(exc),
-                exit_code=exit_code_for(exc),
-                failure_report=None if report is None else report.to_dict(),
-            ),
-        )
+        return error_outcome(digest, exc)
 
     # -- accounting ------------------------------------------------------
 
@@ -458,10 +458,46 @@ class CompileService:
         metrics.histogram("service.request_ms").observe(latency_ms)
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
+def error_outcome(digest: str, exc: BaseException) -> CompileOutcome:
+    """Wrap an exception as a typed :class:`CompileOutcome` error.
+
+    Shared by the per-process service and the fleet router so a failure
+    carries the same error type, CLI exit code, and (when attached)
+    replayable failure report regardless of which layer caught it.
+    """
+    report = getattr(exc, "failure_report", None)
+    return CompileOutcome(
+        digest=digest,
+        status=STATUS_ERROR,
+        error=CompileError(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            exit_code=exit_code_for(exc),
+            failure_report=None if report is None else report.to_dict(),
+        ),
+    )
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (0.0 empty)."""
     if not sorted_values:
         return 0.0
     index = min(
         len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
     )
     return sorted_values[int(index)]
+
+
+def latency_summary(sorted_latencies_ms: List[float]) -> Dict[str, Any]:
+    """The p50/p95/p99 summary every stats surface reports."""
+    return {
+        "count": len(sorted_latencies_ms),
+        "p50": percentile(sorted_latencies_ms, 0.50),
+        "p95": percentile(sorted_latencies_ms, 0.95),
+        "p99": percentile(sorted_latencies_ms, 0.99),
+        "max": sorted_latencies_ms[-1] if sorted_latencies_ms else 0.0,
+    }
+
+
+#: Backwards-compatible alias (pre-fleet internal name).
+_percentile = percentile

@@ -17,6 +17,7 @@ so one bad file costs a recompile, not an error.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -108,6 +109,33 @@ class CompileArtifact:
             compile_ms=float(data.get("compile_ms", 0.0)),
             created_at=float(data.get("created_at", 0.0)),
         )
+
+
+#: Artifact fields excluded from :func:`artifact_fingerprint`: wall-clock
+#: stamps differ run to run, and provenance is best-effort diagnostics
+#: that embeds elapsed search time.  Everything else — mappings, CUDA
+#: source, cost, flags, versions — must be identical for one digest no
+#: matter which process, backend, or fleet member compiled it.
+FINGERPRINT_VOLATILE_KEYS = ("compile_ms", "created_at", "provenance")
+
+
+def artifact_fingerprint(artifact: Any) -> str:
+    """SHA-256 over an artifact's deterministic payload.
+
+    Accepts a :class:`CompileArtifact` or its ``to_dict`` form.  Two
+    artifacts for the same compile digest must fingerprint identically
+    regardless of who compiled them — the byte-identity contract the
+    fleet failover tests pin.
+    """
+    data = (
+        artifact.to_dict()
+        if isinstance(artifact, CompileArtifact)
+        else dict(artifact)
+    )
+    for key in FINGERPRINT_VOLATILE_KEYS:
+        data.pop(key, None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def build_artifact(

@@ -151,6 +151,207 @@ class TestCacheCommand:
         assert len(served.service.store) == 0
 
 
+class HalfClosingServer:
+    """Accepts, reads the request, then drops the connection with no
+    response — what a server mid-shutdown looks like from the client."""
+
+    def __init__(self):
+        import socket
+
+        self._stop = threading.Event()
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+                conn.recv(65536)
+                conn.close()
+            except OSError:
+                return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def half_closed():
+    server = HalfClosingServer()
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+class TestTransportErrorRegression:
+    """Satellite regression: a dying or unreachable server must produce
+    a typed exit code and a one-line message — never a raw traceback
+    (RemoteDisconnected and friends escape urllib unwrapped)."""
+
+    def test_submit_mid_shutdown_exits_75_one_line(self, half_closed,
+                                                   capsys):
+        code = main([
+            "submit", "sumRows", "R=64", "C=32",
+            "--url", half_closed.url, "--timeout", "5",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        lines = [l for l in captured.err.strip().splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ServiceError:")
+
+    def test_stats_mid_shutdown_exits_75_one_line(self, half_closed,
+                                                  capsys):
+        code = main(["stats", "--url", half_closed.url, "--timeout", "5"])
+        assert code == EXIT_UNAVAILABLE
+        lines = [
+            l for l in capsys.readouterr().err.strip().splitlines() if l
+        ]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ServiceError:")
+
+    def test_stats_unreachable_exits_75(self, capsys):
+        code = main([
+            "stats", "--url", "http://127.0.0.1:9", "--timeout", "2",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_fleet_submit_mid_shutdown_exits_75(self, half_closed,
+                                                capsys):
+        code = main([
+            "fleet", "submit", "sumRows", "R=64", "C=32",
+            "--url", half_closed.url, "--timeout", "5",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "error: ServiceError:" in captured.err
+
+
+@pytest.fixture
+def fleet_served(tmp_path):
+    from repro.service import local_fleet
+
+    router = local_fleet(
+        2,
+        str(tmp_path / "cache"),
+        compile_fn=lambda req, digest: fake_artifact(digest),
+    )
+    server = make_server(router, "127.0.0.1", 0)
+    thread = threading.Thread(target=serve_forever, args=(server,))
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        router.close()
+
+
+class TestFleetCli:
+    def test_fleet_submit_single(self, fleet_served, capsys):
+        argv = [
+            "fleet", "submit", "sumRows", "R=64", "C=32",
+            "--url", fleet_served.url,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "miss" in out
+        assert "served_by=backend-" in out
+        assert main(argv) == 0
+        assert "served_by=router:" in capsys.readouterr().out
+
+    def test_fleet_submit_count_aggregates(self, fleet_served, capsys):
+        assert main([
+            "fleet", "submit", "sumRows", "R=96", "C=32",
+            "--url", fleet_served.url, "--count", "6", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 6
+        assert payload["completed"] == 6
+        assert payload["transport_failures"] == 0
+        assert payload["digests"] == 1
+        assert payload["statuses"].get("error", 0) == 0
+        assert payload["latency_ms"]["p99"] >= payload["latency_ms"]["p50"]
+        # Identical concurrent requests coalesce fleet-wide: whatever
+        # mix of miss/hit the clients saw, the router dispatched the
+        # digest at most once (coalesced waiters share that outcome).
+        router = fleet_served.service
+        assert router.stats()["misses"] <= 1
+
+    def test_fleet_stats(self, fleet_served, capsys):
+        main([
+            "fleet", "submit", "sumRows", "R=64", "C=32",
+            "--url", fleet_served.url,
+        ])
+        capsys.readouterr()
+        assert main([
+            "fleet", "stats", "--url", fleet_served.url, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        service = payload["service"]
+        assert service["requests"] >= 1
+        assert set(service["backends"]) == {"backend-0", "backend-1"}
+        assert "lru" in service
+
+    def test_fleet_serve_subprocess_lifecycle(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        log = tmp_path / "fleet.log"
+        with open(log, "w") as log_fh:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "fleet", "serve",
+                    "--port", "0", "--backends", "2", "--workers", "1",
+                    "--cache-dir", str(tmp_path / "cache"),
+                ],
+                stdout=log_fh,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        try:
+            url = None
+            deadline = time.time() + 60
+            while time.time() < deadline and url is None:
+                text = log.read_text()
+                if "listening on" in text:
+                    url = text.split("listening on ")[1].split()[0]
+                    break
+                time.sleep(0.2)
+            assert url, f"fleet never came up: {log.read_text()}"
+
+            from repro.service import ServiceClient
+
+            client = ServiceClient(url, timeout=120)
+            assert client.health()["ok"] is True
+            outcome = client.compile(
+                {"app": "sumRows", "sizes": {"R": 64, "C": 32}}
+            )
+            assert outcome.ok
+            assert outcome.served_by is not None
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        text = log.read_text()
+        assert "routed 1 request(s)" in text
+
+
 class TestServeSubprocess:
     def test_serve_sigterm_lifecycle(self, tmp_path):
         env = dict(os.environ)

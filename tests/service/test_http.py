@@ -205,3 +205,234 @@ class TestErrorMapping:
         client = ServiceClient("http://127.0.0.1:9", timeout=2)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.health()
+
+
+class ScriptedServer:
+    """A raw socket server misbehaving on purpose.
+
+    Behaviors: ``hang`` reads the request then never answers;
+    ``close`` reads then drops the connection with no status line (the
+    RemoteDisconnected shape a mid-shutdown server produces);
+    ``truncate`` promises a Content-Length it never delivers.
+    """
+
+    def __init__(self, behavior: str):
+        import socket
+
+        self.behavior = behavior
+        self.connections = 0
+        self._stop = threading.Event()
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        try:
+            conn.recv(65536)
+            if self.behavior == "hang":
+                self._stop.wait(30)
+            elif self.behavior == "truncate":
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 1000\r\n\r\n"
+                    b'{"partial":'
+                )
+            conn.close()
+        except OSError:
+            pass
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture(params=["hang", "close", "truncate"])
+def misbehaving(request):
+    server = ScriptedServer(request.param)
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+class TestClientTransportHardening:
+    """Satellite: every socket-layer escape hatch maps onto ServiceError
+    — bounded wait, typed error, never a raw traceback."""
+
+    def test_hanging_server_bounded_wait(self):
+        server = ScriptedServer("hang")
+        try:
+            client = ServiceClient(server.url, timeout=1)
+            start = time.monotonic()
+            with pytest.raises(ServiceError, match="timed out"):
+                client.health()
+            elapsed = time.monotonic() - start
+            assert 0.5 < elapsed < 10, elapsed
+        finally:
+            server.close()
+
+    def test_every_misbehavior_is_typed(self, misbehaving):
+        # RemoteDisconnected / ConnectionResetError / IncompleteRead all
+        # escape urllib unwrapped; the client must catch each one.
+        client = ServiceClient(misbehaving.url, timeout=1)
+        with pytest.raises(ServiceError):
+            client.compile(request())
+
+    def test_retry_follows_backoff_schedule(self):
+        from repro.resilience.retry import backoff_delays
+
+        server = ScriptedServer("close")
+        try:
+            slept = []
+            client = ServiceClient(
+                server.url,
+                timeout=2,
+                retries=3,
+                backoff_base_s=0.05,
+                backoff_max_s=1.0,
+                backoff_seed=7,
+                sleep=slept.append,
+            )
+            with pytest.raises(ServiceError):
+                client.health()
+            # One connection per attempt, the deterministic PR-3 jitter
+            # schedule between them — and nothing slept after the last.
+            assert server.connections == 4
+            assert slept == list(
+                backoff_delays(3, base_delay=0.05, max_delay=1.0, seed=7)
+            )[:3]
+        finally:
+            server.close()
+
+    def test_http_level_errors_are_never_transport_retried(self, served):
+        slept = []
+        client = ServiceClient(
+            served.url, timeout=10, retries=3, sleep=slept.append
+        )
+        with pytest.raises(RuntimeConfigError):
+            client.compile({"app": "noSuchApp"})
+        assert slept == []
+
+    def test_keep_alive_round_trip_reuses_connection(self, served):
+        client = ServiceClient(served.url, keep_alive=True)
+        first = client.compile(request())
+        conn = client._local.conn
+        assert conn is not None and conn.sock is not None
+        second = client.compile(request())
+        assert first.status == STATUS_MISS
+        assert second.status == STATUS_HIT
+        assert client._local.conn is conn, "connection was not reused"
+        client.close()
+        assert client._local.conn is None
+
+    def test_keep_alive_every_misbehavior_is_typed(self, misbehaving):
+        client = ServiceClient(misbehaving.url, timeout=1, keep_alive=True)
+        with pytest.raises(ServiceError):
+            client.compile(request())
+
+    def test_keep_alive_down_server_is_typed(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9", timeout=2, keep_alive=True
+        )
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_keep_alive_stale_connection_recovers_after_restart(
+        self, tmp_path
+    ):
+        # The kept-alive socket points at a server that no longer
+        # exists; the client must notice and redo the request on a
+        # fresh connection (safe: requests are content-addressed).
+        from repro.service.fleet import spawn_server_process
+
+        cache = str(tmp_path / "cache")
+        proc, url = spawn_server_process(
+            cache, str(tmp_path / "log1.txt"), workers=1, port=0
+        )
+        client = ServiceClient(url, keep_alive=True, timeout=120)
+        try:
+            assert client.compile(request()).ok
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+        port = int(url.rsplit(":", 1)[1])
+        proc2, url2 = spawn_server_process(
+            cache, str(tmp_path / "log2.txt"), workers=1, port=port
+        )
+        try:
+            outcome = client.compile(request())
+            assert outcome.ok
+            assert outcome.status == STATUS_HIT  # same shared store
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)
+
+    def test_retry_after_timeout_has_no_duplicate_side_effects(
+        self, tmp_path
+    ):
+        # Attempt 1 times out client-side while the server is still
+        # compiling; the retry must be absorbed by the store /
+        # single-flight — the pipeline runs exactly once.
+        gate = threading.Event()
+        calls = []
+
+        def gated(req, digest):
+            calls.append(digest)
+            if not gate.wait(timeout=30):
+                raise TimeoutError("gate never opened")
+            return fake_artifact(digest)
+
+        service = CompileService(
+            ServiceConfig(
+                workers=2, cache_dir=str(tmp_path / "cache")
+            ),
+            compile_fn=gated,
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=serve_forever, args=(server,))
+        thread.start()
+        try:
+
+            def open_gate_then_wait(delay):
+                gate.set()
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    if service.stats()["executions"] >= 1:
+                        return
+                    time.sleep(0.02)
+
+            client = ServiceClient(
+                server.url,
+                timeout=1,
+                retries=1,
+                sleep=open_gate_then_wait,
+            )
+            outcome = client.compile(request())
+            assert outcome.ok
+            assert outcome.status == STATUS_HIT
+            assert len(calls) == 1
+            assert service.executions == 1
+        finally:
+            gate.set()
+            server.shutdown()
+            thread.join(timeout=30)
+            service.close()

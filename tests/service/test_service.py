@@ -441,3 +441,34 @@ class TestStats:
         assert "service.requests" in flat
         assert "service.cache.hits" in flat
         assert "service.cache.misses" in flat
+
+
+class TestDigestMemo:
+    """The request-digest memo: pure speedup, never a different answer."""
+
+    def test_memoized_digest_matches_fresh(self):
+        from repro.service import clear_digest_memo
+
+        clear_digest_memo()
+        fresh = request().digest()
+        memoized = request().digest()
+        clear_digest_memo()
+        recomputed = request().digest()
+        assert fresh == memoized == recomputed
+
+    def test_distinct_requests_distinct_digests(self):
+        assert request(R=64, C=32).digest() != request(R=128, C=32).digest()
+
+    def test_resolution_errors_are_not_cached(self):
+        bad = CompileRequest(app="noSuchApp")
+        with pytest.raises(RuntimeConfigError):
+            bad.digest()
+        with pytest.raises(RuntimeConfigError):
+            bad.digest()
+
+    def test_memo_is_bounded(self):
+        from repro.service.api import _DIGEST_MEMO, _DIGEST_MEMO_CAPACITY
+
+        for i in range(8):
+            request(R=64 + i, C=32).digest()
+        assert len(_DIGEST_MEMO) <= _DIGEST_MEMO_CAPACITY

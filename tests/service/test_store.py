@@ -174,6 +174,150 @@ class TestDigestSafety:
         assert not inside.exists()
 
 
+class TestConcurrencyStress:
+    """Satellite: hammer one store root from threads *and* a second
+    process — no torn reads, no lost writes, quarantine stays inside
+    ``objects/``."""
+
+    @staticmethod
+    def _digest(tag: str) -> str:
+        import hashlib
+
+        return hashlib.sha256(tag.encode()).hexdigest()
+
+    def test_threads_and_second_process(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import threading
+
+        root = str(tmp_path / "cache")
+        store = ArtifactStore(root)
+        victim = tmp_path / "victim.json"
+        victim.write_text("{ not json")  # must survive every quarantine
+
+        digests = [self._digest(f"obj-{i}") for i in range(24)]
+        corrupt_targets = digests[:6]
+        stop = threading.Event()
+        errors = []
+
+        def writer(slice_start: int):
+            try:
+                while not stop.is_set():
+                    for digest in digests[slice_start::3]:
+                        store.put(make_artifact(digest))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(("writer", exc))
+
+        def reader():
+            try:
+                i = 0
+                while not stop.is_set():
+                    digest = digests[i % len(digests)]
+                    i += 1
+                    artifact = store.get(digest)
+                    # The one forbidden outcome is a torn read: a parsed
+                    # artifact that is not exactly what a put wrote.
+                    if artifact is not None:
+                        assert artifact.digest == digest
+                        assert artifact == make_artifact(digest)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(("reader", exc))
+
+        def corruptor():
+            try:
+                while not stop.is_set():
+                    for digest in corrupt_targets:
+                        path = store._path(digest)
+                        try:
+                            path.write_text("{ torn write")
+                        except OSError:
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(("corruptor", exc))
+
+        threads = (
+            [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+            + [threading.Thread(target=reader) for _ in range(3)]
+            + [threading.Thread(target=corruptor)]
+        )
+        for thread in threads:
+            thread.start()
+
+        # A genuinely separate process works the same root mid-storm.
+        script = (
+            "import hashlib, sys\n"
+            "from repro.service.store import ArtifactStore\n"
+            "from repro.service.store import CompileArtifact\n"
+            "def art(d):\n"
+            "    return CompileArtifact(\n"
+            "        digest=d, program='sumRows', strategy='multidim',\n"
+            "        device='Tesla K20c', sizes={'R': 64, 'C': 32},\n"
+            "        flags={'prealloc': True, 'layout_opt': True,\n"
+            "               'shared_memory': True},\n"
+            "        mappings=['L0[dimy, 32, span(1)]'],\n"
+            "        cuda_source='__global__ void k() {}',\n"
+            "        cost={'total_us': 12.5,\n"
+            "              'kernels': [{'total_us': 12.5}]},\n"
+            "        compile_ms=3.0)\n"
+            "store = ArtifactStore(sys.argv[1])\n"
+            "mine = [hashlib.sha256(f'proc-{i}'.encode()).hexdigest()\n"
+            "        for i in range(12)]\n"
+            "for d in mine:\n"
+            "    store.put(art(d))\n"
+            "theirs = [hashlib.sha256(f'obj-{i}'.encode()).hexdigest()\n"
+            "          for i in range(24)]\n"
+            "for _ in range(20):\n"
+            "    for d in mine + theirs:\n"
+            "        a = store.get(d)\n"
+            "        assert a is None or a.digest == d, d\n"
+            "for d in mine:\n"
+            "    assert store.get(d) is not None, d\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, root],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert proc.returncode == 0, proc.stderr
+        assert not errors, errors
+
+        # No lost writes: every digest the corruptor never touched is
+        # present and intact (puts are atomic, so a valid object can
+        # never be quarantined by a racing reader).
+        for digest in digests[6:]:
+            assert store.get(digest) == make_artifact(digest), digest
+        for i in range(12):
+            digest = self._digest(f"proc-{i}")
+            assert store.get(digest) == make_artifact(digest), digest
+
+        # Corrupted objects converge after one clean re-put.
+        for digest in corrupt_targets:
+            store.put(make_artifact(digest))
+            assert store.get(digest) == make_artifact(digest), digest
+
+        # Quarantine never left the objects tree.
+        assert victim.exists()
+        assert victim.read_text() == "{ not json"
+        strays = [
+            p
+            for p in tmp_path.rglob("*")
+            if p.is_file()
+            and p != victim
+            and (tmp_path / "cache" / "objects") not in p.parents
+        ]
+        assert strays == [], strays
+
+
 class TestBuildArtifact:
     def test_extracts_compiled_program(self):
         from repro.apps import resolve_app
