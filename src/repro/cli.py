@@ -39,17 +39,23 @@ Commands
 ``serve [--port P] [--workers N] [--cache-dir DIR] [--trace FILE]``
     Run the compile service: JSON-over-HTTP, worker pool with bounded
     admission, single-flight dedup, persistent artifact cache.
-``submit <app|--program FILE> [k=v ...] [--url URL] [--json]``
+``submit <app|--program FILE> [k=v ...] [--url URL] [--deadline-s S]``
     Send one compile request to a running server.  Server-side pipeline
     failures download the replayable failure report and print the local
-    ``repro replay-failure`` invocation.
+    ``repro replay-failure`` invocation.  ``--deadline-s`` propagates a
+    request budget; work shed on an expired deadline exits 75.
 ``cache <stats|list|clear> [--cache-dir DIR] [--json]``
     Inspect or clear a compile server's on-disk artifact store.
+``fleet <serve|submit|stats|chaos>``
+    The digest-sharded compile fleet: run a router over N backends,
+    submit to it (``--deadline-s`` as above), query its stats, or run
+    the fleet chaos campaigns (kill/hang/slow/partition a backend and
+    assert zero lost tickets plus prober readmission).
 
 Exit codes: 0 success, 1 check failed, 2 configuration error, 3
 analysis/search error, 4 codegen error, 5 execution/simulation error,
 70 internal error, 75 service unavailable (admission queue full /
-server unreachable).
+server unreachable / deadline shed).
 """
 
 from __future__ import annotations
@@ -571,12 +577,14 @@ def _submit_request(args: argparse.Namespace):
             raise RuntimeConfigError(
                 f"cannot load serialized program {args.program!r}: {exc}"
             )
+    deadline_s = getattr(args, "deadline_s", None)
     return CompileRequest(
         app=app,
         program_ir=program_ir,
         sizes=_parse_sizes(sizes_args),
         strategy=args.strategy,
         device=args.device,
+        deadline_s=deadline_s if deadline_s and deadline_s > 0 else None,
     )
 
 
@@ -595,6 +603,12 @@ def cmd_fleet_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         dispatchers=args.dispatchers,
         cache_dir=cache_dir,
+        probe_interval_s=args.probe_interval_s,
+        hedge_delay_s=(
+            args.hedge_delay_s
+            if args.hedge_delay_s is not None and args.hedge_delay_s >= 0
+            else None
+        ),
     )
     with capture() as obs:
         router = local_fleet(
@@ -731,6 +745,33 @@ def cmd_fleet_stats(args: argparse.Namespace) -> int:
         for key in sorted(service):
             print(f"  {key}: {service[key]}")
     return 0
+
+
+def cmd_fleet_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience.faults import FLEET_FAULT_KINDS
+    from repro.resilience.fleet_chaos import run_fleet_chaos_matrix
+
+    kinds = args.kind or list(FLEET_FAULT_KINDS)
+    unknown = [k for k in kinds if k not in FLEET_FAULT_KINDS]
+    if unknown:
+        raise RuntimeConfigError(
+            f"unknown fleet fault kind(s) {', '.join(unknown)}; "
+            f"known: {', '.join(FLEET_FAULT_KINDS)}"
+        )
+    result = run_fleet_chaos_matrix(
+        kinds=kinds,
+        seed=args.seed,
+        wave=args.wave,
+        progress=print if args.verbose else None,
+        out_dir=args.out,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.describe())
+    return 0 if result.ok else 1
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -999,6 +1040,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
                        f"{_config.DEFAULT_SERVICE_PORT}")
     p_sub.add_argument("--timeout", type=float, default=120.0)
+    p_sub.add_argument("--deadline-s", type=float, default=None,
+                       help="request budget propagated to the server; "
+                       "expired work is shed with a typed 504 outcome "
+                       "and exit code 75 (<=0 or unset: no deadline)")
     p_sub.add_argument("--json", action="store_true",
                        help="print the full outcome JSON")
     p_sub.add_argument("--report-dir", default="failure-reports",
@@ -1056,6 +1101,15 @@ def build_parser() -> argparse.ArgumentParser:
     fl_sv.add_argument("--deadline-s", type=float,
                        default=_config.DEFAULT_REQUEST_DEADLINE_S,
                        help="per-request search deadline; <=0 disables")
+    fl_sv.add_argument("--probe-interval-s", type=float,
+                       default=_config.DEFAULT_FLEET_PROBE_INTERVAL_S,
+                       help="background health-probe cadence driving "
+                       "the per-backend circuit breakers; <=0 disables "
+                       f"(default {_config.DEFAULT_FLEET_PROBE_INTERVAL_S})")
+    fl_sv.add_argument("--hedge-delay-s", type=float, default=None,
+                       help="hedge still-pending warm-cache requests to "
+                       "the next ring node after this many seconds "
+                       "(default: hedging disabled)")
     fl_sv.add_argument("--no-provenance", action="store_true")
     fl_sv.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace on shutdown")
@@ -1082,8 +1136,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="client transport retries with jittered "
                           "backoff (default 0)")
     fl_sub_p.add_argument("--timeout", type=float, default=120.0)
+    fl_sub_p.add_argument("--deadline-s", type=float, default=None,
+                          help="request budget propagated through the "
+                          "router to the backends; expired work is shed "
+                          "with a typed 504 outcome and exit code 75")
     fl_sub_p.add_argument("--json", action="store_true")
     fl_sub_p.set_defaults(fn=cmd_fleet_submit)
+
+    fl_ch = fl_sub.add_parser(
+        "chaos",
+        help="run fleet fault campaigns: kill/hang/slow/partition a "
+        "backend, assert zero lost tickets and prober readmission",
+    )
+    fl_ch.add_argument("--kind", action="append", default=None,
+                       help="fault kind(s) to run (default: all of "
+                       "kill, hang, slow, partition)")
+    fl_ch.add_argument("--seed", type=int, default=0,
+                       help="deterministic seed: picks the victim and "
+                       "the request set (default 0)")
+    fl_ch.add_argument("--wave", type=int, default=6,
+                       help="requests per campaign wave (default 6)")
+    fl_ch.add_argument("--out", default=None, metavar="DIR",
+                       help="write a JSON report per failing campaign")
+    fl_ch.add_argument("--json", action="store_true",
+                       help="print the full result JSON")
+    fl_ch.add_argument("-v", "--verbose", action="store_true",
+                       help="print each campaign as it completes")
+    fl_ch.set_defaults(fn=cmd_fleet_chaos)
 
     fl_st = fl_sub.add_parser(
         "stats", help="query a running fleet router's /v1/stats"

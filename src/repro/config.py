@@ -76,6 +76,26 @@ DEFAULT_FLEET_RETRIES = 3
 DEFAULT_FLEET_DISPATCHERS = 8
 DEFAULT_FLEET_QUEUE_LIMIT = 4096
 
+# Fleet self-healing defaults.  A background prober health-checks every
+# backend each interval and feeds per-backend circuit breakers: a breaker
+# opens after BREAKER_FAILURE_THRESHOLD consecutive failures, waits
+# BREAKER_RESET_TIMEOUT_S, then admits one half-open probe whose success
+# readmits the backend (two-way membership, unlike the old one-way
+# mark_dead).  Hedging re-issues a still-pending warm-cache request to
+# the next ring node after the hedge delay; HEDGE_MIN_SAMPLES observed
+# latencies are required before a p99-derived delay is trusted.
+DEFAULT_FLEET_PROBE_INTERVAL_S = 1.0
+DEFAULT_FLEET_PROBE_TIMEOUT_S = 5.0
+DEFAULT_BREAKER_FAILURE_THRESHOLD = 3
+DEFAULT_BREAKER_RESET_TIMEOUT_S = 2.0
+DEFAULT_HEDGE_MIN_DELAY_S = 0.01
+DEFAULT_HEDGE_MIN_SAMPLES = 50
+DEFAULT_HEDGE_TRACKING_CAPACITY = 4096
+#: Grace added on top of a request's deadline when bounding the blocking
+#: wait for its ticket: the worker-side shed normally answers first, the
+#: timed wait is only the backstop against a wedged backend.
+DEADLINE_WAIT_GRACE_S = 2.0
+
 # L2-size proxy used to discount coalescing constraints for arrays small
 # enough to live in cache after first touch (K20c: 1.25 MB).  The analysis
 # layer must not depend on a concrete device, so this is a standalone

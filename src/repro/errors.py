@@ -82,6 +82,19 @@ class QueueFullError(ServiceError):
     (HTTP 503 + ``Retry-After``), never an unbounded wait."""
 
 
+class DeadlineExceededError(ServiceError):
+    """Raised (or shipped as a typed outcome) when a request's propagated
+    deadline expires before the work could be served.
+
+    The deadline travels on the wire (``CompileRequest.deadline_s``) and
+    is enforced at the backend admission queue — expired work is *shed*,
+    never compiled — and by the fleet router's failover loop, whose
+    retries and backoff sleeps never outlive the caller's budget.  Maps
+    onto HTTP 504 and, as a :class:`ServiceError` subclass, onto the
+    EX_TEMPFAIL exit code: the request is retryable with a fresh budget.
+    """
+
+
 class InjectedFaultError(ReproError):
     """Raised by the deterministic fault-injection framework.
 

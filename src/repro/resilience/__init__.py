@@ -10,12 +10,22 @@ result.  ``docs/robustness.md`` is the design document; the chaos matrix
 (``repro chaos``, ``tests/resilience/``) is the enforcement.
 """
 
+from .breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+)
 from .budget import Budget, BudgetExhaustedError
 from .chaos import ChaosCell, ChaosMatrixResult, run_chaos_matrix
 from .fallback import FALLBACK_OUTER_BLOCK, conservative_fallback_mapping
 from .faults import (
     FAULT_MATRIX,
+    FLEET_FAULT_KINDS,
+    FLEET_FAULT_MATRIX,
     KINDS,
+    PIPELINE_STAGES,
     STAGES,
     FaultPlan,
     FaultSpec,
@@ -23,6 +33,11 @@ from .faults import (
     inject_faults,
     maybe_inject,
 )
+
+# NOTE: ``repro.resilience.fleet_chaos`` (ChaosBackend, the fleet chaos
+# campaign) is deliberately not imported here — it depends on
+# ``repro.service``, which itself imports this package.  Import it
+# directly: ``from repro.resilience.fleet_chaos import ...``.
 from .reports import (
     FailureReport,
     ReplayOutcome,
@@ -42,8 +57,16 @@ __all__ = [
     "run_chaos_matrix",
     "FALLBACK_OUTER_BLOCK",
     "conservative_fallback_mapping",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_CODES",
+    "CircuitBreaker",
     "FAULT_MATRIX",
+    "FLEET_FAULT_KINDS",
+    "FLEET_FAULT_MATRIX",
     "KINDS",
+    "PIPELINE_STAGES",
     "STAGES",
     "FaultPlan",
     "FaultSpec",

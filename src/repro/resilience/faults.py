@@ -25,6 +25,10 @@ stale       memo                          memo hit from a different key
 nan         simulator                     cost model returns NaN
 inf         simulator                     cost model returns +inf
 deadline    search                        search budget expires now
+kill        fleet                         backend dead until restarted
+hang        fleet                         request stalls, then fails
+slow        fleet                         response delayed, then served
+partition   fleet                         transport error for a window
 ========== ============================= ===========================
 
 ``exception`` is raised directly by :func:`maybe_inject`; the data-shaped
@@ -44,8 +48,11 @@ from ..errors import InjectedFaultError
 
 __all__ = [
     "STAGES",
+    "PIPELINE_STAGES",
     "KINDS",
     "FAULT_MATRIX",
+    "FLEET_FAULT_KINDS",
+    "FLEET_FAULT_MATRIX",
     "FaultSpec",
     "FaultPlan",
     "inject_faults",
@@ -53,8 +60,8 @@ __all__ = [
     "maybe_inject",
 ]
 
-#: Pipeline stages with an injection point.
-STAGES = (
+#: Compilation-pipeline stages with an injection point.
+PIPELINE_STAGES = (
     "analysis",
     "search",
     "memo",
@@ -64,8 +71,20 @@ STAGES = (
     "interpreter",
 )
 
+#: All stages, including the fleet transport layer.  "fleet" faults fire
+#: inside a :class:`~repro.resilience.fleet_chaos.ChaosBackend` wrapping
+#: one fleet backend, not inside the pipeline.
+STAGES = PIPELINE_STAGES + ("fleet",)
+
+#: Transport-shaped fault kinds for the fleet stage: a backend killed
+#: until explicitly restarted, a request that hangs before failing, a
+#: slow-but-correct response, and a bounded network partition.
+FLEET_FAULT_KINDS = ("kill", "hang", "slow", "partition")
+
 #: All fault kinds.
-KINDS = ("exception", "corrupt", "stale", "nan", "inf", "deadline")
+KINDS = (
+    "exception", "corrupt", "stale", "nan", "inf", "deadline",
+) + FLEET_FAULT_KINDS
 
 #: Which kinds make sense per stage ("exception" everywhere).
 _KINDS_FOR_STAGE: Dict[str, Tuple[str, ...]] = {
@@ -76,13 +95,22 @@ _KINDS_FOR_STAGE: Dict[str, Tuple[str, ...]] = {
     "codegen": ("exception",),
     "simulator": ("exception", "nan", "inf"),
     "interpreter": ("exception",),
+    "fleet": ("exception",) + FLEET_FAULT_KINDS,
 }
 
-#: Every valid (stage, kind) pair — the chaos matrix.
+#: Every valid (stage, kind) pair of the *pipeline* chaos matrix.  The
+#: fleet tier has its own matrix below — its cells need a running fleet,
+#: not a bare pipeline, so ``repro chaos`` and ``repro fleet chaos``
+#: iterate disjoint matrices.
 FAULT_MATRIX: Tuple[Tuple[str, str], ...] = tuple(
     (stage, kind)
-    for stage in STAGES
+    for stage in PIPELINE_STAGES
     for kind in _KINDS_FOR_STAGE[stage]
+)
+
+#: The fleet chaos matrix (``repro fleet chaos``).
+FLEET_FAULT_MATRIX: Tuple[Tuple[str, str], ...] = tuple(
+    ("fleet", kind) for kind in FLEET_FAULT_KINDS
 )
 
 
@@ -157,10 +185,11 @@ class FaultPlan:
 
     @classmethod
     def single(
-        cls, stage: str, kind: str = "exception", at: int = 1
+        cls, stage: str, kind: str = "exception", at: int = 1,
+        times: int = 1,
     ) -> "FaultPlan":
         """The chaos matrix's unit: one fault at one place."""
-        return cls([FaultSpec(stage=stage, kind=kind, at=at)])
+        return cls([FaultSpec(stage=stage, kind=kind, at=at, times=times)])
 
     @classmethod
     def random(

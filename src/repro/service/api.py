@@ -60,6 +60,14 @@ class CompileRequest:
     strategy: str = "multidim"
     device: Optional[str] = None
     flags: OptimizationFlags = field(default_factory=OptimizationFlags)
+    #: Remaining request budget in seconds, relative to the moment the
+    #: request is (re)serialized.  Carried on the wire so every hop —
+    #: router failover, backend admission queue, worker pickup — can shed
+    #: expired work with a typed 504-style outcome instead of compiling
+    #: it pointlessly.  ``None`` means no deadline.  Deliberately *not*
+    #: part of the compile digest: the same program compiled under a
+    #: different budget is the same artifact.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.app is None) == (self.program_ir is None):
@@ -67,6 +75,10 @@ class CompileRequest:
                 "compile request needs exactly one of 'app' (a registered "
                 "application name) or 'program_ir' (a serialized program)"
             )
+        if self.deadline_s is not None:
+            # Non-positive budgets are legal on the wire (a hop may
+            # forward an already-spent budget; the receiver sheds).
+            self.deadline_s = float(self.deadline_s)
 
     # -- serialization ---------------------------------------------------
 
@@ -86,6 +98,8 @@ class CompileRequest:
             data["program_ir"] = self.program_ir
         if self.device is not None:
             data["device"] = self.device
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
         return data
 
     @classmethod
@@ -109,6 +123,14 @@ class CompileRequest:
             raise RuntimeConfigError(
                 "'sizes' must be an object of integer bindings"
             )
+        deadline_s = data.get("deadline_s")
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                raise RuntimeConfigError(
+                    "'deadline_s' must be a number of seconds"
+                )
         return cls(
             app=data.get("app"),
             program_ir=data.get("program_ir"),
@@ -116,7 +138,18 @@ class CompileRequest:
             strategy=str(data.get("strategy", "multidim")),
             device=data.get("device"),
             flags=flags,
+            deadline_s=deadline_s,
         )
+
+    def with_deadline(
+        self, deadline_s: Optional[float]
+    ) -> "CompileRequest":
+        """A copy carrying ``deadline_s`` as its remaining budget — how a
+        forwarding hop (the fleet router) rebases the caller's deadline
+        onto the wire for the next hop."""
+        import dataclasses
+
+        return dataclasses.replace(self, deadline_s=deadline_s)
 
     # -- resolution ------------------------------------------------------
 
@@ -160,8 +193,15 @@ class CompileRequest:
     def digest(self) -> str:
         """The content address of this request (see
         :func:`~repro.ir.serialize.compile_digest`), memoized on the
-        request content.  Resolution errors are never cached."""
-        key = json.dumps(self.to_dict(), sort_keys=True)
+        request content.  Resolution errors are never cached.
+
+        The deadline is excluded from the memo key: budgets vary call to
+        call while the digest — a pure function of *what* to compile —
+        does not, and a per-deadline key would defeat the memo on the
+        warm path it exists for."""
+        content = self.to_dict()
+        content.pop("deadline_s", None)
+        key = json.dumps(content, sort_keys=True)
         with _DIGEST_MEMO_LOCK:
             cached = _DIGEST_MEMO.get(key)
             if cached is not None:

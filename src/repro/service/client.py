@@ -255,6 +255,22 @@ class ServiceClient:
             )
         return data
 
+    def health_detail(self) -> Dict[str, Any]:
+        """The ``/v1/health`` payload (liveness + queue depth/saturation).
+
+        This is the probe the fleet's breaker-driving prober issues:
+        unreachable, draining (``ok: false``), or pre-health servers all
+        raise :class:`~repro.errors.ServiceError` — one typed "this
+        backend is not serving" signal.
+        """
+        status, data = self._request("GET", "/v1/health")
+        if status != 200 or not data.get("ok"):
+            raise ServiceError(
+                f"compile service at {self.url} failed its health probe "
+                f"(status {status}): {data}"
+            )
+        return data
+
     def stats(self) -> Dict[str, Any]:
         status, data = self._request("GET", "/v1/stats")
         if status != 200:
@@ -290,7 +306,10 @@ class ServiceClient:
             else request
         )
         status, data = self._request("POST", "/v1/compile", payload=payload)
-        if status in (200, 422):
+        if status in (200, 422, 504):
+            # 504 is the typed deadline-shed outcome: like 422 it is a
+            # semantic answer (the caller's budget is spent), not a
+            # transport failure — never retried, never an exception.
             return CompileOutcome.from_dict(data)
         message = data.get("message", str(data))
         if status == 503:

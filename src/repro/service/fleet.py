@@ -46,6 +46,25 @@ failures — they resolve the waiters unchanged.  A request is only
 answered with a :class:`~repro.errors.ServiceError` outcome after every
 preference-order attempt is exhausted, and every reroute is counted
 (internal stats + the PR-4 ``fleet.reroutes`` metric).
+
+Self-healing (the fleet-resilience layer on top of the above):
+
+* **Health-checked membership** — a background prober hits every
+  backend's ``/v1/health`` each ``probe_interval_s`` and feeds a
+  per-backend :class:`~repro.resilience.breaker.CircuitBreaker`
+  (closed → open on consecutive failures → half-open probe → readmit).
+  Death is no longer one-way: a restarted backend is readmitted within
+  a few probe intervals, without operator action.
+* **Deadline propagation** — ``CompileRequest.deadline_s`` travels on
+  the wire; the router sheds expired jobs with a typed 504-style
+  outcome, caps every backoff sleep at the remaining budget, and
+  forwards the *remaining* budget to each backend, whose admission
+  queue sheds expired work before it can reach a worker.
+* **Hedged requests** — for warm digests (previously completed, so any
+  backend serves them from the shared store without pipeline work) a
+  still-pending dispatch is re-issued to the next ring node after a
+  configurable delay; first success wins.  The warm-digest gate plus
+  both single-flight layers mean hedges never duplicate a pipeline run.
 """
 
 from __future__ import annotations
@@ -57,14 +76,25 @@ import sys
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import config as _config
-from ..errors import QueueFullError, ReproError, ServiceError
+from ..errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
 from ..observability import get_metrics, get_tracer
+from ..resilience.breaker import (
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+)
 from ..resilience.retry import backoff_delays
 from .api import (
     STATUS_COALESCED,
@@ -81,6 +111,7 @@ from .service import (
     ServiceConfig,
     error_outcome,
     latency_summary,
+    percentile,
 )
 from .store import ArtifactStore, CompileArtifact
 
@@ -106,6 +137,20 @@ class Backend:
     def mark_dead(self) -> None:
         raise NotImplementedError
 
+    def mark_alive(self) -> None:
+        """Readmit a backend the prober found healthy again.  The
+        default is a no-op for backends whose liveness is intrinsic
+        (:class:`LocalBackend` tracks its service's closed flag)."""
+
+    def probe(self) -> Dict[str, Any]:
+        """One health check; raises :class:`~repro.errors.ServiceError`
+        when the backend is not serving.  The default consults the local
+        liveness flag only — real backends ask the server itself, which
+        is what makes readmission after a restart possible."""
+        if not self.alive():
+            raise ServiceError(f"backend {self.name} is not alive")
+        return {"ok": True}
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -128,6 +173,11 @@ class LocalBackend(Backend):
         # record separately.
         pass
 
+    def probe(self) -> Dict[str, Any]:
+        if self.service.closed:
+            raise ServiceError(f"backend {self.name} is closed")
+        return self.service.health()
+
     def close(self) -> None:
         self.service.close()
 
@@ -149,6 +199,7 @@ class HttpBackend(Backend):
         url: str,
         timeout: float = 120.0,
         process: Optional[subprocess.Popen] = None,
+        probe_timeout: float = _config.DEFAULT_FLEET_PROBE_TIMEOUT_S,
     ) -> None:
         self.name = name
         self.url = url
@@ -157,6 +208,12 @@ class HttpBackend(Backend):
         # bottleneck, so reuse connections (one per dispatcher thread).
         self.client = ServiceClient(
             url, timeout=timeout, retries=0, keep_alive=True
+        )
+        # Separate probe client with a short timeout: a hung backend
+        # must cost the prober ``probe_timeout``, not the full request
+        # timeout, or one wedged node stalls the whole probe round.
+        self._probe_client = ServiceClient(
+            url, timeout=probe_timeout, retries=0, keep_alive=True
         )
         self.process = process
         self._dead = False
@@ -172,6 +229,15 @@ class HttpBackend(Backend):
 
     def revive(self) -> None:
         self._dead = False
+
+    def mark_alive(self) -> None:
+        self.revive()
+
+    def probe(self) -> Dict[str, Any]:
+        # Deliberately ignores the local ``_dead`` flag: the probe asks
+        # the *server*, so a backend that was killed and restarted on
+        # the same address passes and gets readmitted.
+        return self._probe_client.health_detail()
 
     def close(self) -> None:
         if self.process is not None and self.process.poll() is None:
@@ -212,6 +278,30 @@ class FleetConfig:
     #: before dispatching (and writes through after a backend miss);
     #: ``None`` skips the disk tier router-side.
     cache_dir: Optional[str] = None
+    #: Background health-probe cadence; <= 0 disables the prober (tests
+    #: drive :meth:`FleetRouter.probe_backends` directly instead).
+    probe_interval_s: float = _config.DEFAULT_FLEET_PROBE_INTERVAL_S
+    #: Consecutive failures that trip a backend's breaker open, and how
+    #: long an open breaker cools down before its half-open probe.
+    breaker_failure_threshold: int = (
+        _config.DEFAULT_BREAKER_FAILURE_THRESHOLD
+    )
+    breaker_reset_timeout_s: float = _config.DEFAULT_BREAKER_RESET_TIMEOUT_S
+    #: Fixed hedge delay for warm-digest requests; ``None`` disables
+    #: hedging unless ``hedge_p99`` derives a delay from observation.
+    hedge_delay_s: Optional[float] = None
+    #: Derive the hedge delay from the router's observed p99 latency
+    #: (floored at ``hedge_min_delay_s``; needs ``hedge_min_samples``
+    #: observations before it trusts the estimate).
+    hedge_p99: bool = False
+    hedge_min_delay_s: float = _config.DEFAULT_HEDGE_MIN_DELAY_S
+    hedge_min_samples: int = _config.DEFAULT_HEDGE_MIN_SAMPLES
+    #: Bound on the warm-digest set hedging consults (an LRU of digests
+    #: known to be servable from cache by any backend).
+    hedge_tracking_capacity: int = _config.DEFAULT_HEDGE_TRACKING_CAPACITY
+    #: Clock the circuit breakers read; injectable so breaker state
+    #: transitions are testable with a fake clock and zero sleeps.
+    clock: Callable[[], float] = time.monotonic
 
 
 @dataclass
@@ -236,7 +326,9 @@ class FleetTicket:
 
 
 class _FleetJob:
-    __slots__ = ("digest", "request", "future", "submitted_at", "waiters")
+    __slots__ = (
+        "digest", "request", "future", "submitted_at", "waiters", "deadline",
+    )
 
     def __init__(self, digest: str, request: CompileRequest) -> None:
         self.digest = digest
@@ -244,6 +336,33 @@ class _FleetJob:
         self.future: Future = Future()
         self.submitted_at = time.perf_counter()
         self.waiters = 1
+        #: Absolute ``perf_counter`` instant the caller's budget expires.
+        self.deadline: Optional[float] = (
+            None
+            if request.deadline_s is None
+            else self.submitted_at + request.deadline_s
+        )
+
+    def expired(self) -> bool:
+        return (
+            self.deadline is not None
+            and time.perf_counter() >= self.deadline
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds of budget left (``None`` = unbounded; may be <= 0)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+
+def _offer(future: Future, outcome: CompileOutcome) -> bool:
+    """Resolve ``future`` if still pending; the hedge race's arbiter."""
+    try:
+        future.set_result(outcome)
+        return True
+    except InvalidStateError:
+        return False
 
 
 _STOP = object()
@@ -297,11 +416,37 @@ class FleetRouter:
             "reroutes": 0,
             "errors": 0,
             "completed": 0,
+            #: Jobs answered with the typed 504-style shed outcome
+            #: because the caller's deadline budget ran out router-side.
+            "deadline_shed": 0,
+            #: Hedged dispatches issued / hedges that answered first.
+            "hedges": 0,
+            "hedge_wins": 0,
+            #: Health probes issued, breaker trips, and backends
+            #: readmitted (dead -> alive or breaker reclosed).
+            "probes": 0,
+            "breaker_opened": 0,
+            "readmissions": 0,
         }
         self._per_backend: Dict[str, Dict[str, int]] = {
             name: {"served": 0, "failures": 0, "reroutes_from": 0}
             for name in names
         }
+        #: Per-backend circuit breakers: the self-healing replacement
+        #: for one-way mark_dead.  Dispatch outcomes and health probes
+        #: both record here; the prober readmits via half-open probes.
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_timeout_s=self.config.breaker_reset_timeout_s,
+                clock=self.config.clock,
+            )
+            for name in names
+        }
+        #: Digests any backend can serve without pipeline work (they
+        #: completed once, so the shared store has the artifact): the
+        #: only requests hedging is allowed to duplicate on the wire.
+        self._hedgeable = LRUCache(self.config.hedge_tracking_capacity)
         self._dispatchers = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -312,6 +457,13 @@ class FleetRouter:
         ]
         for thread in self._dispatchers:
             thread.start()
+        self._probe_stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        if self.config.probe_interval_s and self.config.probe_interval_s > 0:
+            self._prober = threading.Thread(
+                target=self._probe_loop, name="fleet-prober", daemon=True
+            )
+            self._prober.start()
 
     # -- public API ------------------------------------------------------
 
@@ -337,6 +489,17 @@ class FleetRouter:
             digest = request.digest()
         self._count("requests", metrics, "fleet.requests")
 
+        if request.deadline_s is not None and request.deadline_s <= 0:
+            # The budget was spent before the request reached us: shed
+            # at admission — cache tiers are instant, but serving an
+            # answer nobody waits for helps no one.
+            return self._shed_ticket(
+                digest,
+                "deadline budget already spent at fleet admission "
+                f"({request.deadline_s:.3f}s remaining)",
+                metrics,
+            )
+
         artifact = self.lru.get(digest)
         if artifact is not None:
             self._count("lru_hits", metrics, "fleet.lru.hits")
@@ -361,6 +524,17 @@ class FleetRouter:
             job = self._inflight.get(digest)
             if job is not None:
                 job.waiters += 1
+                # Honor the most permissive joined waiter's budget.
+                if job.deadline is not None:
+                    joined = (
+                        None
+                        if request.deadline_s is None
+                        else time.perf_counter() + request.deadline_s
+                    )
+                    if joined is None:
+                        job.deadline = None
+                    elif joined > job.deadline:
+                        job.deadline = joined
                 self._counts["coalesced"] += 1
                 metrics.counter("fleet.coalesced").inc()
                 return FleetTicket(
@@ -410,8 +584,31 @@ class FleetRouter:
     def compile(
         self, request: CompileRequest, timeout: Optional[float] = None
     ) -> CompileOutcome:
-        """Submit and wait (the fleet HTTP front end calls this)."""
-        return self.submit(request).wait(timeout=timeout)
+        """Submit and wait (the fleet HTTP front end calls this).
+
+        Deadline-carrying requests never wait unboundedly: absent an
+        explicit ``timeout`` the wait is capped at the budget plus a
+        small grace, resolving to the typed shed outcome on expiry (the
+        dispatch itself keeps running for any coalesced waiters)."""
+        ticket = self.submit(request)
+        if timeout is None and request.deadline_s is not None:
+            bounded = (
+                max(0.0, request.deadline_s) + _config.DEADLINE_WAIT_GRACE_S
+            )
+            try:
+                return ticket.wait(timeout=bounded)
+            except FutureTimeoutError:
+                self._count(
+                    "deadline_shed", get_metrics(), "fleet.deadline.shed"
+                )
+                return error_outcome(
+                    ticket.digest,
+                    DeadlineExceededError(
+                        f"fleet request still pending {bounded:.3f}s after "
+                        f"its {request.deadline_s:.3f}s deadline; shed"
+                    ),
+                )
+        return ticket.wait(timeout=timeout)
 
     def clear_cache(self) -> int:
         """Drop the LRU tier and every stored artifact (router + any
@@ -419,6 +616,37 @@ class FleetRouter:
         removed."""
         self.lru.clear()
         return self.store.clear() if self.store is not None else 0
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/health`` payload for the fleet front-end: the same
+        shape a single server answers with, so probers cannot tell the
+        difference, plus per-backend liveness and breaker state.  The
+        fleet is ``ok`` while it can still serve — at least one backend
+        alive with a non-open breaker."""
+        with self._lock:
+            pending = self._pending
+        limit = self.config.queue_limit
+        backends = {
+            name: {
+                "alive": backend.alive(),
+                "breaker": self._breakers[name].state,
+            }
+            for name, backend in self.backends.items()
+        }
+        servable = any(
+            b["alive"] and b["breaker"] != BREAKER_OPEN
+            for b in backends.values()
+        )
+        return {
+            "ok": not self._closed and servable,
+            "closed": self._closed,
+            "queue_depth": pending,
+            "queue_limit": limit,
+            "saturation": pending / limit if limit else 0.0,
+            "workers": self.config.dispatchers,
+            "uptime_s": time.time() - self._started_at,
+            "backends": backends,
+        }
 
     def stats(self) -> Dict[str, Any]:
         """A JSON-serializable snapshot of fleet health."""
@@ -434,6 +662,7 @@ class FleetRouter:
             name: {
                 **per_backend[name],
                 "alive": backend.alive(),
+                "breaker": self._breakers[name].describe(),
             }
             for name, backend in self.backends.items()
         }
@@ -465,6 +694,9 @@ class FleetRouter:
             self._closed = True
             for _ in self._dispatchers:
                 self._queue.put(_STOP)
+        self._probe_stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=30)
         for thread in self._dispatchers:
             thread.join(timeout=120)
         self._reject_queued_jobs()
@@ -496,6 +728,9 @@ class FleetRouter:
     ) -> FleetTicket:
         latency_ms = (time.perf_counter() - t0) * 1e3
         self._observe_latency(latency_ms, metrics)
+        # A cache-tier hit proves the artifact exists fleet-wide: the
+        # digest is warm, so a future dispatch of it may hedge safely.
+        self._hedgeable.put(digest, True)
         ticket = FleetTicket(digest=digest, role=STATUS_HIT)
         ticket._future.set_result(
             CompileOutcome(
@@ -515,16 +750,99 @@ class FleetRouter:
                 return
             self._dispatch(item)
 
-    def _alive_first(self, order: List[str]) -> List[str]:
-        """Preference order with dead nodes demoted to last resort."""
-        alive = [n for n in order if self.backends[n].alive()]
-        dead = [n for n in order if not self.backends[n].alive()]
-        return alive + dead
+    def _route_order(self, order: List[str]) -> List[str]:
+        """Preference order with unhealthy nodes demoted to last resort.
+
+        A node is healthy when its liveness flag says alive AND its
+        breaker admits traffic (closed, half-open, or open past its
+        cooldown).  Unhealthy nodes stay reachable as a last resort —
+        when the whole fleet looks down, trying a dead node beats
+        answering with an error untried.
+        """
+        healthy = [
+            n for n in order
+            if self.backends[n].alive() and self._breakers[n].available()
+        ]
+        rest = [n for n in order if n not in healthy]
+        return healthy + rest
+
+    def _shed_ticket(
+        self, digest: str, detail: str, metrics
+    ) -> FleetTicket:
+        """A ticket pre-resolved with the typed deadline-shed outcome."""
+        self._count("deadline_shed", metrics, "fleet.deadline.shed")
+        self._count("errors", metrics, "fleet.errors")
+        ticket = FleetTicket(digest=digest, role=STATUS_ERROR)
+        ticket._future.set_result(
+            error_outcome(digest, DeadlineExceededError(detail))
+        )
+        return ticket
+
+    def _shed_outcome(
+        self, job: _FleetJob, detail: str, metrics
+    ) -> CompileOutcome:
+        self._count("deadline_shed", metrics, "fleet.deadline.shed")
+        return error_outcome(job.digest, DeadlineExceededError(detail))
 
     def _dispatch(self, job: _FleetJob) -> None:
+        """Drive one job to an outcome, hedging when eligible.
+
+        Without hedging this is just ``_failover_walk``.  With it, the
+        primary walk runs in a helper thread while the dispatcher waits
+        ``hedge_delay``; if the primary is still pending, one hedge goes
+        to the next ring node and the first result to land wins the
+        job's future (losers resolve a throwaway).  ``_finish`` runs
+        exactly once, here, with whichever outcome won.
+        """
         metrics = get_metrics()
         order = self.ring.preference(job.digest)
         primary = order[0]
+        hedge_delay = self._hedge_delay(job, order)
+        if hedge_delay is None:
+            outcome = self._failover_walk(job, order, metrics)
+            self._finish(job, outcome, primary, metrics)
+            return
+        winner: Future = Future()
+        threading.Thread(
+            target=lambda: _offer(
+                winner, self._failover_walk(job, order, metrics)
+            ),
+            name="fleet-hedge-primary",
+            daemon=True,
+        ).start()
+        try:
+            outcome = winner.result(timeout=hedge_delay)
+        except FutureTimeoutError:
+            self._count("hedges", metrics, "fleet.hedges")
+            hedged = self._hedge_attempt(job, order, metrics)
+            if hedged is not None and _offer(winner, hedged):
+                self._count("hedge_wins", metrics, "fleet.hedge.wins")
+            remaining = job.remaining()
+            final_wait = (
+                None
+                if remaining is None
+                else max(0.0, remaining) + _config.DEADLINE_WAIT_GRACE_S
+            )
+            try:
+                outcome = winner.result(timeout=final_wait)
+            except FutureTimeoutError:
+                outcome = self._shed_outcome(
+                    job,
+                    "deadline expired with both the primary dispatch and "
+                    "its hedge still pending; shed",
+                    metrics,
+                )
+        self._finish(job, outcome, primary, metrics)
+
+    def _failover_walk(
+        self, job: _FleetJob, order: List[str], metrics
+    ) -> CompileOutcome:
+        """Walk the preference order until someone answers.
+
+        Deadline-aware at every step: an expired job is shed before the
+        next attempt, each forwarded request carries only the remaining
+        budget, and backoff sleeps never exceed what is left of it.
+        """
         # Per-digest jitter seed: concurrent routers backing off for the
         # same saturated node spread out instead of herding in lockstep.
         delays = backoff_delays(
@@ -533,12 +851,28 @@ class FleetRouter:
             max_delay=self.config.backoff_max_s,
             seed=int(job.digest[:8], 16),
         )
-        outcome: Optional[CompileOutcome] = None
         last_exc: Optional[BaseException] = None
         attempted: List[str] = []
+
+        def _sleep(attempt: int) -> None:
+            delay = delays[attempt]
+            remaining = job.remaining()
+            if remaining is not None:
+                delay = min(delay, max(0.0, remaining))
+            if delay > 0:
+                time.sleep(delay)
+
         for attempt in range(self.config.retries + 1):
-            candidates = self._alive_first(order)
-            # Most-preferred alive node not yet tried; once every node
+            if job.expired():
+                return self._shed_outcome(
+                    job,
+                    "deadline expired during fleet dispatch "
+                    f"(tried {', '.join(attempted) or 'no backend yet'}); "
+                    "shed without further attempts",
+                    metrics,
+                )
+            candidates = self._route_order(order)
+            # Most-preferred healthy node not yet tried; once every node
             # has been, cycle (a saturated node may have drained).
             name = next(
                 (n for n in candidates if n not in attempted),
@@ -546,61 +880,230 @@ class FleetRouter:
             )
             backend = self.backends[name]
             attempted.append(backend.name)
+            remaining = job.remaining()
+            request = (
+                job.request
+                if remaining is None
+                else job.request.with_deadline(remaining)
+            )
             try:
                 with get_tracer().span(
                     "fleet.dispatch", backend=backend.name
                 ):
-                    result = backend.compile(job.request)
+                    result = backend.compile(request)
             except QueueFullError as exc:
                 # Saturation is transient: jittered backoff, next node,
-                # backend stays in the ring.
+                # backend stays in the ring and its breaker is NOT fed —
+                # a saturated backend is alive, just busy.
                 last_exc = exc
                 self._record_failure(backend.name, metrics)
                 if attempt < self.config.retries:
-                    time.sleep(delays[attempt])
+                    _sleep(attempt)
                 continue
             except ServiceError as exc:
-                # Unreachable / shut down: dead until revived.
+                # Unreachable / shut down: dead until the prober (or a
+                # later success) readmits it; the breaker accumulates
+                # the failure so half-open probing is rate-limited.
                 last_exc = exc
                 backend.mark_dead()
+                if self._breakers[backend.name].record_failure():
+                    self._count(
+                        "breaker_opened", metrics, "fleet.breaker.opened"
+                    )
+                self._set_breaker_gauge(backend.name, metrics)
                 self._record_failure(backend.name, metrics)
                 metrics.counter("fleet.backend.deaths").inc()
                 if attempt < self.config.retries:
-                    time.sleep(delays[attempt])
+                    _sleep(attempt)
                 continue
             except ReproError as exc:
                 # Typed request/pipeline error: an answer, not a routing
                 # failure — retrying elsewhere cannot change it.
                 outcome = error_outcome(job.digest, exc)
                 outcome.served_by = backend.name
-                break
-            if (
-                result.status == STATUS_ERROR
-                and result.error is not None
-                and result.error.error_type
-                in ("ServiceError", "QueueFullError")
+                return outcome
+            if result.status == STATUS_ERROR and result.error is not None:
+                if result.error.error_type == "DeadlineExceededError":
+                    # The backend shed on the propagated deadline: the
+                    # budget is spent everywhere, so this is final.
+                    self._count(
+                        "deadline_shed", metrics, "fleet.deadline.shed"
+                    )
+                    result.served_by = backend.name
+                    return result
+                if result.error.error_type in (
+                    "ServiceError", "QueueFullError"
+                ):
+                    # The backend answered, but with its own
+                    # availability failure (e.g. it shut down before the
+                    # job ran) — retryable on another node, not a
+                    # pipeline verdict.
+                    last_exc = ServiceError(result.error.message)
+                    self._record_failure(backend.name, metrics)
+                    if attempt < self.config.retries:
+                        _sleep(attempt)
+                    continue
+            self._record_success(backend.name, metrics)
+            result.served_by = backend.name
+            return result
+        return error_outcome(
+            job.digest,
+            ServiceError(
+                f"all fleet attempts failed for digest "
+                f"{job.digest[:16]}… (tried {', '.join(attempted)}): "
+                f"{last_exc}"
+            ),
+        )
+
+    # -- hedging ---------------------------------------------------------
+
+    def _hedge_delay(
+        self, job: _FleetJob, order: List[str]
+    ) -> Optional[float]:
+        """How long to wait before hedging; ``None`` = never hedge.
+
+        Only warm digests are eligible — ones a previous dispatch
+        completed, so the shared store serves them from any backend
+        without pipeline work.  That gate is what makes "hedges never
+        duplicate a pipeline run" structural rather than probabilistic.
+        """
+        if len(order) < 2:
+            return None
+        if self._hedgeable.get(job.digest) is None:
+            return None
+        if self.config.hedge_delay_s is not None:
+            return max(0.0, self.config.hedge_delay_s)
+        if not self.config.hedge_p99:
+            return None
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+        if len(latencies) < self.config.hedge_min_samples:
+            return None
+        p99_s = percentile(latencies, 0.99) / 1e3
+        return max(self.config.hedge_min_delay_s, p99_s)
+
+    def _hedge_attempt(
+        self, job: _FleetJob, order: List[str], metrics
+    ) -> Optional[CompileOutcome]:
+        """One extra dispatch to the next healthy non-primary ring node.
+
+        Returns ``None`` when there is no eligible node or the hedge
+        itself failed in a retryable way — the primary walk is still
+        running and remains the job's answer of record.
+        """
+        name = next(
+            (
+                n for n in order[1:]
+                if self.backends[n].alive()
+                and self._breakers[n].available()
+            ),
+            None,
+        )
+        if name is None:
+            return None
+        backend = self.backends[name]
+        remaining = job.remaining()
+        request = (
+            job.request
+            if remaining is None
+            else job.request.with_deadline(remaining)
+        )
+        try:
+            with get_tracer().span(
+                "fleet.hedge", backend=backend.name
             ):
-                # The backend answered, but with its own availability
-                # failure (e.g. it shut down before the job ran) — that
-                # is retryable on another node, not a pipeline verdict.
-                last_exc = ServiceError(result.error.message)
-                self._record_failure(backend.name, metrics)
-                if attempt < self.config.retries:
-                    time.sleep(delays[attempt])
-                continue
-            outcome = result
+                result = backend.compile(request)
+        except QueueFullError:
+            self._record_failure(backend.name, metrics)
+            return None
+        except ServiceError:
+            backend.mark_dead()
+            if self._breakers[backend.name].record_failure():
+                self._count(
+                    "breaker_opened", metrics, "fleet.breaker.opened"
+                )
+            self._set_breaker_gauge(backend.name, metrics)
+            self._record_failure(backend.name, metrics)
+            metrics.counter("fleet.backend.deaths").inc()
+            return None
+        except ReproError as exc:
+            # A typed verdict is final no matter which dispatch got it.
+            outcome = error_outcome(job.digest, exc)
             outcome.served_by = backend.name
-            break
-        if outcome is None:
-            outcome = error_outcome(
-                job.digest,
-                ServiceError(
-                    f"all fleet attempts failed for digest "
-                    f"{job.digest[:16]}… (tried {', '.join(attempted)}): "
-                    f"{last_exc}"
-                ),
-            )
-        self._finish(job, outcome, primary, metrics)
+            return outcome
+        if (
+            result.status == STATUS_ERROR
+            and result.error is not None
+            and result.error.error_type
+            in ("ServiceError", "QueueFullError")
+        ):
+            self._record_failure(backend.name, metrics)
+            return None
+        self._record_success(backend.name, metrics)
+        result.served_by = backend.name
+        return result
+
+    # -- health probing --------------------------------------------------
+
+    def probe_backends(self) -> Dict[str, bool]:
+        """One probe round; returns per-backend health as observed.
+
+        Open breakers are probed at most once per cooldown (the
+        half-open slot); a backend cooling down is reported unhealthy
+        without being contacted.  A passing probe readmits the backend:
+        breaker reclosed, liveness flag restored — the self-healing
+        counterpart to dispatch-time ``mark_dead``.
+        """
+        results: Dict[str, bool] = {}
+        metrics = get_metrics()
+        for name, backend in self.backends.items():
+            breaker = self._breakers[name]
+            if breaker.state == BREAKER_OPEN and not breaker.begin_probe():
+                results[name] = False  # cooling down; skip this round
+                continue
+            self._count("probes", metrics, "fleet.probes")
+            try:
+                with get_tracer().span("fleet.probe", backend=name):
+                    backend.probe()
+            except ReproError:
+                if breaker.record_failure():
+                    self._count(
+                        "breaker_opened", metrics, "fleet.breaker.opened"
+                    )
+                    backend.mark_dead()
+                self._set_breaker_gauge(name, metrics)
+                results[name] = False
+                continue
+            self._record_success(name, metrics)
+            results[name] = True
+        return results
+
+    def _probe_loop(self) -> None:
+        while not self._probe_stop.wait(self.config.probe_interval_s):
+            if self._closed:
+                return
+            try:
+                self.probe_backends()
+            except Exception:  # pragma: no cover - prober must survive
+                pass
+
+    # -- breaker bookkeeping ---------------------------------------------
+
+    def _record_success(self, name: str, metrics) -> None:
+        """A backend served traffic (or passed a probe): readmit it."""
+        readmitted = self._breakers[name].record_success()
+        backend = self.backends[name]
+        revived = not backend.alive()
+        if revived:
+            backend.mark_alive()
+        if readmitted or revived:
+            self._count("readmissions", metrics, "fleet.breaker.readmitted")
+        self._set_breaker_gauge(name, metrics)
+
+    def _set_breaker_gauge(self, name: str, metrics) -> None:
+        metrics.gauge(f"fleet.breaker.{name}.state").set(
+            BREAKER_STATE_CODES[self._breakers[name].state]
+        )
 
     def _finish(
         self,
@@ -626,6 +1129,10 @@ class FleetRouter:
             metrics.counter(f"fleet.shard.{served}.served").inc()
             if served != primary:
                 metrics.counter("fleet.reroutes").inc()
+        if outcome.ok:
+            # Completed once -> any backend can serve it from the shared
+            # store: the digest becomes hedge-eligible.
+            self._hedgeable.put(job.digest, True)
         if outcome.ok and outcome.artifact is not None:
             self.lru.put(job.digest, outcome.artifact)
             if self.store is not None and outcome.status == STATUS_MISS:

@@ -2,7 +2,8 @@
 
 The handler speaks to anything satisfying the *service contract* —
 ``compile(request) -> CompileOutcome``, ``stats() -> dict``,
-``clear_cache() -> int``, and a ``store`` attribute (an
+``health() -> dict``, ``clear_cache() -> int``, and a ``store``
+attribute (an
 :class:`~repro.service.store.ArtifactStore` or ``None``) — so one server
 implementation fronts both a single-process
 :class:`~repro.service.service.CompileService` (``repro serve``) and a
@@ -12,6 +13,8 @@ Endpoints (all under ``/v1``):
 
 =======================  ======  ==========================================
 ``/v1/healthz``          GET     liveness + version stamps
+``/v1/health``           GET     liveness + load: queue depth/limit,
+                                 saturation — the fleet prober's endpoint
 ``/v1/stats``            GET     service counters, latency percentiles,
                                  store stats, and the metrics-registry
                                  snapshot when metrics are enabled
@@ -24,10 +27,11 @@ Endpoints (all under ``/v1``):
 Status mapping: 200 success (hit or miss), 400 malformed request
 (``RuntimeConfigError``/``IRError``), 422 typed pipeline failure (the
 body carries the error and its replayable failure report), 503 +
-``Retry-After`` when the admission queue sheds load, 404 unknown
-path/digest.  Every error body includes ``error_type`` and the CLI
-``exit_code`` for that failure class, so a thin client can exit the way
-a local run would.
+``Retry-After`` when the admission queue sheds load, 504 when the
+request's propagated deadline expired before it could be served (the
+body is the typed shed outcome), 404 unknown path/digest.  Every error
+body includes ``error_type`` and the CLI ``exit_code`` for that failure
+class, so a thin client can exit the way a local run would.
 """
 
 from __future__ import annotations
@@ -156,6 +160,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "pipeline_version": PIPELINE_VERSION,
             })
             return
+        if path == "/v1/health":
+            # The prober's endpoint: liveness plus load.  A reachable
+            # server always answers 200; ``ok: false`` (draining after
+            # close()) tells the prober to trip the breaker without
+            # waiting for a connection error.
+            self._send(200, self.server.service.health())
+            return
         if path == "/v1/stats":
             payload: Dict[str, Any] = {
                 "service": self.server.service.stats(),
@@ -228,8 +239,19 @@ class _Handler(BaseHTTPRequestHandler):
             # the client's fault: 400, same typed payload as the CLI.
             self._error(400, exc)
             return
-        status = 422 if outcome.status == STATUS_ERROR else 200
-        self._send(status, outcome.to_dict())
+        if outcome.status == STATUS_ERROR:
+            # Deadline sheds get their own status (504): the router must
+            # treat them as final — the caller's budget is spent, so
+            # rerouting to another backend would be pure waste — while
+            # 422 pipeline failures stay final for a different reason
+            # (they are deterministic) and everything 5xx is retryable.
+            shed = (
+                outcome.error is not None
+                and outcome.error.error_type == "DeadlineExceededError"
+            )
+            self._send(504 if shed else 422, outcome.to_dict())
+            return
+        self._send(200, outcome.to_dict())
 
 
 def serve_forever(server: ServiceHTTPServer) -> None:

@@ -34,11 +34,18 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from .. import config as _config
-from ..errors import QueueFullError, ReproError, ServiceError, exit_code_for
+from ..errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+    exit_code_for,
+)
 from ..ir.serialize import compile_digest
 from ..observability import get_metrics, get_tracer
 from ..resilience.budget import Budget
@@ -94,7 +101,9 @@ class Ticket:
 
 
 class _Job:
-    __slots__ = ("digest", "request", "future", "submitted_at", "waiters")
+    __slots__ = (
+        "digest", "request", "future", "submitted_at", "waiters", "deadline",
+    )
 
     def __init__(self, digest: str, request: CompileRequest) -> None:
         self.digest = digest
@@ -102,6 +111,16 @@ class _Job:
         self.future: Future = Future()
         self.submitted_at = time.perf_counter()
         self.waiters = 1
+        #: Absolute ``perf_counter`` instant the caller's budget expires
+        #: (``None`` = unbounded).  Workers shed expired jobs at pickup.
+        self.deadline: Optional[float] = (
+            None
+            if request.deadline_s is None
+            else self.submitted_at + request.deadline_s
+        )
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.perf_counter() >= self.deadline
 
 
 _STOP = object()
@@ -155,6 +174,9 @@ class CompileService:
             "executions": 0,
             "errors": 0,
             "queue_rejections": 0,
+            #: Requests whose propagated deadline expired before a worker
+            #: could run them — shed with a typed outcome, never compiled.
+            "deadline_shed": 0,
         }
         self._workers = [
             threading.Thread(
@@ -189,6 +211,16 @@ class CompileService:
             )
         self._count("requests", metrics, "service.requests")
 
+        if request.deadline_s is not None and request.deadline_s <= 0:
+            # The budget was already spent when the request arrived (an
+            # upstream hop forwarded its remainder): shed at admission.
+            return self._shed_ticket(
+                digest,
+                "deadline budget already spent at admission "
+                f"({request.deadline_s:.3f}s remaining)",
+                metrics,
+            )
+
         if self.store is not None:
             artifact = self.store.get(digest)
             if artifact is not None:
@@ -217,6 +249,19 @@ class CompileService:
             job = self._inflight.get(digest)
             if job is not None:
                 job.waiters += 1
+                # The shared job must honor the most permissive waiter:
+                # a late joiner with a longer (or no) budget must not be
+                # shed because the first submitter's deadline was tight.
+                if job.deadline is not None:
+                    joined_deadline = (
+                        None
+                        if request.deadline_s is None
+                        else time.perf_counter() + request.deadline_s
+                    )
+                    if joined_deadline is None:
+                        job.deadline = None
+                    elif joined_deadline > job.deadline:
+                        job.deadline = joined_deadline
                 self._count_locked("coalesced")
                 ticket = Ticket(
                     digest=digest, role=STATUS_COALESCED, _future=job.future
@@ -243,8 +288,34 @@ class CompileService:
     def compile(
         self, request: CompileRequest, timeout: Optional[float] = None
     ) -> CompileOutcome:
-        """Submit and wait: the synchronous convenience the HTTP layer uses."""
-        return self.submit(request).result(timeout=timeout)
+        """Submit and wait: the synchronous convenience the HTTP layer uses.
+
+        A deadline-carrying request never waits unboundedly: when no
+        explicit ``timeout`` is given the wait is capped at the request's
+        budget plus a small grace (the worker-side shed normally answers
+        first; the timed wait is the backstop against a wedged worker),
+        and a timeout resolves to the typed shed outcome instead of an
+        exception.
+        """
+        ticket = self.submit(request)
+        if timeout is None and request.deadline_s is not None:
+            bounded = (
+                max(0.0, request.deadline_s) + _config.DEADLINE_WAIT_GRACE_S
+            )
+            try:
+                return ticket.result(timeout=bounded)
+            except FutureTimeoutError:
+                self._count(
+                    "deadline_shed", get_metrics(), "service.deadline.shed"
+                )
+                return error_outcome(
+                    ticket.digest,
+                    DeadlineExceededError(
+                        f"request still pending {bounded:.3f}s after its "
+                        f"{request.deadline_s:.3f}s deadline budget; shed"
+                    ),
+                )
+        return ticket.result(timeout=timeout)
 
     @property
     def closed(self) -> bool:
@@ -262,6 +333,23 @@ class CompileService:
         filled by another process before a worker picked them up)."""
         with self._lock:
             return self._counts["executions"]
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/health`` payload: liveness plus load, cheap enough
+        for a per-second prober.  ``saturation`` is queue depth over the
+        admission bound — 1.0 means the next miss is rejected."""
+        with self._lock:
+            admitted = self._admitted
+        limit = self.config.queue_limit
+        return {
+            "ok": not self._closed,
+            "closed": self._closed,
+            "queue_depth": admitted,
+            "queue_limit": limit,
+            "saturation": admitted / limit if limit else 0.0,
+            "workers": self.config.workers,
+            "uptime_s": time.time() - self._started_at,
+        }
 
     def stats(self) -> Dict[str, Any]:
         """A JSON-serializable snapshot of service health."""
@@ -349,6 +437,20 @@ class CompileService:
         outcome: Optional[CompileOutcome] = None
         status = STATUS_MISS
         try:
+            # Deadline enforcement at the admission queue: a job whose
+            # caller budget expired while it waited is shed before it
+            # can touch a worker — before the executions counter, before
+            # the pipeline, before the store.  Compiling it would burn a
+            # worker on an answer nobody is waiting for.
+            if job.expired():
+                waited_s = time.perf_counter() - job.submitted_at
+                self._count(
+                    "deadline_shed", metrics, "service.deadline.shed"
+                )
+                raise DeadlineExceededError(
+                    "deadline expired before a worker picked the job up "
+                    f"(queued {waited_s:.3f}s); shed without compiling"
+                )
             # Another process sharing the cache dir may have persisted
             # this artifact while the job sat in the queue.
             if self.store is not None:
@@ -441,6 +543,18 @@ class CompileService:
         self, digest: str, exc: BaseException
     ) -> CompileOutcome:
         return error_outcome(digest, exc)
+
+    def _shed_ticket(
+        self, digest: str, detail: str, metrics
+    ) -> Ticket:
+        """A ticket pre-resolved with the typed deadline-shed outcome."""
+        self._count("deadline_shed", metrics, "service.deadline.shed")
+        self._count("errors", metrics, "service.errors")
+        ticket = Ticket(digest=digest, role=STATUS_ERROR)
+        ticket._future.set_result(
+            error_outcome(digest, DeadlineExceededError(detail))
+        )
+        return ticket
 
     # -- accounting ------------------------------------------------------
 

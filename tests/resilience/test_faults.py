@@ -5,7 +5,10 @@ import pytest
 from repro.errors import InjectedFaultError
 from repro.resilience.faults import (
     FAULT_MATRIX,
+    FLEET_FAULT_KINDS,
+    FLEET_FAULT_MATRIX,
     KINDS,
+    PIPELINE_STAGES,
     STAGES,
     FaultPlan,
     FaultSpec,
@@ -43,17 +46,28 @@ class TestFaultSpec:
 
 
 class TestFaultMatrix:
-    def test_matrix_covers_every_stage(self):
-        assert {stage for stage, _ in FAULT_MATRIX} == set(STAGES)
+    def test_matrix_covers_every_pipeline_stage(self):
+        assert {stage for stage, _ in FAULT_MATRIX} == set(PIPELINE_STAGES)
 
     def test_matrix_kinds_are_valid(self):
-        for stage, kind in FAULT_MATRIX:
+        for stage, kind in FAULT_MATRIX + FLEET_FAULT_MATRIX:
             assert kind in KINDS
             FaultSpec(stage=stage, kind=kind)  # must not raise
 
     def test_exception_applies_everywhere(self):
         exception_stages = {s for s, k in FAULT_MATRIX if k == "exception"}
-        assert exception_stages == set(STAGES)
+        assert exception_stages == set(PIPELINE_STAGES)
+        FaultSpec(stage="fleet", kind="exception")  # must not raise
+
+    def test_fleet_matrix_is_disjoint_from_pipeline_matrix(self):
+        # ``repro chaos`` (pipeline) and ``repro fleet chaos`` iterate
+        # disjoint matrices: a fleet fault needs a running fleet to fire.
+        assert set(STAGES) - set(PIPELINE_STAGES) == {"fleet"}
+        assert {stage for stage, _ in FLEET_FAULT_MATRIX} == {"fleet"}
+        assert {kind for _, kind in FLEET_FAULT_MATRIX} == set(
+            FLEET_FAULT_KINDS
+        )
+        assert not set(FLEET_FAULT_MATRIX) & set(FAULT_MATRIX)
 
 
 class TestFaultPlan:

@@ -1,0 +1,186 @@
+"""Fleet chaos campaigns: kill/hang/slow/partition, zero lost tickets.
+
+The campaign harness is the test subject here — its assertions (no lost
+tickets, prober readmission, victim serving post-heal, bounded p99) are
+the PR's acceptance criteria, so these tests run real campaigns and
+assert the harness classifies them ``healed``, plus unit tests for the
+:class:`ChaosBackend` fault application itself.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.resilience.faults import (
+    FLEET_FAULT_KINDS,
+    FLEET_FAULT_MATRIX,
+    FaultPlan,
+    inject_faults,
+)
+from repro.resilience.fleet_chaos import (
+    ChaosBackend,
+    FleetChaosCell,
+    run_fleet_chaos_campaign,
+    run_fleet_chaos_matrix,
+)
+
+
+class InnerStub:
+    """Minimal backend for ChaosBackend unit tests."""
+
+    def __init__(self, name="inner"):
+        self.name = name
+        self.compiles = 0
+
+    def compile(self, request):
+        self.compiles += 1
+        return f"outcome-{self.compiles}"
+
+    def alive(self):
+        return True
+
+    def probe(self):
+        return {"ok": True}
+
+    def close(self):
+        pass
+
+
+class TestChaosBackend:
+    def test_transparent_without_a_plan(self):
+        backend = ChaosBackend(InnerStub())
+        assert backend.compile(None) == "outcome-1"
+        assert backend.alive()
+        assert backend.probe() == {"ok": True}
+
+    def test_kill_persists_until_restart(self):
+        inner = InnerStub()
+        backend = ChaosBackend(inner)
+        plan = FaultPlan.single("fleet", "kill", at=1, times=1)
+        with inject_faults(plan):
+            with pytest.raises(ServiceError):
+                backend.compile(None)
+            # The fault fired once, but the killed state persists for
+            # every later dispatch AND for probes.
+            with pytest.raises(ServiceError):
+                backend.compile(None)
+            with pytest.raises(ServiceError):
+                backend.probe()
+            assert not backend.alive()
+        assert inner.compiles == 0  # nothing reached the real backend
+        backend.restart()
+        assert backend.alive()
+        assert backend.compile(None) == "outcome-1"
+        assert backend.served_since_restart == 1
+
+    def test_partition_is_a_bounded_window(self):
+        backend = ChaosBackend(InnerStub())
+        plan = FaultPlan.single("fleet", "partition", at=1, times=2)
+        with inject_faults(plan):
+            with pytest.raises(ServiceError):
+                backend.compile(None)
+            with pytest.raises(ServiceError):
+                backend.compile(None)
+            # The window closed: traffic flows again, no restart needed.
+            assert backend.compile(None) == "outcome-1"
+
+    def test_slow_serves_correctly_after_the_stall(self):
+        backend = ChaosBackend(InnerStub(), slow_s=0.01)
+        plan = FaultPlan.single("fleet", "slow", at=1, times=1)
+        with inject_faults(plan):
+            assert backend.compile(None) == "outcome-1"
+
+    def test_hang_stalls_then_fails(self):
+        import time
+
+        backend = ChaosBackend(InnerStub(), hang_s=0.05)
+        plan = FaultPlan.single("fleet", "hang", at=1, times=1)
+        with inject_faults(plan):
+            t0 = time.perf_counter()
+            with pytest.raises(ServiceError):
+                backend.compile(None)
+            assert time.perf_counter() - t0 >= 0.05
+
+    def test_mark_dead_is_router_side_and_probe_ignores_it(self):
+        backend = ChaosBackend(InnerStub())
+        backend.mark_dead()
+        assert not backend.alive()
+        # The probe asks the backend itself — this is what readmission
+        # after a restart relies on.
+        assert backend.probe() == {"ok": True}
+        backend.mark_alive()
+        assert backend.alive()
+
+
+class TestCampaigns:
+    @pytest.mark.parametrize("kind", FLEET_FAULT_KINDS)
+    def test_every_kind_heals(self, kind):
+        cell = run_fleet_chaos_campaign(
+            kind, seed=0, wave=4, hang_s=0.05, slow_s=0.02
+        )
+        assert cell.ok, cell.describe()
+        assert cell.outcome == "healed"
+        assert cell.lost == 0
+        assert cell.fired
+        assert cell.readmitted
+        assert cell.victim_served_after_heal >= 1
+        assert cell.p99_ms <= cell.p99_bound_ms
+
+    def test_kill_campaign_restarted_backend_serves_within_budget(self):
+        """Satellite regression: a killed-and-restarted backend receives
+        traffic again within the readmission budget (a few probe
+        intervals), with zero lost tickets along the way."""
+        cell = run_fleet_chaos_campaign(
+            "kill", seed=1, wave=4, readmit_timeout_s=5.0
+        )
+        assert cell.outcome == "healed", cell.describe()
+        assert cell.readmitted
+        assert cell.victim_served_after_heal >= 1
+        assert cell.lost == 0
+
+    def test_campaigns_are_seed_deterministic(self):
+        a = run_fleet_chaos_campaign("partition", seed=3, wave=3)
+        b = run_fleet_chaos_campaign("partition", seed=3, wave=3)
+        assert a.outcome == b.outcome == "healed"
+        assert a.requests == b.requests
+        assert a.reroutes == b.reroutes
+
+    def test_unknown_kind_is_typed(self):
+        with pytest.raises(ServiceError):
+            run_fleet_chaos_campaign("meteor")
+
+    def test_matrix_covers_all_kinds_and_reports(self, tmp_path):
+        result = run_fleet_chaos_matrix(
+            wave=3, out_dir=str(tmp_path), hang_s=0.05, slow_s=0.02
+        )
+        assert [c.kind for c in result.cells] == list(FLEET_FAULT_KINDS)
+        assert result.ok, result.describe()
+        # Healthy campaigns write no failure reports.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failing_cell_writes_a_report(self, tmp_path, monkeypatch):
+        import repro.resilience.fleet_chaos as fc
+
+        def bad_campaign(kind, **kwargs):
+            return FleetChaosCell(
+                kind=kind, outcome="lost-tickets", lost=2, requests=4
+            )
+
+        monkeypatch.setattr(fc, "run_fleet_chaos_campaign", bad_campaign)
+        result = fc.run_fleet_chaos_matrix(
+            kinds=["kill"], out_dir=str(tmp_path)
+        )
+        assert not result.ok
+        report = tmp_path / "fleet-chaos-kill.json"
+        assert report.exists()
+        import json
+
+        data = json.loads(report.read_text())
+        assert data["outcome"] == "lost-tickets"
+        assert data["lost"] == 2
+
+
+class TestMatrixShape:
+    def test_fleet_matrix_is_the_kind_tuple(self):
+        assert FLEET_FAULT_MATRIX == tuple(
+            ("fleet", kind) for kind in FLEET_FAULT_KINDS
+        )

@@ -352,6 +352,90 @@ class TestFleetCli:
         assert "routed 1 request(s)" in text
 
 
+class TestFleetHealthEndpoint:
+    def test_fleet_front_end_answers_health(self, fleet_served):
+        """The router serves /v1/health itself — a prober (or a human)
+        pointed at the fleet front-end gets the same surface a single
+        server exposes, plus per-backend breaker state."""
+        from repro.service import ServiceClient
+
+        health = ServiceClient(fleet_served.url, timeout=10).health_detail()
+        assert health["ok"] is True
+        assert health["closed"] is False
+        assert len(health["backends"]) == 2
+        for entry in health["backends"].values():
+            assert entry["alive"] is True
+            assert entry["breaker"] == "closed"
+
+
+class TestDeadlineCli:
+    def test_submit_spent_deadline_exits_75(self, served, capsys):
+        """A request whose budget is spent before the server can serve
+        it comes back as a typed 504 shed with EX_TEMPFAIL, not a hang
+        and not a traceback."""
+        code = main([
+            "submit", "sumRows", "R=64", "C=32",
+            "--url", served.url, "--deadline-s", "0.000001",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        err = capsys.readouterr().err
+        assert "DeadlineExceededError" in err
+
+    def test_submit_generous_deadline_succeeds(self, served, capsys):
+        assert main([
+            "submit", "sumRows", "R=128", "C=32",
+            "--url", served.url, "--deadline-s", "60",
+        ]) == 0
+        assert "miss" in capsys.readouterr().out
+
+    def test_fleet_submit_spent_deadline_exits_75(
+        self, fleet_served, capsys
+    ):
+        code = main([
+            "fleet", "submit", "sumRows", "R=64", "C=32",
+            "--url", fleet_served.url, "--deadline-s", "0.000001",
+            "--json",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["error_type"] == "DeadlineExceededError"
+        assert payload["error"]["exit_code"] == EXIT_UNAVAILABLE
+
+    def test_fleet_submit_deadline_zero_means_unbounded(
+        self, fleet_served, capsys
+    ):
+        # <=0 is documented as "no deadline", matching `serve`'s flag.
+        assert main([
+            "fleet", "submit", "sumRows", "R=160", "C=32",
+            "--url", fleet_served.url, "--deadline-s", "0",
+        ]) == 0
+
+
+class TestFleetChaosCli:
+    def test_chaos_matrix_subset_passes(self, capsys):
+        assert main([
+            "fleet", "chaos", "--kind", "kill", "--kind", "partition",
+            "--wave", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet chaos: 2 campaign(s), 0 violation(s)" in out
+        assert "fleet/kill" in out and "fleet/partition" in out
+
+    def test_chaos_json_output(self, capsys):
+        assert main([
+            "fleet", "chaos", "--kind", "slow", "--wave", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cells"][0]["kind"] == "slow"
+        assert payload["cells"][0]["lost"] == 0
+
+    def test_chaos_unknown_kind_is_a_config_error(self, capsys):
+        from repro.errors import EXIT_CONFIG
+
+        assert main(["fleet", "chaos", "--kind", "meteor"]) == EXIT_CONFIG
+
+
 class TestServeSubprocess:
     def test_serve_sigterm_lifecycle(self, tmp_path):
         env = dict(os.environ)

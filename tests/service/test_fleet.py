@@ -369,6 +369,88 @@ class TestFailover:
         finally:
             router.close()
 
+    def test_restarted_backend_is_readmitted_by_the_prober(self):
+        """Regression for one-way death: a backend that failed in
+        transport, got marked dead, and then came back must receive
+        traffic again within a few probe intervals — no operator
+        action, no router restart."""
+
+        class RevivableBackend(StubBackend):
+            """Server-side health independent of the router's liveness
+            flag (the HttpBackend shape: probes ask the server)."""
+
+            def __init__(self, name):
+                super().__init__(name)
+                self.server_up = True
+
+            def compile(self, req):
+                if not self.server_up:
+                    raise ServiceError("connection refused")
+                return super().compile(req)
+
+            def mark_alive(self):
+                self._dead = False
+
+            def probe(self):
+                if not self.server_up:
+                    raise ServiceError("connection refused")
+                return {"ok": True}
+
+        probe_interval_s = 0.05
+        backends = {
+            name: RevivableBackend(name) for name in ("b0", "b1", "b2")
+        }
+        router = FleetRouter(
+            list(backends.values()),
+            FleetConfig(
+                lru_capacity=0, retries=3, backoff_base_s=0.001,
+                backoff_max_s=0.01,
+                probe_interval_s=probe_interval_s,
+                breaker_failure_threshold=2,
+                breaker_reset_timeout_s=probe_interval_s,
+            ),
+        )
+
+        def shard_request(victim, base):
+            candidate = base
+            while True:
+                req = request(R=64 + 32 * candidate, C=32)
+                if router.ring.node_for(req.digest()) == victim:
+                    return req
+                candidate += 1
+
+        try:
+            victim = router.ring.node_for(request().digest())
+            backends[victim].server_up = False
+            outcome = router.submit(request()).wait(timeout=30)
+            assert outcome.ok and outcome.served_by != victim
+            assert router.stats()["backends"][victim]["alive"] is False
+
+            # The restart: server back up; only the prober can notice.
+            backends[victim].server_up = True
+            deadline = time.monotonic() + 40 * probe_interval_s
+            readmitted = False
+            while time.monotonic() < deadline:
+                entry = router.stats()["backends"][victim]
+                if entry["alive"] and entry["breaker"]["state"] == "closed":
+                    readmitted = True
+                    break
+                time.sleep(probe_interval_s / 2)
+            assert readmitted, (
+                f"victim not readmitted within 40 probe intervals: "
+                f"{router.stats()['backends'][victim]}"
+            )
+            assert router.stats()["readmissions"] >= 1
+
+            # And it actually receives traffic again on its own shard.
+            outcome = router.submit(
+                shard_request(victim, base=50)
+            ).wait(timeout=30)
+            assert outcome.ok
+            assert outcome.served_by == victim
+        finally:
+            router.close()
+
     def test_kill_one_backend_mid_campaign_loses_nothing(self, tmp_path):
         """The acceptance gate: 3 backends, one dies, zero lost requests."""
         fleet = local_fleet(

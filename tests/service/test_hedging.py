@@ -1,0 +1,313 @@
+"""Hedged requests: warm-digest gating, first-success-wins, and the
+structural no-duplicate-pipeline-work guarantee.
+
+Hedging only ever fires for digests that completed once before (any
+backend serves them from the shared store), so a hedge can duplicate a
+*wire request* but never a *pipeline run* — asserted here via the
+per-backend ``executions`` counters.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    CompileRequest,
+    FleetConfig,
+    FleetRouter,
+    ServiceClient,
+    local_fleet,
+)
+from repro.service.fleet import Backend, _FleetJob
+from repro.service.store import CompileArtifact
+
+
+def fake_artifact(digest: str) -> CompileArtifact:
+    return CompileArtifact(
+        digest=digest,
+        program="fake",
+        strategy="multidim",
+        device="Tesla K20c",
+        cost={"total_us": 1.0, "kernels": []},
+    )
+
+
+def request(**sizes) -> CompileRequest:
+    return CompileRequest(app="sumRows", sizes=sizes or {"R": 64, "C": 32})
+
+
+class SlowBackend(Backend):
+    """Wraps a fleet member with a fixed per-dispatch stall."""
+
+    def __init__(self, inner, delay_s: float):
+        self.inner = inner
+        self.name = inner.name
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def compile(self, req):
+        self.calls += 1
+        time.sleep(self.delay_s)
+        return self.inner.compile(req)
+
+    def alive(self):
+        return self.inner.alive()
+
+    def mark_dead(self):
+        self.inner.mark_dead()
+
+    def mark_alive(self):
+        self.inner.mark_alive()
+
+    def probe(self):
+        return self.inner.probe()
+
+    def close(self):
+        self.inner.close()
+
+
+def warm_fleet(tmp_path, hedge_delay_s=0.02):
+    """2 backends sharing one store; router caches off so repeat
+    submissions dispatch (the shape hedging exists for)."""
+    fleet = local_fleet(
+        2,
+        str(tmp_path / "cache"),
+        fleet_config=FleetConfig(
+            lru_capacity=0,
+            hedge_delay_s=hedge_delay_s,
+            probe_interval_s=0,
+            backoff_base_s=0.001,
+            backoff_max_s=0.01,
+        ),
+        compile_fn=lambda req, digest: fake_artifact(digest),
+    )
+    fleet.store = None  # force dispatch; backends still share the disk tier
+    return fleet
+
+
+def total_executions(fleet) -> int:
+    count = 0
+    for backend in fleet.backends.values():
+        inner = getattr(backend, "inner", backend)
+        count += inner.service.executions
+    return count
+
+
+class TestHedging:
+    def test_warm_slow_primary_is_hedged_and_duplicates_nothing(
+        self, tmp_path
+    ):
+        fleet = warm_fleet(tmp_path)
+        try:
+            req = request()
+            digest = req.digest()
+            primary = fleet.ring.node_for(digest)
+            secondary = next(
+                n for n in fleet.backends if n != primary
+            )
+            # Wave 1 (cold): compiles once, marks the digest warm.
+            first = fleet.submit(req).wait(timeout=30)
+            assert first.ok and first.served_by == primary
+            assert total_executions(fleet) == 1
+
+            # Slow the primary down well past the hedge delay.
+            fleet.backends[primary] = SlowBackend(
+                fleet.backends[primary], delay_s=0.5
+            )
+            t0 = time.perf_counter()
+            second = fleet.submit(req).wait(timeout=30)
+            elapsed = time.perf_counter() - t0
+            assert second.ok
+            # The hedge won: served by the fast secondary, well under
+            # the primary's stall.
+            assert second.served_by == secondary
+            assert elapsed < 0.45
+            stats = fleet.stats()
+            assert stats["hedges"] == 1
+            assert stats["hedge_wins"] == 1
+            # The structural guarantee: the hedge duplicated zero
+            # pipeline work — both backends served from the shared
+            # store.
+            assert total_executions(fleet) == 1
+        finally:
+            fleet.close()
+
+    def test_cold_digests_never_hedge(self, tmp_path):
+        fleet = warm_fleet(tmp_path)
+        try:
+            digest = request().digest()
+            primary = fleet.ring.node_for(digest)
+            fleet.backends[primary] = SlowBackend(
+                fleet.backends[primary], delay_s=0.1
+            )
+            # First-ever submission: not warm, so the slow primary is
+            # simply awaited — no hedge, no duplicate dispatch.
+            outcome = fleet.submit(request()).wait(timeout=30)
+            assert outcome.ok and outcome.served_by == primary
+            stats = fleet.stats()
+            assert stats["hedges"] == 0
+            assert stats["hedge_wins"] == 0
+        finally:
+            fleet.close()
+
+    def test_primary_win_still_resolves_once(self, tmp_path):
+        """A hedge that loses the race must not clobber the outcome."""
+        fleet = warm_fleet(tmp_path, hedge_delay_s=0.0)
+        try:
+            req = request()
+            assert fleet.submit(req).wait(timeout=30).ok  # warm it
+            # Fast primary, hedge delay 0: both dispatches race; the
+            # job resolves exactly once either way.
+            outcomes = [
+                fleet.submit(req).wait(timeout=30) for _ in range(4)
+            ]
+            assert all(o.ok for o in outcomes)
+            assert total_executions(fleet) == 1
+        finally:
+            fleet.close()
+
+    def test_single_backend_fleet_never_hedges(self, tmp_path):
+        fleet = local_fleet(
+            1,
+            str(tmp_path / "cache"),
+            fleet_config=FleetConfig(
+                lru_capacity=0, hedge_delay_s=0.0, probe_interval_s=0
+            ),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        fleet.store = None
+        try:
+            req = request()
+            assert fleet.submit(req).wait(timeout=30).ok
+            assert fleet.submit(req).wait(timeout=30).ok
+            assert fleet.stats()["hedges"] == 0
+        finally:
+            fleet.close()
+
+
+class TestHedgeDelayPolicy:
+    def test_p99_mode_needs_samples(self, tmp_path):
+        fleet = local_fleet(
+            2,
+            str(tmp_path / "cache"),
+            fleet_config=FleetConfig(
+                lru_capacity=0,
+                hedge_p99=True,
+                hedge_min_samples=10,
+                hedge_min_delay_s=0.005,
+                probe_interval_s=0,
+            ),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            req = request()
+            digest = req.digest()
+            order = fleet.ring.preference(digest)
+            fleet._hedgeable.put(digest, True)
+            job = _FleetJob(digest, req)
+            # Too few latency observations: the estimate is untrusted.
+            assert fleet._hedge_delay(job, order) is None
+            with fleet._lock:
+                fleet._latencies_ms.extend([10.0] * 9 + [100.0])
+            delay = fleet._hedge_delay(job, order)
+            # p99 of the sample (100ms) floored at hedge_min_delay_s.
+            assert delay == pytest.approx(0.1)
+        finally:
+            fleet.close()
+
+    def test_fixed_delay_wins_over_p99(self, tmp_path):
+        fleet = local_fleet(
+            2,
+            str(tmp_path / "cache"),
+            fleet_config=FleetConfig(
+                lru_capacity=0,
+                hedge_delay_s=0.3,
+                hedge_p99=True,
+                probe_interval_s=0,
+            ),
+            compile_fn=lambda req, digest: fake_artifact(digest),
+        )
+        try:
+            req = request()
+            digest = req.digest()
+            fleet._hedgeable.put(digest, True)
+            job = _FleetJob(digest, req)
+            assert fleet._hedge_delay(
+                job, fleet.ring.preference(digest)
+            ) == pytest.approx(0.3)
+        finally:
+            fleet.close()
+
+
+class TestInterleavedHedgeClient:
+    def test_half_closed_keepalive_recovers_under_interleaved_threads(
+        self, tmp_path
+    ):
+        """Satellite: one keep-alive ServiceClient shared by two threads
+        (the hedge shape: dispatcher + hedge thread hitting one
+        backend).  The server restarts between waves, half-closing both
+        per-thread persistent sockets; each thread must transparently
+        retry on a fresh connection, concurrently, without cross-thread
+        interference."""
+        from repro.service import CompileService, ServiceConfig
+        from repro.service.http import make_server, serve_forever
+
+        def new_service():
+            return CompileService(
+                ServiceConfig(cache_dir=None, memo_persistence=False),
+                compile_fn=lambda req, digest: fake_artifact(digest),
+            )
+
+        svc = new_service()
+        server = make_server(svc, "127.0.0.1", 0)
+        port = server.port
+        thread = threading.Thread(
+            target=serve_forever, args=(server,), daemon=True
+        )
+        thread.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", timeout=30, keep_alive=True
+        )
+
+        def wave(results, index_base):
+            def one(i):
+                results[index_base + i] = client.compile(
+                    request(R=64 + 32 * i, C=32)
+                )
+
+            threads = [
+                threading.Thread(target=one, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+
+        results = {}
+        try:
+            # Wave 1 establishes a persistent connection per thread.
+            wave(results, 0)
+            assert all(results[i].ok for i in range(2))
+
+            # Restart on the same port: both cached sockets are now
+            # half-closed — readable EOF, unusable for a new request.
+            server.shutdown()
+            thread.join(timeout=10)
+            svc.close()
+            svc = new_service()
+            server = make_server(svc, "127.0.0.1", port)
+            thread = threading.Thread(
+                target=serve_forever, args=(server,), daemon=True
+            )
+            thread.start()
+
+            # Wave 2, interleaved: each thread's first reuse attempt
+            # hits its own stale socket and must recover independently.
+            wave(results, 2)
+            assert all(results[i].ok for i in range(2, 4))
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            svc.close()
+            client.close()
