@@ -483,6 +483,53 @@ def bench_hedging(cache_dir: str) -> Dict:
     return {"baseline": baseline, "hedged": hedged}
 
 
+def bench_instrumented(cache_dir: str) -> Dict:
+    """The fleet under full observability: spans, metrics, exemplars.
+
+    Runs a distinct-request workload through a local fleet with tracing
+    and metrics capturing, then records what the instrumentation
+    produced — per-request trace ids, the merged latency histogram with
+    its exemplars, and the control-plane event volume.  This is the
+    artifact row proving the PR's observability surfaces carry real
+    data under load, not just in unit fixtures.
+    """
+    from repro.observability import capture
+    from repro.observability.aggregate import histogram_quantile
+    from repro.observability.events import get_event_log
+
+    clear_caches()
+    n = 8 if QUICK else 16
+    with capture() as obs:
+        fleet = local_fleet(
+            2, cache_dir, fleet_config=FleetConfig(lru_capacity=8),
+            workers=2,
+        )
+        try:
+            start_seq = get_event_log().snapshot()["next_seq"]
+            t0 = time.perf_counter()
+            tickets = fleet.submit_many(distinct_requests(n))
+            outcomes = [t.wait(timeout=300) for t in tickets]
+            wall_s = time.perf_counter() - t0
+            assert all(o.ok for o in outcomes)
+            traced = sum(1 for o in outcomes if o.trace_id)
+            merged = fleet.aggregated_metrics()["fleet"]
+            events = get_event_log().snapshot(since=start_seq - 1)
+        finally:
+            fleet.close()
+    latency = merged["histograms"].get("fleet.request_ms") or {}
+    return {
+        "phase": "instrumented",
+        "requests": n,
+        "rps": n / wall_s,
+        "traced_requests": traced,
+        "span_events": len(obs.tracer.events()),
+        "histograms": len(merged["histograms"]),
+        "exemplars": len(latency.get("exemplars") or {}),
+        "fleet_p99_ms": histogram_quantile(latency, 0.99),
+        "control_plane_events": len(events["events"]),
+    }
+
+
 def run_benchmark() -> Dict:
     rows: List[Dict] = []
     with tempfile.TemporaryDirectory(prefix="bench-fleet-") as scratch:
@@ -493,6 +540,7 @@ def run_benchmark() -> Dict:
         rows.extend(
             bench_scaling(str(scratch_path / "cache-c"), scratch_path)
         )
+        rows.append(bench_instrumented(str(scratch_path / "cache-e")))
         chaos = bench_chaos()
         hedging = bench_hedging(str(scratch_path / "cache-d"))
     return {"rows": rows, "chaos": chaos, "hedging": hedging}
@@ -564,6 +612,15 @@ def test_bench_fleet_load():
             f"served_after_heal={cell['victim_served_after_heal']}, "
             f"p99 {cell['p99_ms']:.1f} ms)"
         )
+    instrumented = next(r for r in rows if r["phase"] == "instrumented")
+    print(
+        f"instrumented: {instrumented['requests']} requests "
+        f"{instrumented['rps']:.1f} req/s, "
+        f"{instrumented['traced_requests']} traced, "
+        f"{instrumented['span_events']} spans, "
+        f"{instrumented['exemplars']} exemplar(s), "
+        f"fleet p99<={instrumented['fleet_p99_ms']:g} ms"
+    )
     hedging = result["hedging"]
     baseline, hedged = hedging["baseline"], hedging["hedged"]
     print(
@@ -596,6 +653,12 @@ def test_bench_fleet_load():
     assert kill["lost"] == 0
     assert kill["readmitted"]
     assert kill["victim_served_after_heal"] >= 1
+
+    # Instrumented fleet: every request got a trace id, the merged
+    # latency histogram carries at least one exemplar to jump from.
+    assert instrumented["traced_requests"] == instrumented["requests"]
+    assert instrumented["span_events"] > 0
+    assert instrumented["exemplars"] >= 1
 
     # Hedging: better tail latency under a stalled primary, zero
     # duplicated pipeline work.

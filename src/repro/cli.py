@@ -46,7 +46,7 @@ Commands
     request budget; work shed on an expired deadline exits 75.
 ``cache <stats|list|clear> [--cache-dir DIR] [--json]``
     Inspect or clear a compile server's on-disk artifact store.
-``fleet <serve|submit|stats|chaos>``
+``fleet <serve|submit|stats|top|trace|events|chaos>``
     The digest-sharded compile fleet: run a router over N backends,
     submit to it (``--deadline-s`` as above), query its stats, or run
     the fleet chaos campaigns (kill/hang/slow/partition a backend and
@@ -529,6 +529,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
             print(f"{outcome.status}  digest={outcome.digest[:16]}…  "
                   f"latency={outcome.latency_ms:.2f}ms"
                   + (f"  cost={cost:.1f}us" if cost is not None else ""))
+            if outcome.trace_id:
+                print(f"  trace_id={outcome.trace_id}  "
+                      f"(fetch: repro fleet trace {outcome.trace_id})")
             for line in artifact.get("mappings", []):
                 print(f"  {line}")
         return 0
@@ -611,15 +614,38 @@ def cmd_fleet_serve(args: argparse.Namespace) -> int:
         ),
     )
     with capture() as obs:
-        router = local_fleet(
-            args.backends,
-            cache_dir,
-            fleet_config=fleet_config,
-            workers=args.workers,
-            queue_limit=args.queue_limit,
-            deadline_s=args.deadline_s if args.deadline_s > 0 else None,
-            provenance=not args.no_provenance,
-        )
+        if args.subprocess:
+            # Deployment shape: each backend is a separate `repro serve`
+            # process, so traces stitch across real process boundaries.
+            from repro.service import spawn_http_fleet
+
+            if cache_dir is None:
+                raise RuntimeConfigError(
+                    "--subprocess requires a shared --cache-dir"
+                )
+            extra = ["--queue-limit", str(args.queue_limit)]
+            if args.deadline_s > 0:
+                extra += ["--deadline-s", str(args.deadline_s)]
+            if args.no_provenance:
+                extra.append("--no-provenance")
+            router = spawn_http_fleet(
+                args.backends,
+                cache_dir,
+                args.log_dir,
+                fleet_config=fleet_config,
+                workers=args.workers,
+                extra_args=extra,
+            )
+        else:
+            router = local_fleet(
+                args.backends,
+                cache_dir,
+                fleet_config=fleet_config,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                deadline_s=args.deadline_s if args.deadline_s > 0 else None,
+                provenance=not args.no_provenance,
+            )
         server = make_server(router, args.host, args.port)
 
         def _terminate(*_args: object) -> None:
@@ -697,6 +723,10 @@ def cmd_fleet_submit(args: argparse.Namespace) -> int:
                     else ""
                 )
             )
+            if outcome.trace_id:
+                print(f"  trace_id={outcome.trace_id}  "
+                      f"(fetch: repro fleet trace {outcome.trace_id} "
+                      f"--url {args.url})")
         return 0 if outcome.ok else outcome.error.exit_code
     done = [o for o in outcomes if o is not None]
     statuses: dict = {}
@@ -743,8 +773,130 @@ def cmd_fleet_stats(args: argparse.Namespace) -> int:
         service = payload.get("service", {})
         print(f"compile fleet at {args.url}:")
         for key in sorted(service):
-            print(f"  {key}: {service[key]}")
+            if key in ("backends", "reroutes_saturation",
+                       "reroutes_transport"):
+                continue
+            value = service[key]
+            if key == "reroutes":
+                # The split tells an operator which knob to turn: a
+                # saturated fleet needs capacity, a broken one repair.
+                value = (
+                    f"{value} (saturation "
+                    f"{service.get('reroutes_saturation', 0)}, transport "
+                    f"{service.get('reroutes_transport', 0)})"
+                )
+            print(f"  {key}: {value}")
+        for name in sorted(service.get("backends") or {}):
+            entry = service["backends"][name]
+            breaker = entry.get("breaker") or {}
+            state = (
+                breaker.get("state") if isinstance(breaker, dict)
+                else breaker
+            )
+            print(
+                f"  backend {name}: alive={entry.get('alive')} "
+                f"breaker={state} served={entry.get('served', 0)} "
+                f"failures={entry.get('failures', 0)} "
+                f"(saturation {entry.get('failures_saturation', 0)}, "
+                f"transport {entry.get('failures_transport', 0)}) "
+                f"rerouted_from={entry.get('reroutes_from', 0)}"
+            )
     return 0
+
+
+def cmd_fleet_trace(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from repro.observability import validate_chrome_trace
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    document = client.trace(args.trace_id, raw=args.raw)
+    if document is None:
+        print(
+            f"error: no events for trace {args.trace_id!r} at {args.url}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.raw:
+        problems = validate_chrome_trace(document)
+        if problems:
+            print(
+                f"error: stitched trace failed validation: "
+                f"{'; '.join(problems)}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        events = document.get("events" if args.raw else "traceEvents", [])
+        kind = "fragment" if args.raw else "stitched trace"
+        print(
+            f"wrote {args.output} ({kind}, {len(events)} events; "
+            "load it in https://ui.perfetto.dev)"
+        )
+    else:
+        print(json.dumps(document, indent=2))
+    return 0
+
+
+def cmd_fleet_top(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    from repro.service.dashboard import run_fleet_top
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        return run_fleet_top(
+            client,
+            interval_s=args.interval_s,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_fleet_events(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+
+    def emit(events: list) -> None:
+        for event in events:
+            if args.json:
+                print(json.dumps(event))
+            else:
+                seq = event.get("seq")
+                kind = event.get("kind", "?")
+                rest = " ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(event.items())
+                    if k not in ("seq", "kind", "ts") and v is not None
+                )
+                print(f"#{seq} {kind}  {rest}")
+
+    snapshot = client.events(since=args.since)
+    emit(snapshot.get("events", []))
+    dropped = snapshot.get("dropped", 0)
+    if dropped and not args.json:
+        print(f"({dropped} earlier event(s) dropped by the bounded log)")
+    if not args.follow:
+        return 0
+    cursor = snapshot.get("next_seq", 0)
+    try:
+        while True:
+            _time.sleep(args.interval_s)
+            snapshot = client.events(since=cursor - 1)
+            emit(snapshot.get("events", []))
+            cursor = max(cursor, snapshot.get("next_seq", cursor))
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_fleet_chaos(args: argparse.Namespace) -> int:
@@ -1111,6 +1263,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "the next ring node after this many seconds "
                        "(default: hedging disabled)")
     fl_sv.add_argument("--no-provenance", action="store_true")
+    fl_sv.add_argument("--subprocess", action="store_true",
+                       help="run each backend as its own `repro serve` "
+                       "process (deployment shape: real sockets, "
+                       "cross-process trace stitching)")
+    fl_sv.add_argument("--log-dir", default="fleet-logs",
+                       help="per-backend server logs for --subprocess "
+                       "(default fleet-logs)")
     fl_sv.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace on shutdown")
     add_engine_flag(fl_sv)
@@ -1173,6 +1332,63 @@ def build_parser() -> argparse.ArgumentParser:
     fl_st.add_argument("--timeout", type=float, default=30.0)
     fl_st.add_argument("--json", action="store_true")
     fl_st.set_defaults(fn=cmd_fleet_stats)
+
+    fl_tr = fl_sub.add_parser(
+        "trace",
+        help="fetch one request's stitched distributed trace by "
+        "trace_id (Perfetto-loadable, with cross-process parent links)",
+    )
+    fl_tr.add_argument("trace_id", help="32-hex trace id printed by "
+                       "submit / found in exemplars and events")
+    fl_tr.add_argument("--url", metavar="URL",
+                       default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                       f"{_config.DEFAULT_SERVICE_PORT}")
+    fl_tr.add_argument("--timeout", type=float, default=30.0)
+    fl_tr.add_argument("-o", "--output", default=None, metavar="FILE",
+                       help="write the trace JSON here instead of stdout")
+    fl_tr.add_argument("--raw", action="store_true",
+                       help="fetch the server's unstitched fragment "
+                       "instead of the stitched document")
+    fl_tr.set_defaults(fn=cmd_fleet_trace)
+
+    fl_top = fl_sub.add_parser(
+        "top",
+        help="live terminal dashboard: per-backend load, breaker "
+        "state, hit/reroute/hedge rates, latency quantiles + exemplars",
+    )
+    fl_top.add_argument("--url", metavar="URL",
+                        default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                        f"{_config.DEFAULT_SERVICE_PORT}")
+    fl_top.add_argument("--timeout", type=float, default=10.0)
+    fl_top.add_argument("--interval-s", type=float,
+                        default=_config.DEFAULT_FLEET_TOP_INTERVAL_S,
+                        help="refresh cadence "
+                        f"(default {_config.DEFAULT_FLEET_TOP_INTERVAL_S})")
+    fl_top.add_argument("--once", action="store_true",
+                        help="render one frame and exit (no screen "
+                        "clearing; scripts/CI)")
+    fl_top.set_defaults(fn=cmd_fleet_top)
+
+    fl_ev = fl_sub.add_parser(
+        "events",
+        help="dump the fleet's structured control-plane event log "
+        "(breaker trips, reroutes, hedges, sheds, quarantines)",
+    )
+    fl_ev.add_argument("--url", metavar="URL",
+                       default=f"http://{_config.DEFAULT_SERVICE_HOST}:"
+                       f"{_config.DEFAULT_SERVICE_PORT}")
+    fl_ev.add_argument("--timeout", type=float, default=10.0)
+    fl_ev.add_argument("--since", type=int, default=None,
+                       help="only events with seq > SINCE")
+    fl_ev.add_argument("--follow", action="store_true",
+                       help="poll for new events until interrupted")
+    fl_ev.add_argument("--interval-s", type=float,
+                       default=_config.DEFAULT_EVENT_FOLLOW_INTERVAL_S,
+                       help="poll cadence with --follow "
+                       f"(default {_config.DEFAULT_EVENT_FOLLOW_INTERVAL_S})")
+    fl_ev.add_argument("--json", action="store_true",
+                       help="one JSON object per line")
+    fl_ev.set_defaults(fn=cmd_fleet_events)
 
     return parser
 

@@ -96,6 +96,15 @@ DEFAULT_HEDGE_TRACKING_CAPACITY = 4096
 #: timed wait is only the backstop against a wedged backend.
 DEADLINE_WAIT_GRACE_S = 2.0
 
+# Fleet observability defaults.  The structured event log is a bounded
+# ring (control-plane transitions only — breaker flips, reroutes, hedges,
+# sheds, quarantines — so it is always on); ``repro fleet top`` polls
+# /v1/stats + /v1/metrics at the refresh interval, and ``repro fleet
+# events --follow`` polls /v1/events at the poll interval.
+DEFAULT_EVENT_LOG_CAPACITY = 2048
+DEFAULT_FLEET_TOP_INTERVAL_S = 2.0
+DEFAULT_EVENT_FOLLOW_INTERVAL_S = 1.0
+
 # L2-size proxy used to discount coalescing constraints for arrays small
 # enough to live in cache after first touch (K20c: 1.25 MB).  The analysis
 # layer must not depend on a concrete device, so this is a standalone

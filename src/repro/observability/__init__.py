@@ -19,6 +19,16 @@ backend; see ``docs/observability.md`` for the design and the measured
 overhead.
 """
 
+from .aggregate import (  # noqa: F401
+    histogram_quantile,
+    merge_snapshots,
+)
+from .events import (  # noqa: F401
+    EVENT_KINDS,
+    EventLog,
+    emit_event,
+    get_event_log,
+)
 from .metrics import (  # noqa: F401
     DEFAULT_MS_BUCKETS,
     Counter,
@@ -37,15 +47,25 @@ from .state import (  # noqa: F401
     provenance_enabled,
     tracing_enabled,
 )
+from .stitch import (  # noqa: F401
+    cross_process_links,
+    make_fragment,
+    stitch_fragments,
+)
 from .tracer import (  # noqa: F401
     STAGE_MS_BUCKETS,
     NullTracer,
     Tracer,
+    is_valid_trace_id,
+    new_span_id,
+    new_trace_id,
     validate_chrome_trace,
 )
 
 __all__ = [
     "Counter",
+    "EVENT_KINDS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,10 +77,20 @@ __all__ = [
     "STAGE_MS_BUCKETS",
     "capture",
     "configure",
+    "cross_process_links",
+    "emit_event",
+    "get_event_log",
     "get_metrics",
     "get_tracer",
+    "histogram_quantile",
+    "is_valid_trace_id",
+    "make_fragment",
+    "merge_snapshots",
     "metrics_enabled",
+    "new_span_id",
+    "new_trace_id",
     "provenance_enabled",
+    "stitch_fragments",
     "tracing_enabled",
     "validate_chrome_trace",
 ]

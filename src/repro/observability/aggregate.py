@@ -1,0 +1,117 @@
+"""Fleet-wide metrics aggregation: merge per-process registry snapshots.
+
+Every server exposes its :class:`~repro.observability.MetricsRegistry`
+snapshot at ``/v1/metrics``; the fleet router scrapes each backend and
+merges the snapshots here.  The merge is exact by construction:
+
+* **counters** sum — each process counts disjoint work;
+* **gauges** sum — the fleet gauges are extensive quantities (queue
+  depth, inflight requests), so the fleet-wide value is the total;
+* **histograms** merge bucket-wise — bucket bounds are fixed at creation
+  (never derived from data), so two snapshots of the same metric always
+  share bounds and the merged histogram is exactly what one process
+  observing both streams would have recorded.  Exemplars union with
+  last-merge-wins per bucket.
+
+A histogram whose bounds genuinely differ across sources (a version skew
+between fleet members) is *not* silently misfolded: it is left out of
+the merge and listed in the envelope's ``unmerged`` field.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+
+def merge_histograms(
+    into: Dict[str, Any], other: Mapping[str, Any]
+) -> bool:
+    """Fold ``other`` into ``into`` bucket-wise; False on bounds skew."""
+    if list(into["buckets"]) != list(other["buckets"]):
+        return False
+    into["counts"] = [
+        a + b for a, b in zip(into["counts"], other["counts"])
+    ]
+    into["sum"] = into["sum"] + other["sum"]
+    into["count"] = into["count"] + other["count"]
+    exemplars = dict(into.get("exemplars") or {})
+    exemplars.update(other.get("exemplars") or {})
+    if exemplars:
+        into["exemplars"] = exemplars
+    return True
+
+
+def merge_snapshots(
+    snapshots: Mapping[str, Optional[Mapping[str, Any]]]
+) -> Dict[str, Any]:
+    """Merge named registry snapshots into one fleet-wide snapshot.
+
+    ``snapshots`` maps a source name (backend name, ``"router"``) to a
+    registry ``to_dict()`` payload; ``None`` values (a backend with
+    metrics disabled or unreachable) are skipped but listed in
+    ``missing``.  Returns::
+
+        {"counters": {...}, "gauges": {...}, "histograms": {...},
+         "sources": [names merged], "missing": [names skipped],
+         "unmerged": ["histogram names left out on bounds skew"]}
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    merged_sources: List[str] = []
+    missing: List[str] = []
+    unmerged: List[str] = []
+
+    for source in sorted(snapshots):
+        snap = snapshots[source]
+        if not snap:
+            missing.append(source)
+            continue
+        merged_sources.append(source)
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, data in snap.get("histograms", {}).items():
+            if name in unmerged:
+                continue
+            existing = histograms.get(name)
+            if existing is None:
+                copy = dict(data)
+                copy["buckets"] = list(data["buckets"])
+                copy["counts"] = list(data["counts"])
+                if data.get("exemplars"):
+                    copy["exemplars"] = dict(data["exemplars"])
+                histograms[name] = copy
+            elif not merge_histograms(existing, data):
+                del histograms[name]
+                unmerged.append(name)
+
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "sources": merged_sources,
+        "missing": missing,
+        "unmerged": unmerged,
+    }
+
+
+def histogram_quantile(data: Mapping[str, Any], q: float) -> float:
+    """Approximate quantile from a cumulative fixed-bucket histogram.
+
+    Returns the upper bound of the bucket containing the ``q``-quantile
+    observation (the overflow bucket reports the last finite bound).
+    Good enough for a dashboard; exact latencies live in the traces.
+    """
+    count = data.get("count", 0)
+    if not count:
+        return 0.0
+    target = q * count
+    seen = 0
+    buckets = data["buckets"]
+    for i, bucket_count in enumerate(data["counts"]):
+        seen += bucket_count
+        if seen >= target:
+            return float(buckets[min(i, len(buckets) - 1)])
+    return float(buckets[-1])

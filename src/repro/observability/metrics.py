@@ -56,9 +56,15 @@ class Histogram:
 
     ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
     slot counts overflows (observations above the last bound).
+
+    An observation may carry an *exemplar* — an opaque reference (here: a
+    trace_id) kept per bucket, last-write-wins — so a snapshot can link
+    "something landed in the 250ms+ bucket" to a concrete request trace.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "total", "count", "_lock")
+    __slots__ = (
+        "buckets", "bucket_counts", "total", "count", "exemplars", "_lock"
+    )
 
     def __init__(self, buckets: Sequence[float]) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -68,26 +74,37 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self.total: float = 0.0
         self.count: int = 0
+        self.exemplars: Dict[int, str] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         index = bisect_left(self.buckets, value)
         with self._lock:
             self.bucket_counts[index] += 1
             self.total += value
             self.count += 1
+            if exemplar is not None:
+                self.exemplars[index] = exemplar
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "buckets": list(self.buckets),
-            "counts": list(self.bucket_counts),
-            "sum": self.total,
-            "count": self.count,
-        }
+        # Snapshot under the lock: a concurrent observe() must never
+        # produce counts/sum/count that disagree with each other.
+        with self._lock:
+            data: Dict[str, Any] = {
+                "buckets": list(self.buckets),
+                "counts": list(self.bucket_counts),
+                "sum": self.total,
+                "count": self.count,
+            }
+            if self.exemplars:
+                data["exemplars"] = {
+                    str(k): v for k, v in sorted(self.exemplars.items())
+                }
+        return data
 
 
 class _NullCounter:
@@ -114,7 +131,7 @@ class _NullHistogram:
     count = 0
     mean = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
     def to_dict(self) -> Dict[str, Any]:

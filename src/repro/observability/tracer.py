@@ -24,15 +24,26 @@ Two backends share the interface:
 On span exit the tracer also feeds the active metrics registry a
 ``stage_ms.<name>`` histogram observation, so per-stage wall time shows
 up in ``repro stats`` without separate timing code at every call site.
+
+**Distributed trace context.**  A W3C-traceparent-style context —
+``trace_id`` (32 hex chars) plus a parent ``span_id`` (16 hex chars) —
+can be activated on a tracer with :meth:`Tracer.trace_context`.  While a
+context is active on a thread, every span records ``trace_id`` /
+``span_id`` / ``parent_span_id`` in its args and nested spans parent
+onto the enclosing span, so fragments recorded in different processes
+can be stitched back into one tree (:mod:`.stitch`) by following the
+span ids across the wire.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import secrets
 import threading
 import time
-from typing import Any, Dict, List, Optional, Set
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 #: Histogram buckets (milliseconds) for per-stage wall-time metrics.
 #: Fixed and deterministic so snapshots are comparable across runs.
@@ -40,6 +51,24 @@ STAGE_MS_BUCKETS = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
     10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
 )
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (W3C traceparent width)."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id (W3C traceparent width)."""
+    return secrets.token_hex(8)
+
+
+def is_valid_trace_id(value: Any) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == 32
+        and all(c in "0123456789abcdef" for c in value)
+    )
 
 
 class _NullSpan:
@@ -82,8 +111,20 @@ class NullTracer:
     def tail(self, limit: int = 100) -> List[Dict[str, Any]]:
         return []
 
+    def tail_info(self, limit: int = 100) -> Tuple[List[Dict[str, Any]], int]:
+        return [], 0
+
     def span_names(self) -> Set[str]:
         return set()
+
+    def events_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        return []
+
+    @contextmanager
+    def trace_context(
+        self, trace_id: str, parent_span_id: Optional[str] = None
+    ) -> Iterator[None]:
+        yield
 
 
 #: Shared singleton installed whenever tracing is off.
@@ -93,7 +134,7 @@ NULL_TRACER = NullTracer()
 class _Span:
     """A live span: open on ``__enter__``, recorded on ``__exit__``."""
 
-    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "span_id")
 
     def __init__(
         self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]
@@ -103,9 +144,19 @@ class _Span:
         self.cat = cat
         self.args = args
         self._start = 0.0
+        self.span_id: Optional[str] = None
 
     def __enter__(self) -> "_Span":
         self._start = self._tracer._now_us()
+        ctx = self._tracer._context_stack()
+        if ctx:
+            trace_id, parent = ctx[-1]
+            self.span_id = new_span_id()
+            self.args["trace_id"] = trace_id
+            self.args["span_id"] = self.span_id
+            if parent is not None:
+                self.args["parent_span_id"] = parent
+            ctx.append((trace_id, self.span_id))
         return self
 
     def set(self, **args: Any) -> None:
@@ -120,6 +171,10 @@ class _Span:
         end = self._tracer._now_us()
         if exc_type is not None:
             self.args.setdefault("error", exc_type.__name__)
+        if self.span_id is not None:
+            ctx = self._tracer._context_stack()
+            if ctx and ctx[-1][1] == self.span_id:
+                ctx.pop()
         self._tracer._record(self, end)
         return False
 
@@ -138,6 +193,45 @@ class Tracer:
         self._events: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
+        # Wall-clock time of the epoch (microseconds since the Unix
+        # epoch): lets the stitcher rebase fragments from different
+        # processes onto one shared timeline.
+        self.epoch_unix_us = time.time() * 1e6
+        self._local = threading.local()
+
+    # -- distributed trace context ----------------------------------------
+
+    def _context_stack(self) -> List[Tuple[str, Optional[str]]]:
+        stack = getattr(self._local, "ctx", None)
+        if stack is None:
+            stack = self._local.ctx = []
+        return stack
+
+    @contextmanager
+    def trace_context(
+        self, trace_id: str, parent_span_id: Optional[str] = None
+    ) -> Iterator[None]:
+        """Activate a distributed trace context on the calling thread.
+
+        Spans opened while the context is active carry ``trace_id`` /
+        ``span_id`` / ``parent_span_id`` args and nest onto each other;
+        the outermost span parents onto ``parent_span_id`` (the caller's
+        span in another process, or ``None`` for a trace root).
+        """
+        stack = self._context_stack()
+        stack.append((trace_id, parent_span_id))
+        depth = len(stack)
+        try:
+            yield
+        finally:
+            # Unwind to where we were even if a span leaked (e.g. an
+            # exception escaped between __enter__ and __exit__).
+            del stack[depth - 1:]
+
+    def current_context(self) -> Optional[Tuple[str, Optional[str]]]:
+        """The (trace_id, active span_id) pair, or ``None``."""
+        stack = self._context_stack()
+        return stack[-1] if stack else None
 
     # -- recording ---------------------------------------------------------
 
@@ -172,6 +266,12 @@ class Tracer:
             ).observe((end_us - span._start) / 1e3)
 
     def instant(self, name: str, cat: str = "pipeline", **args: Any) -> None:
+        ctx = self._context_stack()
+        if ctx:
+            trace_id, parent = ctx[-1]
+            args["trace_id"] = trace_id
+            if parent is not None:
+                args["parent_span_id"] = parent
         event = {
             "name": name,
             "cat": cat,
@@ -197,6 +297,26 @@ class Tracer:
         """The most recent events (embedded in failure reports)."""
         with self._lock:
             return list(self._events[-limit:])
+
+    def tail_info(self, limit: int = 100) -> Tuple[List[Dict[str, Any]], int]:
+        """The most recent events plus how many older ones were dropped.
+
+        Failure reports embed this so a truncated tail declares itself
+        (``trace_truncated`` / ``trace_dropped_events``) instead of
+        silently looking complete.
+        """
+        with self._lock:
+            dropped = max(0, len(self._events) - limit)
+            return list(self._events[-limit:]), dropped
+
+    def events_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Events recorded under a distributed trace context."""
+        with self._lock:
+            return [
+                e
+                for e in self._events
+                if e.get("args", {}).get("trace_id") == trace_id
+            ]
 
     def span_names(self) -> Set[str]:
         """Distinct names of completed spans (pipeline-stage coverage)."""
@@ -245,7 +365,7 @@ def validate_chrome_trace(document: Dict[str, Any]) -> List[str]:
             problems.append(f"event {i} is not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "s", "f"):
             problems.append(f"event {i} has unsupported phase {ph!r}")
             continue
         if ph == "M":
@@ -259,4 +379,9 @@ def validate_chrome_trace(document: Dict[str, Any]) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i} has bad dur {dur!r}")
+        if ph in ("s", "f"):
+            # Flow events pair a start with a finish through a shared id
+            # (the stitcher uses them for cross-process parent links).
+            if not isinstance(event.get("id"), (str, int)):
+                problems.append(f"event {i} flow has no id")
     return problems

@@ -50,6 +50,19 @@ __all__ = [
 #: Outcome classes that count as resilient fleet behavior.
 GOOD_OUTCOMES = ("healed",)
 
+#: Structured control-plane events each fired fault kind must leave in
+#: the event log (:mod:`repro.observability.events`).  A fault the
+#: fleet absorbed *silently* is its own failure class: the operator's
+#: event feed (``repro fleet events``) would have shown nothing while
+#: requests were being rerouted.  ``slow`` injects latency but no
+#: failure, so no control-plane transition is expected.
+CAMPAIGN_EXPECTED_EVENTS: Dict[str, tuple] = {
+    "kill": ("reroute",),
+    "hang": ("reroute",),
+    "partition": ("reroute",),
+    "slow": (),
+}
+
 
 class ChaosBackend:
     """A fleet member that injects transport faults on dispatch.
@@ -175,6 +188,9 @@ class FleetChaosCell:
     reroutes: int = 0
     p99_ms: float = 0.0
     p99_bound_ms: float = 0.0
+    #: Structured events the campaign left in the process event log,
+    #: counted by kind (only events emitted after the campaign began).
+    events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -206,6 +222,7 @@ class FleetChaosCell:
             "reroutes": self.reroutes,
             "p99_ms": self.p99_ms,
             "p99_bound_ms": self.p99_bound_ms,
+            "events": dict(self.events),
         }
 
 
@@ -309,6 +326,13 @@ def run_fleet_chaos_campaign(
             f"unknown fleet fault kind {kind!r}; "
             f"known: {', '.join(FLEET_FAULT_KINDS)}"
         )
+
+    from ..observability import get_event_log
+
+    # Campaign events are the log entries with seq >= this mark; the
+    # log is process-global, so presence (never absence) is asserted.
+    event_log = get_event_log()
+    start_seq = event_log.snapshot()["next_seq"]
 
     members: List[Any] = [
         LocalBackend(
@@ -431,6 +455,12 @@ def run_fleet_chaos_campaign(
 
         stats = router.stats()
         p99_ms = stats["latency_ms"]["p99"]
+        campaign_events = event_log.snapshot(since=start_seq - 1)["events"]
+        events_by_kind: Dict[str, int] = {}
+        for event in campaign_events:
+            events_by_kind[event["kind"]] = (
+                events_by_kind.get(event["kind"], 0) + 1
+            )
         cell = FleetChaosCell(
             kind=kind,
             outcome="healed",
@@ -442,6 +472,7 @@ def run_fleet_chaos_campaign(
             reroutes=stats["reroutes"],
             p99_ms=p99_ms,
             p99_bound_ms=p99_bound_ms,
+            events=events_by_kind,
         )
         if heal_lost:
             cell.outcome = "lost-tickets"
@@ -469,6 +500,19 @@ def run_fleet_chaos_campaign(
                 f"p99 {p99_ms:.1f}ms exceeds the {p99_bound_ms:.0f}ms "
                 "bound"
             )
+        else:
+            missing_events = [
+                expected
+                for expected in CAMPAIGN_EXPECTED_EVENTS[kind]
+                if expected not in events_by_kind
+            ]
+            if missing_events:
+                cell.outcome = "no-events"
+                cell.detail = (
+                    "fault fired but the structured event log recorded "
+                    f"no {'/'.join(missing_events)} event(s) — the "
+                    "reroute happened silently"
+                )
         return cell
     except ReproError as exc:
         return FleetChaosCell(

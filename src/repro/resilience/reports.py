@@ -41,6 +41,12 @@ class FailureReport:
     #: trace events), when tracing was on.  Optional and ignored by
     #: replay, so version 1 artifacts stay compatible both ways.
     trace: Optional[list] = None
+    #: Whether ``trace`` is a truncated tail, and how many earlier
+    #: events were cut.  A long campaign used to drop its prefix
+    #: silently — a reader had no way to tell "the trace starts here"
+    #: from "everything before this was thrown away".
+    trace_truncated: bool = False
+    trace_dropped_events: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -59,6 +65,8 @@ class FailureReport:
         }
         if self.trace:
             data["trace"] = list(self.trace)
+            data["truncated"] = self.trace_truncated
+            data["dropped_events"] = self.trace_dropped_events
         return data
 
     @classmethod
@@ -82,6 +90,8 @@ class FailureReport:
             program_ir=data.get("program_ir"),
             fault_plan=data.get("fault_plan"),
             trace=data.get("trace"),
+            trace_truncated=bool(data.get("truncated", False)),
+            trace_dropped_events=int(data.get("dropped_events", 0)),
         )
 
     def describe(self) -> str:
@@ -107,6 +117,11 @@ class FailureReport:
 
             lines.append(
                 "  " + FaultPlan.from_dict(self.fault_plan).describe()
+            )
+        if self.trace and self.trace_truncated:
+            lines.append(
+                f"  trace tail: {len(self.trace)} event(s) kept, "
+                f"{self.trace_dropped_events} earlier event(s) dropped"
             )
         return "\n".join(lines)
 
@@ -136,7 +151,10 @@ def build_report(
             program_ir = None  # unserializable program: replay from stage only
     plan = active_plan()
     tracer = get_tracer()
-    trace = tracer.tail(100) if tracer.enabled else None
+    trace = None
+    dropped = 0
+    if tracer.enabled:
+        trace, dropped = tracer.tail_info(100)
     return FailureReport(
         stage=stage,
         error_type=type(exc).__name__,
@@ -150,6 +168,8 @@ def build_report(
         program_ir=program_ir,
         fault_plan=None if plan is None else plan.to_dict(),
         trace=trace,
+        trace_truncated=dropped > 0,
+        trace_dropped_events=dropped,
     )
 
 

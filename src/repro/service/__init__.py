@@ -16,7 +16,10 @@ package amortizes it across requests *and* restarts:
 * :mod:`.router` — consistent-hash ring + hot in-memory LRU artifact
   tier;
 * :mod:`.fleet` — the digest-sharded front-end router over N backends
-  with fleet-wide single-flight and failover (``repro fleet``).
+  with fleet-wide single-flight and failover (``repro fleet``);
+* :mod:`.dashboard` — the live fleet terminal dashboard renderer
+  (``repro fleet top``) over the ``/v1/stats`` + ``/v1/metrics``
+  scrape payloads.
 
 See ``docs/service.md`` for the design: cache layering, digest
 versioning/invalidation, backpressure, sharding, and failure semantics.
@@ -34,6 +37,7 @@ from .api import (  # noqa: F401
     request_for_program,
 )
 from .client import ServiceClient  # noqa: F401
+from .dashboard import render_fleet_top, run_fleet_top  # noqa: F401
 from .fleet import (  # noqa: F401
     FleetConfig,
     FleetRouter,
@@ -81,7 +85,9 @@ __all__ = [
     "clear_digest_memo",
     "load_memo",
     "local_fleet",
+    "render_fleet_top",
     "request_for_program",
+    "run_fleet_top",
     "save_memo",
     "spawn_http_fleet",
 ]

@@ -68,6 +68,15 @@ class CompileRequest:
     #: part of the compile digest: the same program compiled under a
     #: different budget is the same artifact.
     deadline_s: Optional[float] = None
+    #: Distributed trace context (W3C-traceparent shape): the 32-hex
+    #: trace id this request belongs to and the 16-hex span id of the
+    #: caller's active span.  Carried on the wire so a backend's spans
+    #: parent onto the router's dispatch span and the per-process
+    #: fragments stitch into one trace.  Like ``deadline_s``, trace
+    #: context is *not* part of the compile digest: the same program
+    #: observed under a different trace is the same artifact.
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.app is None) == (self.program_ir is None):
@@ -100,6 +109,10 @@ class CompileRequest:
             data["device"] = self.device
         if self.deadline_s is not None:
             data["deadline_s"] = self.deadline_s
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+        if self.parent_span_id is not None:
+            data["parent_span_id"] = self.parent_span_id
         return data
 
     @classmethod
@@ -131,6 +144,12 @@ class CompileRequest:
                 raise RuntimeConfigError(
                     "'deadline_s' must be a number of seconds"
                 )
+        trace_id = data.get("trace_id")
+        parent_span_id = data.get("parent_span_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise RuntimeConfigError("'trace_id' must be a string")
+        if parent_span_id is not None and not isinstance(parent_span_id, str):
+            raise RuntimeConfigError("'parent_span_id' must be a string")
         return cls(
             app=data.get("app"),
             program_ir=data.get("program_ir"),
@@ -139,6 +158,8 @@ class CompileRequest:
             device=data.get("device"),
             flags=flags,
             deadline_s=deadline_s,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
 
     def with_deadline(
@@ -150,6 +171,17 @@ class CompileRequest:
         import dataclasses
 
         return dataclasses.replace(self, deadline_s=deadline_s)
+
+    def with_trace(
+        self, trace_id: Optional[str], parent_span_id: Optional[str]
+    ) -> "CompileRequest":
+        """A copy carrying distributed trace context — how a forwarding
+        hop stamps its own dispatch span as the next hop's parent."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, trace_id=trace_id, parent_span_id=parent_span_id
+        )
 
     # -- resolution ------------------------------------------------------
 
@@ -195,12 +227,15 @@ class CompileRequest:
         :func:`~repro.ir.serialize.compile_digest`), memoized on the
         request content.  Resolution errors are never cached.
 
-        The deadline is excluded from the memo key: budgets vary call to
-        call while the digest — a pure function of *what* to compile —
-        does not, and a per-deadline key would defeat the memo on the
+        The deadline and trace context are excluded from the memo key:
+        budgets and trace ids vary call to call while the digest — a
+        pure function of *what* to compile — does not, and a
+        per-deadline (or per-trace) key would defeat the memo on the
         warm path it exists for."""
         content = self.to_dict()
         content.pop("deadline_s", None)
+        content.pop("trace_id", None)
+        content.pop("parent_span_id", None)
         key = json.dumps(content, sort_keys=True)
         with _DIGEST_MEMO_LOCK:
             cached = _DIGEST_MEMO.get(key)
@@ -282,6 +317,9 @@ class CompileOutcome:
     #: Which fleet backend produced this outcome (``None`` when it was
     #: served by a single-process service or a router cache tier).
     served_by: Optional[str] = None
+    #: The distributed trace this request was recorded under; feed it to
+    #: ``repro fleet trace <trace_id>`` for the stitched timeline.
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -303,6 +341,8 @@ class CompileOutcome:
             data["error"] = self.error.to_dict()
         if self.served_by is not None:
             data["served_by"] = self.served_by
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         return data
 
     @classmethod
@@ -315,4 +355,5 @@ class CompileOutcome:
             error=None if error is None else CompileError.from_dict(error),
             latency_ms=float(data.get("latency_ms", 0.0)),
             served_by=data.get("served_by"),
+            trace_id=data.get("trace_id"),
         )

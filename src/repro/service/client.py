@@ -279,6 +279,46 @@ class ServiceClient:
             )
         return data
 
+    def metrics(self) -> Dict[str, Any]:
+        """The ``/v1/metrics`` scrape payload.
+
+        ``{"enabled": bool, "metrics": ...}`` from a plain server; a
+        fleet front-end adds the merged fleet-wide aggregate.
+        """
+        status, data = self._request("GET", "/v1/metrics")
+        if status != 200:
+            raise ServiceError(
+                f"metrics scrape failed with status {status}: {data}"
+            )
+        return data
+
+    def trace(
+        self, trace_id: str, raw: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        """One trace by id: stitched document, or the unstitched
+        per-process fragment with ``raw=True``.  ``None`` when the
+        server has no events for that id (or the id is malformed)."""
+        suffix = "?raw=1" if raw else ""
+        status, data = self._request("GET", f"/v1/trace/{trace_id}{suffix}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(
+                f"trace request failed with status {status}: {data}"
+            )
+        return data
+
+    def events(self, since: Optional[int] = None) -> Dict[str, Any]:
+        """The structured event-log snapshot (``since`` filters by
+        sequence number for incremental follows)."""
+        suffix = f"?since={int(since)}" if since is not None else ""
+        status, data = self._request("GET", f"/v1/events{suffix}")
+        if status != 200:
+            raise ServiceError(
+                f"events request failed with status {status}: {data}"
+            )
+        return data
+
     def artifact(self, digest: str) -> Optional[Dict[str, Any]]:
         status, data = self._request("GET", f"/v1/artifacts/{digest}")
         if status == 404:

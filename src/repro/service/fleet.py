@@ -89,7 +89,15 @@ from ..errors import (
     ReproError,
     ServiceError,
 )
-from ..observability import get_metrics, get_tracer
+from ..observability import (
+    emit_event,
+    get_metrics,
+    get_tracer,
+    make_fragment,
+    merge_snapshots,
+    new_trace_id,
+    stitch_fragments,
+)
 from ..resilience.breaker import (
     BREAKER_OPEN,
     BREAKER_STATE_CODES,
@@ -127,6 +135,12 @@ class Backend:
     """One fleet member, as the router sees it."""
 
     name: str
+    #: Whether this member has its own registry/tracer to scrape over
+    #: the wire.  ``False`` (a :class:`LocalBackend`) means its metrics
+    #: and trace events already live in the router's process-wide
+    #: registry — the aggregator must neither scrape it nor report it
+    #: as an unreachable source.
+    scrapes_metrics = False
 
     def compile(self, request: CompileRequest) -> CompileOutcome:
         raise NotImplementedError
@@ -150,6 +164,20 @@ class Backend:
         if not self.alive():
             raise ServiceError(f"backend {self.name} is not alive")
         return {"ok": True}
+
+    def metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        """This backend's metrics-registry snapshot, or ``None`` when it
+        has none of its *own* (a :class:`LocalBackend` shares the
+        router's process-wide registry — returning it again would
+        double-count every metric in the fleet aggregate)."""
+        return None
+
+    def trace_fragment(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """This backend's share of a distributed trace, or ``None`` (no
+        events for the id, tracing off, or — for a
+        :class:`LocalBackend` — the events already live in the router
+        process's own fragment)."""
+        return None
 
     def close(self) -> None:
         raise NotImplementedError
@@ -192,6 +220,8 @@ class HttpBackend(Backend):
     The client runs with zero transport retries: the *router* owns the
     retry policy, and it retries on a different node.
     """
+
+    scrapes_metrics = True
 
     def __init__(
         self,
@@ -238,6 +268,29 @@ class HttpBackend(Backend):
         # the *server*, so a backend that was killed and restarted on
         # the same address passes and gets readmitted.
         return self._probe_client.health_detail()
+
+    def metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        # Scrapes are best-effort: an unreachable backend degrades the
+        # aggregate (it shows up in ``missing``), never fails it.
+        try:
+            payload = self._probe_client.metrics()
+        except ReproError:
+            return None
+        if not payload.get("enabled"):
+            return None
+        return payload.get("metrics")
+
+    def trace_fragment(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            fragment = self._probe_client.trace(trace_id, raw=True)
+        except ReproError:
+            return None
+        if not fragment or not fragment.get("events"):
+            return None
+        # The server names its fragment generically; the router knows
+        # which fleet member it is talking to.
+        fragment["process"] = self.name
+        return fragment
 
     def close(self) -> None:
         if self.process is not None and self.process.poll() is None:
@@ -310,6 +363,9 @@ class FleetTicket:
 
     digest: str
     role: str
+    #: The distributed trace this submission was recorded under (``None``
+    #: when tracing is off); feed it to ``repro fleet trace``.
+    trace_id: Optional[str] = None
     _future: Future = field(repr=False, default_factory=Future)
 
     def poll(self) -> Optional[CompileOutcome]:
@@ -328,6 +384,7 @@ class FleetTicket:
 class _FleetJob:
     __slots__ = (
         "digest", "request", "future", "submitted_at", "waiters", "deadline",
+        "trace_id", "parent_span_id", "failover_causes",
     )
 
     def __init__(self, digest: str, request: CompileRequest) -> None:
@@ -342,6 +399,13 @@ class _FleetJob:
             if request.deadline_s is None
             else self.submitted_at + request.deadline_s
         )
+        #: Distributed trace context the dispatcher re-activates; the
+        #: admission-side ``fleet.request`` span parents the dispatch.
+        self.trace_id: Optional[str] = request.trace_id
+        self.parent_span_id: Optional[str] = request.parent_span_id
+        #: Why each failed attempt failed ("saturation" | "transport"),
+        #: in attempt order — classifies the reroute in ``_finish``.
+        self.failover_causes: List[str] = []
 
     def expired(self) -> bool:
         return (
@@ -414,6 +478,13 @@ class FleetRouter:
             "misses": 0,
             "coalesced": 0,
             "reroutes": 0,
+            #: Reroutes split by what pushed the request off its primary:
+            #: ``saturation`` (503s/shedding — the node is alive, just
+            #: busy) vs ``transport`` (unreachable/dead).  The totals
+            #: column alone made a saturated fleet look like a broken
+            #: one; the split tells an operator which knob to turn.
+            "reroutes_saturation": 0,
+            "reroutes_transport": 0,
             "errors": 0,
             "completed": 0,
             #: Jobs answered with the typed 504-style shed outcome
@@ -429,8 +500,21 @@ class FleetRouter:
             "readmissions": 0,
         }
         self._per_backend: Dict[str, Dict[str, int]] = {
-            name: {"served": 0, "failures": 0, "reroutes_from": 0}
+            name: {
+                "served": 0,
+                "failures": 0,
+                "failures_saturation": 0,
+                "failures_transport": 0,
+                "reroutes_from": 0,
+            }
             for name in names
+        }
+        #: Last successful health-probe payload per backend (queue
+        #: depth, saturation) — the prober already fetches it; stashing
+        #: it lets ``stats()``/``fleet top`` show per-backend load
+        #: without issuing extra RPCs.
+        self._last_health: Dict[str, Optional[Dict[str, Any]]] = {
+            name: None for name in names
         }
         #: Per-backend circuit breakers: the self-healing replacement
         #: for one-way mark_dead.  Dispatch outcomes and health probes
@@ -485,8 +569,23 @@ class FleetRouter:
             raise ServiceError("fleet router is shut down")
         t0 = time.perf_counter()
         metrics = get_metrics()
-        with get_tracer().span("fleet.request", app=request.app or "<ir>"):
-            digest = request.digest()
+        tracer = get_tracer()
+        # Root a distributed trace (or join the caller's) whenever the
+        # router's tracer is live; disabled tracing stays id-free.
+        trace_id = request.trace_id or (
+            new_trace_id() if tracer.enabled else None
+        )
+        request_span_id: Optional[str] = None
+        if trace_id is not None:
+            with tracer.trace_context(trace_id, request.parent_span_id):
+                with tracer.span(
+                    "fleet.request", app=request.app or "<ir>"
+                ) as sp:
+                    digest = request.digest()
+                    request_span_id = getattr(sp, "span_id", None)
+        else:
+            with tracer.span("fleet.request", app=request.app or "<ir>"):
+                digest = request.digest()
         self._count("requests", metrics, "fleet.requests")
 
         if request.deadline_s is not None and request.deadline_s <= 0:
@@ -498,13 +597,14 @@ class FleetRouter:
                 "deadline budget already spent at fleet admission "
                 f"({request.deadline_s:.3f}s remaining)",
                 metrics,
+                trace_id=trace_id,
             )
 
         artifact = self.lru.get(digest)
         if artifact is not None:
             self._count("lru_hits", metrics, "fleet.lru.hits")
             return self._resolved_ticket(
-                digest, artifact, SERVED_BY_LRU, t0, metrics
+                digest, artifact, SERVED_BY_LRU, t0, metrics, trace_id
             )
         metrics.counter("fleet.lru.misses").inc()
 
@@ -515,7 +615,7 @@ class FleetRouter:
                 self.lru.put(digest, payload)
                 self._count("store_hits", metrics, "fleet.store.hits")
                 return self._resolved_ticket(
-                    digest, payload, SERVED_BY_STORE, t0, metrics
+                    digest, payload, SERVED_BY_STORE, t0, metrics, trace_id
                 )
 
         with self._lock:
@@ -537,26 +637,45 @@ class FleetRouter:
                         job.deadline = joined
                 self._counts["coalesced"] += 1
                 metrics.counter("fleet.coalesced").inc()
+                # A coalesced waiter shares the winning dispatch's
+                # outcome, so it shares that dispatch's trace too.
                 return FleetTicket(
                     digest=digest,
                     role=STATUS_COALESCED,
+                    trace_id=job.trace_id,
                     _future=job.future,
                 )
             if self._pending >= self.config.queue_limit:
                 metrics.counter("fleet.queue.rejections").inc()
+                emit_event(
+                    "queue_rejected",
+                    digest=digest,
+                    queue_depth=self._pending,
+                    queue_limit=self.config.queue_limit,
+                    where="fleet",
+                    trace_id=trace_id,
+                )
                 raise QueueFullError(
                     f"fleet dispatch queue is full "
                     f"({self._pending}/{self.config.queue_limit}); "
                     "retry shortly"
                 )
             job = _FleetJob(digest, request)
+            job.trace_id = trace_id
+            if request_span_id is not None:
+                job.parent_span_id = request_span_id
             self._inflight[digest] = job
             self._pending += 1
             self._counts["misses"] += 1
             metrics.gauge("fleet.queue.depth").set(self._pending)
             self._queue.put(job)
         metrics.counter("fleet.misses").inc()
-        return FleetTicket(digest=digest, role=STATUS_MISS, _future=job.future)
+        return FleetTicket(
+            digest=digest,
+            role=STATUS_MISS,
+            trace_id=trace_id,
+            _future=job.future,
+        )
 
     def submit_many(
         self, requests: Sequence[CompileRequest]
@@ -601,13 +720,22 @@ class FleetRouter:
                 self._count(
                     "deadline_shed", get_metrics(), "fleet.deadline.shed"
                 )
-                return error_outcome(
+                emit_event(
+                    "deadline_shed",
+                    digest=ticket.digest,
+                    deadline_s=request.deadline_s,
+                    where="fleet-wait",
+                    trace_id=ticket.trace_id,
+                )
+                outcome = error_outcome(
                     ticket.digest,
                     DeadlineExceededError(
                         f"fleet request still pending {bounded:.3f}s after "
                         f"its {request.deadline_s:.3f}s deadline; shed"
                     ),
                 )
+                outcome.trace_id = ticket.trace_id
+                return outcome
         return ticket.wait(timeout=timeout)
 
     def clear_cache(self) -> int:
@@ -657,12 +785,23 @@ class FleetRouter:
                 name: dict(stats)
                 for name, stats in self._per_backend.items()
             }
+            last_health = dict(self._last_health)
             latencies = sorted(self._latencies_ms)
         backends = {
             name: {
                 **per_backend[name],
                 "alive": backend.alive(),
                 "breaker": self._breakers[name].describe(),
+                "last_health": (
+                    {
+                        key: last_health[name].get(key)
+                        for key in (
+                            "queue_depth", "queue_limit", "saturation"
+                        )
+                    }
+                    if last_health.get(name)
+                    else None
+                ),
             }
             for name, backend in self.backends.items()
         }
@@ -680,6 +819,60 @@ class FleetRouter:
         if self.store is not None:
             snapshot["store"] = self.store.stats()
         return snapshot
+
+    # -- fleet observability ---------------------------------------------
+
+    def aggregated_metrics(self) -> Dict[str, Any]:
+        """The fleet-wide metrics snapshot: the router's own registry
+        merged with a live ``/v1/metrics`` scrape of every backend.
+
+        Local backends share the router's process-wide registry, so only
+        the router snapshot is merged for them (no double counting);
+        HTTP backends are scraped over the wire, and an unreachable one
+        degrades the aggregate (listed in ``missing``), never fails it.
+        """
+        registry = get_metrics()
+        snapshots: Dict[str, Optional[Dict[str, Any]]] = {
+            "router": registry.to_dict() if registry.enabled else None
+        }
+        for name, backend in self.backends.items():
+            # Local backends share the router snapshot already counted
+            # above; scraping them would double-count, and passing None
+            # would wrongly report them as unreachable sources.
+            if backend.scrapes_metrics:
+                snapshots[name] = backend.metrics_snapshot()
+        merged = merge_snapshots(snapshots)
+        return {
+            "enabled": registry.enabled or bool(merged["sources"]),
+            "fleet": merged,
+        }
+
+    def trace_fragment(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The router process's share of a distributed trace."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        events = tracer.events_for_trace(trace_id)
+        if not events:
+            return None
+        return make_fragment(
+            "router", events, getattr(tracer, "epoch_unix_us", None)
+        )
+
+    def trace_document(self, trace_id: str) -> Dict[str, Any]:
+        """The stitched Perfetto-loadable trace for one request: the
+        router's fragment plus every backend's, merged with
+        cross-process parent links (:mod:`repro.observability.stitch`).
+        """
+        fragments: List[Dict[str, Any]] = []
+        own = self.trace_fragment(trace_id)
+        if own is not None:
+            fragments.append(own)
+        for name in self.ring.nodes():
+            fragment = self.backends[name].trace_fragment(trace_id)
+            if fragment is not None:
+                fragments.append(fragment)
+        return stitch_fragments(fragments, trace_id)
 
     def close(self, close_backends: Optional[bool] = None) -> None:
         """Drain dispatchers; resolve every admitted job.
@@ -725,13 +918,16 @@ class FleetRouter:
         served_by: str,
         t0: float,
         metrics,
+        trace_id: Optional[str] = None,
     ) -> FleetTicket:
         latency_ms = (time.perf_counter() - t0) * 1e3
-        self._observe_latency(latency_ms, metrics)
+        self._observe_latency(latency_ms, metrics, trace_id)
         # A cache-tier hit proves the artifact exists fleet-wide: the
         # digest is warm, so a future dispatch of it may hedge safely.
         self._hedgeable.put(digest, True)
-        ticket = FleetTicket(digest=digest, role=STATUS_HIT)
+        ticket = FleetTicket(
+            digest=digest, role=STATUS_HIT, trace_id=trace_id
+        )
         ticket._future.set_result(
             CompileOutcome(
                 digest=digest,
@@ -739,6 +935,7 @@ class FleetRouter:
                 artifact=artifact,
                 latency_ms=latency_ms,
                 served_by=served_by,
+                trace_id=trace_id,
             )
         )
         return ticket
@@ -767,22 +964,39 @@ class FleetRouter:
         return healthy + rest
 
     def _shed_ticket(
-        self, digest: str, detail: str, metrics
+        self, digest: str, detail: str, metrics,
+        trace_id: Optional[str] = None,
     ) -> FleetTicket:
         """A ticket pre-resolved with the typed deadline-shed outcome."""
         self._count("deadline_shed", metrics, "fleet.deadline.shed")
         self._count("errors", metrics, "fleet.errors")
-        ticket = FleetTicket(digest=digest, role=STATUS_ERROR)
-        ticket._future.set_result(
-            error_outcome(digest, DeadlineExceededError(detail))
+        emit_event(
+            "deadline_shed",
+            digest=digest,
+            where="fleet-admission",
+            trace_id=trace_id,
         )
+        ticket = FleetTicket(
+            digest=digest, role=STATUS_ERROR, trace_id=trace_id
+        )
+        outcome = error_outcome(digest, DeadlineExceededError(detail))
+        outcome.trace_id = trace_id
+        ticket._future.set_result(outcome)
         return ticket
 
     def _shed_outcome(
         self, job: _FleetJob, detail: str, metrics
     ) -> CompileOutcome:
         self._count("deadline_shed", metrics, "fleet.deadline.shed")
-        return error_outcome(job.digest, DeadlineExceededError(detail))
+        emit_event(
+            "deadline_shed",
+            digest=job.digest,
+            where="fleet-dispatch",
+            trace_id=job.trace_id,
+        )
+        outcome = error_outcome(job.digest, DeadlineExceededError(detail))
+        outcome.trace_id = job.trace_id
+        return outcome
 
     def _dispatch(self, job: _FleetJob) -> None:
         """Drive one job to an outcome, hedging when eligible.
@@ -814,9 +1028,22 @@ class FleetRouter:
             outcome = winner.result(timeout=hedge_delay)
         except FutureTimeoutError:
             self._count("hedges", metrics, "fleet.hedges")
+            emit_event(
+                "hedge_fired",
+                digest=job.digest,
+                primary=primary,
+                delay_s=hedge_delay,
+                trace_id=job.trace_id,
+            )
             hedged = self._hedge_attempt(job, order, metrics)
             if hedged is not None and _offer(winner, hedged):
                 self._count("hedge_wins", metrics, "fleet.hedge.wins")
+                emit_event(
+                    "hedge_won",
+                    digest=job.digest,
+                    served_by=hedged.served_by,
+                    trace_id=job.trace_id,
+                )
             remaining = job.remaining()
             final_wait = (
                 None
@@ -843,6 +1070,19 @@ class FleetRouter:
         next attempt, each forwarded request carries only the remaining
         budget, and backoff sleeps never exceed what is left of it.
         """
+        # The walk may run on a dispatcher thread or a hedge-primary
+        # helper thread; either way the job's trace context is
+        # re-activated here so dispatch spans join the request's trace.
+        if job.trace_id is not None:
+            with get_tracer().trace_context(
+                job.trace_id, job.parent_span_id
+            ):
+                return self._failover_walk_traced(job, order, metrics)
+        return self._failover_walk_traced(job, order, metrics)
+
+    def _failover_walk_traced(
+        self, job: _FleetJob, order: List[str], metrics
+    ) -> CompileOutcome:
         # Per-digest jitter seed: concurrent routers backing off for the
         # same saturated node spread out instead of herding in lockstep.
         delays = backoff_delays(
@@ -889,14 +1129,23 @@ class FleetRouter:
             try:
                 with get_tracer().span(
                     "fleet.dispatch", backend=backend.name
-                ):
+                ) as sp:
+                    # The next hop's spans parent onto this dispatch
+                    # span — the cross-process link the stitcher draws.
+                    span_id = getattr(sp, "span_id", None)
+                    if job.trace_id is not None:
+                        request = request.with_trace(
+                            job.trace_id, span_id or job.parent_span_id
+                        )
                     result = backend.compile(request)
             except QueueFullError as exc:
                 # Saturation is transient: jittered backoff, next node,
                 # backend stays in the ring and its breaker is NOT fed —
                 # a saturated backend is alive, just busy.
                 last_exc = exc
-                self._record_failure(backend.name, metrics)
+                self._record_failure(
+                    backend.name, metrics, "saturation", job
+                )
                 if attempt < self.config.retries:
                     _sleep(attempt)
                 continue
@@ -906,12 +1155,10 @@ class FleetRouter:
                 # the failure so half-open probing is rate-limited.
                 last_exc = exc
                 backend.mark_dead()
-                if self._breakers[backend.name].record_failure():
-                    self._count(
-                        "breaker_opened", metrics, "fleet.breaker.opened"
-                    )
-                self._set_breaker_gauge(backend.name, metrics)
-                self._record_failure(backend.name, metrics)
+                self._breaker_failure(backend.name, metrics)
+                self._record_failure(
+                    backend.name, metrics, "transport", job
+                )
                 metrics.counter("fleet.backend.deaths").inc()
                 if attempt < self.config.retries:
                     _sleep(attempt)
@@ -939,7 +1186,12 @@ class FleetRouter:
                     # job ran) — retryable on another node, not a
                     # pipeline verdict.
                     last_exc = ServiceError(result.error.message)
-                    self._record_failure(backend.name, metrics)
+                    cause = (
+                        "saturation"
+                        if result.error.error_type == "QueueFullError"
+                        else "transport"
+                    )
+                    self._record_failure(backend.name, metrics, cause, job)
                     if attempt < self.config.retries:
                         _sleep(attempt)
                     continue
@@ -1008,22 +1260,28 @@ class FleetRouter:
             if remaining is None
             else job.request.with_deadline(remaining)
         )
+        tracer = get_tracer()
         try:
-            with get_tracer().span(
-                "fleet.hedge", backend=backend.name
-            ):
-                result = backend.compile(request)
+            if job.trace_id is not None:
+                with tracer.trace_context(job.trace_id, job.parent_span_id):
+                    with tracer.span(
+                        "fleet.hedge", backend=backend.name
+                    ) as sp:
+                        span_id = getattr(sp, "span_id", None)
+                        request = request.with_trace(
+                            job.trace_id, span_id or job.parent_span_id
+                        )
+                        result = backend.compile(request)
+            else:
+                with tracer.span("fleet.hedge", backend=backend.name):
+                    result = backend.compile(request)
         except QueueFullError:
-            self._record_failure(backend.name, metrics)
+            self._record_failure(backend.name, metrics, "saturation")
             return None
         except ServiceError:
             backend.mark_dead()
-            if self._breakers[backend.name].record_failure():
-                self._count(
-                    "breaker_opened", metrics, "fleet.breaker.opened"
-                )
-            self._set_breaker_gauge(backend.name, metrics)
-            self._record_failure(backend.name, metrics)
+            self._breaker_failure(backend.name, metrics)
+            self._record_failure(backend.name, metrics, "transport")
             metrics.counter("fleet.backend.deaths").inc()
             return None
         except ReproError as exc:
@@ -1037,7 +1295,12 @@ class FleetRouter:
             and result.error.error_type
             in ("ServiceError", "QueueFullError")
         ):
-            self._record_failure(backend.name, metrics)
+            cause = (
+                "saturation"
+                if result.error.error_type == "QueueFullError"
+                else "transport"
+            )
+            self._record_failure(backend.name, metrics, cause)
             return None
         self._record_success(backend.name, metrics)
         result.served_by = backend.name
@@ -1058,17 +1321,24 @@ class FleetRouter:
         metrics = get_metrics()
         for name, backend in self.backends.items():
             breaker = self._breakers[name]
-            if breaker.state == BREAKER_OPEN and not breaker.begin_probe():
-                results[name] = False  # cooling down; skip this round
-                continue
+            if breaker.state == BREAKER_OPEN:
+                if not breaker.begin_probe():
+                    results[name] = False  # cooling down; skip this round
+                    continue
+                emit_event("breaker_half_open", backend=name)
             self._count("probes", metrics, "fleet.probes")
             try:
                 with get_tracer().span("fleet.probe", backend=name):
-                    backend.probe()
+                    health = backend.probe()
+                with self._lock:
+                    self._last_health[name] = health
             except ReproError:
                 if breaker.record_failure():
                     self._count(
                         "breaker_opened", metrics, "fleet.breaker.opened"
+                    )
+                    emit_event(
+                        "breaker_open", backend=name, via="probe"
                     )
                     backend.mark_dead()
                 self._set_breaker_gauge(name, metrics)
@@ -1096,8 +1366,18 @@ class FleetRouter:
         revived = not backend.alive()
         if revived:
             backend.mark_alive()
+        if readmitted:
+            emit_event("breaker_closed", backend=name)
         if readmitted or revived:
             self._count("readmissions", metrics, "fleet.breaker.readmitted")
+            emit_event("backend_readmitted", backend=name)
+        self._set_breaker_gauge(name, metrics)
+
+    def _breaker_failure(self, name: str, metrics) -> None:
+        """Feed one transport failure to a backend's breaker."""
+        if self._breakers[name].record_failure():
+            self._count("breaker_opened", metrics, "fleet.breaker.opened")
+            emit_event("breaker_open", backend=name, via="dispatch")
         self._set_breaker_gauge(name, metrics)
 
     def _set_breaker_gauge(self, name: str, metrics) -> None:
@@ -1113,6 +1393,13 @@ class FleetRouter:
         metrics,
     ) -> None:
         served = outcome.served_by
+        # Why the request left its primary: any transport failure along
+        # the walk outranks saturation (it is the more actionable fact).
+        reroute_cause = (
+            "transport"
+            if "transport" in job.failover_causes
+            else "saturation"
+        )
         with self._lock:
             if outcome.status == STATUS_ERROR:
                 self._counts["errors"] += 1
@@ -1122,6 +1409,7 @@ class FleetRouter:
                 self._per_backend[served]["served"] += 1
                 if served != primary:
                     self._counts["reroutes"] += 1
+                    self._counts[f"reroutes_{reroute_cause}"] += 1
                     self._per_backend[primary]["reroutes_from"] += 1
         if outcome.status == STATUS_ERROR:
             metrics.counter("fleet.errors").inc()
@@ -1129,6 +1417,15 @@ class FleetRouter:
             metrics.counter(f"fleet.shard.{served}.served").inc()
             if served != primary:
                 metrics.counter("fleet.reroutes").inc()
+                metrics.counter(f"fleet.reroutes.{reroute_cause}").inc()
+                emit_event(
+                    "reroute",
+                    digest=job.digest,
+                    cause=reroute_cause,
+                    primary=primary,
+                    served_by=served,
+                    trace_id=job.trace_id,
+                )
         if outcome.ok:
             # Completed once -> any backend can serve it from the shared
             # store: the digest becomes hedge-eligible.
@@ -1147,7 +1444,9 @@ class FleetRouter:
                     pass  # the disk tier is an optimization, never a gate
         latency_ms = (time.perf_counter() - job.submitted_at) * 1e3
         outcome.latency_ms = latency_ms
-        self._observe_latency(latency_ms, metrics)
+        if outcome.trace_id is None:
+            outcome.trace_id = job.trace_id
+        self._observe_latency(latency_ms, metrics, job.trace_id)
         with self._lock:
             self._inflight.pop(job.digest, None)
             self._pending -= 1
@@ -1172,20 +1471,43 @@ class FleetRouter:
                 self._counts["errors"] += 1
             item.future.set_result(outcome)
 
-    def _record_failure(self, name: str, metrics) -> None:
+    def _record_failure(
+        self,
+        name: str,
+        metrics,
+        cause: str = "transport",
+        job: Optional[_FleetJob] = None,
+    ) -> None:
+        """One failed attempt against a backend, split by cause.
+
+        ``cause`` is ``"saturation"`` (503 / shed — the node is alive,
+        just busy) or ``"transport"`` (unreachable / dead).  When the
+        attempt belongs to a failover walk, the cause is also recorded
+        on the job so the eventual reroute is classified the same way.
+        """
         with self._lock:
             self._per_backend[name]["failures"] += 1
+            self._per_backend[name][f"failures_{cause}"] += 1
+        if job is not None:
+            job.failover_causes.append(cause)
         metrics.counter("fleet.backend.failures").inc()
+        metrics.counter(f"fleet.backend.failures.{cause}").inc()
 
     def _count(self, key: str, metrics, metric_name: str) -> None:
         with self._lock:
             self._counts[key] += 1
         metrics.counter(metric_name).inc()
 
-    def _observe_latency(self, latency_ms: float, metrics) -> None:
+    def _observe_latency(
+        self, latency_ms: float, metrics, trace_id: Optional[str] = None
+    ) -> None:
         with self._lock:
             self._latencies_ms.append(latency_ms)
-        metrics.histogram("fleet.request_ms").observe(latency_ms)
+        # The trace id is the bucket's exemplar: a p99 outlier in the
+        # aggregated snapshot resolves to its stitched trace.
+        metrics.histogram("fleet.request_ms").observe(
+            latency_ms, exemplar=trace_id
+        )
 
 
 # -- fleet builders ------------------------------------------------------

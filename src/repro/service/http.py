@@ -18,6 +18,17 @@ Endpoints (all under ``/v1``):
 ``/v1/stats``            GET     service counters, latency percentiles,
                                  store stats, and the metrics-registry
                                  snapshot when metrics are enabled
+``/v1/metrics``          GET     the metrics-registry snapshot alone (the
+                                 dashboard/aggregator scrape target); a
+                                 fleet front-end answers with the merged
+                                 fleet-wide aggregate
+``/v1/trace/<id>``       GET     the stitched Perfetto trace for one
+                                 ``trace_id`` (``?raw=1`` returns this
+                                 process's unstitched fragment — what the
+                                 fleet stitcher scrapes)
+``/v1/events``           GET     the structured control-plane event log
+                                 (``?since=N`` returns events newer than
+                                 sequence number N)
 ``/v1/compile``          POST    body: :class:`~repro.service.api.CompileRequest`
                                  JSON; blocks until the outcome is ready
 ``/v1/artifacts/<d>``    GET     one stored artifact by digest
@@ -47,7 +58,14 @@ from ..errors import (
     exit_code_for,
 )
 from ..ir.serialize import FORMAT_VERSION, PIPELINE_VERSION
-from ..observability import get_metrics
+from ..observability import (
+    get_event_log,
+    get_metrics,
+    get_tracer,
+    is_valid_trace_id,
+    make_fragment,
+    stitch_fragments,
+)
 from .api import STATUS_ERROR, CompileRequest
 from .store import is_valid_digest
 
@@ -146,6 +164,35 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return json.loads(self.rfile.read(length).decode("utf-8"))
 
+    def _query(self) -> Dict[str, str]:
+        """Last-wins query parameters (``?raw=1``, ``?since=N``)."""
+        parts = self.path.split("?", 1)
+        if len(parts) < 2 or not parts[1]:
+            return {}
+        from urllib.parse import parse_qsl
+
+        return dict(parse_qsl(parts[1], keep_blank_values=True))
+
+    def _local_fragment(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """This process's unstitched trace fragment, or ``None``.
+
+        A fleet router carries its own ``trace_fragment``; a plain
+        :class:`~repro.service.service.CompileService` has none, so the
+        fragment is built straight from the process tracer.
+        """
+        fragment_fn = getattr(self.server.service, "trace_fragment", None)
+        if fragment_fn is not None:
+            return fragment_fn(trace_id)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        events = tracer.events_for_trace(trace_id)
+        if not events:
+            return None
+        return make_fragment(
+            "service", events, getattr(tracer, "epoch_unix_us", None)
+        )
+
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -175,6 +222,75 @@ class _Handler(BaseHTTPRequestHandler):
             if metrics.enabled:
                 payload["metrics"] = metrics.to_dict()
             self._send(200, payload)
+            return
+        if path == "/v1/metrics":
+            # The scrape target.  A fleet front-end answers with the
+            # merged fleet-wide aggregate (its own registry plus every
+            # reachable backend's); a plain server answers with its own
+            # registry snapshot.
+            aggregate_fn = getattr(
+                self.server.service, "aggregated_metrics", None
+            )
+            if aggregate_fn is not None:
+                self._send(200, aggregate_fn())
+                return
+            metrics = get_metrics()
+            self._send(200, {
+                "enabled": metrics.enabled,
+                "metrics": metrics.to_dict() if metrics.enabled else None,
+            })
+            return
+        if path.startswith("/v1/trace/"):
+            trace_id = path[len("/v1/trace/"):]
+            if not is_valid_trace_id(trace_id):
+                self._send(404, {
+                    "error_type": "NotFound",
+                    "message": f"malformed trace id {trace_id!r}",
+                })
+                return
+            raw = self._query().get("raw") in ("1", "true")
+            if raw:
+                fragment = self._local_fragment(trace_id)
+                if fragment is None:
+                    self._send(404, {
+                        "error_type": "NotFound",
+                        "message": f"no events for trace {trace_id!r}",
+                    })
+                    return
+                self._send(200, fragment)
+                return
+            document_fn = getattr(self.server.service, "trace_document", None)
+            if document_fn is not None:
+                document = document_fn(trace_id)
+            else:
+                fragment = self._local_fragment(trace_id)
+                document = (
+                    stitch_fragments([fragment], trace_id=trace_id)
+                    if fragment is not None
+                    else None
+                )
+            if document is None or not document.get("traceEvents"):
+                self._send(404, {
+                    "error_type": "NotFound",
+                    "message": f"no events for trace {trace_id!r}",
+                })
+                return
+            self._send(200, document)
+            return
+        if path == "/v1/events":
+            since: Optional[int] = None
+            raw_since = self._query().get("since")
+            if raw_since is not None:
+                try:
+                    since = int(raw_since)
+                except ValueError:
+                    self._send(400, {
+                        "error_type": "BadRequest",
+                        "message": f"malformed since {raw_since!r}",
+                        "exit_code": EXIT_CONFIG,
+                    })
+                    return
+            self._send(200, get_event_log().snapshot(since=since))
             return
         if path.startswith("/v1/artifacts/"):
             digest = path[len("/v1/artifacts/"):]

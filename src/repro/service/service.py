@@ -47,7 +47,7 @@ from ..errors import (
     exit_code_for,
 )
 from ..ir.serialize import compile_digest
-from ..observability import get_metrics, get_tracer
+from ..observability import emit_event, get_metrics, get_tracer, new_trace_id
 from ..resilience.budget import Budget
 from .api import (
     STATUS_COALESCED,
@@ -103,6 +103,7 @@ class Ticket:
 class _Job:
     __slots__ = (
         "digest", "request", "future", "submitted_at", "waiters", "deadline",
+        "trace_id", "parent_span_id",
     )
 
     def __init__(self, digest: str, request: CompileRequest) -> None:
@@ -118,6 +119,11 @@ class _Job:
             if request.deadline_s is None
             else self.submitted_at + request.deadline_s
         )
+        #: Distributed trace context the worker thread re-activates: the
+        #: admission-side ``service.request`` span becomes the parent of
+        #: the worker's ``service.execute`` span.
+        self.trace_id: Optional[str] = request.trace_id
+        self.parent_span_id: Optional[str] = request.parent_span_id
 
     def expired(self) -> bool:
         return self.deadline is not None and time.perf_counter() >= self.deadline
@@ -200,15 +206,38 @@ class CompileService:
             raise ServiceError("compile service is shut down")
         t0 = time.perf_counter()
         metrics = get_metrics()
-        with get_tracer().span("service.request", app=request.app or "<ir>"):
-            program, device, sizes = request.resolve()
-            digest = compile_digest(
-                program,
-                device=device,
-                flags=request.flags,
-                strategy=request.strategy,
-                sizes=sizes,
-            )
+        tracer = get_tracer()
+        # Join the caller's distributed trace, or root a fresh one when
+        # tracing is live (disabled tracing stays id-free: no allocation,
+        # no behavior change).
+        trace_id = request.trace_id or (
+            new_trace_id() if tracer.enabled else None
+        )
+        request_span_id: Optional[str] = None
+        if trace_id is not None:
+            with tracer.trace_context(trace_id, request.parent_span_id):
+                with tracer.span(
+                    "service.request", app=request.app or "<ir>"
+                ) as sp:
+                    program, device, sizes = request.resolve()
+                    digest = compile_digest(
+                        program,
+                        device=device,
+                        flags=request.flags,
+                        strategy=request.strategy,
+                        sizes=sizes,
+                    )
+                    request_span_id = getattr(sp, "span_id", None)
+        else:
+            with tracer.span("service.request", app=request.app or "<ir>"):
+                program, device, sizes = request.resolve()
+                digest = compile_digest(
+                    program,
+                    device=device,
+                    flags=request.flags,
+                    strategy=request.strategy,
+                    sizes=sizes,
+                )
         self._count("requests", metrics, "service.requests")
 
         if request.deadline_s is not None and request.deadline_s <= 0:
@@ -219,6 +248,7 @@ class CompileService:
                 "deadline budget already spent at admission "
                 f"({request.deadline_s:.3f}s remaining)",
                 metrics,
+                trace_id=trace_id,
             )
 
         if self.store is not None:
@@ -226,7 +256,7 @@ class CompileService:
             if artifact is not None:
                 self._count("cache_hits", metrics, "service.cache.hits")
                 latency_ms = (time.perf_counter() - t0) * 1e3
-                self._observe_latency(latency_ms, metrics)
+                self._observe_latency(latency_ms, metrics, trace_id)
                 ticket = Ticket(digest=digest, role=STATUS_HIT)
                 ticket._future.set_result(
                     CompileOutcome(
@@ -234,6 +264,7 @@ class CompileService:
                         status=STATUS_HIT,
                         artifact=artifact.to_dict(),
                         latency_ms=latency_ms,
+                        trace_id=trace_id,
                     )
                 )
                 return ticket
@@ -271,12 +302,24 @@ class CompileService:
             if self._admitted >= self.config.queue_limit:
                 self._count_locked("queue_rejections")
                 metrics.counter("service.queue.rejections").inc()
+                emit_event(
+                    "queue_rejected",
+                    digest=digest,
+                    queue_depth=self._admitted,
+                    queue_limit=self.config.queue_limit,
+                    trace_id=trace_id,
+                )
                 raise QueueFullError(
                     f"compile queue is full "
                     f"({self._admitted}/{self.config.queue_limit} requests "
                     "admitted); retry shortly"
                 )
             job = _Job(digest, request)
+            # The worker's execute span parents onto this submission's
+            # request span (same trace, possibly another thread).
+            job.trace_id = trace_id
+            if request_span_id is not None:
+                job.parent_span_id = request_span_id
             self._inflight[digest] = job
             self._admitted += 1
             self._count_locked("cache_misses")
@@ -308,13 +351,22 @@ class CompileService:
                 self._count(
                     "deadline_shed", get_metrics(), "service.deadline.shed"
                 )
-                return error_outcome(
+                emit_event(
+                    "deadline_shed",
+                    digest=ticket.digest,
+                    deadline_s=request.deadline_s,
+                    where="wait",
+                    trace_id=request.trace_id,
+                )
+                outcome = error_outcome(
                     ticket.digest,
                     DeadlineExceededError(
                         f"request still pending {bounded:.3f}s after its "
                         f"{request.deadline_s:.3f}s deadline budget; shed"
                     ),
                 )
+                outcome.trace_id = request.trace_id
+                return outcome
         return ticket.result(timeout=timeout)
 
     @property
@@ -433,6 +485,15 @@ class CompileService:
             self._run_job(item)
 
     def _run_job(self, job: _Job) -> None:
+        if job.trace_id is not None:
+            with get_tracer().trace_context(
+                job.trace_id, job.parent_span_id
+            ):
+                self._run_job_inner(job)
+        else:
+            self._run_job_inner(job)
+
+    def _run_job_inner(self, job: _Job) -> None:
         metrics = get_metrics()
         outcome: Optional[CompileOutcome] = None
         status = STATUS_MISS
@@ -446,6 +507,13 @@ class CompileService:
                 waited_s = time.perf_counter() - job.submitted_at
                 self._count(
                     "deadline_shed", metrics, "service.deadline.shed"
+                )
+                emit_event(
+                    "deadline_shed",
+                    digest=job.digest,
+                    waited_s=waited_s,
+                    where="worker",
+                    trace_id=job.trace_id,
                 )
                 raise DeadlineExceededError(
                     "deadline expired before a worker picked the job up "
@@ -494,9 +562,10 @@ class CompileService:
             outcome = self._error_outcome(job.digest, exc)
         latency_ms = (time.perf_counter() - job.submitted_at) * 1e3
         outcome.latency_ms = latency_ms
+        outcome.trace_id = job.trace_id
         if status == STATUS_ERROR:
             self._count("errors", metrics, "service.errors")
-        self._observe_latency(latency_ms, metrics)
+        self._observe_latency(latency_ms, metrics, job.trace_id)
         with self._lock:
             self._inflight.pop(job.digest, None)
             self._admitted -= 1
@@ -545,15 +614,22 @@ class CompileService:
         return error_outcome(digest, exc)
 
     def _shed_ticket(
-        self, digest: str, detail: str, metrics
+        self, digest: str, detail: str, metrics,
+        trace_id: Optional[str] = None,
     ) -> Ticket:
         """A ticket pre-resolved with the typed deadline-shed outcome."""
         self._count("deadline_shed", metrics, "service.deadline.shed")
         self._count("errors", metrics, "service.errors")
-        ticket = Ticket(digest=digest, role=STATUS_ERROR)
-        ticket._future.set_result(
-            error_outcome(digest, DeadlineExceededError(detail))
+        emit_event(
+            "deadline_shed",
+            digest=digest,
+            where="admission",
+            trace_id=trace_id,
         )
+        ticket = Ticket(digest=digest, role=STATUS_ERROR)
+        outcome = error_outcome(digest, DeadlineExceededError(detail))
+        outcome.trace_id = trace_id
+        ticket._future.set_result(outcome)
         return ticket
 
     # -- accounting ------------------------------------------------------
@@ -566,10 +642,16 @@ class CompileService:
     def _count_locked(self, key: str) -> None:
         self._counts[key] += 1
 
-    def _observe_latency(self, latency_ms: float, metrics) -> None:
+    def _observe_latency(
+        self, latency_ms: float, metrics, trace_id: Optional[str] = None
+    ) -> None:
         with self._lock:
             self._latencies_ms.append(latency_ms)
-        metrics.histogram("service.request_ms").observe(latency_ms)
+        # The trace id rides along as the bucket's exemplar, so a slow
+        # bucket in a snapshot resolves to a concrete request trace.
+        metrics.histogram("service.request_ms").observe(
+            latency_ms, exemplar=trace_id
+        )
 
 
 def error_outcome(digest: str, exc: BaseException) -> CompileOutcome:

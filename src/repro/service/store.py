@@ -255,6 +255,9 @@ class ArtifactStore:
         # Only ever unlink inside the objects tree, no matter what path
         # was computed upstream: quarantine deletes cache entries, never
         # arbitrary files the process happens to be able to write.
+        from ..observability import emit_event
+
+        emit_event("quarantine", artifact=path.name)
         try:
             resolved = path.resolve()
             objects_root = self.objects.resolve()

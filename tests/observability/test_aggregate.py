@@ -1,0 +1,128 @@
+"""Unit tests for fleet-wide metrics snapshot merging."""
+
+import pytest
+
+from repro.observability.aggregate import (
+    histogram_quantile,
+    merge_histograms,
+    merge_snapshots,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+def _snapshot(**observe_ms):
+    """One registry snapshot with the given request latencies."""
+    registry = MetricsRegistry()
+    for name, values in observe_ms.items():
+        for value in values:
+            registry.histogram(name).observe(value)
+    return registry.to_dict()
+
+
+class TestMergeHistograms:
+    def test_counts_sum_element_wise(self):
+        a = {"buckets": [1, 5], "counts": [2, 1, 0], "sum": 4.0, "count": 3}
+        b = {"buckets": [1, 5], "counts": [1, 0, 2], "sum": 21.0, "count": 3}
+        assert merge_histograms(a, b)
+        assert a["counts"] == [3, 1, 2]
+        assert a["sum"] == 25.0
+        assert a["count"] == 6
+
+    def test_bounds_skew_refused(self):
+        a = {"buckets": [1, 5], "counts": [0, 0, 0], "sum": 0.0, "count": 0}
+        b = {"buckets": [1, 10], "counts": [0, 0, 0], "sum": 0.0, "count": 0}
+        assert not merge_histograms(a, b)
+        assert a["counts"] == [0, 0, 0]  # untouched on refusal
+
+    def test_exemplars_union_last_wins(self):
+        a = {
+            "buckets": [1], "counts": [1, 0], "sum": 0.5, "count": 1,
+            "exemplars": {"0": "trace-a", "1": "old"},
+        }
+        b = {
+            "buckets": [1], "counts": [0, 1], "sum": 2.0, "count": 1,
+            "exemplars": {"1": "trace-b"},
+        }
+        assert merge_histograms(a, b)
+        assert a["exemplars"] == {"0": "trace-a", "1": "trace-b"}
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        r1 = MetricsRegistry()
+        r1.counter("fleet.requests").inc(3)
+        r1.gauge("service.queue.depth").set(2)
+        r2 = MetricsRegistry()
+        r2.counter("fleet.requests").inc(4)
+        r2.gauge("service.queue.depth").set(5)
+        merged = merge_snapshots({"a": r1.to_dict(), "b": r2.to_dict()})
+        assert merged["counters"]["fleet.requests"] == 7
+        assert merged["gauges"]["service.queue.depth"] == 7
+        assert merged["sources"] == ["a", "b"]
+        assert merged["missing"] == []
+
+    def test_merged_histogram_equals_single_observer(self):
+        # The merge contract: the fleet-wide histogram is exactly what
+        # one process observing every stream would have recorded.
+        split = merge_snapshots({
+            "a": _snapshot(**{"service.request_ms": [1.0, 30.0]}),
+            "b": _snapshot(**{"service.request_ms": [400.0]}),
+        })["histograms"]["service.request_ms"]
+        single = _snapshot(
+            **{"service.request_ms": [1.0, 30.0, 400.0]}
+        )["histograms"]["service.request_ms"]
+        assert split["counts"] == single["counts"]
+        assert split["count"] == single["count"]
+        assert split["sum"] == pytest.approx(single["sum"])
+
+    def test_none_snapshot_listed_missing(self):
+        merged = merge_snapshots({
+            "up": _snapshot(**{"m": [1.0]}),
+            "down": None,
+        })
+        assert merged["sources"] == ["up"]
+        assert merged["missing"] == ["down"]
+        assert "m" in merged["histograms"]
+
+    def test_bounds_skew_drops_histogram_and_reports(self):
+        merged = merge_snapshots({
+            "a": {
+                "counters": {}, "gauges": {},
+                "histograms": {
+                    "h": {"buckets": [1], "counts": [0, 1],
+                          "sum": 2.0, "count": 1},
+                },
+            },
+            "b": {
+                "counters": {}, "gauges": {},
+                "histograms": {
+                    "h": {"buckets": [2], "counts": [1, 0],
+                          "sum": 1.0, "count": 1},
+                },
+            },
+        })
+        assert merged["unmerged"] == ["h"]
+        assert "h" not in merged["histograms"]
+
+    def test_merge_does_not_mutate_inputs(self):
+        snap = _snapshot(**{"m": [1.0]})
+        before = [list(snap["histograms"]["m"]["counts"])]
+        merge_snapshots({"a": snap, "b": _snapshot(**{"m": [2.0]})})
+        assert [list(snap["histograms"]["m"]["counts"])] == before
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert histogram_quantile(
+            {"buckets": [1], "counts": [0, 0], "count": 0}, 0.99
+        ) == 0.0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        data = {
+            "buckets": [10, 100, 1000],
+            "counts": [90, 9, 1, 0],
+            "count": 100,
+        }
+        assert histogram_quantile(data, 0.5) == 10.0
+        assert histogram_quantile(data, 0.95) == 100.0
+        assert histogram_quantile(data, 0.999) == 1000.0

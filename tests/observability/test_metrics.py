@@ -113,3 +113,121 @@ class TestNullRegistry:
     def test_enabled_flags(self):
         assert NULL_REGISTRY.enabled is False
         assert MetricsRegistry().enabled is True
+
+
+class TestExemplars:
+    def test_observe_records_exemplar_per_bucket(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="trace-fast")
+        h.observe(100.0, exemplar="trace-slow")
+        data = h.to_dict()
+        assert data["exemplars"] == {"0": "trace-fast", "2": "trace-slow"}
+
+    def test_last_exemplar_per_bucket_wins(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.1, exemplar="first")
+        h.observe(0.2, exemplar="second")
+        assert h.to_dict()["exemplars"] == {"0": "second"}
+
+    def test_none_exemplar_keeps_previous(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.1, exemplar="kept")
+        h.observe(0.2)  # id-free observation must not erase the exemplar
+        assert h.to_dict()["exemplars"] == {"0": "kept"}
+
+    def test_no_exemplars_key_when_none_recorded(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.1)
+        assert "exemplars" not in h.to_dict()
+
+    def test_null_histogram_accepts_exemplar_kwarg(self):
+        NULL_HISTOGRAM.observe(1.0, exemplar="ignored")
+
+
+class TestThreadSafety:
+    """Concurrent updates + snapshots must lose nothing and tear nothing.
+
+    The tear this pins: ``Histogram.to_dict`` once read counts/sum/count
+    without the lock, so a snapshot racing an ``observe`` could report a
+    ``count`` that disagreed with ``sum(counts)``.
+    """
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_concurrent_counter_increments_all_land(self):
+        import threading
+
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                registry.counter("c").inc()
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("c").value == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_observes_and_snapshots_never_tear(self):
+        import threading
+
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(1.0, 5.0, 25.0))
+        stop = threading.Event()
+        torn = []
+
+        def observer():
+            for i in range(self.PER_THREAD):
+                h.observe(float(i % 40), exemplar=f"t-{i}")
+
+        def snapshotter():
+            while not stop.is_set():
+                data = registry.to_dict()["histograms"]["lat_ms"]
+                if sum(data["counts"]) != data["count"]:
+                    torn.append(data)
+                    return
+
+        workers = [
+            threading.Thread(target=observer) for _ in range(self.THREADS)
+        ]
+        watchers = [threading.Thread(target=snapshotter) for _ in range(2)]
+        for t in watchers:
+            t.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        for t in watchers:
+            t.join()
+        assert not torn, f"snapshot tore: {torn[0]}"
+        final = h.to_dict()
+        assert final["count"] == self.THREADS * self.PER_THREAD
+        assert sum(final["counts"]) == final["count"]
+
+    def test_concurrent_registry_creation_yields_one_metric(self):
+        import threading
+
+        registry = MetricsRegistry()
+        instances = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def work():
+            barrier.wait()
+            instances.append(registry.counter("shared"))
+            registry.counter("shared").inc()
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in instances}) == 1
+        assert registry.counter("shared").value == self.THREADS

@@ -1,0 +1,135 @@
+"""Unit tests for distributed-trace stitching."""
+
+from repro.observability.stitch import (
+    cross_process_links,
+    make_fragment,
+    stitch_fragments,
+)
+from repro.observability.tracer import Tracer, validate_chrome_trace
+
+
+def _span(name, ts, dur, span_id=None, parent=None, trace_id="t" * 32):
+    args = {"trace_id": trace_id}
+    if span_id is not None:
+        args["span_id"] = span_id
+    if parent is not None:
+        args["parent_span_id"] = parent
+    return {
+        "name": name, "ph": "X", "ts": ts, "dur": dur,
+        "pid": 1, "tid": 1, "args": args,
+    }
+
+
+class TestStitching:
+    def test_each_fragment_gets_own_pid_and_process_name(self):
+        document = stitch_fragments([
+            make_fragment("router", [_span("fleet.request", 0, 10)]),
+            make_fragment("backend-0", [_span("service.request", 2, 6)]),
+        ])
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("ph") == "M"
+        }
+        assert meta == {1: "router", 2: "backend-0"}
+
+    def test_timestamps_rebased_onto_shared_epoch(self):
+        # Router started 1s before the backend: the backend's local
+        # ts=0 must land at +1s on the merged timeline.
+        document = stitch_fragments([
+            make_fragment(
+                "router", [_span("a", 0, 10)], epoch_unix_us=1_000_000.0
+            ),
+            make_fragment(
+                "backend", [_span("b", 0, 5)], epoch_unix_us=2_000_000.0
+            ),
+        ])
+        spans = {
+            e["name"]: e for e in document["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert spans["a"]["ts"] == 0
+        assert spans["b"]["ts"] == 1_000_000.0
+
+    def test_cross_process_parent_becomes_flow_pair(self):
+        document = stitch_fragments([
+            make_fragment(
+                "router", [_span("dispatch", 0, 10, span_id="aaaa")]
+            ),
+            make_fragment(
+                "backend",
+                [_span("service.request", 2, 6,
+                       span_id="bbbb", parent="aaaa")],
+            ),
+        ], trace_id="t" * 32)
+        links = cross_process_links(document)
+        assert links == [{"id": "bbbb", "from_pid": 1, "to_pid": 2}]
+        assert document["traceId"] == "t" * 32
+
+    def test_same_process_parent_gets_no_flow(self):
+        document = stitch_fragments([
+            make_fragment("router", [
+                _span("outer", 0, 10, span_id="aaaa"),
+                _span("inner", 1, 2, span_id="bbbb", parent="aaaa"),
+            ]),
+        ])
+        assert cross_process_links(document) == []
+
+    def test_unresolvable_parent_is_tolerated(self):
+        document = stitch_fragments([
+            make_fragment("backend", [
+                _span("orphan", 0, 1, span_id="cccc", parent="gone"),
+            ]),
+        ])
+        assert cross_process_links(document) == []
+        assert validate_chrome_trace(document) == []
+
+    def test_stitched_document_validates(self):
+        document = stitch_fragments([
+            make_fragment(
+                "router", [_span("dispatch", 0, 10, span_id="aaaa")],
+                epoch_unix_us=5.0,
+            ),
+            make_fragment(
+                "backend",
+                [_span("service.request", 1, 8,
+                       span_id="bbbb", parent="aaaa")],
+                epoch_unix_us=7.0,
+            ),
+        ])
+        assert validate_chrome_trace(document) == []
+
+    def test_empty_fragments_give_empty_document(self):
+        document = stitch_fragments([])
+        assert document["traceEvents"] == []
+
+
+class TestRealTracerRoundTrip:
+    def test_two_tracers_linked_by_propagated_context(self):
+        # Simulates the wire protocol: the "router" tracer roots the
+        # trace, its span ids propagate, and the "backend" tracer joins
+        # with parent_span_id — exactly what CompileRequest carries.
+        trace_id = "ab" * 16
+        router = Tracer()
+        with router.trace_context(trace_id, None):
+            with router.span("fleet.request") as sp:
+                parent = sp.span_id
+        backend = Tracer()
+        with backend.trace_context(trace_id, parent):
+            with backend.span("service.request"):
+                pass
+        document = stitch_fragments([
+            make_fragment(
+                "router", router.events_for_trace(trace_id),
+                router.epoch_unix_us,
+            ),
+            make_fragment(
+                "backend", backend.events_for_trace(trace_id),
+                backend.epoch_unix_us,
+            ),
+        ], trace_id=trace_id)
+        assert validate_chrome_trace(document) == []
+        links = cross_process_links(document)
+        assert len(links) == 1
+        assert links[0]["from_pid"] == 1
+        assert links[0]["to_pid"] == 2

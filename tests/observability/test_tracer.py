@@ -142,3 +142,108 @@ class TestNullBackend:
         assert NULL_TRACER.enabled is False
         assert NULL_TRACER.detail is False
         assert Tracer().enabled is True
+
+
+class TestTraceContext:
+    def test_ids_have_traceparent_widths(self):
+        from repro.observability.tracer import (
+            is_valid_trace_id,
+            new_span_id,
+            new_trace_id,
+        )
+
+        tid = new_trace_id()
+        assert is_valid_trace_id(tid)
+        assert len(new_span_id()) == 16
+        assert not is_valid_trace_id(tid[:-1])
+        assert not is_valid_trace_id(tid.upper())
+        assert not is_valid_trace_id(None)
+        assert not is_valid_trace_id(12345)
+
+    def test_spans_outside_context_carry_no_ids(self):
+        # The zero-overhead contract: without an active trace context,
+        # no ids are generated and no id args are attached.
+        tracer = Tracer()
+        with tracer.span("bare"):
+            pass
+        event = tracer.events()[0]
+        assert "trace_id" not in event.get("args", {})
+        assert "span_id" not in event.get("args", {})
+
+    def test_context_attaches_and_nests_span_ids(self):
+        tracer = Tracer()
+        trace_id = "cd" * 16
+        with tracer.trace_context(trace_id, "f" * 16):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    pass
+        events = {e["name"]: e["args"] for e in tracer.events()}
+        assert events["outer"]["trace_id"] == trace_id
+        assert events["outer"]["parent_span_id"] == "f" * 16
+        assert events["inner"]["parent_span_id"] == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_root_context_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.trace_context("ab" * 16):
+            with tracer.span("root"):
+                pass
+        args = tracer.events()[0]["args"]
+        assert "parent_span_id" not in args
+
+    def test_context_unwinds_after_exit(self):
+        tracer = Tracer()
+        with tracer.trace_context("ab" * 16):
+            pass
+        assert tracer.current_context() is None
+        with tracer.span("after"):
+            pass
+        assert "trace_id" not in tracer.events()[-1].get("args", {})
+
+    def test_context_unwinds_past_leaked_span(self):
+        tracer = Tracer()
+        span = tracer.span("leaked")
+        with tracer.trace_context("ab" * 16):
+            span.__enter__()  # never exited inside the context
+        assert tracer.current_context() is None
+
+    def test_instants_tagged_with_active_context(self):
+        tracer = Tracer()
+        with tracer.trace_context("ab" * 16):
+            with tracer.span("op"):
+                tracer.instant("checkpoint")
+        instant = [e for e in tracer.events() if e["ph"] == "i"][0]
+        assert instant["args"]["trace_id"] == "ab" * 16
+
+    def test_events_for_trace_filters(self):
+        tracer = Tracer()
+        with tracer.span("untagged"):
+            pass
+        with tracer.trace_context("ab" * 16):
+            with tracer.span("tagged"):
+                pass
+        with tracer.trace_context("ef" * 16):
+            with tracer.span("other"):
+                pass
+        names = [e["name"] for e in tracer.events_for_trace("ab" * 16)]
+        assert names == ["tagged"]
+
+    def test_tail_info_reports_dropped(self):
+        tracer = Tracer()
+        for index in range(7):
+            with tracer.span(f"s{index}"):
+                pass
+        events, dropped = tracer.tail_info(3)
+        assert [e["name"] for e in events] == ["s4", "s5", "s6"]
+        assert dropped == 4
+        full, none_dropped = tracer.tail_info(100)
+        assert len(full) == 7
+        assert none_dropped == 0
+
+    def test_null_tracer_context_is_inert(self):
+        with NULL_TRACER.trace_context("ab" * 16, "f" * 16):
+            with NULL_TRACER.span("s"):
+                pass
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.tail_info() == ([], 0)
+        assert NULL_TRACER.events_for_trace("ab" * 16) == []

@@ -184,3 +184,31 @@ class TestMatrixShape:
         assert FLEET_FAULT_MATRIX == tuple(
             ("fleet", kind) for kind in FLEET_FAULT_KINDS
         )
+
+
+class TestCampaignEvents:
+    def test_fault_campaign_records_matching_events(self):
+        """Acceptance: an injected chaos fault produces structured
+        control-plane events that the cell records and asserts on."""
+        from repro.resilience.fleet_chaos import CAMPAIGN_EXPECTED_EVENTS
+
+        cell = run_fleet_chaos_campaign("kill", seed=0, wave=4)
+        assert cell.ok, cell.describe()
+        for kind in CAMPAIGN_EXPECTED_EVENTS["kill"]:
+            assert cell.events.get(kind, 0) >= 1, cell.events
+        assert "events" in cell.to_dict()
+
+    def test_slow_fault_expects_no_control_plane_events(self):
+        # "slow" is latency-only: nothing trips, nothing reroutes, so a
+        # reroute event here would itself be a bug.
+        from repro.resilience.fleet_chaos import CAMPAIGN_EXPECTED_EVENTS
+
+        assert CAMPAIGN_EXPECTED_EVENTS["slow"] == ()
+        cell = run_fleet_chaos_campaign("slow", seed=0, wave=4, slow_s=0.02)
+        assert cell.ok, cell.describe()
+        assert cell.outcome == "healed"
+
+    def test_expected_events_cover_every_kind(self):
+        from repro.resilience.fleet_chaos import CAMPAIGN_EXPECTED_EVENTS
+
+        assert set(CAMPAIGN_EXPECTED_EVENTS) == set(FLEET_FAULT_KINDS)

@@ -107,3 +107,55 @@ class TestReplay:
         outcome = replay_failure_report(report)
         assert not outcome.reproduced
         assert "no serialized program" in outcome.detail
+
+
+class TestTraceTruncation:
+    def test_long_campaign_report_declares_truncation(self, sum_rows_program):
+        # A compile that fails after >100 trace events must say how much
+        # of the tail was dropped instead of silently looking complete.
+        from repro.observability import capture, get_tracer
+
+        with capture():
+            tracer = get_tracer()
+            for index in range(150):
+                with tracer.span(f"warmup-{index}"):
+                    pass
+            exc = _failing_compile(sum_rows_program)
+        report = exc.failure_report
+        assert report.trace is not None
+        assert len(report.trace) == 100
+        assert report.trace_truncated is True
+        assert report.trace_dropped_events > 0
+        assert "dropped" in report.describe()
+
+    def test_short_trace_is_not_truncated(self, sum_rows_program):
+        from repro.observability import capture
+
+        with capture():
+            exc = _failing_compile(sum_rows_program)
+        report = exc.failure_report
+        assert report.trace_truncated is False
+        assert report.trace_dropped_events == 0
+        assert "dropped" not in report.describe()
+
+    def test_truncation_round_trips_through_artifact(
+        self, tmp_path, sum_rows_program
+    ):
+        from repro.observability import capture, get_tracer
+        from repro.resilience.reports import load_failure_report
+
+        with capture():
+            tracer = get_tracer()
+            for index in range(120):
+                with tracer.span(f"warmup-{index}"):
+                    pass
+            exc = _failing_compile(sum_rows_program)
+        path = write_failure_report(exc.failure_report, str(tmp_path))
+        loaded = load_failure_report(path)
+        assert loaded.trace_truncated is True
+        assert loaded.trace_dropped_events == (
+            exc.failure_report.trace_dropped_events
+        )
+        document = json.loads(open(path).read())
+        assert document["truncated"] is True
+        assert document["dropped_events"] > 0

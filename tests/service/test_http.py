@@ -416,7 +416,14 @@ class TestClientTransportHardening:
                 gate.set()
                 deadline = time.time() + 10
                 while time.time() < deadline:
-                    if service.stats()["executions"] >= 1:
+                    # Wait for the artifact, not just the executions
+                    # counter: the counter increments before store.put,
+                    # and a retry landing in that window would coalesce
+                    # (status "miss") instead of store-hitting.
+                    if (
+                        service.stats()["executions"] >= 1
+                        and len(service.store) >= 1
+                    ):
                         return
                     time.sleep(0.02)
 
