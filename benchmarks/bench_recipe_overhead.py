@@ -1,0 +1,152 @@
+"""Recipe-emission overhead benchmark: recording must be ~free.
+
+Every compile now runs the reified pass pipeline and records a
+:class:`~repro.optim.passes.recipe.KernelRecipe` — two state digests per
+pipeline step plus the serialized input mapping.  That is only
+acceptable if the recording is a small fraction of compile wall time.
+This benchmark measures:
+
+* the per-call cost of the primitives the recorder leans on
+  (``PlanState.digest`` — a SHA-256 over the canonical decision dict —
+  and ``Recipe.content_digest``);
+* how many digest calls one compile actually makes (2 per pipeline step
+  per kernel);
+* the cost of assembling + serializing the program-level recipe from a
+  compiled program, as a fraction of the compile itself, asserted under
+  :data:`MAX_RECIPE_OVERHEAD`.
+
+Rows are written to ``BENCH_recipe_overhead.json`` at the repo root
+(same one-row-per-measurement layout as the other ``BENCH_*``
+artifacts).  Run under pytest
+(``pytest benchmarks/bench_recipe_overhead.py -s``) or directly
+(``PYTHONPATH=src python benchmarks/bench_recipe_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis import clear_caches
+from repro.ir import Builder, F64
+from repro.optim.passes.base import PlanState
+from repro.optim.pipeline import default_pipeline, OptimizationFlags
+from repro.runtime.session import GpuSession
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_recipe_overhead.json"
+
+#: The acceptance bar: recipe assembly + serialization + content hash
+#: adds less than this fraction of one cold compile's wall time.
+MAX_RECIPE_OVERHEAD = 0.15
+
+_SIZES = dict(R=1024, C=1024)
+
+
+def _make_sum_rows():
+    b = Builder("sumRows")
+    m = b.matrix("m", F64, rows="R", cols="C")
+    return b.build(m.map_rows(lambda row: row.reduce("+")))
+
+
+def _compile_once(program):
+    clear_caches()
+    return GpuSession().compile(program, **_SIZES)
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def _digest_cost_us(compiled) -> Dict[str, float]:
+    """Per-call cost of the two hashing primitives recipes lean on."""
+    decision = compiled.decisions[0]
+    state = PlanState.initial(
+        decision.analysis, decision.mapping, compiled.device
+    )
+    n = 2_000
+    start = time.perf_counter()
+    for _ in range(n):
+        state.digest()
+    state_us = (time.perf_counter() - start) / n * 1e6
+
+    recipe = compiled.recipe()
+    start = time.perf_counter()
+    for _ in range(n):
+        recipe.content_digest()
+    content_us = (time.perf_counter() - start) / n * 1e6
+    return {"state_digest_us": state_us, "content_digest_us": content_us}
+
+
+def run_recipe_overhead() -> List[Dict]:
+    program = _make_sum_rows()
+    compiled = _compile_once(program)  # warm imports and code paths
+
+    compile_ms = _time_best(lambda: _compile_once(program), repeats=5)
+
+    def _assemble():
+        recipe = compiled.recipe()
+        recipe.to_json()
+        recipe.content_digest()
+
+    assemble_ms = _time_best(_assemble, repeats=5)
+
+    # 2 digests per pipeline step (pre + post) per kernel; the plan
+    # digest reuses the last step's post digest cache-free.
+    steps = len(default_pipeline(OptimizationFlags.default()))
+    kernels = len(compiled.decisions)
+    digest_calls = 2 * steps * kernels
+    costs = _digest_cost_us(compiled)
+    recording_ms = digest_calls * costs["state_digest_us"] / 1e3
+    total_overhead_ms = recording_ms + assemble_ms
+    ratio = total_overhead_ms / compile_ms
+
+    return [
+        {"mode": "compile", "wall_ms": compile_ms},
+        {"mode": "recipe-assemble", "wall_ms": assemble_ms},
+        {
+            "mode": "recipe-estimate",
+            "state_digest_us": costs["state_digest_us"],
+            "content_digest_us": costs["content_digest_us"],
+            "digest_calls_per_compile": digest_calls,
+            "recording_ms": recording_ms,
+            "total_overhead_ms": total_overhead_ms,
+            "overhead_ratio": ratio,
+            "ceiling": MAX_RECIPE_OVERHEAD,
+        },
+    ]
+
+
+def _write(rows: List[Dict]) -> None:
+    _OUT.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+
+
+def test_bench_recipe_overhead():
+    rows = run_recipe_overhead()
+    _write(rows)
+
+    by_mode = {r["mode"]: r for r in rows}
+    estimate = by_mode["recipe-estimate"]
+    print()
+    print(f"cold compile:     {by_mode['compile']['wall_ms']:.3f} ms")
+    print(f"recipe assembly:  {by_mode['recipe-assemble']['wall_ms']:.3f} ms")
+    print(
+        f"state digest {estimate['state_digest_us']:.3f} us x "
+        f"{estimate['digest_calls_per_compile']} calls + assembly = "
+        f"{estimate['total_overhead_ms']:.3f} ms "
+        f"({estimate['overhead_ratio']:.2%} of compile)"
+    )
+    assert estimate["overhead_ratio"] < MAX_RECIPE_OVERHEAD, (
+        f"recipe recording costs {estimate['overhead_ratio']:.2%} of a "
+        f"compile (ceiling {MAX_RECIPE_OVERHEAD:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    test_bench_recipe_overhead()

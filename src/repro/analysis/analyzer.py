@@ -134,10 +134,10 @@ def analyze_program(program: Program, **size_overrides: int) -> ProgramAnalysis:
     Keyword overrides update the program's declared size hints, which is
     how the benchmark harness sweeps input shapes without rebuilding IR.
     """
-    from ..resilience.faults import maybe_inject
+    from ..observability import instrumented_stage
 
-    with get_tracer().span("analysis", program=program.name) as span:
-        maybe_inject("analysis")
+    with instrumented_stage("analysis", program=program.name) as scope:
+        span = scope.span
         env = SizeEnv.for_program(program, **size_overrides)
         roots = outermost_patterns(program.result)
         if not roots:

@@ -50,12 +50,12 @@ def control_dop(
     :meth:`~repro.analysis.constraints.ConstraintSet.span_all_levels`; a
     level mapped Span(all) for a *dynamic-size* reason is never split.
     """
-    from ..observability import get_tracer
+    from ..observability import instrumented_stage
 
     sizes = list(sizes)
     current = mapping.dop(sizes)
 
-    with get_tracer().span("control_dop", dop=current) as span:
+    with instrumented_stage("control_dop", inject=False, dop=current) as span:
         if current < window.min_dop:
             k = math.ceil(window.min_dop / max(1, current))
             level = _pick_split_level(mapping, sizes, splittable_levels or {})

@@ -97,6 +97,32 @@ class Seq:
 
 SpanType = Union[Span, SpanAll, Split, Seq]
 
+
+def span_to_dict(span: SpanType) -> Dict[str, int]:
+    """Serialize one span parameter to a plain JSON-able dict."""
+    if isinstance(span, Span):
+        return {"kind": "span", "n": span.n}
+    if isinstance(span, SpanAll):
+        return {"kind": "span_all"}
+    if isinstance(span, Split):
+        return {"kind": "split", "k": span.k}
+    if isinstance(span, Seq):
+        return {"kind": "seq"}
+    raise MappingError(f"cannot serialize span {span!r}")
+
+
+def span_from_dict(data: Dict[str, int]) -> SpanType:
+    kind = data.get("kind")
+    if kind == "span":
+        return Span(int(data["n"]))
+    if kind == "span_all":
+        return SpanAll()
+    if kind == "split":
+        return Split(int(data["k"]))
+    if kind == "seq":
+        return Seq()
+    raise MappingError(f"unknown span kind {kind!r}")
+
 #: Integer span codes for the vectorized search's candidate matrices
 #: (:mod:`repro.analysis.vectorized`).  Only the two span types the
 #: search enumerates get codes; Split/Seq never appear in its space.
@@ -319,6 +345,35 @@ class Mapping:
         levels = list(self.levels)
         levels[index] = new_level
         return Mapping(tuple(levels))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-able encoding (recipes and wire artifacts)."""
+        return {
+            "levels": [
+                {
+                    "dim": None if lm.dim is None else int(lm.dim),
+                    "block_size": lm.block_size,
+                    "span": span_to_dict(lm.span),
+                }
+                for lm in self.levels
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Mapping":
+        levels = []
+        for entry in data["levels"]:
+            dim = entry.get("dim")
+            levels.append(
+                LevelMapping(
+                    dim=None if dim is None else Dim(int(dim)),
+                    block_size=int(entry["block_size"]),
+                    span=span_from_dict(entry["span"]),
+                )
+            )
+        return cls(tuple(levels))
 
     def __str__(self) -> str:
         return " ".join(

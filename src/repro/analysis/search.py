@@ -68,7 +68,7 @@ from ..config import (
     TIE_BREAK_SEED,
 )
 from ..errors import ReproError, SearchError
-from ..observability import get_metrics, get_tracer
+from ..observability import get_metrics, get_tracer, instrumented_stage
 from ..resilience.budget import Budget
 from ..resilience.faults import maybe_inject
 from .cache import get_search_cache, search_cache_key
@@ -515,7 +515,9 @@ def search_mapping_reference(
     start = time.perf_counter()
     if budget is not None:
         budget.start()
-    with get_tracer().span("search", levels=num_levels, mode="reference"):
+    with instrumented_stage(
+        "search", inject=False, levels=num_levels, mode="reference"
+    ):
         try:
             result = _search_exhaustive(
                 num_levels, cset, sizes_t, window, block_sizes, keep_all,
@@ -798,8 +800,9 @@ def search_mapping(
     sizes_t = _validate(num_levels, sizes)
     start = time.perf_counter()
 
-    with get_tracer().span("search", levels=num_levels) as span:
-        fault = maybe_inject("search")
+    with instrumented_stage("search", levels=num_levels) as scope:
+        span = scope.span
+        fault = scope.fault
         if fault is not None and fault.kind == "deadline":
             # A simulated deadline overrun: the budget expires immediately.
             if budget is None:

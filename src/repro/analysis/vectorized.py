@@ -80,7 +80,7 @@ from ..config import (
     WARP_SIZE,
 )
 from ..errors import SearchError
-from ..observability import get_tracer
+from ..observability import instrumented_stage
 from ..resilience.budget import Budget
 from .constraints import Constraint, ConstraintSet, has_batch_predicate
 from .dop import DopWindow
@@ -793,7 +793,9 @@ def search_mapping_vectorized(
     start = time.perf_counter()
     if budget is not None:
         budget.start()
-    with get_tracer().span("search", levels=num_levels, mode="vectorized"):
+    with instrumented_stage(
+        "search", inject=False, levels=num_levels, mode="vectorized"
+    ):
         try:
             result = _search_vectorized(
                 num_levels, cset, sizes_t, window, block_sizes, keep_all,

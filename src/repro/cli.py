@@ -46,6 +46,12 @@ Commands
     request budget; work shed on an expired deadline exits 75.
 ``cache <stats|list|clear> [--cache-dir DIR] [--json]``
     Inspect or clear a compile server's on-disk artifact store.
+``recipe <show|diff|replay|tune>``
+    Transformation recipes — the content-hashed record of the
+    optimization passes behind every compile: render one (from a file,
+    a store digest, or a fresh compile), diff two, replay one
+    pass-by-pass asserting byte-identical plans and CUDA, or autotune
+    the pass ordering against the cost model.
 ``fleet <serve|submit|stats|top|trace|events|chaos>``
     The digest-sharded compile fleet: run a router over N backends,
     submit to it (``--deadline-s`` as above), query its stats, or run
@@ -121,18 +127,21 @@ def _resolve_app(name: str):
 def cmd_map(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_program
     from repro.gpusim import decide_mapping, default_device
+    from repro.optim.pipeline import OptimizationFlags
 
     from repro.apps import merge_params
 
     app = _resolve_app(args.app)
     sizes = merge_params(app, _parse_sizes(args.sizes))
+    flags = OptimizationFlags.from_names(getattr(args, "disable_opt", None))
     device = default_device()
     pa = analyze_program(app.build(), **sizes)
     for index, ka in enumerate(pa.kernels):
         print(f"=== kernel {index} (depth {ka.depth}, "
               f"sizes {ka.level_sizes()}) ===")
         decision = decide_mapping(
-            ka, args.strategy, device, engine=getattr(args, "engine", None)
+            ka, args.strategy, device, engine=getattr(args, "engine", None),
+            flags=flags,
         )
         if args.explain:
             from repro.analysis import explain_mapping
@@ -581,12 +590,17 @@ def _submit_request(args: argparse.Namespace):
                 f"cannot load serialized program {args.program!r}: {exc}"
             )
     deadline_s = getattr(args, "deadline_s", None)
+    from repro.optim.pipeline import OptimizationFlags
+
     return CompileRequest(
         app=app,
         program_ir=program_ir,
         sizes=_parse_sizes(sizes_args),
         strategy=args.strategy,
         device=args.device,
+        flags=OptimizationFlags.from_names(
+            getattr(args, "disable_opt", None)
+        ),
         deadline_s=deadline_s if deadline_s and deadline_s > 0 else None,
     )
 
@@ -955,6 +969,294 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_recipe_ref(ref: str, cache_dir: Optional[str]):
+    """Resolve a recipe reference: a JSON file, or a content digest in an
+    artifact store (the recipe subtree, or embedded in an artifact)."""
+    import os
+
+    from repro.optim.passes import Recipe, load_recipe
+    from repro.service.store import is_valid_digest
+
+    if os.path.isfile(ref):
+        return load_recipe(ref)
+    if is_valid_digest(ref):
+        from repro.service import ArtifactStore
+
+        if not cache_dir or not os.path.isdir(cache_dir):
+            raise RuntimeConfigError(
+                f"{ref!r} looks like a content digest but there is no "
+                f"artifact store at {cache_dir!r} (pass --cache-dir)"
+            )
+        store = ArtifactStore(cache_dir)
+        data = store.get_recipe(ref)
+        if data is not None:
+            return Recipe.from_json(data)
+        artifact = store.get(ref)
+        if artifact is not None and artifact.recipe is not None:
+            return Recipe.from_json(artifact.recipe)
+        raise RuntimeConfigError(
+            f"no recipe for digest {ref} in {cache_dir}"
+        )
+    raise RuntimeConfigError(
+        f"recipe reference {ref!r} is neither a readable file nor a "
+        "64-hex content digest"
+    )
+
+
+def _recipe_program(recipe, program_file: Optional[str]):
+    """The source program a recipe replays against.
+
+    ``--program FILE`` supplies serialized IR; otherwise the recipe's
+    program name is resolved as a registered app.  Either way the IR is
+    canonicalized, matching what the service compiled (binder names are
+    part of the plan-state digests).
+    """
+    from repro.ir.serialize import canonicalize_program
+
+    if program_file is not None:
+        import json
+
+        from repro.ir.serialize import program_from_dict
+
+        try:
+            with open(program_file) as fh:
+                program = program_from_dict(json.load(fh))
+        except (OSError, ValueError) as exc:
+            raise RuntimeConfigError(
+                f"cannot load serialized program {program_file!r}: {exc}"
+            )
+        return canonicalize_program(program)
+    from repro.apps import resolve_app
+
+    return canonicalize_program(resolve_app(recipe.program).build())
+
+
+def _compile_app_recipe(
+    app_name: str,
+    sizes_args: List[str],
+    strategy: str,
+    disable: Optional[List[str]],
+):
+    """Compile an app locally and return its emitted recipe."""
+    from repro.apps import merge_params, resolve_app
+    from repro.ir.serialize import canonicalize_program
+    from repro.optim.pipeline import OptimizationFlags
+    from repro.runtime import GpuSession
+
+    app = resolve_app(app_name)
+    sizes = merge_params(app, _parse_sizes(sizes_args))
+    session = GpuSession(
+        strategy=strategy, flags=OptimizationFlags.from_names(disable)
+    )
+    compiled = session.compile(canonicalize_program(app.build()), **sizes)
+    return compiled.recipe()
+
+
+def _render_recipe(recipe) -> str:
+    lines = [
+        f"recipe {recipe.content_digest()}",
+        f"  program: {recipe.program}   device: {recipe.device}   "
+        f"strategy: {recipe.strategy}",
+        f"  pipeline_version: {recipe.pipeline_version}",
+    ]
+    if recipe.sizes:
+        lines.append(
+            "  sizes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(recipe.sizes.items()))
+        )
+    if recipe.flags:
+        lines.append(
+            "  flags: "
+            + ", ".join(
+                f"{k}={'on' if v else 'off'}"
+                for k, v in sorted(recipe.flags.items())
+            )
+        )
+    for kernel in recipe.kernels:
+        if kernel.degraded:
+            lines.append(
+                f"  kernel {kernel.index}: DEGRADED "
+                "(plan substituted; not replayable)"
+            )
+            continue
+        lines.append(
+            f"  kernel {kernel.index}: plan {kernel.plan_digest[:12]}…"
+        )
+        for record in kernel.passes:
+            status = (
+                "applied" if record.applied
+                else f"skipped ({record.skip_reason})"
+            )
+            params = f"  params={record.params}" if record.params else ""
+            lines.append(
+                f"    {record.name:<14} {status:<26} "
+                f"{record.pre_digest[:8]} -> {record.post_digest[:8]}"
+                f"{params}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_recipe_show(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.service.store import is_valid_digest
+
+    ref = args.ref
+    if os.path.isfile(ref) or is_valid_digest(ref):
+        if args.sizes or args.disable_opt:
+            raise RuntimeConfigError(
+                "size bindings and --disable-opt only apply when REF is "
+                "an app name (stored recipes are immutable records)"
+            )
+        recipe = _load_recipe_ref(ref, args.cache_dir)
+    else:
+        recipe = _compile_app_recipe(
+            ref, list(args.sizes), args.strategy, args.disable_opt
+        )
+    if args.output:
+        recipe.write(args.output)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(recipe.to_json(), indent=2, sort_keys=True))
+    else:
+        print(_render_recipe(recipe))
+    return 0
+
+
+def cmd_recipe_diff(args: argparse.Namespace) -> int:
+    from repro.optim.passes import recipe_diff
+
+    recipe_a = _load_recipe_ref(args.a, args.cache_dir)
+    recipe_b = _load_recipe_ref(args.b, args.cache_dir)
+    lines = recipe_diff(recipe_a, recipe_b)
+    if not lines:
+        print(
+            f"recipes are identical (content digest "
+            f"{recipe_a.content_digest()[:16]}…)"
+        )
+        return 0
+    print(
+        f"recipes differ ({recipe_a.content_digest()[:12]}… vs "
+        f"{recipe_b.content_digest()[:12]}…):"
+    )
+    for line in lines:
+        print(f"  {line}")
+    return 1
+
+
+def cmd_recipe_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.optim.passes import verify_recipe
+
+    recipe = _load_recipe_ref(args.ref, args.cache_dir)
+    program = _recipe_program(recipe, args.program)
+    summary = verify_recipe(program, recipe)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"replayed {summary['replayed']}/{summary['kernels']} "
+            f"kernel(s) byte-identically"
+            + (
+                f" ({summary['skipped_degraded']} degraded skipped)"
+                if summary["skipped_degraded"]
+                else ""
+            )
+        )
+        print(f"  recipe digest: {summary['recipe_digest']}")
+        print(f"  cuda bytes:    {summary['cuda_bytes']}")
+        if summary["fresh_recipe_digest"] != summary["recipe_digest"]:
+            print(
+                "  note: a fresh compile emits a different recipe digest "
+                f"({summary['fresh_recipe_digest'][:12]}…) — flags or "
+                "pipeline version drifted since this recipe was recorded"
+            )
+    return 0
+
+
+def cmd_recipe_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze_program
+    from repro.apps import merge_params
+    from repro.gpusim import decide_mapping, default_device
+    from repro.optim.passes import autotune_pass_order
+    from repro.resilience.budget import Budget
+
+    app = _resolve_app(args.app)
+    sizes = merge_params(app, _parse_sizes(args.sizes))
+    device = default_device()
+    pa = analyze_program(app.build(), **sizes)
+    payload = []
+    for index, ka in enumerate(pa.kernels):
+        decision = decide_mapping(ka, args.strategy, device, optimize=False)
+        budget = (
+            Budget(max_nodes=args.budget) if args.budget else None
+        )
+        result = autotune_pass_order(
+            ka,
+            decision.mapping,
+            device,
+            env=pa.env,
+            keep_top=args.top,
+            budget=budget,
+        )
+        if args.json:
+            payload.append({
+                "kernel": index,
+                "mapping": str(decision.mapping),
+                "enumerated": result.enumerated,
+                "distinct": result.distinct,
+                "rejected_nonfinite": result.rejected_nonfinite,
+                "degraded": result.degraded,
+                "default": {
+                    "passes": list(result.default.passes),
+                    "time_us": result.default.time_us,
+                },
+                "best": {
+                    "passes": list(result.best.passes),
+                    "time_us": result.best.time_us,
+                    "delta_us": result.best.delta_us,
+                },
+                "frontier": [
+                    {
+                        "passes": list(r.passes),
+                        "time_us": r.time_us,
+                        "delta_us": r.delta_us,
+                        "equivalent_orderings": r.equivalent_orderings,
+                        "mapping": r.mapping,
+                    }
+                    for r in result.frontier
+                ],
+            })
+            continue
+        print(
+            f"=== kernel {index} (mapping {decision.mapping}) ==="
+        )
+        print(
+            f"{result.enumerated} feasible ordering(s), "
+            f"{result.distinct} distinct outcome(s) priced"
+            + (
+                f" [{result.degraded_reason}]" if result.degraded else ""
+            )
+        )
+        for entry in result.frontier:
+            print("  " + entry.describe())
+        if result.improvement_us > 0:
+            print(
+                f"  best ordering beats the default by "
+                f"{result.improvement_us:.3f} us"
+            )
+        else:
+            print("  the default production ordering is already optimal")
+        print()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.config import SEARCH_ENGINES
 
@@ -977,6 +1279,13 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_apps
     )
 
+    def add_disable_opt_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--disable-opt", action="append", default=None, metavar="PASS",
+            help="disable this optimization pass (repeatable; one of "
+                 "prealloc, layout, shared_memory)",
+        )
+
     p_map = sub.add_parser("map", help="show analysis for an app")
     p_map.add_argument("app")
     p_map.add_argument("sizes", nargs="*", help="size bindings k=v")
@@ -985,6 +1294,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="per-constraint accounting of the mapping's score",
     )
+    add_disable_opt_flag(p_map)
     add_engine_flag(p_map)
     p_map.set_defaults(fn=cmd_map)
 
@@ -1201,6 +1511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--report-dir", default="failure-reports",
                        help="where server-side failure reports are saved "
                        "for replay (default failure-reports/)")
+    add_disable_opt_flag(p_sub)
     p_sub.set_defaults(fn=cmd_submit)
 
     p_ca = sub.add_parser(
@@ -1211,6 +1522,71 @@ def build_parser() -> argparse.ArgumentParser:
                       default=_config.DEFAULT_SERVICE_CACHE_DIR)
     p_ca.add_argument("--json", action="store_true")
     p_ca.set_defaults(fn=cmd_cache)
+
+    p_rc = sub.add_parser(
+        "recipe",
+        help="transformation recipes: show, diff, replay, tune pass order",
+    )
+    rc_sub = p_rc.add_subparsers(dest="recipe_command", required=True)
+
+    rc_show = rc_sub.add_parser(
+        "show",
+        help="render a recipe from a JSON file, a store digest, or a "
+        "fresh compile of an app",
+    )
+    rc_show.add_argument("ref", help="recipe JSON file, 64-hex content "
+                         "digest, or registered app name")
+    rc_show.add_argument("sizes", nargs="*",
+                         help="size bindings k=v (app refs only)")
+    rc_show.add_argument("--strategy", default="multidim")
+    add_disable_opt_flag(rc_show)
+    rc_show.add_argument("--cache-dir",
+                         default=_config.DEFAULT_SERVICE_CACHE_DIR,
+                         help="artifact store to resolve digest refs in")
+    rc_show.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="also write the recipe JSON here")
+    rc_show.add_argument("--json", action="store_true")
+    rc_show.set_defaults(fn=cmd_recipe_show)
+
+    rc_diff = rc_sub.add_parser(
+        "diff", help="compare two recipes (exit 1 when they differ)"
+    )
+    rc_diff.add_argument("a", help="recipe JSON file or store digest")
+    rc_diff.add_argument("b", help="recipe JSON file or store digest")
+    rc_diff.add_argument("--cache-dir",
+                         default=_config.DEFAULT_SERVICE_CACHE_DIR)
+    rc_diff.set_defaults(fn=cmd_recipe_diff)
+
+    rc_rep = rc_sub.add_parser(
+        "replay",
+        help="re-execute a recipe pass-by-pass, checking every recorded "
+        "state digest and asserting byte-identical plans and CUDA",
+    )
+    rc_rep.add_argument("ref", help="recipe JSON file or store digest")
+    rc_rep.add_argument("--program", default=None, metavar="FILE",
+                        help="serialized program JSON (default: resolve "
+                        "the recipe's program name as a registered app)")
+    rc_rep.add_argument("--cache-dir",
+                        default=_config.DEFAULT_SERVICE_CACHE_DIR)
+    rc_rep.add_argument("--json", action="store_true")
+    rc_rep.set_defaults(fn=cmd_recipe_replay)
+
+    rc_tn = rc_sub.add_parser(
+        "tune",
+        help="price every feasible pass ordering/subset per kernel and "
+        "report modeled-cost deltas vs the production pipeline",
+    )
+    rc_tn.add_argument("app")
+    rc_tn.add_argument("sizes", nargs="*", help="size bindings k=v")
+    rc_tn.add_argument("--strategy", default="multidim")
+    rc_tn.add_argument("--top", type=int, default=10,
+                       help="frontier entries to report per kernel "
+                       "(default 10)")
+    rc_tn.add_argument("--budget", type=int, default=None,
+                       help="max orderings executed per kernel; "
+                       "exhaustion returns best-so-far (degraded)")
+    rc_tn.add_argument("--json", action="store_true")
+    rc_tn.set_defaults(fn=cmd_recipe_tune)
 
     p_fl = sub.add_parser(
         "fleet",
@@ -1300,6 +1676,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "router to the backends; expired work is shed "
                           "with a typed 504 outcome and exit code 75")
     fl_sub_p.add_argument("--json", action="store_true")
+    add_disable_opt_flag(fl_sub_p)
     fl_sub_p.set_defaults(fn=cmd_fleet_submit)
 
     fl_ch = fl_sub.add_parser(

@@ -55,12 +55,11 @@ def compile_program(
     """
     from ..gpusim.device import default_device
     from ..gpusim.simulator import decide_mapping
-    from ..observability import get_tracer
-    from ..resilience.faults import maybe_inject
+    from ..observability import get_tracer, instrumented_stage
 
     tracer = get_tracer()
-    with tracer.span("codegen", program=program.name) as span:
-        maybe_inject("codegen")
+    with instrumented_stage("codegen", program=program.name) as scope:
+        span = scope.span
         if device is None:
             device = default_device()
         pa = analyze_program(program, **sizes)

@@ -20,6 +20,10 @@ For a given spec (or raw program) the oracle checks, in order:
    for the first splittable level and pushed through the same checks,
    guaranteeing the combiner path is exercised even when the search
    would not choose it.
+5. **Recipe replay** — the transformation recipe recorded by the default
+   compile survives a JSON round-trip with a stable content digest, and
+   replaying it pass-by-pass reproduces the LaunchPlans and CUDA
+   byte-identically (``verify_recipe``).
 
 Each violated check becomes a :class:`CheckFailure`; a program passes
 when ``report.ok``.
@@ -52,7 +56,7 @@ NAMED_STRATEGIES = ("multidim", "1d", "thread-block/thread", "warp-based")
 
 #: Flag configurations: the paper's default and the full ablation baseline.
 FLAG_CONFIGS: Tuple[Tuple[str, OptimizationFlags], ...] = (
-    ("opt", OptimizationFlags()),
+    ("opt", OptimizationFlags.default()),
     ("noopt", OptimizationFlags.none()),
 )
 
@@ -308,6 +312,9 @@ def check_program(
             program, vec_result, vec_inputs, inputs, seed, report
         )
 
+    # 5. recipe round-trip + byte-identical replay
+    _check_recipe(program, report)
+
     return report
 
 
@@ -482,7 +489,50 @@ def _check_split_forcing(
         )
         return
     _check_strategy(
-        program, mapping, OptimizationFlags(), "split-forcing",
+        program, mapping, OptimizationFlags.default(), "split-forcing",
         expected, expected_inputs, inputs, seed, report,
         require_feasible=True,
     )
+
+
+def _check_recipe(program: Program, report: OracleReport) -> None:
+    """Recipe round-trip + replay: the recorded pass pipeline must
+    survive JSON serialization and reproduce the compile byte-for-byte."""
+    import json
+
+    from ..optim.passes.recipe import Recipe, verify_recipe
+
+    try:
+        session = GpuSession(
+            strategy="multidim", flags=OptimizationFlags.default()
+        )
+        compiled = session.compile(program)
+        recipe = compiled.recipe()
+    except ReproError as exc:
+        report.fail("recipe", f"recipe construction raised: {exc}")
+        return
+
+    try:
+        rebuilt = Recipe.from_json(json.loads(json.dumps(recipe.to_json())))
+    except (ReproError, ValueError, KeyError, TypeError) as exc:
+        report.fail("recipe", f"JSON round-trip raised: {exc}")
+        return
+    if rebuilt.content_digest() != recipe.content_digest():
+        report.fail(
+            "recipe",
+            "content digest changed across the JSON round-trip: "
+            f"{recipe.content_digest()[:12]} != "
+            f"{rebuilt.content_digest()[:12]}",
+        )
+        return
+
+    try:
+        summary = verify_recipe(program, rebuilt)
+    except ReproError as exc:
+        report.fail("recipe", f"replay diverged: {exc}")
+        return
+    if summary.get("skipped_degraded"):
+        report.skipped.append(
+            f"recipe: {summary['skipped_degraded']} degraded kernel(s) "
+            "not replayed"
+        )

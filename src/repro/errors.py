@@ -40,6 +40,17 @@ class CodegenError(ReproError):
     """Raised when CUDA code generation fails for a mapping decision."""
 
 
+class RecipeError(ReproError):
+    """Raised for malformed transformation recipes (unknown pass names,
+    unsupported versions, undecodable pass parameters)."""
+
+
+class RecipeReplayError(RecipeError):
+    """Raised when replaying a recipe diverges from its recorded state
+    digests — the recipe was tampered with, or the pipeline changed
+    behavior without a PIPELINE_VERSION bump."""
+
+
 class SimulationError(ReproError):
     """Raised when the GPU simulator is given an inconsistent kernel plan."""
 
@@ -136,6 +147,11 @@ def exit_code_for(exc: BaseException) -> int:
     """
     if isinstance(exc, ServiceError):
         return EXIT_UNAVAILABLE
+    if isinstance(exc, RecipeReplayError):
+        # A divergent replay is a failed check, not a config problem.
+        return EXIT_CHECK_FAILED
+    if isinstance(exc, RecipeError):
+        return EXIT_CONFIG
     if isinstance(exc, RuntimeConfigError):
         return EXIT_CONFIG
     if isinstance(exc, (AnalysisError, IRError)):

@@ -34,6 +34,10 @@ class KernelDecision:
     score: Optional[float] = None
     #: Search telemetry when the "multidim" strategy ran the search.
     search: Optional[SearchResult] = None
+    #: The :class:`~repro.optim.passes.recipe.KernelRecipe` recording the
+    #: pass pipeline that built ``plan`` (None when the plan was
+    #: substituted rather than built — degraded compiles, bare plans).
+    recipe: Optional[object] = None
 
     def cost(self, device: GpuDevice, env: Optional[SizeEnv] = None) -> KernelCost:
         return estimate_kernel_cost(
@@ -48,6 +52,7 @@ def decide_mapping(
     optimize: bool = True,
     budget=None,
     engine: Optional[str] = None,
+    flags=None,
 ) -> KernelDecision:
     """Resolve a strategy to a concrete mapping for one kernel.
 
@@ -56,7 +61,8 @@ def decide_mapping(
     builds the launch plan; otherwise a bare plan with preallocation only.
     ``budget`` bounds the MultiDim search (ignored by fixed strategies,
     which decide in constant time); ``engine`` forces a search engine for
-    the MultiDim strategy.
+    the MultiDim strategy; ``flags`` selects which optimization passes
+    the pipeline applies (default: all).
     """
     score: Optional[float] = None
     search: Optional[SearchResult] = None
@@ -69,13 +75,16 @@ def decide_mapping(
         mapping, score = search.mapping, search.score
     else:
         mapping = analysis.strategy_mapping(strategy)
+    recipe = None
     if optimize:
-        from ..optim.pipeline import build_plan
+        from ..optim.pipeline import build_plan_with_recipe
 
-        plan = build_plan(analysis, mapping, device)
+        plan, recipe = build_plan_with_recipe(
+            analysis, mapping, device, flags
+        )
     else:
         plan = LaunchPlan(prealloc=True)
-    return KernelDecision(analysis, mapping, plan, score, search)
+    return KernelDecision(analysis, mapping, plan, score, search, recipe)
 
 
 def simulate_program(
@@ -93,10 +102,13 @@ def simulate_program(
     sweeps shapes this way).  ``input_bytes``/``include_transfer`` model
     the host-to-device copy the paper includes only in Section VI-E.
     """
-    from ..observability import get_tracer
+    from ..observability import instrumented_stage
 
-    with get_tracer().span(
-        "simulate_program", program=program.name, strategy=str(strategy)
+    with instrumented_stage(
+        "simulate_program",
+        inject=False,
+        program=program.name,
+        strategy=str(strategy),
     ) as span:
         if device is None:
             device = default_device()

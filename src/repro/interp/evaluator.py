@@ -145,11 +145,11 @@ class Evaluator:
         Arrays should be NumPy arrays; struct parameters are dictionaries
         of field name to value.
         """
-        from ..observability import get_tracer
-        from ..resilience.faults import maybe_inject
+        from ..observability import instrumented_stage
 
-        with get_tracer().span("interpret", program=self.program.name):
-            maybe_inject("interpreter")
+        with instrumented_stage(
+            "interpreter", span_name="interpret", program=self.program.name
+        ):
             env = Env()
             for param in self.program.params:
                 if param.name not in inputs:

@@ -592,9 +592,9 @@ class Builder:
 
     def build(self, result: Liftable, validate: bool = True) -> Program:
         """Finalize the program (optionally validating well-formedness)."""
-        from ..observability import get_tracer
+        from ..observability import get_tracer, instrumented_stage
 
-        with get_tracer().span("ir.build", program=self.name):
+        with instrumented_stage("ir.build", inject=False, program=self.name):
             program = Program(
                 self.name,
                 tuple(self._params),

@@ -39,10 +39,12 @@ from .metrics import (  # noqa: F401
 )
 from .state import (  # noqa: F401
     Observation,
+    StageScope,
     capture,
     configure,
     get_metrics,
     get_tracer,
+    instrumented_stage,
     metrics_enabled,
     provenance_enabled,
     tracing_enabled,
@@ -71,6 +73,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
+    "StageScope",
     "Tracer",
     "Observation",
     "DEFAULT_MS_BUCKETS",
@@ -83,6 +86,7 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "histogram_quantile",
+    "instrumented_stage",
     "is_valid_trace_id",
     "make_fragment",
     "merge_snapshots",

@@ -215,6 +215,9 @@ class CompileProvenance:
     sizes: Dict[str, int] = field(default_factory=dict)
     degradations: List[str] = field(default_factory=list)
     kernels: List[KernelProvenance] = field(default_factory=list)
+    #: Content digest of the transformation recipe that built the plans
+    #: (``None`` when no pipeline ran — fully degraded compiles).
+    recipe_digest: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -225,6 +228,7 @@ class CompileProvenance:
             "sizes": dict(self.sizes),
             "degradations": list(self.degradations),
             "kernels": [k.to_dict() for k in self.kernels],
+            "recipe_digest": self.recipe_digest,
         }
 
     @classmethod
@@ -244,6 +248,7 @@ class CompileProvenance:
             kernels=[
                 KernelProvenance.from_dict(k) for k in data.get("kernels", [])
             ],
+            recipe_digest=data.get("recipe_digest"),
         )
 
     def write(self, path: str) -> str:
@@ -265,6 +270,8 @@ class CompileProvenance:
                 f"{k}={v}" for k, v in sorted(self.sizes.items())
             )
             lines.append(f"sizes: {bindings}")
+        if self.recipe_digest:
+            lines.append(f"recipe: {self.recipe_digest}")
         for note in self.degradations:
             lines.append(f"degraded: {note}")
         for kernel in self.kernels:
@@ -373,6 +380,13 @@ def kernel_provenance(
 
 def build_provenance(compiled, top_k: int = 5) -> CompileProvenance:
     """Assemble the provenance record for a compiled program."""
+    recipe_digest = None
+    try:
+        recipe = compiled.recipe()
+    except Exception:
+        recipe = None  # provenance is best-effort diagnostics
+    if recipe is not None:
+        recipe_digest = recipe.content_digest()
     return CompileProvenance(
         program=compiled.program.name,
         device=compiled.device.name,
@@ -386,4 +400,5 @@ def build_provenance(compiled, top_k: int = 5) -> CompileProvenance:
             )
             for index, decision in enumerate(compiled.decisions)
         ],
+        recipe_digest=recipe_digest,
     )

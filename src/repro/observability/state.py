@@ -101,6 +101,58 @@ class Observation:
     metrics: MetricsRegistry
 
 
+@dataclass
+class StageScope:
+    """What :func:`instrumented_stage` hands to the stage body.
+
+    ``span`` is the live tracer span (``scope.span.set(...)`` works as
+    usual); ``fault`` is whatever
+    :func:`repro.resilience.faults.maybe_inject` returned — ``None``
+    almost always, or the data-shaped fault spec the stage must apply
+    itself (memo corruption, cost poisoning).
+    """
+
+    span: object
+    fault: object = None
+
+    def set(self, **attrs: object) -> None:
+        self.span.set(**attrs)
+
+
+@contextmanager
+def instrumented_stage(
+    stage: str,
+    span_name: Optional[str] = None,
+    inject: bool = True,
+    **attrs: object,
+) -> Iterator[StageScope]:
+    """One tracer span + one fault-injection point, the way every
+    pipeline stage opens.
+
+    Replaces the boilerplate each stage used to repeat::
+
+        from ..observability import get_tracer
+        from ..resilience.faults import maybe_inject
+        with get_tracer().span("optimize", ...) as span:
+            maybe_inject("optimizer")
+
+    ``stage`` names the fault-injection point (one of
+    :data:`repro.resilience.faults.STAGES`); ``span_name`` defaults to
+    it.  ``inject=False`` keeps the span but skips the injection point
+    (stages with no entry in the fault matrix).  ``maybe_inject`` is
+    imported lazily so this module never pulls the resilience layer in
+    at import time.
+    """
+    tracer = get_tracer()
+    with tracer.span(span_name or stage, **attrs) as span:
+        fault = None
+        if inject:
+            from ..resilience.faults import maybe_inject
+
+            fault = maybe_inject(stage)
+        yield StageScope(span=span, fault=fault)
+
+
 @contextmanager
 def capture(
     detail: bool = False, provenance: bool = True

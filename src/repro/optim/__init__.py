@@ -1,6 +1,27 @@
-"""Mapping-coupled compiler optimizations (Section V of the paper)."""
+"""Mapping-coupled compiler optimizations (Section V of the paper).
+
+The rewrites are reified transformation passes (:mod:`.passes`); the
+legacy functional surface (``build_plan``, the per-optimization
+planners) remains the stable API.
+"""
 
 from .layout import LayoutDecision, choose_layout, row_major  # noqa: F401
-from .pipeline import OptimizationFlags, build_plan  # noqa: F401
+from .passes import (  # noqa: F401
+    KernelRecipe,
+    PassRecord,
+    PlanState,
+    Recipe,
+    Transformation,
+    build_compile_recipe,
+    registered_passes,
+    replay_recipe,
+    verify_recipe,
+)
+from .pipeline import (  # noqa: F401
+    OptimizationFlags,
+    build_plan,
+    build_plan_with_recipe,
+    default_pipeline,
+)
 from .prealloc import PreallocDecision, plan_preallocations  # noqa: F401
 from .shared_memory import PrefetchDecision, plan_shared_memory  # noqa: F401

@@ -1,0 +1,78 @@
+"""Reified, replayable transformation passes (the SDFG idiom).
+
+Public surface:
+
+* :class:`Transformation` / :class:`PlanState` / the registry
+  (:mod:`.base`) — the pass contract;
+* the built-in passes (:mod:`.library`) — prealloc, layout,
+  shared_memory, control_dop;
+* :class:`Recipe` and replay (:mod:`.recipe`) — the content-hashed
+  record every ``build_plan`` emits;
+* pass-ordering autotune (:mod:`.tune`).
+"""
+
+from .base import (  # noqa: F401
+    PassApplication,
+    PlanState,
+    Transformation,
+    feasible_order,
+    get_pass,
+    register_pass,
+    registered_passes,
+    run_pipeline,
+)
+from .library import (  # noqa: F401
+    ControlDopPass,
+    LayoutPass,
+    PreallocPass,
+    SharedMemoryPass,
+)
+from .recipe import (  # noqa: F401
+    RECIPE_VERSION,
+    KernelRecipe,
+    PassRecord,
+    Recipe,
+    build_compile_recipe,
+    load_recipe,
+    recipe_diff,
+    replay_kernel_recipe,
+    replay_recipe,
+    verify_recipe,
+)
+from .tune import (  # noqa: F401
+    DEFAULT_PASS_ORDER,
+    OrderingResult,
+    PassOrderResult,
+    autotune_pass_order,
+    enumerate_pass_orders,
+)
+
+__all__ = [
+    "DEFAULT_PASS_ORDER",
+    "RECIPE_VERSION",
+    "ControlDopPass",
+    "KernelRecipe",
+    "LayoutPass",
+    "OrderingResult",
+    "PassApplication",
+    "PassOrderResult",
+    "PassRecord",
+    "PlanState",
+    "PreallocPass",
+    "Recipe",
+    "SharedMemoryPass",
+    "Transformation",
+    "autotune_pass_order",
+    "build_compile_recipe",
+    "enumerate_pass_orders",
+    "feasible_order",
+    "get_pass",
+    "load_recipe",
+    "recipe_diff",
+    "register_pass",
+    "registered_passes",
+    "replay_kernel_recipe",
+    "replay_recipe",
+    "run_pipeline",
+    "verify_recipe",
+]

@@ -1,0 +1,232 @@
+"""Pass-ordering autotune: search over when/whether passes apply.
+
+The mapping autotuner (:mod:`repro.analysis.autotune`) prices *mapping*
+candidates with the cost model; this module prices *pipelines* — every
+feasible permutation of every on/off subset of the registered passes —
+for one fixed mapping.  Reified passes are what make the space
+enumerable at all (arXiv:2201.02789 makes the same argument for dynamic
+parallelism rewrites).
+
+The machinery mirrors the mapping tuner deliberately:
+
+* the same :class:`~repro.resilience.budget.Budget` template bounds the
+  sweep, returning best-so-far when it expires;
+* a structural prefilter (``requires`` dependencies via
+  :func:`~repro.optim.passes.base.feasible_order`) rejects infeasible
+  sequences before anything is executed, and orderings that reach an
+  identical final plan-state digest are deduplicated so the expensive
+  cost model prices each distinct outcome exactly once — the
+  batch-prefilter idea applied to pipelines;
+* non-finite modeled costs are dropped, never chosen.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations, permutations
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...analysis.analyzer import KernelAnalysis
+from ...analysis.mapping import Mapping
+from ...analysis.shapes import SizeEnv
+from ...errors import SearchError
+from ...gpusim.device import GpuDevice
+from ...resilience.budget import Budget
+from .base import PlanState, Transformation, feasible_order, run_pipeline
+
+#: The production pipeline order (see repro.optim.pipeline.build_plan).
+DEFAULT_PASS_ORDER: Tuple[str, ...] = ("prealloc", "layout", "shared_memory")
+
+
+@dataclass
+class OrderingResult:
+    """One priced pipeline ordering."""
+
+    passes: Tuple[str, ...]
+    time_us: float
+    plan_digest: str
+    #: Modeled-cost delta vs the default production ordering (negative =
+    #: faster than the default).
+    delta_us: float = 0.0
+    #: Final mapping (ControlDOP in the pipeline may rewrite it).
+    mapping: str = ""
+    #: How many enumerated orderings collapsed onto this plan digest.
+    equivalent_orderings: int = 1
+
+    def describe(self) -> str:
+        order = " -> ".join(self.passes) if self.passes else "(empty)"
+        sign = "+" if self.delta_us > 0 else ""
+        return (
+            f"{self.time_us:12.3f} us  ({sign}{self.delta_us:.3f} vs "
+            f"default)  {order}"
+        )
+
+
+@dataclass
+class PassOrderResult:
+    """The full pass-ordering search outcome for one kernel."""
+
+    best: OrderingResult
+    default: OrderingResult
+    #: Distinct-outcome orderings, fastest first, truncated to keep_top.
+    frontier: List[OrderingResult] = field(default_factory=list)
+    enumerated: int = 0
+    feasible: int = 0
+    distinct: int = 0
+    priced: int = 0
+    rejected_nonfinite: int = 0
+    degraded: bool = False
+    degraded_reason: str = ""
+
+    @property
+    def improvement_us(self) -> float:
+        """How much the best ordering beats the default (>= 0)."""
+        return max(0.0, self.default.time_us - self.best.time_us)
+
+
+def enumerate_pass_orders(
+    names: Optional[Sequence[str]] = None,
+) -> Iterator[Tuple[Transformation, ...]]:
+    """Every dependency-feasible permutation of every subset of passes.
+
+    ``names`` restricts (and seeds the instantiation of) the pass pool;
+    default is every registered pass.  The empty pipeline is included —
+    it is the "all optimizations off" baseline.
+    """
+    from .base import registered_passes
+
+    if names is None:
+        pool = [cls() for _, cls in sorted(registered_passes().items())]
+    else:
+        from .base import get_pass
+
+        pool = [get_pass(name)() for name in names]
+    for size in range(len(pool) + 1):
+        for subset in combinations(pool, size):
+            for order in permutations(subset):
+                if feasible_order(list(order)):
+                    yield order
+
+
+def autotune_pass_order(
+    analysis: KernelAnalysis,
+    mapping: Mapping,
+    device: GpuDevice,
+    env: Optional[SizeEnv] = None,
+    names: Optional[Sequence[str]] = None,
+    keep_top: int = 10,
+    budget: Optional[Budget] = None,
+) -> PassOrderResult:
+    """Price every feasible pass ordering/subset for one kernel.
+
+    Each ordering runs the reified pipeline (all listed passes enabled)
+    from a fresh :class:`PlanState`, then the cost model prices the
+    resulting (mapping, LaunchPlan) pair.  Orderings whose final state
+    digest coincides are priced once.  The default production ordering
+    is always priced (even under an exhausted budget) so every delta has
+    a baseline.
+    """
+    from ...gpusim.cost import estimate_kernel_cost
+
+    if env is None:
+        env = analysis.env
+    if budget is not None:
+        budget.start()
+
+    def execute(order: Tuple[Transformation, ...]) -> PlanState:
+        state = PlanState.initial(analysis, mapping, device)
+        state, _ = run_pipeline([(p, True) for p in order], state)
+        return state
+
+    def price(state: PlanState) -> float:
+        return estimate_kernel_cost(
+            analysis, state.mapping, device, env, state.to_plan()
+        ).total_us
+
+    # The baseline: the production ordering, priced unconditionally.
+    from .base import get_pass
+
+    default_order = tuple(
+        get_pass(name)() for name in DEFAULT_PASS_ORDER
+    )
+    default_state = execute(default_order)
+    default_time = price(default_state)
+    if not math.isfinite(default_time):
+        raise SearchError(
+            "default pass ordering priced non-finite; cost model poisoned"
+        )
+    default_result = OrderingResult(
+        passes=tuple(p.name for p in default_order),
+        time_us=default_time,
+        plan_digest=default_state.digest(),
+        delta_us=0.0,
+        mapping=str(default_state.mapping),
+    )
+
+    enumerated = 0
+    feasible = 0
+    rejected_nonfinite = 0
+    exhausted = False
+    #: plan digest -> (representative ordering, state, extra count)
+    distinct: Dict[str, Tuple[Tuple[str, ...], PlanState, int]] = {}
+    for order in enumerate_pass_orders(names):
+        enumerated += 1
+        feasible += 1
+        if budget is not None and not budget.spend():
+            exhausted = True
+            break
+        state = execute(order)
+        digest = state.digest()
+        held = distinct.get(digest)
+        if held is None:
+            distinct[digest] = (tuple(p.name for p in order), state, 1)
+        else:
+            # Prefer the shortest spelling of an equivalent pipeline.
+            names_t = tuple(p.name for p in order)
+            rep, rep_state, count = held
+            if len(names_t) < len(rep):
+                rep = names_t
+            distinct[digest] = (rep, rep_state, count + 1)
+
+    priced: List[OrderingResult] = []
+    for digest, (names_t, state, count) in distinct.items():
+        time_us = (
+            default_time
+            if digest == default_result.plan_digest
+            else price(state)
+        )
+        if not math.isfinite(time_us):
+            rejected_nonfinite += 1
+            continue
+        priced.append(
+            OrderingResult(
+                passes=names_t,
+                time_us=time_us,
+                plan_digest=digest,
+                delta_us=time_us - default_time,
+                mapping=str(state.mapping),
+                equivalent_orderings=count,
+            )
+        )
+
+    if not priced:
+        priced = [default_result]
+    priced.sort(key=lambda r: (r.time_us, len(r.passes), r.passes))
+    return PassOrderResult(
+        best=priced[0],
+        default=default_result,
+        frontier=priced[:keep_top],
+        enumerated=enumerated,
+        feasible=feasible,
+        distinct=len(distinct),
+        priced=len(priced) + rejected_nonfinite,
+        rejected_nonfinite=rejected_nonfinite,
+        degraded=exhausted,
+        degraded_reason=(
+            f"pass-order budget exhausted after {feasible} of the "
+            "enumerated orderings; best-so-far returned"
+            if exhausted
+            else ""
+        ),
+    )

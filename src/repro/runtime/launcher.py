@@ -13,7 +13,7 @@ import itertools
 from typing import List, Optional, Sequence
 
 from ..analysis.constraints import ConstraintSet
-from ..analysis.dop import DopWindow, control_dop
+from ..analysis.dop import DopWindow
 from ..analysis.mapping import (
     DIM_MAX_THREADS,
     LevelMapping,
@@ -101,4 +101,7 @@ def adjust_at_launch(
             f"no feasible launch geometry for {mapping} at runtime sizes "
             f"{sizes}"
         )
-    return control_dop(best, sizes, window, cset.span_all_levels())
+    from ..optim.passes.library import ControlDopPass
+
+    retune = ControlDopPass(min_dop=window.min_dop, max_dop=window.max_dop)
+    return retune.adjust(best, sizes, cset.span_all_levels())

@@ -43,7 +43,11 @@ from ..gpusim.stats import ProgramCost
 from ..interp.evaluator import Evaluator
 from ..ir.patterns import Program
 from ..observability import get_metrics, get_tracer, provenance_enabled
-from ..optim.pipeline import OptimizationFlags, build_plan
+from ..optim.pipeline import (
+    OptimizationFlags,
+    build_plan,
+    build_plan_with_recipe,
+)
 from ..resilience.budget import Budget
 from ..resilience.reports import (
     attach_report,
@@ -111,6 +115,8 @@ class CompiledProgram:
     #: Cached mapping-provenance record (built on first request, or
     #: eagerly at compile time when provenance capture is enabled).
     _provenance: Optional[Any] = field(default=None, repr=False)
+    #: Cached program-level transformation recipe.
+    _recipe: Optional[Any] = field(default=None, repr=False)
 
     @property
     def degraded(self) -> bool:
@@ -129,6 +135,20 @@ class CompiledProgram:
 
             self._provenance = build_provenance(self, top_k=top_k)
         return self._provenance
+
+    def recipe(self):
+        """The transformation :class:`~repro.optim.passes.recipe.Recipe`
+        recording the exact pass sequence of this compile.
+
+        Content-hashed and replayable (``repro recipe replay``); built
+        from the per-kernel recipes the optimizer emitted at compile
+        time, and cached.
+        """
+        if self._recipe is None:
+            from ..optim.passes.recipe import build_compile_recipe
+
+            self._recipe = build_compile_recipe(self)
+        return self._recipe
 
     def _fail(
         self,
@@ -311,7 +331,7 @@ class GpuSession:
         self,
         device: Optional[GpuDevice] = None,
         strategy: Strategy = "multidim",
-        flags: OptimizationFlags = OptimizationFlags(),
+        flags: Optional[OptimizationFlags] = None,
         dynamic_launch: bool = True,
         budget: Optional[Budget] = None,
         report_dir: Optional[str] = None,
@@ -319,7 +339,9 @@ class GpuSession:
     ):
         self.device = device or default_device()
         self.strategy = strategy
-        self.flags = flags
+        self.flags = (
+            flags if flags is not None else OptimizationFlags.default()
+        )
         self.dynamic_launch = dynamic_launch
         self.budget = budget
         self.report_dir = (
@@ -426,7 +448,7 @@ class GpuSession:
                         f"kernel {index}: {decision.search.degraded_reason}"
                     )
             try:
-                decision.plan = build_plan(
+                decision.plan, decision.recipe = build_plan_with_recipe(
                     ka, decision.mapping, self.device, self.flags
                 )
             except ReproError as exc:
@@ -436,6 +458,7 @@ class GpuSession:
                         mapping=decision.mapping,
                     )
                 decision.plan = LaunchPlan(prealloc=True)
+                decision.recipe = None
                 degradations.append(
                     f"kernel {index}: optimizer failed "
                     f"({type(exc).__name__}: {exc}); unoptimized launch "

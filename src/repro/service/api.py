@@ -271,7 +271,7 @@ def request_for_program(
         sizes=dict(sizes or {}),
         strategy=strategy,
         device=device,
-        flags=flags or OptimizationFlags(),
+        flags=flags if flags is not None else OptimizationFlags.default(),
     )
 
 

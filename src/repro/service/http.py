@@ -304,13 +304,20 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             store = self.server.service.store
             artifact = store.get(digest) if store is not None else None
-            if artifact is None:
-                self._send(404, {
-                    "error_type": "NotFound",
-                    "message": f"no artifact for digest {digest!r}",
-                })
+            if artifact is not None:
+                self._send(200, artifact.to_dict())
                 return
-            self._send(200, artifact.to_dict())
+            # Recipes are content-addressed in the same namespace: a
+            # digest that names no compile artifact may name the
+            # transformation recipe one of them recorded.
+            recipe = store.get_recipe(digest) if store is not None else None
+            if recipe is not None:
+                self._send(200, recipe)
+                return
+            self._send(404, {
+                "error_type": "NotFound",
+                "message": f"no artifact for digest {digest!r}",
+            })
             return
         self._send(404, {
             "error_type": "NotFound",

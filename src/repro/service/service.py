@@ -549,6 +549,11 @@ class CompileService:
                     artifact = self._compile_fn(job.request, job.digest)
                 if self.store is not None:
                     self.store.put(artifact)
+                    if artifact.recipe is not None:
+                        # Content-addressed by its own digest: serves
+                        # GET /v1/artifacts/<recipe_digest> and survives
+                        # artifact eviction.
+                        self.store.put_recipe(artifact.recipe)
                 outcome = CompileOutcome(
                     digest=job.digest,
                     status=STATUS_MISS,

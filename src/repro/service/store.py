@@ -63,6 +63,11 @@ class CompileArtifact:
     degradations: List[str] = field(default_factory=list)
     #: The mapping-provenance record (``repro explain`` renders it).
     provenance: Optional[Dict[str, Any]] = None
+    #: The transformation recipe (``Recipe.to_json()`` form) that built
+    #: the plans, and its content digest.  ``None`` for fully degraded
+    #: compiles where no pipeline ran.
+    recipe: Optional[Dict[str, Any]] = None
+    recipe_digest: Optional[str] = None
     compile_ms: float = 0.0
     created_at: float = 0.0
 
@@ -81,6 +86,8 @@ class CompileArtifact:
             "cost": self.cost,
             "degradations": list(self.degradations),
             "provenance": self.provenance,
+            "recipe": self.recipe,
+            "recipe_digest": self.recipe_digest,
             "compile_ms": self.compile_ms,
             "created_at": self.created_at,
         }
@@ -106,6 +113,8 @@ class CompileArtifact:
             cost=dict(data.get("cost") or {}),
             degradations=list(data.get("degradations") or []),
             provenance=data.get("provenance"),
+            recipe=data.get("recipe"),
+            recipe_digest=data.get("recipe_digest"),
             compile_ms=float(data.get("compile_ms", 0.0)),
             created_at=float(data.get("created_at", 0.0)),
         )
@@ -117,6 +126,13 @@ class CompileArtifact:
 #: source, cost, flags, versions — must be identical for one digest no
 #: matter which process, backend, or fleet member compiled it.
 FINGERPRINT_VOLATILE_KEYS = ("compile_ms", "created_at", "provenance")
+
+
+def _recipe_content_digest(data: Dict[str, Any]) -> str:
+    """The recipe's content address (mirrors ``Recipe.content_digest``)."""
+    from ..ir.serialize import canonical_json
+
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
 
 
 def artifact_fingerprint(artifact: Any) -> str:
@@ -161,6 +177,15 @@ def build_artifact(
             provenance = compiled.provenance().to_dict()
         except ReproError:
             provenance = None  # best-effort diagnostics, as in the session
+    recipe_dict = None
+    recipe_digest = None
+    try:
+        recipe = compiled.recipe()
+    except Exception:
+        recipe = None  # a storable artifact beats a perfect recipe
+    if recipe is not None:
+        recipe_dict = recipe.to_json()
+        recipe_digest = recipe.content_digest()
     return CompileArtifact(
         digest=digest,
         program=compiled.program.name,
@@ -177,6 +202,8 @@ def build_artifact(
         cost=cost_dict,
         degradations=list(compiled.degradations),
         provenance=provenance,
+        recipe=recipe_dict,
+        recipe_digest=recipe_digest,
         compile_ms=compile_ms,
         created_at=time.time(),
     )
@@ -189,11 +216,21 @@ class ArtifactStore:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
+        # Recipes live in their own content-addressed subtree: ``get()``
+        # quarantines anything under objects/ that does not parse as a
+        # CompileArtifact, so recipe JSON must never share that tree.
+        self.recipes = self.root / "recipes"
+        self.recipes.mkdir(parents=True, exist_ok=True)
 
     def _path(self, digest: str) -> Path:
         if not is_valid_digest(digest):
             raise ValueError(f"malformed artifact digest {digest!r}")
         return self.objects / digest[:2] / f"{digest}.json"
+
+    def _recipe_path(self, digest: str) -> Path:
+        if not is_valid_digest(digest):
+            raise ValueError(f"malformed recipe digest {digest!r}")
+        return self.recipes / digest[:2] / f"{digest}.json"
 
     def get(self, digest: str) -> Optional[CompileArtifact]:
         """The stored artifact, or ``None`` (missing / corrupt / stale).
@@ -251,17 +288,76 @@ class ArtifactStore:
         except OSError:
             return False
 
-    def _quarantine(self, path: Path) -> None:
-        # Only ever unlink inside the objects tree, no matter what path
-        # was computed upstream: quarantine deletes cache entries, never
-        # arbitrary files the process happens to be able to write.
+    def put_recipe(self, recipe) -> Path:
+        """Atomically persist one transformation recipe; returns its path.
+
+        Accepts a :class:`~repro.optim.passes.recipe.Recipe` or its
+        ``to_json`` dict; the on-disk name is the recipe's own content
+        digest, so identical pipelines share one object.
+        """
+        data = recipe if isinstance(recipe, dict) else recipe.to_json()
+        digest = _recipe_content_digest(data)
+        path = self._recipe_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_recipe(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored recipe JSON, or ``None`` (missing / corrupt).
+
+        Defensive like :meth:`get`: a recipe that does not parse or whose
+        content hash no longer matches its name is quarantined.
+        """
+        if not is_valid_digest(digest):
+            return None
+        path = self._recipe_path(digest)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            if _recipe_content_digest(data) != digest:
+                raise ValueError("recipe content digest mismatch")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path, self.recipes)
+            return None
+        return data
+
+    def recipe_digests(self) -> Iterator[str]:
+        """Every stored recipe digest (no parse)."""
+        if not self.recipes.is_dir():
+            return
+        for shard in sorted(self.recipes.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                if not entry.name.startswith(".tmp-"):
+                    yield entry.stem
+
+    def _quarantine(self, path: Path, root: Optional[Path] = None) -> None:
+        # Only ever unlink inside the store's own trees, no matter what
+        # path was computed upstream: quarantine deletes cache entries,
+        # never arbitrary files the process happens to be able to write.
         from ..observability import emit_event
 
         emit_event("quarantine", artifact=path.name)
         try:
             resolved = path.resolve()
-            objects_root = self.objects.resolve()
-            if objects_root not in resolved.parents:
+            tree_root = (root if root is not None else self.objects).resolve()
+            if tree_root not in resolved.parents:
                 return
             os.unlink(resolved)
         except OSError:
@@ -305,4 +401,5 @@ class ArtifactStore:
             "root": str(self.root),
             "artifacts": artifacts,
             "bytes": total_bytes,
+            "recipes": sum(1 for _ in self.recipe_digests()),
         }

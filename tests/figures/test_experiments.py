@@ -18,6 +18,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2",
             "fig3", "fig7", "fig12", "fig13", "fig14", "fig16", "fig17",
+            "passorder",
         }
 
     def test_unknown_experiment(self):
@@ -235,3 +236,31 @@ class TestTables:
             ("Hard", "Local"), ("Hard", "Global"),
             ("Soft", "Local"), ("Soft", "Global"),
         }
+
+
+class TestPassOrder:
+    def test_finds_cost_sensitive_nest(self, results):
+        """Acceptance bar: at least one nest where a non-default
+        ordering/subset changes the modeled cost."""
+        rows = results["passorder"].rows
+        assert any(
+            row["improvement_pct"] > 0 or row["worst_delta_us"] != 0
+            for row in rows
+        )
+
+    def test_control_dop_wins_on_tiny_nest(self, results):
+        by_case = {
+            (row["app"], row["sizes"]): row
+            for row in results["passorder"].rows
+        }
+        tiny = by_case[("sumRows", "R=8 C=8")]
+        assert "control_dop" in tiny["best_order"]
+        assert tiny["improvement_pct"] > 0
+
+    def test_ordering_dependency_is_expensive(self, results):
+        """prealloc without layout forfeits the Fig 16 column win."""
+        by_app = {row["app"]: row for row in results["passorder"].rows}
+        assert by_app["sumWeightedCols"]["worst_delta_us"] > 0
+        assert by_app["sumWeightedCols"]["best_order"] == (
+            "prealloc -> layout"
+        )

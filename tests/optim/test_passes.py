@@ -1,0 +1,295 @@
+"""Tests for the reified transformation-pass subsystem: registry,
+pipeline semantics, ordering dependencies, and the pass-ordering tuner."""
+
+import pytest
+
+from repro import GpuSession, OptimizationFlags, TESLA_K20C
+from repro.analysis.analyzer import analyze_program
+from repro.errors import RecipeError
+from repro.optim.passes.base import (
+    PlanState,
+    Transformation,
+    feasible_order,
+    get_pass,
+    register_pass,
+    registered_passes,
+    run_pipeline,
+)
+from repro.optim.passes.library import (
+    ControlDopPass,
+    LayoutPass,
+    PreallocPass,
+    SharedMemoryPass,
+)
+from repro.optim.passes.tune import (
+    DEFAULT_PASS_ORDER,
+    autotune_pass_order,
+    enumerate_pass_orders,
+)
+from repro.optim.pipeline import (
+    build_plan,
+    build_plan_with_recipe,
+    default_pipeline,
+)
+from repro.resilience.budget import Budget
+
+
+@pytest.fixture
+def qpscd_kernel():
+    """(analysis, mapping) for the QPSCD kernel — every pass applies."""
+    from repro.apps.qpscd import build_qpscd
+
+    session = GpuSession()
+    compiled = session.compile(build_qpscd(), S=1024, N=1024, C=256)
+    decision = compiled.decisions[0]
+    return decision.analysis, decision.mapping
+
+
+@pytest.fixture
+def sum_rows_kernel():
+    from repro.apps.sums import SUM_ROWS
+
+    session = GpuSession()
+    compiled = session.compile(SUM_ROWS.build(), R=128, C=64)
+    decision = compiled.decisions[0]
+    return decision.analysis, decision.mapping
+
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        names = set(registered_passes())
+        assert {"prealloc", "layout", "shared_memory",
+                "control_dop"} <= names
+
+    def test_get_pass_unknown_name(self):
+        with pytest.raises(RecipeError, match="unknown pass"):
+            get_pass("fuse_everything")
+
+    def test_reregistering_same_class_is_noop(self):
+        assert register_pass(PreallocPass) is PreallocPass
+
+    def test_name_collision_rejected(self):
+        class Imposter(Transformation):
+            name = "prealloc"
+
+        with pytest.raises(RecipeError, match="already registered"):
+            register_pass(Imposter)
+
+    def test_unnamed_pass_rejected(self):
+        class Nameless(Transformation):
+            pass
+
+        with pytest.raises(RecipeError, match="no name"):
+            register_pass(Nameless)
+
+
+class TestPassJson:
+    @pytest.mark.parametrize(
+        "cls", [PreallocPass, LayoutPass, SharedMemoryPass]
+    )
+    def test_parameterless_round_trip(self, cls):
+        rebuilt = Transformation.from_json(cls().to_json())
+        assert type(rebuilt) is cls
+        assert rebuilt.params == {}
+
+    def test_control_dop_params_round_trip(self):
+        original = ControlDopPass(min_dop=96, max_dop=4096)
+        rebuilt = Transformation.from_json(original.to_json())
+        assert type(rebuilt) is ControlDopPass
+        assert rebuilt.params == {"min_dop": 96, "max_dop": 4096}
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(RecipeError, match="no parameters"):
+            PreallocPass(chunk=4)
+
+    def test_undecodable_params_rejected(self):
+        with pytest.raises(RecipeError, match="undecodable"):
+            Transformation.from_json(
+                {"name": "control_dop", "params": {"bogus": 1}}
+            )
+
+    def test_non_dict_params_rejected(self):
+        with pytest.raises(RecipeError, match="params must be an object"):
+            Transformation.from_json({"name": "prealloc", "params": [1]})
+
+
+class TestPlanState:
+    def test_digest_deterministic(self, sum_rows_kernel):
+        analysis, mapping = sum_rows_kernel
+        a = PlanState.initial(analysis, mapping, TESLA_K20C)
+        b = PlanState.initial(analysis, mapping, TESLA_K20C)
+        assert a.digest() == b.digest()
+
+    def test_digest_tracks_decisions(self, sum_rows_kernel):
+        analysis, mapping = sum_rows_kernel
+        state = PlanState.initial(analysis, mapping, TESLA_K20C)
+        assert state.evolve(prealloc=True).digest() != state.digest()
+
+    def test_to_plan_carries_decisions(self, sum_rows_kernel):
+        analysis, mapping = sum_rows_kernel
+        state = PlanState.initial(analysis, mapping, TESLA_K20C).evolve(
+            prealloc=True, extra_shared_bytes=256
+        )
+        plan = state.to_plan()
+        assert plan.prealloc and plan.extra_shared_bytes == 256
+
+
+class TestRunPipeline:
+    def test_disabled_pass_recorded(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        state = PlanState.initial(analysis, mapping, TESLA_K20C)
+        _, steps = run_pipeline(
+            [(PreallocPass(), True), (LayoutPass(), False)], state
+        )
+        assert steps[1].applied is False
+        assert steps[1].skip_reason == "disabled"
+        assert steps[1].pre_digest == steps[1].post_digest
+
+    def test_requires_enforced(self, qpscd_kernel):
+        """Layout without a preceding prealloc must skip, not crash."""
+        analysis, mapping = qpscd_kernel
+        state = PlanState.initial(analysis, mapping, TESLA_K20C)
+        _, steps = run_pipeline([(LayoutPass(), True)], state)
+        assert steps[0].applied is False
+        assert steps[0].skip_reason == "requires:prealloc"
+
+    def test_applied_pass_moves_digest(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        state = PlanState.initial(analysis, mapping, TESLA_K20C)
+        out, steps = run_pipeline([(PreallocPass(), True)], state)
+        assert steps[0].applied is True
+        assert steps[0].pre_digest != steps[0].post_digest
+        assert steps[0].post_digest == out.digest()
+
+
+class TestBuildPlan:
+    def test_recipe_matches_plan(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        plan, recipe = build_plan_with_recipe(
+            analysis, mapping, TESLA_K20C, OptimizationFlags.default()
+        )
+        assert recipe.plan_digest
+        assert [r.name for r in recipe.passes] == list(DEFAULT_PASS_ORDER)
+        assert plan == build_plan(
+            analysis, mapping, TESLA_K20C, OptimizationFlags.default()
+        )
+
+    def test_flags_disable_passes(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        plan, recipe = build_plan_with_recipe(
+            analysis, mapping, TESLA_K20C, OptimizationFlags.none()
+        )
+        assert all(not r.applied for r in recipe.passes)
+        assert all(r.skip_reason == "disabled" for r in recipe.passes)
+        assert not plan.prealloc and not plan.layout_strides
+
+    def test_default_pipeline_order_is_contract(self):
+        names = tuple(
+            t.name for t, _ in default_pipeline(OptimizationFlags.default())
+        )
+        assert names == DEFAULT_PASS_ORDER
+
+
+class TestOptimizationFlags:
+    def test_default_returns_fresh_instances(self):
+        assert OptimizationFlags.default() == OptimizationFlags.default()
+        assert OptimizationFlags.default() is not OptimizationFlags.default()
+
+    def test_from_names_round_trips_disabled(self):
+        flags = OptimizationFlags.from_names(["layout", "shared_memory"])
+        assert flags.disabled_names() == ("layout", "shared_memory")
+        assert flags.prealloc and not flags.layout_opt
+
+    def test_from_names_rejects_unknown(self):
+        from repro.errors import RuntimeConfigError
+
+        with pytest.raises(RuntimeConfigError, match="unknown optimization"):
+            OptimizationFlags.from_names(["vectorize"])
+
+    def test_none_disables_everything(self):
+        assert OptimizationFlags.none().disabled_names() == (
+            "prealloc", "layout", "shared_memory"
+        )
+
+
+class TestFeasibleOrder:
+    def test_satisfied_dependency(self):
+        assert feasible_order([PreallocPass(), LayoutPass()])
+
+    def test_violated_dependency(self):
+        assert not feasible_order([LayoutPass(), PreallocPass()])
+        assert not feasible_order([LayoutPass()])
+
+    def test_empty_is_feasible(self):
+        assert feasible_order([])
+
+
+class TestEnumerateOrders:
+    def test_dependency_prunes_space(self):
+        orders = [
+            tuple(p.name for p in order)
+            for order in enumerate_pass_orders(["prealloc", "layout"])
+        ]
+        assert orders == [
+            (), ("prealloc",), ("prealloc", "layout")
+        ]
+
+    def test_default_order_enumerated(self):
+        orders = {
+            tuple(p.name for p in order)
+            for order in enumerate_pass_orders(
+                ["prealloc", "layout", "shared_memory"]
+            )
+        }
+        assert DEFAULT_PASS_ORDER in orders
+
+
+class TestAutotunePassOrder:
+    def test_default_is_baseline(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        result = autotune_pass_order(analysis, mapping, TESLA_K20C)
+        assert result.default.delta_us == 0.0
+        assert result.default.passes == DEFAULT_PASS_ORDER
+        assert result.best.time_us <= result.default.time_us
+        assert result.improvement_us >= 0.0
+
+    def test_frontier_sorted_and_deduplicated(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        result = autotune_pass_order(analysis, mapping, TESLA_K20C)
+        times = [entry.time_us for entry in result.frontier]
+        assert times == sorted(times)
+        digests = [entry.plan_digest for entry in result.frontier]
+        assert len(digests) == len(set(digests))
+        assert result.distinct <= result.feasible <= result.enumerated
+
+    def test_budget_degrades_gracefully(self, qpscd_kernel):
+        analysis, mapping = qpscd_kernel
+        result = autotune_pass_order(
+            analysis, mapping, TESLA_K20C, budget=Budget(max_nodes=1)
+        )
+        assert result.degraded
+        assert "exhausted" in result.degraded_reason
+        # The default ordering is still priced under an exhausted budget.
+        assert result.default.time_us > 0
+
+
+class TestControlDopPass:
+    def test_window_requires_device_or_params(self):
+        with pytest.raises(RecipeError, match="needs a device"):
+            ControlDopPass().window(None)
+
+    def test_window_from_device(self):
+        assert ControlDopPass().window(TESLA_K20C) == (
+            TESLA_K20C.dop_window()
+        )
+
+    def test_explicit_window_wins(self):
+        window = ControlDopPass(min_dop=7, max_dop=11).window(TESLA_K20C)
+        assert (window.min_dop, window.max_dop) == (7, 11)
+
+    def test_not_in_default_pipeline(self):
+        """ControlDOP stays a launch-time rewrite, not a plan pass."""
+        names = {
+            t.name for t, _ in default_pipeline(OptimizationFlags.default())
+        }
+        assert "control_dop" not in names

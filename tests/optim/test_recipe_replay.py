@@ -1,0 +1,176 @@
+"""Recipe round-trip and byte-identical replay over the difftest corpus.
+
+The property under test: for every difftest-generator spec (depth <= 4),
+the recipe a compile emits (a) survives ``to_json``/``from_json`` with a
+stable content digest and (b) replays pass-by-pass to the exact
+LaunchPlans, CUDA bytes, and modeled cost of a fresh compile.  A planted
+divergence (tampered digest, flipped applied bit) must be detected and
+must name the offending pass."""
+
+import json
+
+import pytest
+
+from repro import GpuSession, OptimizationFlags
+from repro.difftest.generator import ProgramGenerator, build_program, canonical_specs
+from repro.errors import RecipeError, RecipeReplayError
+from repro.optim.passes.recipe import (
+    KernelRecipe,
+    Recipe,
+    load_recipe,
+    recipe_diff,
+    replay_kernel_recipe,
+    verify_recipe,
+)
+
+
+def compile_with_recipe(program, strategy="multidim", **sizes):
+    session = GpuSession(
+        strategy=strategy, flags=OptimizationFlags.default()
+    )
+    compiled = session.compile(program, **sizes)
+    return compiled, compiled.recipe()
+
+
+def assert_replays_byte_identically(program):
+    compiled, recipe = compile_with_recipe(program)
+    # (a) JSON round-trip with a stable content digest.
+    rebuilt = Recipe.from_json(json.loads(json.dumps(recipe.to_json())))
+    assert rebuilt.content_digest() == recipe.content_digest()
+    assert recipe_diff(recipe, rebuilt) == []
+    # (b) replay reproduces the compile byte-for-byte.
+    summary = verify_recipe(program, rebuilt)
+    assert summary["ok"]
+    assert summary["replayed"] + summary["skipped_degraded"] == (
+        summary["kernels"]
+    )
+    assert summary["cuda_bytes"] == len(compiled.cuda_source)
+    # cost is a pure function of (mapping, plan): a byte-identical
+    # replay implies an identical modeled cost on a fresh compile.
+    fresh = GpuSession(
+        strategy="multidim", flags=OptimizationFlags.default()
+    ).compile(program)
+    assert fresh.estimate_time_us() == compiled.estimate_time_us()
+    return recipe
+
+
+DIFFTEST_SPECS = [
+    spec for spec in canonical_specs() if spec.depth <= 4
+]
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize(
+        "spec", DIFFTEST_SPECS, ids=[s.describe() for s in DIFFTEST_SPECS]
+    )
+    def test_canonical_spec_replays(self, spec):
+        assert_replays_byte_identically(build_program(spec))
+
+    def test_random_specs_replay(self):
+        """Seeded sampler slice of the spec space (depth <= 4 by
+        construction) — the property holds off the canonical templates
+        too."""
+        generator = ProgramGenerator(seed=7)
+        checked = 0
+        while checked < 6:
+            spec = generator.random_spec()
+            if spec.depth > 4:
+                continue
+            assert_replays_byte_identically(build_program(spec))
+            checked += 1
+
+
+class TestPlantedDivergence:
+    @pytest.fixture
+    def recipe_and_program(self):
+        program = build_program(canonical_specs()[0])
+        _, recipe = compile_with_recipe(program)
+        return program, recipe
+
+    def _first_applied(self, recipe):
+        for kernel in recipe.kernels:
+            for record in kernel.passes:
+                if record.applied:
+                    return kernel, record
+        pytest.skip("no applied pass to tamper with")
+
+    def test_tampered_post_digest_detected(self, recipe_and_program):
+        program, recipe = recipe_and_program
+        kernel, record = self._first_applied(recipe)
+        record.post_digest = "0" * 64
+        with pytest.raises(RecipeReplayError, match=record.name):
+            verify_recipe(program, recipe)
+
+    def test_tampered_pre_digest_detected(self, recipe_and_program):
+        program, recipe = recipe_and_program
+        kernel, record = self._first_applied(recipe)
+        record.pre_digest = "f" * 64
+        with pytest.raises(RecipeReplayError, match="tampered"):
+            verify_recipe(program, recipe)
+
+    def test_flipped_applied_bit_detected(self, recipe_and_program):
+        program, recipe = recipe_and_program
+        kernel, record = self._first_applied(recipe)
+        record.applied = False
+        record.skip_reason = "not-applicable"
+        with pytest.raises(RecipeReplayError, match=record.name):
+            verify_recipe(program, recipe)
+
+    def test_tampered_plan_digest_detected(self, recipe_and_program):
+        program, recipe = recipe_and_program
+        kernel, _ = self._first_applied(recipe)
+        kernel.plan_digest = "a" * 64
+        with pytest.raises(RecipeReplayError, match="plan digest"):
+            verify_recipe(program, recipe)
+
+    def test_tampering_changes_content_digest(self, recipe_and_program):
+        _, recipe = recipe_and_program
+        before = recipe.content_digest()
+        _, record = self._first_applied(recipe)
+        record.post_digest = "0" * 64
+        assert recipe.content_digest() != before
+
+    def test_degraded_kernel_refuses_replay(self, recipe_and_program):
+        program, recipe = recipe_and_program
+        from repro.analysis.analyzer import analyze_program
+
+        analysis = analyze_program(program)
+        kernel = recipe.kernels[0]
+        degraded = KernelRecipe(
+            index=0, mapping=kernel.mapping, degraded=True
+        )
+        with pytest.raises(RecipeReplayError, match="degraded"):
+            replay_kernel_recipe(
+                analysis.kernels[0], degraded, recipe.resolve_device()
+            )
+
+
+class TestRecipeSerialization:
+    def test_write_and_load(self, tmp_path):
+        program = build_program(canonical_specs()[0])
+        _, recipe = compile_with_recipe(program)
+        path = str(tmp_path / "nested" / "recipe.json")
+        recipe.write(path)
+        loaded = load_recipe(path)
+        assert loaded.content_digest() == recipe.content_digest()
+
+    def test_unsupported_version_rejected(self):
+        program = build_program(canonical_specs()[0])
+        _, recipe = compile_with_recipe(program)
+        data = recipe.to_json()
+        data["version"] = 999
+        with pytest.raises(RecipeError, match="version"):
+            Recipe.from_json(data)
+
+    def test_unknown_device_rejected(self):
+        recipe = Recipe(program="p", device="TPU v9", strategy="multidim")
+        with pytest.raises(RecipeError, match="unknown device"):
+            recipe.resolve_device()
+
+    def test_diff_reports_flag_changes(self):
+        program = build_program(canonical_specs()[0])
+        _, a = compile_with_recipe(program)
+        _, b = compile_with_recipe(program)
+        b.flags = dict(b.flags, shared_memory=False)
+        lines = recipe_diff(a, b)
+        assert lines and any("flags" in line for line in lines)

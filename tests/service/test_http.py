@@ -443,3 +443,46 @@ class TestClientTransportHardening:
             server.shutdown()
             thread.join(timeout=30)
             service.close()
+
+
+class TestRecipeEndpoint:
+    """Recipes are served at the same /v1/artifacts/<digest> route."""
+
+    @pytest.fixture
+    def served_real(self, tmp_path):
+        """A live server running the real compile pipeline (recipes are
+        only emitted by real compiles, not the fake compiler)."""
+        service = CompileService(
+            ServiceConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=serve_forever, args=(server,))
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_recipe_served_alongside_artifacts(self, served_real):
+        client = ServiceClient(served_real.url)
+        outcome = client.compile(request())
+        artifact = client.artifact(outcome.digest)
+        recipe_digest = artifact["recipe_digest"]
+        assert recipe_digest and recipe_digest != outcome.digest
+        recipe = client.artifact(recipe_digest)
+        assert recipe["kind"] == "recipe"
+        assert recipe["program"] == "sumRows"
+        assert recipe["pipeline_version"] >= 3
+
+    def test_artifact_embeds_recipe_digest_consistently(self, served_real):
+        client = ServiceClient(served_real.url)
+        outcome = client.compile(request())
+        artifact = client.artifact(outcome.digest)
+        recipe = client.artifact(artifact["recipe_digest"])
+        assert recipe == artifact["recipe"]
+
+    def test_unknown_digest_still_404(self, served_real):
+        client = ServiceClient(served_real.url)
+        assert client.artifact("ee" * 32) is None
